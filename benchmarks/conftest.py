@@ -1,0 +1,22 @@
+"""Shared benchmark configuration.
+
+Every benchmark runs its workload once (``rounds=1``) — the paper's
+experiments are throughput measurements of full solver runs, not
+micro-benchmarks — and reports the series it regenerates through
+:class:`repro.bench.Reporter`, which persists them under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,233 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not paper figures — these isolate *why* the system is built the way it
+is:
+
+* ``abl1`` — where Approx*'s speedup comes from: the k-NN locality
+  (affected-window gains) vs the tree index's best-first pruning.
+* ``abl2`` — sensitivity of Approx* solve time to the fanout knob ts.
+* ``abl3`` — the STCC lazy (CELF) solver vs the exhaustive SApprox:
+  same plan, order-of-magnitude fewer gain evaluations.
+* ``abl4`` — reliability-aware vs reliability-blind planning: ignoring
+  worker reliability while planning loses realized quality.
+* ``abl5`` — worker-index backend: uniform grid vs k-d tree under the
+  multi-task consumption workload.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench import Reporter
+from repro.core.greedy import IndexedSingleTaskGreedy, SingleTaskGreedy
+from repro.core.instrumentation import OpCounters
+from repro.core.quality import task_quality
+from repro.core.spatiotemporal import LazySpatioTemporalGreedy, SpatioTemporalGreedy
+from repro.engine.costs import SingleTaskCostTable
+from repro.engine.registry import WorkerRegistry
+from repro.multi.msqm import SumQualityGreedy
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+
+
+def _single_instance(m=140, workers=800, seed=3, reliability_range=(1.0, 1.0)):
+    scenario = build_scenario(
+        ScenarioConfig(
+            num_tasks=1,
+            num_slots=m,
+            num_workers=workers,
+            seed=seed,
+            reliability_range=reliability_range,
+        )
+    )
+    costs = SingleTaskCostTable(scenario.single_task, scenario.fresh_registry())
+    return scenario, costs
+
+
+def _timed(solver):
+    start = time.perf_counter()
+    result = solver.solve()
+    return time.perf_counter() - start, result
+
+
+def test_abl1_locality_vs_pruning(run_once):
+    reporter = Reporter("abl1", "Approx* decomposition: locality vs pruning")
+    reporter.header("variant", "time_s", "slot_evals")
+
+    def work():
+        scenario, costs = _single_instance()
+        task, budget = scenario.single_task, scenario.budget
+        rows = []
+        for label, factory in (
+            ("full-rescan (Approx)", lambda c: SingleTaskGreedy(
+                task, costs, budget=budget, strategy="full", counters=c)),
+            ("+ locality (affected windows)", lambda c: SingleTaskGreedy(
+                task, costs, budget=budget, strategy="local", counters=c)),
+            ("+ tree index & pruning (Approx*)", lambda c: IndexedSingleTaskGreedy(
+                task, costs, budget=budget, counters=c)),
+        ):
+            counters = OpCounters()
+            elapsed, result = _timed(factory(counters))
+            rows.append((label, elapsed, counters.slot_evaluations, result))
+        # All three variants must agree on the plan.
+        signatures = {r[3].assignment.plan_signature() for r in rows}
+        assert len(signatures) == 1
+        return [(label, t, evals) for label, t, evals, _ in rows]
+
+    rows = run_once(work)
+    for label, elapsed, evals in rows:
+        reporter.row(label, elapsed, evals)
+    times = [t for _, t, _ in rows]
+    assert times[0] > times[1] > times[2], "each layer should help"
+    reporter.close()
+
+
+def test_abl2_ts_sensitivity(run_once):
+    reporter = Reporter("abl2", "Approx* solve time vs fanout knob ts")
+    reporter.header("ts", "time_s", "pruning_pct")
+
+    def work():
+        rows = []
+        reference = None
+        for ts in (1, 2, 4, 8, 16, 32):
+            scenario, costs = _single_instance(m=300)
+            counters = OpCounters()
+            elapsed, result = _timed(
+                IndexedSingleTaskGreedy(
+                    scenario.single_task, costs, budget=scenario.budget,
+                    ts=ts, counters=counters,
+                )
+            )
+            if reference is None:
+                reference = result.assignment.plan_signature()
+            else:
+                assert result.assignment.plan_signature() == reference
+            rows.append((ts, elapsed, 100.0 * counters.pruning_ratio))
+        return rows
+
+    for ts, elapsed, pruning in run_once(work):
+        reporter.row(ts, elapsed, pruning)
+    reporter.note("ts trades pruning granularity against per-leaf enumeration; plans are identical")
+    reporter.close()
+
+
+def test_abl3_stcc_lazy_vs_exhaustive(run_once):
+    reporter = Reporter("abl3", "STCC: lazy (CELF) SApprox* vs exhaustive SApprox")
+    reporter.header("variant", "time_s", "gain_evals", "qsum")
+
+    def work():
+        scenario = build_scenario(
+            ScenarioConfig(num_tasks=12, num_slots=15, num_workers=200, seed=9)
+        )
+        budget = scenario.budget * 12
+        naive_counters = OpCounters()
+        naive_t, naive = _timed(
+            SpatioTemporalGreedy(
+                scenario.tasks, scenario.fresh_registry(), scenario.bbox,
+                budget=budget, counters=naive_counters,
+            )
+        )
+        lazy_counters = OpCounters()
+        lazy_t, lazy = _timed(
+            LazySpatioTemporalGreedy(
+                scenario.tasks, scenario.fresh_registry(), scenario.bbox,
+                budget=budget, counters=lazy_counters,
+            )
+        )
+        assert naive.plan_signature() == lazy.plan_signature()
+        return [
+            ("SApprox (exhaustive)", naive_t, naive_counters.gain_evaluations,
+             naive.sum_quality),
+            ("SApprox* (lazy)", lazy_t, lazy_counters.gain_evaluations,
+             lazy.sum_quality),
+        ]
+
+    rows = run_once(work)
+    for row in rows:
+        reporter.row(*row)
+    assert rows[1][1] < rows[0][1], "lazy variant should be faster"
+    assert rows[1][2] * 3 < rows[0][2], "lazy variant evaluates far fewer gains"
+    reporter.close()
+
+
+def test_abl4_reliability_aware_vs_blind(run_once):
+    reporter = Reporter("abl4", "Reliability-aware vs reliability-blind planning")
+    reporter.note("realized quality always uses the true worker lambdas (Eq. 4-5)")
+    reporter.header("reliability_range", "aware_quality", "blind_quality", "gain_pct")
+
+    class BlindCosts:
+        """Cost adapter that hides worker reliability from the planner."""
+
+        def __init__(self, costs):
+            self._costs = costs
+
+        def cost(self, slot):
+            return self._costs.cost(slot)
+
+        def reliability(self, slot):
+            return 1.0  # the blind planner assumes perfect workers
+
+        def offer(self, slot):
+            return self._costs.offer(slot)
+
+    def realized_quality(scenario, costs, assignment):
+        executed = {r.slot: costs.reliability(r.slot) for r in assignment}
+        return task_quality(scenario.single_task.num_slots, 3, executed)
+
+    def work():
+        rows = []
+        for lo in (0.8, 0.5, 0.2):
+            aware_vals, blind_vals = [], []
+            for seed in (3, 4, 5, 6):
+                scenario, costs = _single_instance(
+                    m=60, seed=seed, reliability_range=(lo, 1.0)
+                )
+                budget = scenario.budget
+                aware = IndexedSingleTaskGreedy(
+                    scenario.single_task, costs, budget=budget
+                ).solve()
+                blind = IndexedSingleTaskGreedy(
+                    scenario.single_task, BlindCosts(costs), budget=budget
+                ).solve()
+                aware_vals.append(realized_quality(scenario, costs, aware.assignment))
+                blind_vals.append(realized_quality(scenario, costs, blind.assignment))
+            aware_avg = sum(aware_vals) / len(aware_vals)
+            blind_avg = sum(blind_vals) / len(blind_vals)
+            rows.append(
+                ((lo, 1.0), aware_avg, blind_avg,
+                 100.0 * (aware_avg - blind_avg) / blind_avg)
+            )
+        return rows
+
+    rows = run_once(work)
+    for rng, aware, blind, gain in rows:
+        reporter.row(str(rng), aware, blind, gain)
+        assert aware >= blind - 1e-9, "awareness should never hurt on average"
+    # The advantage grows as reliabilities get more heterogeneous.
+    assert rows[-1][3] >= rows[0][3] - 0.5
+    reporter.close()
+
+
+def test_abl5_worker_index_backend(run_once):
+    reporter = Reporter("abl5", "Worker-index backend: grid vs k-d tree")
+    reporter.header("backend", "time_s", "qsum")
+
+    def work():
+        scenario = build_scenario(
+            ScenarioConfig(num_tasks=12, num_slots=40, num_workers=2000, seed=7)
+        )
+        budget = scenario.budget * 12
+        rows = []
+        plans = []
+        for backend in ("grid", "kdtree"):
+            registry = WorkerRegistry(scenario.pool, scenario.bbox, backend=backend)
+            elapsed, result = _timed(
+                SumQualityGreedy(scenario.tasks, registry, budget=budget)
+            )
+            rows.append((backend, elapsed, result.sum_quality))
+            plans.append(result.plan_signature())
+        assert plans[0] == plans[1], "backends must be semantically identical"
+        return rows
+
+    for backend, elapsed, qsum in run_once(work):
+        reporter.row(backend, elapsed, qsum)
+    reporter.close()

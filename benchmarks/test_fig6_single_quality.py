@@ -1,0 +1,94 @@
+"""Figure 6 — quality of single-task assignment.
+
+(a) average quality vs task-location distribution, comparing RandMin,
+    RandMax, Opt, and Approx;
+(b) quality vs budget, comparing Opt, Approx, and RandAvg.
+
+OPT is exhaustive, so the instances are small (m = 12; the paper also
+uses reduced instances wherever OPT appears).  The claims that must
+hold: Approx tracks Opt closely, both dominate the random band, and
+the Approx-vs-Rand gap narrows as the budget grows.
+"""
+
+from __future__ import annotations
+
+from repro.bench import Reporter
+from repro.core.baselines import OptimalSolver, RandomAssignmentSolver
+from repro.core.greedy import IndexedSingleTaskGreedy
+from repro.engine.costs import SingleTaskCostTable
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+from repro.workloads.spatial import Distribution
+
+M = 12
+WORKERS = 150
+TRIALS = 20
+DISTRIBUTIONS = [Distribution.UNIFORM, Distribution.GAUSSIAN, Distribution.ZIPFIAN]
+
+
+def _instance(distribution, seed=5):
+    scenario = build_scenario(
+        ScenarioConfig(
+            num_tasks=1,
+            num_slots=M,
+            num_workers=WORKERS,
+            distribution=distribution,
+            seed=seed,
+        )
+    )
+    costs = SingleTaskCostTable(scenario.single_task, scenario.fresh_registry())
+    return scenario, costs
+
+
+def _solve_all(scenario, costs, budget):
+    task = scenario.single_task
+    approx = IndexedSingleTaskGreedy(task, costs, budget=budget).solve().quality
+    opt = OptimalSolver(task, costs, budget=budget).solve().quality
+    rand = RandomAssignmentSolver(task, costs, budget=budget, seed=7).run_trials(TRIALS)
+    return approx, opt, rand
+
+
+def test_fig6a_quality_vs_distribution(run_once):
+    reporter = Reporter("fig6a", "Single-task quality vs task distribution")
+    reporter.note(f"m={M}, workers={WORKERS}, budget=25% of full-task cost (OPT-feasible scale)")
+    reporter.header("distribution", "RandMin", "RandMax", "Opt", "Approx")
+
+    def work():
+        rows = []
+        for distribution in DISTRIBUTIONS:
+            scenario, costs = _instance(distribution)
+            budget = 0.25 * costs.total_cost
+            approx, opt, rand = _solve_all(scenario, costs, budget)
+            rows.append((distribution.value, rand.min, rand.max, opt, approx))
+        return rows
+
+    for row in run_once(work):
+        reporter.row(*row)
+        distribution, rand_min, rand_max, opt, approx = row
+        assert approx >= 0.9 * opt, f"{distribution}: Approx strayed from Opt"
+        assert approx >= rand_min
+    reporter.close()
+
+
+def test_fig6b_quality_vs_budget(run_once):
+    reporter = Reporter("fig6b", "Single-task quality vs budget")
+    reporter.note("budget fractions {0.15, 0.3, 0.5} of the full-task cost stand in for b=3/5/7")
+    reporter.header("budget_fraction", "Opt", "Approx", "RandAvg")
+
+    def work():
+        scenario, costs = _instance(Distribution.UNIFORM)
+        rows = []
+        for fraction in (0.15, 0.30, 0.50):
+            budget = fraction * costs.total_cost
+            approx, opt, rand = _solve_all(scenario, costs, budget)
+            rows.append((fraction, opt, approx, rand.avg, rand.min))
+        return rows
+
+    rows = run_once(work)
+    gaps = []
+    for fraction, opt, approx, rand_avg, rand_min in rows:
+        reporter.row(fraction, opt, approx, rand_avg)
+        assert approx >= 0.9 * opt
+        gaps.append(approx - rand_avg)
+    # The Approx-vs-Rand gap is largest at the smallest budget.
+    assert gaps[0] >= gaps[-1] - 1e-6
+    reporter.close()

@@ -1,0 +1,142 @@
+"""Figure 7 — quality of multi-task assignment.
+
+(a) qsum vs task distribution (RandMin / RandMax / Approx);
+(b) qsum vs budget (Approx / RandAvg);
+(c) qmin vs task distribution (RandMin / RandMax / Approx);
+(d) qmin vs budget (Approx / RandAvg).
+
+Claims: Approx dominates the random band for both objectives, and the
+gap shrinks as the budget grows.
+"""
+
+from __future__ import annotations
+
+from repro.bench import Reporter, random_multi_assignment
+from repro.multi.mmqm import MinQualityGreedy
+from repro.multi.msqm import SumQualityGreedy
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+from repro.workloads.spatial import Distribution
+
+TASKS = 20
+M = 40
+WORKERS = 600
+TRIALS = 10
+DISTRIBUTIONS = [Distribution.UNIFORM, Distribution.GAUSSIAN, Distribution.ZIPFIAN]
+
+
+def _scenario(distribution, seed=15):
+    return build_scenario(
+        ScenarioConfig(
+            num_tasks=TASKS,
+            num_slots=M,
+            num_workers=WORKERS,
+            distribution=distribution,
+            seed=seed,
+        )
+    )
+
+
+def _random_band(scenario, budget, aggregate):
+    values = []
+    for seed in range(TRIALS):
+        qualities = random_multi_assignment(
+            scenario.tasks, scenario.fresh_registry(), budget=budget, seed=seed
+        )
+        values.append(aggregate(qualities.values()))
+    return min(values), max(values), sum(values) / len(values)
+
+
+def test_fig7a_qsum_vs_distribution(run_once):
+    reporter = Reporter("fig7a", "Multi-task summation quality vs distribution")
+    reporter.note(f"|T|={TASKS}, m={M}, workers={WORKERS} (scaled from the paper's 100-500 tasks)")
+    reporter.header("distribution", "RandMin", "RandMax", "Approx")
+
+    def work():
+        rows = []
+        for distribution in DISTRIBUTIONS:
+            scenario = _scenario(distribution)
+            budget = scenario.budget * TASKS
+            approx = SumQualityGreedy(
+                scenario.tasks, scenario.fresh_registry(), budget=budget
+            ).solve().sum_quality
+            lo, hi, _ = _random_band(scenario, budget, sum)
+            rows.append((distribution.value, lo, hi, approx))
+        return rows
+
+    for distribution, lo, hi, approx in run_once(work):
+        reporter.row(distribution, lo, hi, approx)
+        assert approx >= hi, f"{distribution}: Approx should beat RandMax"
+    reporter.close()
+
+
+def test_fig7b_qsum_vs_budget(run_once):
+    reporter = Reporter("fig7b", "Multi-task summation quality vs budget")
+    reporter.note("budgets as fractions of the full task-set cost, standing in for $50-$200")
+    reporter.header("budget_fraction", "Approx", "RandAvg")
+
+    def work():
+        scenario = _scenario(Distribution.UNIFORM)
+        full = scenario.budget * TASKS / 0.25  # the 100% reference
+        rows = []
+        for fraction in (0.125, 0.25, 0.375, 0.5):
+            budget = fraction * full
+            approx = SumQualityGreedy(
+                scenario.tasks, scenario.fresh_registry(), budget=budget
+            ).solve().sum_quality
+            _, _, avg = _random_band(scenario, budget, sum)
+            rows.append((fraction, approx, avg))
+        return rows
+
+    rows = run_once(work)
+    approx_series = []
+    for fraction, approx, avg in rows:
+        reporter.row(fraction, approx, avg)
+        assert approx >= avg
+        approx_series.append(approx)
+    assert approx_series == sorted(approx_series), "quality grows with budget"
+    reporter.close()
+
+
+def test_fig7c_qmin_vs_distribution(run_once):
+    reporter = Reporter("fig7c", "Multi-task minimum quality vs distribution")
+    reporter.header("distribution", "RandMin", "RandMax", "Approx")
+
+    def work():
+        rows = []
+        for distribution in DISTRIBUTIONS:
+            scenario = _scenario(distribution)
+            budget = scenario.budget * TASKS
+            approx = MinQualityGreedy(
+                scenario.tasks, scenario.fresh_registry(), budget=budget
+            ).solve().min_quality
+            lo, hi, _ = _random_band(scenario, budget, min)
+            rows.append((distribution.value, lo, hi, approx))
+        return rows
+
+    for distribution, lo, hi, approx in run_once(work):
+        reporter.row(distribution, lo, hi, approx)
+        assert approx >= hi, f"{distribution}: MMQM Approx should beat RandMax"
+    reporter.close()
+
+
+def test_fig7d_qmin_vs_budget(run_once):
+    reporter = Reporter("fig7d", "Multi-task minimum quality vs budget")
+    reporter.header("budget_fraction", "Approx", "RandAvg")
+
+    def work():
+        scenario = _scenario(Distribution.UNIFORM)
+        full = scenario.budget * TASKS / 0.25
+        rows = []
+        for fraction in (0.125, 0.25, 0.375, 0.5):
+            budget = fraction * full
+            approx = MinQualityGreedy(
+                scenario.tasks, scenario.fresh_registry(), budget=budget
+            ).solve().min_quality
+            _, _, avg = _random_band(scenario, budget, min)
+            rows.append((fraction, approx, avg))
+        return rows
+
+    for fraction, approx, avg in run_once(work):
+        reporter.row(fraction, approx, avg)
+        assert approx >= avg
+    reporter.close()

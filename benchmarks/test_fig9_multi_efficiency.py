@@ -1,0 +1,309 @@
+"""Figure 9 — efficiency and scalability of multi-task assignment.
+
+(a) time vs number of cores (task-level vs group-level vs serial);
+(b) time and worker-conflict counts vs task distribution;
+(c) conflicts vs number of tasks;
+(d) time vs number of tasks (task-level vs group-level);
+(e) time vs m per distribution;
+(f) time vs cores with and without priority scheduling;
+(g) MMQM time vs number of tasks (Approx vs Approx*);
+(h) MMQM time vs m (Approx vs Approx*).
+
+Parallel timings are *virtual-clock* durations from the deterministic
+multi-core simulator (see DESIGN.md: CPython's GIL rules out real
+CPU-parallel speedups); serial MMQM comparisons use wall-clock time.
+Scales are reduced from the paper's |T|=100-500, m=300-1000 to keep a
+full bench run in minutes; the claims checked are the paper's shapes.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench import Reporter
+from repro.multi.grouping import GroupLevelParallelSolver
+from repro.multi.mmqm import MinQualityGreedy
+from repro.multi.msqm import SumQualityGreedy
+from repro.multi.scheduler import TaskLevelParallelSolver
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+from repro.workloads.spatial import Distribution
+
+DISTRIBUTIONS = [Distribution.UNIFORM, Distribution.GAUSSIAN, Distribution.ZIPFIAN]
+ALL_DISTRIBUTIONS = DISTRIBUTIONS + [Distribution.REAL]
+
+
+def _scenario(tasks=24, m=50, workers=500, distribution=Distribution.UNIFORM, seed=5):
+    return build_scenario(
+        ScenarioConfig(
+            num_tasks=tasks,
+            num_slots=m,
+            num_workers=workers,
+            distribution=distribution,
+            seed=seed,
+        )
+    )
+
+
+def _budget(scenario):
+    return scenario.budget * len(scenario.tasks)
+
+
+def test_fig9a_time_vs_cores(run_once):
+    reporter = Reporter("fig9a", "Multi-task time vs cores")
+    reporter.note("virtual-clock durations; serial = total work on one core")
+    reporter.header("cores", "task_level_vt", "group_level_vt", "serial_vt")
+
+    def work():
+        scenario = _scenario()
+        budget = _budget(scenario)
+        serial_counters = SumQualityGreedy(
+            scenario.tasks, scenario.fresh_registry(), budget=budget
+        ).solve().counters
+        serial_vt = serial_counters.virtual_cost()
+        rows = []
+        for cores in (1, 2, 4, 8, 10, 12, 16):
+            task_vt = TaskLevelParallelSolver(
+                scenario.tasks, scenario.fresh_registry(), budget=budget, cores=cores
+            ).solve().virtual_time
+            group_vt = GroupLevelParallelSolver(
+                scenario.tasks, scenario.fresh_registry(), budget=budget, cores=cores
+            ).solve().virtual_time
+            rows.append((cores, task_vt, group_vt, serial_vt))
+        return rows
+
+    rows = run_once(work)
+    for cores, task_vt, group_vt, serial_vt in rows:
+        reporter.row(cores, task_vt, group_vt, serial_vt)
+    # Task-level scales; at 10+ cores it clearly beats both others.
+    ten_core = next(r for r in rows if r[0] == 10)
+    assert ten_core[1] < ten_core[2], "task-level should beat group-level"
+    assert ten_core[1] < ten_core[3] / 3, "task-level should clearly beat serial"
+    task_series = [r[1] for r in rows]
+    assert task_series == sorted(task_series, reverse=True)
+    reporter.chart(
+        [r[0] for r in rows],
+        {
+            "task_level": [r[1] for r in rows],
+            "group_level": [r[2] for r in rows],
+            "serial": [r[3] for r in rows],
+        },
+        log=True,
+    )
+    reporter.close()
+
+
+def test_fig9b_time_and_conflicts_vs_distribution(run_once):
+    reporter = Reporter("fig9b", "Multi-task time and conflicts vs distribution")
+    reporter.header("distribution", "task_level_vt", "group_level_vt", "conflicts")
+
+    def work():
+        rows = []
+        for distribution in DISTRIBUTIONS:
+            scenario = _scenario(distribution=distribution, workers=300)
+            budget = _budget(scenario)
+            task_result = TaskLevelParallelSolver(
+                scenario.tasks, scenario.fresh_registry(), budget=budget, cores=10
+            ).solve()
+            group_result = GroupLevelParallelSolver(
+                scenario.tasks, scenario.fresh_registry(), budget=budget, cores=10
+            ).solve()
+            rows.append(
+                (
+                    distribution.value,
+                    task_result.virtual_time,
+                    group_result.virtual_time,
+                    task_result.conflict_count,
+                )
+            )
+        return rows
+
+    rows = run_once(work)
+    for distribution, task_vt, group_vt, conflicts in rows:
+        reporter.row(distribution, task_vt, group_vt, conflicts)
+    conflicts = {d: c for d, _, _, c in rows}
+    # Paper: skewed datasets incur larger numbers of worker conflicts.
+    assert max(conflicts["gaussian"], conflicts["zipfian"]) > conflicts["uniform"]
+    reporter.close()
+
+
+def test_fig9c_conflicts_vs_tasks(run_once):
+    reporter = Reporter("fig9c", "Worker conflicts vs number of tasks")
+    reporter.note("|T| in {12, 24, 48} scaled from the paper's 100-500")
+    reporter.header("distribution", "tasks", "conflicts")
+
+    def work():
+        rows = []
+        for distribution in ALL_DISTRIBUTIONS:
+            for tasks in (12, 24, 48):
+                scenario = _scenario(tasks=tasks, m=30, workers=300,
+                                     distribution=distribution)
+                result = SumQualityGreedy(
+                    scenario.tasks, scenario.fresh_registry(), budget=_budget(scenario)
+                ).solve()
+                rows.append((distribution.value, tasks, result.conflict_count))
+        return rows
+
+    rows = run_once(work)
+    series: dict[str, list[int]] = {}
+    for distribution, tasks, conflicts in rows:
+        reporter.row(distribution, tasks, conflicts)
+        series.setdefault(distribution, []).append(conflicts)
+    # Paper: conflicts grow with the number of tasks.
+    for distribution, counts in series.items():
+        assert counts[-1] > counts[0], f"{distribution}: conflicts should grow with |T|"
+    reporter.close()
+
+
+def test_fig9d_time_vs_tasks(run_once):
+    reporter = Reporter("fig9d", "Multi-task time vs number of tasks")
+    reporter.header("tasks", "task_level_vt", "group_level_vt")
+
+    def work():
+        rows = []
+        for tasks in (12, 24, 48):
+            scenario = _scenario(tasks=tasks, m=40, workers=400)
+            budget = _budget(scenario)
+            task_vt = TaskLevelParallelSolver(
+                scenario.tasks, scenario.fresh_registry(), budget=budget, cores=10
+            ).solve().virtual_time
+            group_vt = GroupLevelParallelSolver(
+                scenario.tasks, scenario.fresh_registry(), budget=budget, cores=10
+            ).solve().virtual_time
+            rows.append((tasks, task_vt, group_vt))
+        return rows
+
+    rows = run_once(work)
+    for tasks, task_vt, group_vt in rows:
+        reporter.row(tasks, task_vt, group_vt)
+    task_series = [r[1] for r in rows]
+    assert task_series == sorted(task_series), "time grows with |T|"
+    # Task-level grows more slowly than group-level.
+    assert rows[-1][1] <= rows[-1][2]
+    reporter.close()
+
+
+def test_fig9e_time_vs_m(run_once):
+    reporter = Reporter("fig9e", "Multi-task time vs m per distribution")
+    reporter.header("distribution", "m", "task_level_vt")
+
+    def work():
+        rows = []
+        for distribution in ALL_DISTRIBUTIONS:
+            for m in (30, 60, 90):
+                scenario = _scenario(tasks=16, m=m, workers=400, distribution=distribution)
+                vt = TaskLevelParallelSolver(
+                    scenario.tasks, scenario.fresh_registry(), budget=_budget(scenario),
+                    cores=10,
+                ).solve().virtual_time
+                rows.append((distribution.value, m, vt))
+        return rows
+
+    rows = run_once(work)
+    series: dict[str, list[float]] = {}
+    for distribution, m, vt in rows:
+        reporter.row(distribution, m, vt)
+        series.setdefault(distribution, []).append(vt)
+    for counts in series.values():
+        assert counts[-1] > counts[0], "time grows with m"
+    reporter.close()
+
+
+def test_fig9f_priority_vs_default(run_once):
+    reporter = Reporter("fig9f", "Task-level time vs cores: priority vs default")
+    reporter.note("serial-equivalent grant mode (the deterministic-plan configuration)")
+    reporter.header("cores", "priority_vt", "default_vt")
+
+    def work():
+        scenario = _scenario(tasks=24, m=40, workers=400)
+        budget = _budget(scenario)
+        rows = []
+        for cores in (1, 2, 4, 8, 12, 16):
+            pri = TaskLevelParallelSolver(
+                scenario.tasks, scenario.fresh_registry(), budget=budget, cores=cores,
+                grant_mode="serial-equivalent", priority=True,
+            ).solve().virtual_time
+            fifo = TaskLevelParallelSolver(
+                scenario.tasks, scenario.fresh_registry(), budget=budget, cores=cores,
+                grant_mode="serial-equivalent", priority=False,
+            ).solve().virtual_time
+            rows.append((cores, pri, fifo))
+        return rows
+
+    rows = run_once(work)
+    for cores, pri, fifo in rows:
+        reporter.row(cores, pri, fifo)
+        assert pri <= fifo + 1e-9
+    # The gap narrows as cores increase (curves converge).
+    first_gap = rows[0][2] / rows[0][1]
+    last_gap = rows[-1][2] / rows[-1][1]
+    assert first_gap > last_gap
+    reporter.close()
+
+
+def test_fig9g_mmqm_time_vs_tasks(run_once):
+    reporter = Reporter("fig9g", "MMQM time vs number of tasks (Approx vs Approx*)")
+    reporter.header("tasks", "Approx_s", "ApproxStar_s")
+
+    def work():
+        rows = []
+        for tasks in (8, 16, 32):
+            scenario = _scenario(tasks=tasks, m=40, workers=400)
+            budget = _budget(scenario)
+            start = time.perf_counter()
+            MinQualityGreedy(
+                scenario.tasks, scenario.fresh_registry(), budget=budget,
+                use_index=False, gain_strategy="full",
+            ).solve()
+            naive_t = time.perf_counter() - start
+            start = time.perf_counter()
+            MinQualityGreedy(
+                scenario.tasks, scenario.fresh_registry(), budget=budget, use_index=True
+            ).solve()
+            star_t = time.perf_counter() - start
+            rows.append((tasks, naive_t, star_t))
+        return rows
+
+    rows = run_once(work)
+    for tasks, naive_t, star_t in rows:
+        reporter.row(tasks, naive_t, star_t)
+        assert star_t < naive_t, "Approx* should outperform Approx"
+    naive_series = [r[1] for r in rows]
+    assert naive_series == sorted(naive_series), "time grows with |T|"
+    reporter.close()
+
+
+def test_fig9h_mmqm_time_vs_m(run_once):
+    reporter = Reporter("fig9h", "MMQM time vs m (Approx vs Approx*)")
+    reporter.header("m", "Approx_s", "ApproxStar_s")
+
+    def work():
+        rows = []
+        for m in (30, 60, 90):
+            scenario = _scenario(tasks=12, m=m, workers=400)
+            budget = _budget(scenario)
+            start = time.perf_counter()
+            MinQualityGreedy(
+                scenario.tasks, scenario.fresh_registry(), budget=budget,
+                use_index=False, gain_strategy="full",
+            ).solve()
+            naive_t = time.perf_counter() - start
+            start = time.perf_counter()
+            MinQualityGreedy(
+                scenario.tasks, scenario.fresh_registry(), budget=budget, use_index=True
+            ).solve()
+            star_t = time.perf_counter() - start
+            rows.append((m, naive_t, star_t))
+        return rows
+
+    rows = run_once(work)
+    for m, naive_t, star_t in rows:
+        reporter.row(m, naive_t, star_t)
+        if m >= 60:
+            # At tiny m the index build overhead hides the win; the
+            # paper's smallest point is m=300.
+            assert star_t < naive_t
+    naive_series = [r[1] for r in rows]
+    assert naive_series == sorted(naive_series), "time grows with m"
+    # The Approx*/Approx gap widens with m (the paper's 8h shape).
+    assert rows[-1][1] / rows[-1][2] > rows[0][1] / rows[0][2]
+    reporter.close()

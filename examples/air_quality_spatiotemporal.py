@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Air-quality monitoring with spatiotemporal interpolation (STCC).
+
+Several monitoring tasks cover one city district.  Because the tasks
+are spatially close, a probe taken for one task also informs its
+neighbours at the same time slot — the Appendix C extension.  This
+example contrasts the temporal-only planner (``Approx``) with the
+combined planner (``SApprox``) under the spatiotemporal quality
+metric, and sweeps the temporal weight ``wt``.
+
+Run:  python examples/air_quality_spatiotemporal.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Distribution,
+    ScenarioConfig,
+    SpatioTemporalGreedy,
+    build_scenario,
+    score_assignment,
+)
+
+
+def combined_score(scenario, assignment, wt=0.7, ws=0.3):
+    """Score any assignment under the reference combined metric."""
+    return sum(
+        score_assignment(scenario.tasks, scenario.bbox, assignment, wt=wt, ws=ws).values()
+    )
+
+
+def main() -> None:
+    scenario = build_scenario(
+        ScenarioConfig(
+            num_tasks=10,
+            num_slots=12,
+            num_workers=150,
+            distribution=Distribution.GAUSSIAN,
+            seed=31,
+        )
+    )
+    budget = scenario.budget * len(scenario.tasks)
+    print(f"{len(scenario.tasks)} sensor tasks, shared budget {budget:.1f}")
+
+    # SApprox optimizes the combined (temporal + spatial) objective.
+    sapprox = SpatioTemporalGreedy(
+        scenario.tasks, scenario.fresh_registry(), scenario.bbox,
+        budget=budget, wt=0.7, ws=0.3,
+    ).solve()
+    # Approx ignores spatial coupling (wt = 1).
+    approx = SpatioTemporalGreedy(
+        scenario.tasks, scenario.fresh_registry(), scenario.bbox,
+        budget=budget, wt=1.0, ws=0.0,
+    ).solve()
+
+    approx_combined = combined_score(scenario, approx.assignment)
+    print("\nscored under the combined metric (wt=0.7, ws=0.3):")
+    print(f"  SApprox: {sapprox.sum_quality:8.4f}")
+    print(f"  Approx : {approx_combined:8.4f}")
+    print(f"  spatial-awareness gain: {sapprox.sum_quality - approx_combined:+.4f}")
+
+    # How the combined planner spreads probes differently: count slots
+    # where two or more tasks probe simultaneously (spatially wasteful
+    # under the combined metric, invisible to the temporal one).
+    def simultaneous_probes(assignment):
+        per_slot: dict[int, int] = {}
+        for record in assignment:
+            per_slot[record.slot] = per_slot.get(record.slot, 0) + 1
+        return sum(1 for count in per_slot.values() if count > 1)
+
+    print(f"\nslots probed by 2+ tasks at once: "
+          f"Approx={simultaneous_probes(approx.assignment)}, "
+          f"SApprox={simultaneous_probes(sapprox.assignment)} "
+          "(the combined planner de-duplicates in space)")
+
+    print("\ntemporal-weight sweep (plans scored under wt=0.7):")
+    for wt10 in range(0, 11, 2):
+        wt = wt10 / 10.0
+        plan = SpatioTemporalGreedy(
+            scenario.tasks, scenario.fresh_registry(), scenario.bbox,
+            budget=budget, wt=wt, ws=1.0 - wt,
+        ).solve()
+        print(f"  wt={wt:.1f}: {combined_score(scenario, plan.assignment):8.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Traffic surveillance — a multi-task crowdsourcing platform round.
+
+A city posts many simultaneous road-monitoring tasks (the paper's
+traffic-surveillance motivation).  Tasks cluster around hotspots, so
+they *compete for workers*: this example shows the worker-conflict
+machinery of Section IV in action — conflict detection, independent
+grouping, both multi-task objectives, and the task-level parallel
+framework with its speedup curve.
+
+Run:  python examples/traffic_surveillance_platform.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Distribution,
+    GroupLevelParallelSolver,
+    MinQualityGreedy,
+    ScenarioConfig,
+    SumQualityGreedy,
+    TaskLevelParallelSolver,
+    build_scenario,
+    detect_conflicts,
+    independent_groups,
+)
+
+
+def main() -> None:
+    # Gaussian task locations = monitoring points clustered downtown.
+    scenario = build_scenario(
+        ScenarioConfig(
+            num_tasks=16,
+            num_slots=40,
+            num_workers=300,
+            distribution=Distribution.GAUSSIAN,
+            seed=23,
+        )
+    )
+    budget = scenario.budget * len(scenario.tasks)
+    print(f"{len(scenario.tasks)} tasks, {len(scenario.pool)} workers, budget {budget:.1f}")
+
+    # --- conflict structure -------------------------------------------
+    conflicts = detect_conflicts(scenario.tasks, scenario.fresh_registry())
+    groups = independent_groups(scenario.tasks, scenario.fresh_registry())
+    print(f"\nrank-1 worker conflicts: {len(conflicts)}")
+    print(f"independent task groups: {[len(g) for g in groups]} "
+          "(skewed tasks tend to fuse into one big group)")
+
+    # --- the two objectives -------------------------------------------
+    msqm = SumQualityGreedy(
+        scenario.tasks, scenario.fresh_registry(), budget=budget
+    ).solve()
+    mmqm = MinQualityGreedy(
+        scenario.tasks, scenario.fresh_registry(), budget=budget
+    ).solve()
+    print("\nobjective comparison (same budget):")
+    print(f"  MSQM: qsum={msqm.sum_quality:8.3f}  qmin={msqm.min_quality:6.3f}  "
+          f"runtime conflicts={msqm.conflict_count}")
+    print(f"  MMQM: qsum={mmqm.sum_quality:8.3f}  qmin={mmqm.min_quality:6.3f}  "
+          "(sacrifices total quality to lift the weakest task)")
+
+    # --- parallelization ----------------------------------------------
+    print("\ntask-level parallel framework (virtual-clock cores):")
+    base = None
+    for cores in (1, 2, 4, 8, 12):
+        result = TaskLevelParallelSolver(
+            scenario.tasks, scenario.fresh_registry(), budget=budget, cores=cores
+        ).solve()
+        base = base or result.virtual_time
+        print(f"  cores={cores:2d}  time={result.virtual_time:12.0f}  "
+              f"speedup={base / result.virtual_time:5.2f}x  "
+              f"qsum={result.sum_quality:.3f}")
+
+    group = GroupLevelParallelSolver(
+        scenario.tasks, scenario.fresh_registry(), budget=budget, cores=8
+    ).solve()
+    print(f"  group-level @8 cores: time={group.virtual_time:12.0f} "
+          "(coarse granularity saturates on the biggest group)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Water-quality monitoring — the paper's running example, end to end.
+
+A crowdsourcer wants the microbial content of a lake measured over a
+long window (Fig. 1).  We simulate the physical truth as a smooth
+spatiotemporal field, let the assigned workers "probe" it, interpolate
+the unprobed slots with inverse-distance weighting, and compare the
+reconstruction against the ground truth — demonstrating that the
+entropy quality metric is a faithful *a-priori* proxy for the
+*a-posteriori* reconstruction error, across budgets and against the
+random baseline.
+
+Run:  python examples/water_quality_monitoring.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ScenarioConfig,
+    SpatioTemporalField,
+    TCSCServer,
+    build_scenario,
+)
+
+
+def main() -> None:
+    scenario = build_scenario(
+        ScenarioConfig(num_tasks=1, num_slots=200, num_workers=800, seed=11)
+    )
+    task = scenario.single_task
+
+    # The "lake": a drifting-plume field standing in for microbial content.
+    field = SpatioTemporalField(scenario.bbox, num_plumes=4, amplitude=50.0, seed=3)
+    server = TCSCServer(scenario.pool, scenario.bbox, field_model=field)
+
+    print("budget sweep — entropy quality vs physical reconstruction error")
+    print(f"{'budget%':>8} {'assigned':>9} {'quality':>9} {'RMSE':>8}")
+    full_budget = scenario.budget / 0.25  # 100% of the average task cost
+    for percent in (5, 10, 25, 50, 75):
+        report = server.assign_single(task, full_budget * percent / 100.0)
+        print(
+            f"{percent:>7}% {len(report.assignment):>9} "
+            f"{report.qualities[task.task_id]:>9.4f} "
+            f"{report.rmse[task.task_id]:>8.3f}"
+        )
+
+    print("\npolicy comparison at the default budget (25%)")
+    print(f"{'policy':>12} {'quality':>9} {'RMSE':>8}")
+    for policy in ("approx_star", "random"):
+        report = server.assign_single(task, scenario.budget, policy=policy, seed=1)
+        print(
+            f"{policy:>12} {report.qualities[task.task_id]:>9.4f} "
+            f"{report.rmse[task.task_id]:>8.3f}"
+        )
+
+    print(
+        "\nTakeaway: more budget -> higher entropy quality -> lower RMSE, and\n"
+        "the quality-aware placement reconstructs the signal better than a\n"
+        "random placement of the same cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Setup shim.
+
+The offline build environment lacks the ``wheel`` package, so PEP-660
+editable installs cannot build an editable wheel.  Keeping a classic
+``setup.py`` (and no ``[build-system]`` table in pyproject.toml) lets
+``pip install -e .`` fall back to the legacy ``setup.py develop`` path,
+which works with plain setuptools.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

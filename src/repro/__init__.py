@@ -1,0 +1,155 @@
+"""repro — Time-Continuous Spatial Crowdsourcing (TCSC).
+
+A from-scratch reproduction of "On Efficient and Scalable
+Time-Continuous Spatial Crowdsourcing" (ICDE 2021): the entropy-based
+quality metric, budgeted single-task assignment (``Approx`` and the
+tree-indexed ``Approx*``), multi-task summation-/minimum-quality
+assignment with worker-conflict-aware parallelization, and the
+spatiotemporal (STCC) extension.
+
+Quickstart::
+
+    from repro import ScenarioConfig, build_scenario, TCSCServer
+
+    scenario = build_scenario(ScenarioConfig(num_slots=300, num_workers=1000))
+    server = TCSCServer(scenario.pool, scenario.bbox)
+    report = server.assign_single(scenario.single_task, budget=scenario.budget)
+    print(report.qualities)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-figure reproduction index.
+"""
+
+from repro.core.baselines import OptimalSolver, RandomAssignmentSolver, RandomSummary
+from repro.core.cover import CoverResult, MinCostCoverSolver
+from repro.core.evaluator import SlotChange, TemporalQualityEvaluator
+from repro.core.greedy import (
+    GreedyStep,
+    IndexedSingleTaskGreedy,
+    SingleTaskGreedy,
+    SolverResult,
+)
+from repro.core.instrumentation import OpCounters
+from repro.core.quality import (
+    entropy_term,
+    error_ratio,
+    finishing_probability,
+    max_quality,
+    task_quality,
+)
+from repro.core.spatiotemporal import (
+    LazySpatioTemporalGreedy,
+    SpatioTemporalEvaluator,
+    SpatioTemporalGreedy,
+    score_assignment,
+    spatiotemporal_opt,
+)
+from repro.core.tree_index import BestCandidate, TreeIndex
+from repro.core.voronoi import OrderKVoronoi, VoronoiCell
+from repro.engine.batches import BatchReport, BatchTCSCServer
+from repro.engine.costs import DynamicCostProvider, SingleTaskCostTable, SlotOffer
+from repro.engine.field import SpatioTemporalField
+from repro.engine.interpolation import idw_series, reconstruction_rmse
+from repro.engine.realization import (
+    RealizationOutcome,
+    expected_realized_quality,
+    simulate_execution,
+)
+from repro.engine.registry import WorkerRegistry
+from repro.engine.server import ServerReport, TCSCServer
+from repro.errors import (
+    BudgetExhaustedError,
+    ConfigurationError,
+    InfeasibleAssignmentError,
+    SchedulingError,
+    TCSCError,
+    WorkerUnavailableError,
+)
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+from repro.model.assignment import Assignment, AssignmentRecord, Budget
+from repro.model.task import Task, TaskSet
+from repro.model.worker import Worker, WorkerPool
+from repro.multi.conflicts import ConflictRecord, detect_conflicts, independent_groups
+from repro.multi.grouping import GroupLevelParallelSolver
+from repro.multi.mmqm import MinQualityGreedy
+from repro.multi.msqm import SumQualityGreedy
+from repro.multi.result import MultiSolverResult, MultiStep
+from repro.multi.scheduler import TaskLevelParallelSolver, ThreadedTaskLevelSolver
+from repro.workloads.scenario import Scenario, ScenarioConfig, build_scenario
+from repro.workloads.spatial import Distribution, generate_points
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Assignment",
+    "AssignmentRecord",
+    "BatchReport",
+    "BatchTCSCServer",
+    "BestCandidate",
+    "BoundingBox",
+    "Budget",
+    "BudgetExhaustedError",
+    "ConfigurationError",
+    "ConflictRecord",
+    "CoverResult",
+    "Distribution",
+    "DynamicCostProvider",
+    "GreedyStep",
+    "GroupLevelParallelSolver",
+    "IndexedSingleTaskGreedy",
+    "InfeasibleAssignmentError",
+    "LazySpatioTemporalGreedy",
+    "MinCostCoverSolver",
+    "MinQualityGreedy",
+    "MultiSolverResult",
+    "MultiStep",
+    "OpCounters",
+    "OptimalSolver",
+    "OrderKVoronoi",
+    "Point",
+    "RandomAssignmentSolver",
+    "RealizationOutcome",
+    "RandomSummary",
+    "Scenario",
+    "ScenarioConfig",
+    "SchedulingError",
+    "ServerReport",
+    "SingleTaskCostTable",
+    "SingleTaskGreedy",
+    "SlotChange",
+    "SlotOffer",
+    "SolverResult",
+    "SpatioTemporalEvaluator",
+    "SpatioTemporalField",
+    "SpatioTemporalGreedy",
+    "SumQualityGreedy",
+    "TCSCError",
+    "TCSCServer",
+    "Task",
+    "TaskLevelParallelSolver",
+    "TaskSet",
+    "TemporalQualityEvaluator",
+    "ThreadedTaskLevelSolver",
+    "TreeIndex",
+    "VoronoiCell",
+    "Worker",
+    "WorkerPool",
+    "WorkerRegistry",
+    "WorkerUnavailableError",
+    "build_scenario",
+    "detect_conflicts",
+    "entropy_term",
+    "error_ratio",
+    "expected_realized_quality",
+    "finishing_probability",
+    "generate_points",
+    "idw_series",
+    "independent_groups",
+    "max_quality",
+    "reconstruction_rmse",
+    "score_assignment",
+    "simulate_execution",
+    "spatiotemporal_opt",
+    "task_quality",
+]

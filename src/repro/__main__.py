@@ -1,0 +1,155 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands cover the common workflows:
+
+* ``solve-single`` — build a synthetic scenario and assign one task
+  (policies: approx, approx_star, random).
+* ``solve-multi`` — multi-task assignment under a shared budget
+  (objectives: sum, min; optional virtual-clock cores).
+* ``cover`` — the dual problem: minimum cost to reach a target
+  fraction of the maximum quality.
+
+Every command prints a compact report; ``--seed`` makes runs
+reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.cover import MinCostCoverSolver
+from repro.core.quality import max_quality
+from repro.engine.costs import SingleTaskCostTable
+from repro.engine.server import TCSCServer
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+from repro.workloads.spatial import Distribution
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Time-continuous spatial crowdsourcing (TCSC) assignment",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--slots", type=int, default=100, help="subtasks per task (m)")
+        p.add_argument("--workers", type=int, default=500, help="worker pool size")
+        p.add_argument(
+            "--distribution",
+            choices=[d.value for d in Distribution],
+            default="uniform",
+            help="task-location distribution",
+        )
+        p.add_argument("--seed", type=int, default=7, help="scenario seed")
+        p.add_argument("--k", type=int, default=3, help="interpolation neighbours")
+        p.add_argument(
+            "--budget-fraction",
+            type=float,
+            default=0.25,
+            help="budget as a fraction of the average full-task cost",
+        )
+
+    single = sub.add_parser("solve-single", help="assign one TCSC task")
+    common(single)
+    single.add_argument(
+        "--policy",
+        choices=["approx", "approx_star", "random"],
+        default="approx_star",
+    )
+
+    multi = sub.add_parser("solve-multi", help="assign a task set")
+    common(multi)
+    multi.add_argument("--tasks", type=int, default=10, help="number of tasks")
+    multi.add_argument("--objective", choices=["sum", "min"], default="sum")
+    multi.add_argument(
+        "--cores",
+        type=int,
+        default=None,
+        help="run the task-level parallel framework on this many simulated cores",
+    )
+
+    cover = sub.add_parser("cover", help="minimum cost for a quality target")
+    common(cover)
+    cover.add_argument(
+        "--target",
+        type=float,
+        default=0.8,
+        help="target quality as a fraction of log2(m)",
+    )
+    return parser
+
+
+def _scenario(args, num_tasks: int = 1):
+    return build_scenario(
+        ScenarioConfig(
+            num_tasks=num_tasks,
+            num_slots=args.slots,
+            num_workers=args.workers,
+            distribution=Distribution(args.distribution),
+            seed=args.seed,
+            k=args.k,
+            budget_fraction=args.budget_fraction,
+        )
+    )
+
+
+def _cmd_solve_single(args) -> int:
+    scenario = _scenario(args)
+    server = TCSCServer(scenario.pool, scenario.bbox, k=args.k)
+    report = server.assign_single(
+        scenario.single_task, scenario.budget, policy=args.policy, seed=args.seed
+    )
+    task = scenario.single_task
+    print(f"policy={args.policy} m={task.num_slots} workers={args.workers}")
+    print(f"assigned {len(report.assignment)} subtasks, "
+          f"spent {report.total_cost:.3f} / {scenario.budget:.3f}")
+    print(f"quality {report.qualities[task.task_id]:.4f} "
+          f"(max {max_quality(task.num_slots):.4f})")
+    return 0
+
+
+def _cmd_solve_multi(args) -> int:
+    scenario = _scenario(args, num_tasks=args.tasks)
+    budget = scenario.budget * args.tasks
+    server = TCSCServer(scenario.pool, scenario.bbox, k=args.k)
+    report = server.assign_multi(
+        scenario.tasks, budget, objective=args.objective, cores=args.cores
+    )
+    print(f"objective={args.objective} tasks={args.tasks} "
+          f"cores={'serial' if args.cores is None else args.cores}")
+    print(f"assigned {len(report.assignment)} subtasks, "
+          f"spent {report.total_cost:.3f} / {budget:.3f}")
+    print(f"qsum {report.sum_quality:.4f}  qmin {report.min_quality:.4f}")
+    return 0
+
+
+def _cmd_cover(args) -> int:
+    scenario = _scenario(args)
+    task = scenario.single_task
+    costs = SingleTaskCostTable(task, scenario.fresh_registry())
+    target = args.target * max_quality(task.num_slots)
+    result = MinCostCoverSolver(task, costs, k=args.k, target_quality=target).solve()
+    print(f"target quality {target:.4f} ({args.target:.0%} of log2(m))")
+    print(f"reached {result.quality:.4f} with {len(result.assignment)} subtasks "
+          f"at cost {result.cost:.3f}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "solve-single": _cmd_solve_single,
+        "solve-multi": _cmd_solve_multi,
+        "cover": _cmd_cover,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

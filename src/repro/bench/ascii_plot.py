@@ -1,0 +1,120 @@
+"""Dependency-free ASCII charts for benchmark series.
+
+The offline environment ships no plotting stack, so the figure series
+persisted by :class:`~repro.bench.report.Reporter` can be rendered as
+terminal line charts: one character column per x value, ``o`` markers
+per series, log-scale support for the paper's log-axis timing figures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["line_chart", "bar_chart"]
+
+
+def _scale(values: list[float], height: int, log: bool) -> list[int]:
+    """Map values to integer rows 0..height-1 (0 = bottom)."""
+    transformed = []
+    for v in values:
+        if log:
+            if v <= 0:
+                raise ConfigurationError("log-scale charts need positive values")
+            transformed.append(math.log10(v))
+        else:
+            transformed.append(float(v))
+    lo, hi = min(transformed), max(transformed)
+    if hi == lo:
+        return [height // 2] * len(values)
+    return [
+        min(height - 1, int(round((v - lo) / (hi - lo) * (height - 1))))
+        for v in transformed
+    ]
+
+
+def line_chart(
+    x_labels: Sequence,
+    series: dict[str, Sequence[float]],
+    *,
+    height: int = 12,
+    log: bool = False,
+    title: str = "",
+) -> str:
+    """Render one or more series as a character chart.
+
+    Each series gets a marker (``o``, ``x``, ``*``, ``+``); points in
+    the same cell show the later marker.  Returns the multi-line chart
+    string with a legend and x labels.
+    """
+    if not series:
+        raise ConfigurationError("no series to plot")
+    n = None
+    for name, values in series.items():
+        if n is None:
+            n = len(values)
+        elif len(values) != n:
+            raise ConfigurationError(f"series {name!r} length mismatch")
+    if n != len(x_labels):
+        raise ConfigurationError("x_labels length must match the series")
+    if n == 0:
+        raise ConfigurationError("empty series")
+
+    markers = "ox*+#@"
+    all_values = [v for values in series.values() for v in values]
+    # Shared y scaling across series so they are comparable.
+    combined_rows: dict[str, list[int]] = {}
+    lo_hi_values = list(all_values)
+    for idx, (name, values) in enumerate(series.items()):
+        merged = lo_hi_values + list(values)
+        rows = _scale(merged, height, log)[len(lo_hi_values):]
+        combined_rows[name] = rows
+
+    width_per_point = max(3, max(len(str(x)) for x in x_labels) + 1)
+    grid = [[" "] * (n * width_per_point) for _ in range(height)]
+    for idx, (name, rows) in enumerate(combined_rows.items()):
+        marker = markers[idx % len(markers)]
+        for i, row in enumerate(rows):
+            grid[height - 1 - row][i * width_per_point] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_hi = max(all_values)
+    y_lo = min(all_values)
+    lines.append(f"y: {y_lo:.3g} .. {y_hi:.3g}" + (" (log scale)" if log else ""))
+    lines.extend("|" + "".join(row) for row in grid)
+    axis = "+" + "-" * (n * width_per_point)
+    lines.append(axis)
+    labels_line = " " + "".join(str(x).ljust(width_per_point) for x in x_labels)
+    lines.append(labels_line)
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence,
+    values: Sequence[float],
+    *,
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Horizontal bars, one row per label."""
+    if len(labels) != len(values):
+        raise ConfigurationError("labels and values must have equal length")
+    if not labels:
+        raise ConfigurationError("nothing to plot")
+    peak = max(values)
+    if peak <= 0:
+        raise ConfigurationError("bar charts need a positive maximum")
+    label_width = max(len(str(label)) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(value / peak * width))) if value > 0 else ""
+        lines.append(f"{str(label).rjust(label_width)} | {bar} {value:.4g}")
+    return "\n".join(lines)

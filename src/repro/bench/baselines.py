@@ -1,0 +1,67 @@
+"""Multi-task random baseline (the ``Rand`` lines of Figs. 7 and 11).
+
+Random assignment generalized to a task set: repeatedly pick a uniform
+random unexecuted (task, slot) pair whose nearest remaining worker is
+affordable, assign it, and consume the worker — exactly the paper's
+"randomly assigning a subtask to its nearest worker" under the shared
+budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.evaluator import TemporalQualityEvaluator
+from repro.engine.costs import DynamicCostProvider
+from repro.engine.registry import WorkerRegistry
+from repro.model.assignment import Assignment, AssignmentRecord, Budget
+from repro.model.task import TaskSet
+from repro.util.rng import make_rng
+
+__all__ = ["random_multi_assignment"]
+
+
+def random_multi_assignment(
+    tasks: TaskSet,
+    registry: WorkerRegistry,
+    *,
+    k: int = 3,
+    budget: float,
+    seed: int | np.random.Generator | None = 0,
+    return_assignment: bool = False,
+) -> dict[int, float] | tuple[dict[int, float], Assignment]:
+    """One random multi-task trial; returns task_id -> quality.
+
+    With ``return_assignment=True`` the raw assignment is returned too,
+    so callers can re-score the same plan under other metrics (the
+    spatiotemporal figures do this).
+    """
+    rng = make_rng(seed)
+    budget_tracker = Budget(budget)
+    assignment = Assignment()
+    evaluators = {
+        task.task_id: TemporalQualityEvaluator(task.num_slots, k) for task in tasks
+    }
+    providers = {
+        task.task_id: DynamicCostProvider(task, registry) for task in tasks
+    }
+    by_id = {task.task_id: task for task in tasks}
+    pairs = [(task.task_id, slot) for task in tasks for slot in task.slots]
+    order = rng.permutation(len(pairs))
+    for idx in order:
+        task_id, slot = pairs[idx]
+        offer = providers[task_id].offer(slot)
+        if offer is None or not budget_tracker.can_afford(offer.cost):
+            continue
+        evaluators[task_id].execute(slot, offer.reliability)
+        budget_tracker.charge(offer.cost)
+        global_slot = by_id[task_id].global_slot(slot)
+        registry.consume(offer.worker_id, global_slot)
+        assignment.add(AssignmentRecord(task_id, slot, offer.worker_id, offer.cost))
+        for other_id, provider in providers.items():
+            if other_id != task_id:
+                provider.invalidate_worker(offer.worker_id, global_slot)
+    qualities = {task_id: ev.quality for task_id, ev in evaluators.items()}
+    if return_assignment:
+        return qualities, assignment
+    return qualities

@@ -1,0 +1,60 @@
+"""Consolidate persisted benchmark series into one report.
+
+``python -m repro.bench.collect`` reads every ``benchmarks/results/
+*.txt`` block written by the figure benches, orders them by figure id,
+and emits a single ``REPORT.md`` — the artifact to skim after a full
+``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+__all__ = ["collect", "main"]
+
+_DEFAULT_RESULTS = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def _sort_key(path: Path) -> tuple:
+    """fig6a < fig6b < ... < fig11c < abl1 < ...; numeric-aware."""
+    name = path.stem
+    match = re.match(r"([a-z]+)(\d+)([a-z]?)", name)
+    if not match:
+        return (2, name, 0, "")
+    prefix, number, letter = match.groups()
+    family = 0 if prefix == "fig" else 1
+    return (family, prefix, int(number), letter)
+
+
+def collect(results_dir: Path | str = _DEFAULT_RESULTS) -> str:
+    """Concatenate all result blocks into one markdown document."""
+    results_dir = Path(results_dir)
+    blocks = []
+    for path in sorted(results_dir.glob("*.txt"), key=_sort_key):
+        blocks.append("```\n" + path.read_text().rstrip() + "\n```")
+    header = (
+        "# Benchmark report\n\n"
+        f"{len(blocks)} figure series collected from `{results_dir}`.\n"
+        "Regenerate with `pytest benchmarks/ --benchmark-only`.\n"
+    )
+    return header + "\n\n" + "\n\n".join(blocks) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: write REPORT.md next to the results directory."""
+    argv = sys.argv[1:] if argv is None else argv
+    results_dir = Path(argv[0]) if argv else _DEFAULT_RESULTS
+    if not results_dir.exists():
+        print(f"no results at {results_dir}; run the benchmarks first", file=sys.stderr)
+        return 1
+    report = collect(results_dir)
+    out = results_dir.parent / "REPORT.md"
+    out.write_text(report)
+    print(f"wrote {out} ({len(report.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""The paper's core contribution: quality metric, indexes, and solvers.
+
+Modules:
+
+* :mod:`repro.core.quality` — Eq. 1-5: interpolation error ratio,
+  subtask finishing probability, entropy task quality, and the worker-
+  reliability extension.
+* :mod:`repro.core.evaluator` — incremental single-task quality
+  evaluator with local (affected-interval) updates.
+* :mod:`repro.core.voronoi` — exact 1-D order-k Voronoi diagram over
+  the slot line (validation oracle).
+* :mod:`repro.core.tree_index` — the aggregated-binary-tree
+  approximation of the order-k Voronoi diagram (Section III-C) with
+  best-first search and upper-bound pruning.
+* :mod:`repro.core.greedy` — Algorithm 1 (``Approx``) and the indexed
+  ``Approx*`` solver, plus a local-update ablation.
+* :mod:`repro.core.baselines` — ``Rand`` baselines and the exhaustive
+  ``OPT`` solver used in the quality experiments.
+* :mod:`repro.core.spatiotemporal` — Appendix C: spatiotemporal
+  interpolation (STCC) and the ``SApprox`` solver.
+"""
+
+from repro.core.evaluator import SlotChange, TemporalQualityEvaluator
+from repro.core.quality import (
+    entropy_term,
+    error_ratio,
+    finishing_probability,
+    max_quality,
+    task_quality,
+)
+
+__all__ = [
+    "SlotChange",
+    "TemporalQualityEvaluator",
+    "entropy_term",
+    "error_ratio",
+    "finishing_probability",
+    "max_quality",
+    "task_quality",
+]

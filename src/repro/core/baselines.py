@@ -1,0 +1,177 @@
+"""Baselines for the quality experiments: ``Rand`` and ``OPT``.
+
+The paper's Figures 6, 7, and 11 compare ``Approx`` against:
+
+* ``Rand`` — "accomplishes a task by randomly assigning a subtask to
+  its nearest worker"; being non-deterministic it is reported as
+  RandMin / RandMax / RandAvg over repeated runs.
+* ``OPT`` — "offers the optimal result by traversing the solution
+  space"; exhaustive search, only feasible for small ``m``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from repro.core.evaluator import TemporalQualityEvaluator
+from repro.core.instrumentation import OpCounters
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from repro.engine.costs import SingleTaskCostTable
+from repro.model.assignment import Assignment, AssignmentRecord, Budget
+from repro.model.task import Task
+from repro.util.rng import make_rng
+
+__all__ = ["RandomSummary", "RandomAssignmentSolver", "OptimalSolver", "OptResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class RandomSummary:
+    """Statistics over repeated random-assignment trials."""
+
+    qualities: tuple[float, ...]
+
+    @property
+    def min(self) -> float:
+        """RandMin of the paper's plots."""
+        return min(self.qualities)
+
+    @property
+    def max(self) -> float:
+        """RandMax of the paper's plots."""
+        return max(self.qualities)
+
+    @property
+    def avg(self) -> float:
+        """RandAvg of the paper's plots."""
+        return sum(self.qualities) / len(self.qualities)
+
+
+class RandomAssignmentSolver:
+    """The ``Rand`` baseline: random affordable subtasks, nearest worker."""
+
+    def __init__(
+        self,
+        task: Task,
+        costs: "SingleTaskCostTable",
+        *,
+        k: int = 3,
+        budget: float,
+        seed: int | np.random.Generator | None = 0,
+    ):
+        self.task = task
+        self.costs = costs
+        self.k = k
+        self.budget_limit = float(budget)
+        self._rng = make_rng(seed)
+
+    def run_once(self) -> tuple[float, Assignment]:
+        """One random trial; returns (quality, assignment)."""
+        ev = TemporalQualityEvaluator(self.task.num_slots, self.k)
+        budget = Budget(self.budget_limit)
+        assignment = Assignment()
+        candidates = [
+            slot for slot in self.task.slots if self.costs.cost(slot) is not None
+        ]
+        order = list(self._rng.permutation(len(candidates)))
+        for idx in order:
+            slot = candidates[idx]
+            cost = self.costs.cost(slot)
+            if not budget.can_afford(cost):
+                continue
+            offer = self.costs.offer(slot)
+            ev.execute(slot, offer.reliability)
+            budget.charge(cost)
+            assignment.add(AssignmentRecord(self.task.task_id, slot, offer.worker_id, cost))
+        return ev.quality, assignment
+
+    def run_trials(self, trials: int = 20) -> RandomSummary:
+        """Run several trials (the paper averages 20 runs)."""
+        if trials < 1:
+            raise ConfigurationError(f"trials must be >= 1, got {trials}")
+        qualities = tuple(self.run_once()[0] for _ in range(trials))
+        return RandomSummary(qualities)
+
+
+@dataclass(frozen=True, slots=True)
+class OptResult:
+    """Outcome of the exhaustive search."""
+
+    slots: tuple[int, ...]
+    quality: float
+    cost: float
+
+
+class OptimalSolver:
+    """``OPT``: exhaustive search over subtask subsets under the budget.
+
+    Complexity is ``O(2^a)`` in the number of assignable slots ``a``;
+    construction refuses instances with ``a`` above ``max_slots``
+    (default 18) to keep runs tractable, mirroring the paper's use of
+    OPT only in small-quality experiments.
+    """
+
+    def __init__(
+        self,
+        task: Task,
+        costs: "SingleTaskCostTable",
+        *,
+        k: int = 3,
+        budget: float,
+        max_slots: int = 18,
+    ):
+        self.task = task
+        self.costs = costs
+        self.k = k
+        self.budget = float(budget)
+        self.counters = OpCounters()
+        assignable = costs.assignable_slots
+        if len(assignable) > max_slots:
+            raise ConfigurationError(
+                f"OPT is exhaustive; {len(assignable)} assignable slots exceed "
+                f"the cap of {max_slots}"
+            )
+        self._assignable = assignable
+
+    def solve(self) -> OptResult:
+        """Enumerate all feasible subsets and return the best."""
+        from repro.core.quality import task_quality
+
+        best = OptResult((), 0.0, 0.0)
+        slots = self._assignable
+        n = len(slots)
+        costs = [self.costs.cost(s) for s in slots]
+        rels = [self.costs.reliability(s) for s in slots]
+
+        # Depth-first enumeration with running cost pruning.
+        chosen: list[int] = []
+
+        def dfs(i: int, cost_so_far: float):
+            nonlocal best
+            if i == n:
+                executed = {slots[j]: rels[j] for j in chosen}
+                quality = task_quality(self.task.num_slots, self.k, executed)
+                self.counters.gain_evaluations += 1
+                if quality > best.quality + 1e-15 or (
+                    abs(quality - best.quality) <= 1e-15
+                    and cost_so_far < best.cost
+                ):
+                    best = OptResult(
+                        tuple(sorted(slots[j] for j in chosen)), quality, cost_so_far
+                    )
+                return
+            # Branch 1: take slot i if affordable.
+            if cost_so_far + costs[i] <= self.budget + 1e-12:
+                chosen.append(i)
+                dfs(i + 1, cost_so_far + costs[i])
+                chosen.pop()
+            # Branch 2: skip slot i.
+            dfs(i + 1, cost_so_far)
+
+        dfs(0, 0.0)
+        return best

@@ -1,0 +1,149 @@
+"""The dual problem: minimum cost under a quality constraint.
+
+Section IV's footnote 4 notes that "a dual version of our problem can
+be minimizing the task costs with quality constraints", reducible to
+the primal.  This module implements that dual directly with the
+classic *submodular cover* greedy: repeatedly execute the subtask with
+the best quality-increment-per-cost until the target quality is
+reached.  Because the quality metric is monotone submodular (Lemma 2),
+this greedy carries Wolsey's logarithmic approximation guarantee for
+submodular set cover.
+
+The solver shares all the machinery of the primal: the incremental
+evaluator and, optionally, the ``Approx*`` tree index for the argmax.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.evaluator import TemporalQualityEvaluator
+from repro.core.instrumentation import OpCounters
+from repro.core.quality import max_quality
+from repro.core.tree_index import COST_EPSILON, TreeIndex
+from repro.errors import ConfigurationError, InfeasibleAssignmentError
+from repro.model.assignment import Assignment, AssignmentRecord
+from repro.model.task import Task
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from repro.engine.costs import SingleTaskCostTable
+
+__all__ = ["CoverResult", "MinCostCoverSolver"]
+
+
+@dataclass(slots=True)
+class CoverResult:
+    """Outcome of a minimum-cost cover run."""
+
+    assignment: Assignment
+    quality: float
+    target: float
+    cost: float
+    counters: OpCounters
+    steps: list[tuple[int, float, float]] = field(default_factory=list)  # (slot, gain, cost)
+
+    @property
+    def reached(self) -> bool:
+        """True iff the quality target was met."""
+        return self.quality >= self.target - 1e-12
+
+
+class MinCostCoverSolver:
+    """Greedy submodular cover: cheapest assignment reaching a target quality."""
+
+    def __init__(
+        self,
+        task: Task,
+        costs: "SingleTaskCostTable",
+        *,
+        k: int = 3,
+        target_quality: float,
+        use_index: bool = True,
+        ts: int = 4,
+        counters: OpCounters | None = None,
+    ):
+        if target_quality < 0:
+            raise ConfigurationError(f"target quality must be >= 0, got {target_quality}")
+        upper = max_quality(task.num_slots)
+        if target_quality > upper + 1e-12:
+            raise ConfigurationError(
+                f"target {target_quality:.4f} exceeds the metric maximum "
+                f"log2(m) = {upper:.4f}"
+            )
+        self.task = task
+        self.costs = costs
+        self.k = k
+        self.target = float(target_quality)
+        self.use_index = use_index
+        self.ts = ts
+        self.counters = counters if counters is not None else OpCounters()
+
+    def solve(self) -> CoverResult:
+        """Run the cover greedy.
+
+        Raises :class:`InfeasibleAssignmentError` when even executing
+        every assignable slot cannot reach the target (e.g. worker
+        coverage gaps or imperfect reliabilities).
+        """
+        ev = TemporalQualityEvaluator(self.task.num_slots, self.k, counters=self.counters)
+        index = (
+            TreeIndex(ev, self.costs, ts=self.ts, counters=self.counters)
+            if self.use_index
+            else None
+        )
+        assignment = Assignment()
+        steps: list[tuple[int, float, float]] = []
+        total_cost = 0.0
+
+        while ev.quality < self.target - 1e-12:
+            best = self._find_best(ev, index)
+            if best is None:
+                raise InfeasibleAssignmentError(
+                    f"quality target {self.target:.4f} unreachable: stalled at "
+                    f"{ev.quality:.4f} after {len(steps)} executions"
+                )
+            slot, gain, cost = best
+            window = ev.affected_window(slot)
+            ev.execute(slot, self.costs.reliability(slot))
+            if index is not None:
+                index.refresh_range(*window)
+            offer = self.costs.offer(slot)
+            assignment.add(AssignmentRecord(self.task.task_id, slot, offer.worker_id, cost))
+            steps.append((slot, gain, cost))
+            total_cost += cost
+            self.counters.iterations += 1
+
+        return CoverResult(
+            assignment=assignment,
+            quality=ev.quality,
+            target=self.target,
+            cost=total_cost,
+            counters=self.counters,
+            steps=steps,
+        )
+
+    def _find_best(self, ev, index):
+        if index is not None:
+            best = index.find_best(float("inf"))
+            if best is None:
+                return None
+            return best.slot, best.gain, best.cost
+        best = None
+        for slot in self.task.slots:
+            if ev.is_executed(slot):
+                continue
+            cost = self.costs.cost(slot)
+            if cost is None:
+                continue
+            gain = ev.gain_if_executed(slot, self.costs.reliability(slot))
+            if gain <= 0.0:
+                continue
+            heuristic = gain / max(cost, COST_EPSILON)
+            if best is None or heuristic > best[3] or (
+                heuristic == best[3] and slot < best[0]
+            ):
+                best = (slot, gain, cost, heuristic)
+        if best is None:
+            return None
+        return best[0], best[1], best[2]

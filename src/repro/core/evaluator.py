@@ -1,0 +1,287 @@
+"""Incremental single-task quality evaluation.
+
+:class:`TemporalQualityEvaluator` maintains, for one task, the executed
+slot set and the per-slot finishing probabilities, and answers the two
+questions every solver asks in its inner loop:
+
+* ``gain_if_executed(slot)`` — the quality increment of tentatively
+  executing a slot (the numerator of Algorithm 1's heuristic value);
+* ``execute(slot)`` — commit the execution and update state.
+
+Two evaluation strategies are exposed, matching the paper's two
+solvers:
+
+* *Full rescan* (``gain_full_rescan``): recompute the probability of
+  every slot — the naive Algorithm 1 behaviour, ``O(m (log m + k))``
+  per candidate.
+* *Local update* (``gain_if_executed``): only slots whose k-NN set can
+  change are recomputed.  This is the "locality of k-NN searching" of
+  Section III-C: executing slot ``s`` affects exactly the slots closer
+  to ``s`` than to their current ``k``-th nearest executed neighbour,
+  a contiguous window around ``s`` (:meth:`affected_window`).
+
+The window derivation: for a slot ``u < s``, the executed slots
+strictly closer to ``u`` than ``s`` are those in the open interval
+``(2u - s, s)``.  With ``e_k`` the ``k``-th executed slot below ``s``
+(scanning left), ``u`` keeps its k-NN set iff ``e_k > 2u - s``, i.e.
+``u < (e_k + s) / 2``.  Hence the affected window's left edge is
+``ceil((e_k + s) / 2)`` (or 1 when fewer than ``k`` executed slots lie
+below ``s``), and symmetrically the right edge is
+``floor((f_k + s) / 2)`` with ``f_k`` the ``k``-th executed slot above.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.instrumentation import OpCounters
+from repro.core.quality import entropy_term
+from repro.errors import ConfigurationError
+from repro.util.sorted_slots import SortedSlots
+
+__all__ = ["SlotChange", "TemporalQualityEvaluator"]
+
+
+@dataclass(frozen=True, slots=True)
+class SlotChange:
+    """One slot whose finishing probability changed during an update."""
+
+    slot: int
+    old_p: float
+    new_p: float
+
+    @property
+    def quality_delta(self) -> float:
+        """Change in the slot's quality contribution phi(p)."""
+        return entropy_term(self.new_p) - entropy_term(self.old_p)
+
+
+class TemporalQualityEvaluator:
+    """Incremental quality bookkeeping for a single task.
+
+    Slots are 1-based local indices ``1..m``.  The evaluator starts
+    with no executed slots (quality 0) and is mutated exclusively via
+    :meth:`execute`.
+    """
+
+    def __init__(self, m: int, k: int, *, counters: OpCounters | None = None):
+        if m < 3:
+            raise ConfigurationError(f"m must be >= 3, got {m}")
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        self.m = m
+        self.k = k
+        self.counters = counters if counters is not None else OpCounters()
+        self._executed = SortedSlots()
+        self._reliability: dict[int, float] = {}
+        # _p[j] for j in 1..m (index 0 unused).
+        self._p = [0.0] * (m + 1)
+        self._quality = 0.0
+
+    # ------------------------------------------------------------------
+    # Read access
+    # ------------------------------------------------------------------
+    @property
+    def quality(self) -> float:
+        """Current task quality q(tau) (Eq. 1)."""
+        return self._quality
+
+    @property
+    def executed_slots(self) -> list[int]:
+        """Sorted executed slot indices."""
+        return self._executed.as_list()
+
+    @property
+    def executed_count(self) -> int:
+        """Number of executed slots."""
+        return len(self._executed)
+
+    def is_executed(self, slot: int) -> bool:
+        """True iff ``slot`` has been executed."""
+        return slot in self._executed
+
+    def p(self, slot: int) -> float:
+        """Current finishing probability of ``slot``."""
+        self._check_slot(slot)
+        return self._p[slot]
+
+    def rho_err(self, slot: int) -> float:
+        """Current interpolation error ratio of ``slot`` (Eq. 3/5).
+
+        For executed slots the ratio is 0 by definition.
+        """
+        self._check_slot(slot)
+        if slot in self._executed:
+            return 0.0
+        neighbors = self._neighbors_of(slot)
+        weighted = sum(self._reliability[e] * abs(e - slot) for e in neighbors)
+        weighted += (self.k - len(neighbors)) * self.m
+        return weighted / (self.k * self.m)
+
+    def kth_nn_distance(self, slot: int) -> int:
+        """Distance to the ``k``-th nearest executed slot (``m`` if fewer)."""
+        self._check_slot(slot)
+        neighbors = self._executed.k_nearest(slot, self.k, exclude=slot)
+        if len(neighbors) < self.k:
+            return self.m
+        return abs(neighbors[-1] - slot)
+
+    def farthest_neighbor(self, slot: int) -> tuple[int, float] | None:
+        """``(distance, reliability)`` of the ``k``-th nearest executed
+        neighbour of ``slot``, or ``None`` if fewer than ``k`` exist.
+
+        Used by the tree index to tighten the Eq.-6 upper bound: a
+        tentative execution can evict at most this neighbour from the
+        slot's k-NN set.
+        """
+        self._check_slot(slot)
+        neighbors = self._executed.k_nearest(slot, self.k, exclude=slot)
+        if len(neighbors) < self.k:
+            return None
+        e = neighbors[-1]
+        return abs(e - slot), self._reliability[e]
+
+    def knn_of(self, slot: int) -> list[int]:
+        """The current ``SkNN`` set of ``slot`` (executed neighbours,
+        nearest first, ties toward the smaller index)."""
+        self._check_slot(slot)
+        return self._neighbors_of(slot)
+
+    # ------------------------------------------------------------------
+    # Affected window
+    # ------------------------------------------------------------------
+    def affected_window(self, slot: int) -> tuple[int, int]:
+        """Closed interval of slots whose k-NN set may change if
+        ``slot`` is executed (always contains ``slot`` itself)."""
+        self._check_slot(slot)
+        e_k = self._executed.kth_left(slot, self.k)
+        f_k = self._executed.kth_right(slot, self.k)
+        lo = 1 if e_k is None else max(1, (e_k + slot + 1) // 2)  # ceil
+        hi = self.m if f_k is None else min(self.m, (f_k + slot) // 2)  # floor
+        return lo, hi
+
+    # ------------------------------------------------------------------
+    # Gains
+    # ------------------------------------------------------------------
+    def gain_if_executed(self, slot: int, reliability: float = 1.0) -> float:
+        """Quality increment of tentatively executing ``slot``.
+
+        Uses the local-update strategy: only slots inside
+        :meth:`affected_window` are re-evaluated.
+        """
+        lo, hi = self.affected_window(slot)
+        return self._gain_over_range(slot, reliability, lo, hi)
+
+    def gain_full_rescan(self, slot: int, reliability: float = 1.0) -> float:
+        """Quality increment computed the naive way (Algorithm 1):
+        every slot's probability is recomputed."""
+        return self._gain_over_range(slot, reliability, 1, self.m)
+
+    def _gain_over_range(self, slot: int, reliability: float, lo: int, hi: int) -> float:
+        self._check_slot(slot)
+        self._check_reliability(reliability)
+        if slot in self._executed:
+            raise ConfigurationError(f"slot {slot} already executed")
+        self.counters.gain_evaluations += 1
+        delta = entropy_term(reliability / self.m) - entropy_term(self._p[slot])
+        self.counters.slot_evaluations += 1
+        for u in range(lo, hi + 1):
+            if u == slot or u in self._executed:
+                continue
+            new_p = self._p_with_extra(u, slot, reliability)
+            self.counters.slot_evaluations += 1
+            delta += entropy_term(new_p) - entropy_term(self._p[u])
+        return delta
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def execute(self, slot: int, reliability: float = 1.0) -> list[SlotChange]:
+        """Execute ``slot`` and return every slot whose probability
+        changed (including ``slot`` itself)."""
+        self._check_slot(slot)
+        self._check_reliability(reliability)
+        if slot in self._executed:
+            raise ConfigurationError(f"slot {slot} already executed")
+        lo, hi = self.affected_window(slot)
+        changes: list[SlotChange] = []
+
+        old_p = self._p[slot]
+        new_p = reliability / self.m
+        self._executed.add(slot)
+        self._reliability[slot] = reliability
+        self._apply_change(slot, old_p, new_p, changes)
+
+        for u in range(lo, hi + 1):
+            if u == slot or u in self._executed:
+                continue
+            recomputed = self._p_of(u)
+            self.counters.slot_evaluations += 1
+            if recomputed != self._p[u]:
+                self._apply_change(u, self._p[u], recomputed, changes)
+        return changes
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+    def recompute_quality(self) -> float:
+        """Full recomputation of the quality from scratch (oracle)."""
+        total = 0.0
+        for slot in range(1, self.m + 1):
+            total += entropy_term(self._p_of(slot))
+        return total
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _apply_change(self, slot: int, old_p: float, new_p: float, out: list[SlotChange]):
+        self._quality += entropy_term(new_p) - entropy_term(old_p)
+        self._p[slot] = new_p
+        out.append(SlotChange(slot, old_p, new_p))
+
+    def _neighbors_of(self, slot: int) -> list[int]:
+        self.counters.knn_queries += 1
+        return self._executed.k_nearest(slot, self.k, exclude=slot)
+
+    def _p_of(self, slot: int) -> float:
+        """Probability of ``slot`` under the current executed set."""
+        if slot in self._executed:
+            return self._reliability[slot] / self.m
+        m, k = self.m, self.k
+        total = 0.0
+        for e in self._neighbors_of(slot):
+            total += self._reliability[e] * (m - abs(e - slot))
+        return total / (k * m * m)
+
+    def _p_with_extra(self, slot: int, extra: int, extra_reliability: float) -> float:
+        """Probability of unexecuted ``slot`` if ``extra`` were executed."""
+        m, k = self.m, self.k
+        neighbors = self._neighbors_of(slot)
+        # Merge `extra` into the k-NN list by (distance, index).
+        d_extra = abs(extra - slot)
+        merged: list[int] = []
+        inserted = False
+        for e in neighbors:
+            if not inserted:
+                d_e = abs(e - slot)
+                if (d_extra, extra) < (d_e, e):
+                    merged.append(extra)
+                    inserted = True
+            merged.append(e)
+        if not inserted:
+            merged.append(extra)
+        merged = merged[:k]
+        total = 0.0
+        for e in merged:
+            lam = extra_reliability if e == extra else self._reliability[e]
+            total += lam * (m - abs(e - slot))
+        return total / (k * m * m)
+
+    def _check_slot(self, slot: int) -> None:
+        if not 1 <= slot <= self.m:
+            raise ConfigurationError(f"slot {slot} outside 1..{self.m}")
+
+    def _check_reliability(self, lam: float) -> None:
+        if not 0.0 <= lam <= 1.0:
+            raise ConfigurationError(f"reliability out of range: {lam}")

@@ -1,0 +1,279 @@
+"""Single-task assignment solvers (Section III).
+
+Three solvers share the budgeted-greedy skeleton of Algorithm 1 —
+repeatedly execute the subtask maximizing ``quality increment / cost``
+until the budget is exhausted, and return the better of that stream and
+the best single affordable subtask (lines 3 and 10), which yields the
+``(1 - 1/sqrt(e))`` approximation of Krause & Guestrin:
+
+* :class:`SingleTaskGreedy` with ``strategy="full"`` — the paper's
+  ``Approx``: every candidate's heuristic value recomputes the
+  probability of all ``m`` slots (``O(m^3 log m)`` overall).
+* :class:`SingleTaskGreedy` with ``strategy="local"`` — an ablation
+  between the two: candidate gains only re-evaluate the affected k-NN
+  window, but the argmax still enumerates every candidate.
+* :class:`IndexedSingleTaskGreedy` — the paper's ``Approx*``: the
+  tree-structured approximate order-k Voronoi index finds the argmax
+  by best-first search with upper-bound pruning.
+
+All three produce *identical assignments* (the index's bounds are
+sound and ties break identically); the test suite enforces this.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.evaluator import TemporalQualityEvaluator
+from repro.core.instrumentation import OpCounters
+from repro.core.quality import entropy_term
+from typing import TYPE_CHECKING
+
+from repro.core.tree_index import COST_EPSILON, TreeIndex
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from repro.engine.costs import SingleTaskCostTable
+from repro.model.assignment import Assignment, AssignmentRecord, Budget
+from repro.model.task import Task
+
+__all__ = [
+    "GreedyStep",
+    "SolverResult",
+    "SingleTaskGreedy",
+    "IndexedSingleTaskGreedy",
+    "single_slot_quality",
+    "single_slot_quality_table",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class GreedyStep:
+    """One committed greedy iteration (for traceability and tests)."""
+
+    slot: int
+    gain: float
+    cost: float
+    heuristic: float
+
+
+@dataclass(slots=True)
+class SolverResult:
+    """Outcome of one solver run."""
+
+    assignment: Assignment
+    quality: float
+    spent: float
+    counters: OpCounters
+    steps: list[GreedyStep] = field(default_factory=list)
+
+    @property
+    def executed_slots(self) -> list[int]:
+        """Sorted executed slots of the (single) task."""
+        return sorted(step.slot for step in self.steps)
+
+
+def single_slot_quality(m: int, k: int, slot: int, reliability: float = 1.0) -> float:
+    """Closed-form ``q({slot})``: quality when only one slot executes.
+
+    With a single executed slot ``h``, every other slot ``u`` has
+    exactly one neighbour at distance ``|u - h|``, so
+    ``p(u) = lambda (m - |u-h|) / (k m^2)`` and the task quality is a
+    sum of entropy terms over the two distance runs left and right of
+    ``h``.
+    """
+    if not 1 <= slot <= m:
+        raise ConfigurationError(f"slot {slot} outside 1..{m}")
+    total = entropy_term(reliability / m)
+    for d in range(1, slot):
+        total += entropy_term(reliability * (m - d) / (k * m * m))
+    for d in range(1, m - slot + 1):
+        total += entropy_term(reliability * (m - d) / (k * m * m))
+    return total
+
+
+def single_slot_quality_table(m: int, k: int, reliability: float = 1.0) -> list[float]:
+    """``q({h})`` for every ``h`` in ``1..m`` in ``O(m)`` total.
+
+    Uses the prefix-sum identity
+    ``q({h}) = phi(lambda/m) + G(h-1) + G(m-h)`` with
+    ``G(t) = sum_{d=1..t} phi(lambda (m-d) / (k m^2))``.  Index 0 of the
+    returned list is unused (slots are 1-based).
+    """
+    prefix = [0.0] * m  # prefix[t] = G(t) for t in 0..m-1
+    for d in range(1, m):
+        prefix[d] = prefix[d - 1] + entropy_term(reliability * (m - d) / (k * m * m))
+    base = entropy_term(reliability / m)
+    table = [0.0] * (m + 1)
+    for h in range(1, m + 1):
+        table[h] = base + prefix[h - 1] + prefix[m - h]
+    return table
+
+
+class _GreedyBase:
+    """Shared skeleton: line 3 (best single), the stream, the final max."""
+
+    def __init__(
+        self,
+        task: Task,
+        costs: "SingleTaskCostTable",
+        *,
+        k: int = 3,
+        budget: float,
+        counters: OpCounters | None = None,
+    ):
+        self.task = task
+        self.costs = costs
+        self.k = k
+        self.budget_limit = float(budget)
+        self.counters = counters if counters is not None else OpCounters()
+
+    # -- line 3: the best single affordable subtask --------------------
+    def _best_single(self) -> tuple[int, float] | None:
+        """``(slot, q({slot}))`` of the best affordable single subtask."""
+        m = self.task.num_slots
+        best: tuple[float, int] | None = None
+        tables: dict[float, list[float]] = {}
+        for slot in self.task.slots:
+            cost = self.costs.cost(slot)
+            if cost is None or cost > self.budget_limit + 1e-12:
+                continue
+            lam = self.costs.reliability(slot)
+            table = tables.get(lam)
+            if table is None:
+                table = single_slot_quality_table(m, self.k, lam)
+                tables[lam] = table
+            quality = table[slot]
+            if best is None or quality > best[0] or (quality == best[0] and slot < best[1]):
+                best = (quality, slot)
+        if best is None:
+            return None
+        return best[1], best[0]
+
+    # -- the solve driver ----------------------------------------------
+    def solve(self) -> SolverResult:
+        """Run Algorithm 1 and return the better of stream and single."""
+        single = self._best_single()
+        stream = self._solve_stream()
+        if single is not None and single[1] > stream.quality:
+            slot, quality = single
+            offer = self.costs.offer(slot)
+            assignment = Assignment()
+            assignment.add(AssignmentRecord(self.task.task_id, slot, offer.worker_id, offer.cost))
+            heur = quality / max(offer.cost, COST_EPSILON)
+            return SolverResult(
+                assignment=assignment,
+                quality=quality,
+                spent=offer.cost,
+                counters=self.counters,
+                steps=[GreedyStep(slot, quality, offer.cost, heur)],
+            )
+        return stream
+
+    def _solve_stream(self) -> SolverResult:
+        ev = TemporalQualityEvaluator(self.task.num_slots, self.k, counters=self.counters)
+        budget = Budget(self.budget_limit)
+        assignment = Assignment()
+        steps: list[GreedyStep] = []
+        self._prepare(ev)
+        while True:
+            best = self._find_best(ev, budget.remaining)
+            if best is None:
+                break
+            slot, gain, cost, heuristic = best
+            window = ev.affected_window(slot)
+            ev.execute(slot, self.costs.reliability(slot))
+            budget.charge(cost)
+            offer = self.costs.offer(slot)
+            assignment.add(AssignmentRecord(self.task.task_id, slot, offer.worker_id, cost))
+            steps.append(GreedyStep(slot, gain, cost, heuristic))
+            self.counters.iterations += 1
+            self._after_execute(window)
+        return SolverResult(
+            assignment=assignment,
+            quality=ev.quality,
+            spent=budget.spent,
+            counters=self.counters,
+            steps=steps,
+        )
+
+    # -- hooks implemented by the variants ------------------------------
+    def _prepare(self, ev: TemporalQualityEvaluator) -> None:
+        raise NotImplementedError
+
+    def _find_best(self, ev, remaining: float):
+        raise NotImplementedError
+
+    def _after_execute(self, window: tuple[int, int]) -> None:
+        raise NotImplementedError
+
+
+class SingleTaskGreedy(_GreedyBase):
+    """Algorithm 1 (``Approx``) with enumerated candidate search.
+
+    ``strategy="full"`` recomputes every slot per candidate (the
+    paper's naive complexity); ``strategy="local"`` re-evaluates only
+    the affected k-NN window (ablation).
+    """
+
+    def __init__(self, task, costs, *, k=3, budget, strategy="full", counters=None):
+        super().__init__(task, costs, k=k, budget=budget, counters=counters)
+        if strategy not in ("full", "local"):
+            raise ConfigurationError(f"unknown strategy {strategy!r}")
+        self.strategy = strategy
+        self._ev: TemporalQualityEvaluator | None = None
+
+    def _prepare(self, ev):
+        self._ev = ev
+
+    def _find_best(self, ev, remaining):
+        best: tuple[int, float, float, float] | None = None
+        candidates = 0
+        for slot in self.task.slots:
+            if ev.is_executed(slot):
+                continue
+            cost = self.costs.cost(slot)
+            if cost is None:
+                continue
+            candidates += 1
+            if cost > remaining + 1e-12:
+                continue
+            lam = self.costs.reliability(slot)
+            if self.strategy == "full":
+                gain = ev.gain_full_rescan(slot, lam)
+            else:
+                gain = ev.gain_if_executed(slot, lam)
+            if gain <= 0.0:
+                continue
+            heuristic = gain / max(cost, COST_EPSILON)
+            if best is None or heuristic > best[3] or (
+                heuristic == best[3] and slot < best[0]
+            ):
+                best = (slot, gain, cost, heuristic)
+        self.counters.candidates_total += candidates
+        return best
+
+    def _after_execute(self, window):
+        pass
+
+
+class IndexedSingleTaskGreedy(_GreedyBase):
+    """``Approx*``: Algorithm 1 driven by the tree index (Section III-C)."""
+
+    def __init__(self, task, costs, *, k=3, budget, ts=4, counters=None):
+        super().__init__(task, costs, k=k, budget=budget, counters=counters)
+        self.ts = ts
+        self._index: TreeIndex | None = None
+
+    def _prepare(self, ev):
+        self._index = TreeIndex(ev, self.costs, ts=self.ts, counters=self.counters)
+
+    def _find_best(self, ev, remaining):
+        best = self._index.find_best(remaining)
+        if best is None:
+            return None
+        return (best.slot, best.gain, best.cost, best.heuristic)
+
+    def _after_execute(self, window):
+        self._index.refresh_range(*window)

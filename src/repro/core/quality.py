@@ -1,0 +1,172 @@
+"""The entropy-based TCSC quality metric (Section II-B, Eq. 1-5).
+
+Definitions implemented here, for a task of ``m`` slots interpolated
+with ``k`` temporal nearest neighbours:
+
+* **Interpolation error ratio** (Eq. 3, reliability-weighted Eq. 5)::
+
+      rho_err(j) = sum_{e in SkNN(j)} lambda_e * |j, e| / (k * m)
+
+  If fewer than ``k`` executed neighbours exist, each missing
+  neighbour contributes the largest possible interpolation distance
+  ``m`` (the paper's footnote 2), with reliability 1.
+
+* **Finishing probability** (Eq. 2 / Eq. 4)::
+
+      p(j) = lambda_j / m                      if slot j is executed
+      p(j) = sum_e lambda_e * (m - |j,e|) / (k m^2)   otherwise
+
+  The second form is algebraically identical to
+  ``(1/m) * (mean lambda - rho_err)`` under footnote 2 and makes two
+  facts obvious: ``0 <= p(j) <= 1/m`` always, and a missing neighbour
+  (distance ``m``) contributes exactly zero.
+
+* **Task quality** (Eq. 1)::
+
+      q(tau) = - sum_j p(j) * log2 p(j)
+
+  ranging from 0 (nothing executed) to ``log2 m`` (everything
+  executed by fully reliable workers).
+
+The per-slot summand ``-p log2 p`` is increasing on ``[0, 1/e]``;
+since ``p <= 1/m`` the metric is monotone for ``m >= 3``, which the
+model layer enforces (the paper evaluates ``m >= 300``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "entropy_term",
+    "error_ratio",
+    "finishing_probability",
+    "interpolation_neighbors",
+    "max_quality",
+    "task_quality",
+]
+
+
+def entropy_term(p: float) -> float:
+    """The per-slot quality contribution ``phi(p) = -p log2 p``.
+
+    ``phi(0) = 0`` by continuity (zero knowledge contributes zero
+    quality).
+    """
+    if p < 0.0 or p > 1.0:
+        raise ConfigurationError(f"probability out of range: {p}")
+    if p == 0.0:
+        return 0.0
+    return -p * math.log2(p)
+
+
+def error_ratio(
+    m: int,
+    k: int,
+    neighbors: Sequence[tuple[int, float]],
+) -> float:
+    """Eq. 3 / Eq. 5: the interpolation error ratio of an unexecuted slot.
+
+    ``neighbors`` holds ``(temporal_distance, reliability)`` pairs for
+    the (at most ``k``) executed nearest neighbours.  Missing
+    neighbours contribute distance ``m`` at reliability 1 (footnote 2).
+    """
+    _validate_mk(m, k)
+    if len(neighbors) > k:
+        raise ConfigurationError(f"got {len(neighbors)} neighbors for k={k}")
+    weighted = sum(lam * dist for dist, lam in neighbors)
+    weighted += (k - len(neighbors)) * m  # footnote 2: distance m, lambda 1
+    return weighted / (k * m)
+
+
+def finishing_probability(
+    m: int,
+    k: int,
+    neighbors: Sequence[tuple[int, float]] | None,
+    *,
+    executed_reliability: float | None = None,
+) -> float:
+    """Eq. 2 / Eq. 4: the finishing probability of one subtask.
+
+    For an *executed* slot pass ``executed_reliability`` (its worker's
+    lambda) and ``neighbors=None``; the result is ``lambda / m``.  For
+    an *unexecuted* slot pass the ``(distance, reliability)`` pairs of
+    its executed k-NN set (possibly fewer than ``k``; possibly empty).
+    """
+    _validate_mk(m, k)
+    if executed_reliability is not None:
+        if neighbors is not None:
+            raise ConfigurationError("pass neighbors=None for an executed slot")
+        if not 0.0 <= executed_reliability <= 1.0:
+            raise ConfigurationError(f"reliability out of range: {executed_reliability}")
+        return executed_reliability / m
+    if neighbors is None:
+        raise ConfigurationError("unexecuted slots need their neighbor list")
+    if len(neighbors) > k:
+        raise ConfigurationError(f"got {len(neighbors)} neighbors for k={k}")
+    total = 0.0
+    for dist, lam in neighbors:
+        if dist < 1 or dist > m:
+            raise ConfigurationError(f"temporal distance out of range: {dist}")
+        total += lam * (m - dist)
+    return total / (k * m * m)
+
+
+def interpolation_neighbors(
+    slot: int,
+    executed: Iterable[int],
+    k: int,
+) -> list[int]:
+    """The ``SkNN`` set: up to ``k`` executed slots nearest to ``slot``.
+
+    Reference (non-incremental) implementation used by tests; the
+    solvers use :class:`repro.util.sorted_slots.SortedSlots` instead.
+    Ties break toward the smaller slot index.
+    """
+    candidates = sorted(e for e in executed if e != slot)
+    candidates.sort(key=lambda e: (abs(e - slot), e))
+    return candidates[:k]
+
+
+def task_quality(
+    m: int,
+    k: int,
+    executed: dict[int, float],
+) -> float:
+    """Eq. 1: full (non-incremental) task quality.
+
+    ``executed`` maps executed slot -> worker reliability.  This is the
+    reference implementation the incremental evaluator is validated
+    against.
+    """
+    _validate_mk(m, k)
+    for slot in executed:
+        if not 1 <= slot <= m:
+            raise ConfigurationError(f"slot {slot} outside 1..{m}")
+    total = 0.0
+    for slot in range(1, m + 1):
+        if slot in executed:
+            p = finishing_probability(m, k, None, executed_reliability=executed[slot])
+        else:
+            nn = interpolation_neighbors(slot, executed, k)
+            pairs = [(abs(e - slot), executed[e]) for e in nn]
+            p = finishing_probability(m, k, pairs)
+        total += entropy_term(p)
+    return total
+
+
+def max_quality(m: int) -> float:
+    """The metric's upper bound ``log2 m`` (all slots executed, lambda=1)."""
+    if m < 3:
+        raise ConfigurationError(f"m must be >= 3, got {m}")
+    return math.log2(m)
+
+
+def _validate_mk(m: int, k: int) -> None:
+    if m < 3:
+        raise ConfigurationError(f"m must be >= 3, got {m}")
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")

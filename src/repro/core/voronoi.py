@@ -1,0 +1,144 @@
+"""Exact one-dimensional order-k Voronoi diagrams over the slot line.
+
+Section III-C observes that the solution space of temporal k-NN
+searching over the ``m`` slots of a task is a 1-D *order-k Voronoi
+diagram*: the slot line splits into maximal intervals (cells) such that
+every query slot inside a cell has the same k-NN *set* of executed
+slots.
+
+Because the sites live on a line, the order-k diagram has a simple
+structure: the k-NN set of any query is a *contiguous window* of ``k``
+consecutive executed slots, and the boundary between window
+``E[i..i+k-1]`` and window ``E[i+1..i+k]`` lies at the midpoint of
+``E[i]`` and ``E[i+k]`` (the two sites that differ).  With the
+library's deterministic tie-break (ties prefer the smaller slot index),
+a query at the exact midpoint belongs to the left window.
+
+This module provides both the O(|E|) sliding-window construction and a
+brute-force construction; the test suite checks they agree, and the
+diagram serves as the correctness oracle for the tree index.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["VoronoiCell", "OrderKVoronoi"]
+
+
+@dataclass(frozen=True, slots=True)
+class VoronoiCell:
+    """A maximal interval of slots sharing one k-NN set."""
+
+    lo: int
+    hi: int
+    sites: tuple[int, ...]  # the shared k-NN set, ascending
+
+    def __contains__(self, slot: int) -> bool:
+        return self.lo <= slot <= self.hi
+
+    @property
+    def width(self) -> int:
+        """Number of slots covered by the cell."""
+        return self.hi - self.lo + 1
+
+
+class OrderKVoronoi:
+    """Exact order-k Voronoi diagram of executed slots on ``[1, m]``."""
+
+    def __init__(self, m: int, k: int, executed: list[int] | tuple[int, ...]):
+        if m < 1:
+            raise ConfigurationError(f"m must be >= 1, got {m}")
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        self.m = m
+        self.k = k
+        self.sites = sorted(set(executed))
+        for site in self.sites:
+            if not 1 <= site <= m:
+                raise ConfigurationError(f"site {site} outside 1..{m}")
+        self.cells = self._build()
+        self._boundaries = [cell.hi for cell in self.cells]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self) -> list[VoronoiCell]:
+        sites, m, k = self.sites, self.m, self.k
+        n = len(sites)
+        if n == 0:
+            return [VoronoiCell(1, m, ())]
+        if n <= k:
+            # Every query sees all sites: a single cell.
+            return [VoronoiCell(1, m, tuple(sites))]
+        cells: list[VoronoiCell] = []
+        lo = 1
+        # Window i covers queries up to floor((sites[i] + sites[i+k]) / 2):
+        # beyond that, sites[i+k] is strictly closer than sites[i] (or
+        # tied, in which case the tie-break keeps the smaller index and
+        # the boundary slot still belongs to the left window).
+        for i in range(n - k):
+            boundary = (sites[i] + sites[i + k]) // 2
+            hi = min(boundary, m)
+            if hi >= lo:
+                cells.append(VoronoiCell(lo, hi, tuple(sites[i : i + k])))
+                lo = hi + 1
+            if lo > m:
+                break
+        if lo <= m:
+            cells.append(VoronoiCell(lo, m, tuple(sites[n - k :])))
+        return cells
+
+    @staticmethod
+    def site_knn(slot: int, sites: list[int], k: int) -> tuple[int, ...]:
+        """Direct k-NN of ``slot`` among ``sites`` (the query itself is a
+        valid site — the diagram is over *sites*, not over interpolation
+        targets), ties toward the smaller index.  Returns sorted."""
+        ordered = sorted(set(sites), key=lambda e: (abs(e - slot), e))
+        return tuple(sorted(ordered[:k]))
+
+    @classmethod
+    def brute_force_cells(cls, m: int, k: int, executed: list[int]) -> list[VoronoiCell]:
+        """O(m log m) construction by direct k-NN evaluation per slot.
+
+        Used by tests as the oracle for :meth:`_build`.
+        """
+        cells: list[VoronoiCell] = []
+        prev_set: tuple[int, ...] | None = None
+        lo = 1
+        for slot in range(1, m + 1):
+            knn = cls.site_knn(slot, executed, k)
+            if prev_set is None:
+                prev_set = knn
+            elif knn != prev_set:
+                cells.append(VoronoiCell(lo, slot - 1, prev_set))
+                lo = slot
+                prev_set = knn
+        cells.append(VoronoiCell(lo, m, prev_set if prev_set is not None else ()))
+        return cells
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def cell_of(self, slot: int) -> VoronoiCell:
+        """The cell containing ``slot`` — the O(1)-ish lookup the paper
+        uses to avoid repeated k-NN searches (here O(log #cells))."""
+        if not 1 <= slot <= self.m:
+            raise ConfigurationError(f"slot {slot} outside 1..{self.m}")
+        i = bisect_right(self._boundaries, slot - 1)
+        return self.cells[i]
+
+    def knn(self, slot: int) -> tuple[int, ...]:
+        """The k-NN set of ``slot`` via the diagram."""
+        return self.cell_of(slot).sites
+
+    def average_cell_count_bound(self) -> int:
+        """The O(k (m - k)) bound on the number of order-k cells the
+        paper cites when motivating the approximate tree index."""
+        return self.k * max(self.m - self.k, 1)

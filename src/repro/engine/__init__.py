@@ -1,0 +1,40 @@
+"""The TCSC server substrate.
+
+This package implements everything the paper assumes a crowdsourcing
+platform already has: a registry of worker availability with per-slot
+spatial indexes (:mod:`repro.engine.registry`), the travel-cost model
+with rank-aware nearest-worker lookups (:mod:`repro.engine.costs`), the
+server loop that takes tasks in and hands assignments back
+(:mod:`repro.engine.server`), and a synthetic spatiotemporal value
+field plus inverse-distance interpolation for end-to-end demos
+(:mod:`repro.engine.field`, :mod:`repro.engine.interpolation`).
+"""
+
+from repro.engine.batches import BatchReport, BatchTCSCServer
+from repro.engine.costs import DynamicCostProvider, SingleTaskCostTable, SlotOffer
+from repro.engine.field import SpatioTemporalField
+from repro.engine.interpolation import idw_series, reconstruction_rmse
+from repro.engine.realization import (
+    RealizationOutcome,
+    expected_realized_quality,
+    simulate_execution,
+)
+from repro.engine.registry import WorkerRegistry
+from repro.engine.server import ServerReport, TCSCServer
+
+__all__ = [
+    "BatchReport",
+    "BatchTCSCServer",
+    "DynamicCostProvider",
+    "SingleTaskCostTable",
+    "SlotOffer",
+    "SpatioTemporalField",
+    "RealizationOutcome",
+    "ServerReport",
+    "TCSCServer",
+    "WorkerRegistry",
+    "expected_realized_quality",
+    "idw_series",
+    "reconstruction_rmse",
+    "simulate_execution",
+]

@@ -1,0 +1,111 @@
+"""Batch-arrival processing: the TCSC server loop over time.
+
+Section II-A: "According to the batch size that tasks arrive in, the
+duration consists of at most m equal-sized time slots."  Real
+platforms receive task batches continuously; this module runs the
+multi-task solvers round by round over one *persistent* worker
+registry, so workers committed in earlier rounds are unavailable to
+later ones — the long-term operational view the one-shot solvers
+abstract away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.registry import WorkerRegistry
+from repro.errors import ConfigurationError
+from repro.geo.bbox import BoundingBox
+from repro.model.task import TaskSet
+from repro.model.worker import WorkerPool
+from repro.multi.mmqm import MinQualityGreedy
+from repro.multi.msqm import SumQualityGreedy
+from repro.multi.result import MultiSolverResult
+
+__all__ = ["BatchReport", "BatchTCSCServer"]
+
+
+@dataclass(frozen=True, slots=True)
+class BatchReport:
+    """Outcome of one arrival round."""
+
+    round_id: int
+    result: MultiSolverResult
+    cumulative_spent: float
+    workers_committed: int
+
+
+class BatchTCSCServer:
+    """Multi-round TCSC assignment over a shared worker pool.
+
+    Each call to :meth:`process_batch` assigns one arriving task batch
+    under its own budget; the worker registry persists, so earlier
+    commitments constrain later rounds (later batches pay higher costs
+    or find slots uncoverable).
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        bbox: BoundingBox,
+        *,
+        k: int = 3,
+        ts: int = 4,
+    ):
+        self.registry = WorkerRegistry(pool, bbox)
+        self.k = k
+        self.ts = ts
+        self.history: list[BatchReport] = []
+        self._seen_task_ids: set[int] = set()
+
+    @property
+    def rounds(self) -> int:
+        """Number of batches processed so far."""
+        return len(self.history)
+
+    @property
+    def total_spent(self) -> float:
+        """Budget spent across all rounds."""
+        return sum(report.result.spent for report in self.history)
+
+    def process_batch(
+        self,
+        tasks: TaskSet,
+        budget: float,
+        *,
+        objective: str = "sum",
+    ) -> BatchReport:
+        """Assign one arriving batch; returns its report.
+
+        Task ids must be globally unique across rounds so that the
+        combined history forms one consistent assignment.
+        """
+        clash = {t.task_id for t in tasks} & self._seen_task_ids
+        if clash:
+            raise ConfigurationError(
+                f"task ids {sorted(clash)} were already assigned in an earlier batch"
+            )
+        if objective == "sum":
+            solver = SumQualityGreedy(
+                tasks, self.registry, k=self.k, budget=budget, ts=self.ts
+            )
+        elif objective == "min":
+            solver = MinQualityGreedy(
+                tasks, self.registry, k=self.k, budget=budget, ts=self.ts
+            )
+        else:
+            raise ConfigurationError(f"unknown objective {objective!r}")
+        result = solver.solve()
+        self._seen_task_ids.update(t.task_id for t in tasks)
+        committed = sum(
+            len(self.registry.consumed_at(slot))
+            for slot in range(1, max((t.start_slot + t.num_slots for t in tasks), default=1))
+        )
+        report = BatchReport(
+            round_id=len(self.history),
+            result=result,
+            cumulative_spent=self.total_spent + result.spent,
+            workers_committed=committed,
+        )
+        self.history.append(report)
+        return report

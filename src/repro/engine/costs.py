@@ -1,0 +1,156 @@
+"""Travel-cost model: the bridge between tasks, workers, and solvers.
+
+Following the paper's common setting, the cost of a subtask is the
+Euclidean distance from the task's location to the assigned worker
+(Section II-A).  Two providers are offered:
+
+* :class:`SingleTaskCostTable` — static per-slot offers for one task;
+  the single-task case never competes for workers, so every slot can
+  precompute its nearest worker once.
+* :class:`DynamicCostProvider` — live offers for multi-task scenarios;
+  workers are consumed as they are assigned, so a task's cheapest
+  worker may disappear and the provider transparently falls back to
+  the next-nearest, which is exactly how the paper's worker conflicts
+  surface as increased costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.instrumentation import OpCounters
+from repro.engine.registry import WorkerRegistry
+from repro.model.task import Task
+
+__all__ = ["SlotOffer", "SingleTaskCostTable", "DynamicCostProvider"]
+
+
+@dataclass(frozen=True, slots=True)
+class SlotOffer:
+    """The current best worker offer for one (task, slot) pair."""
+
+    worker_id: int
+    cost: float
+    reliability: float
+
+
+class SingleTaskCostTable:
+    """Precomputed nearest-worker offers for every slot of one task.
+
+    Exposes the ``cost(slot)`` / ``reliability(slot)`` interface the
+    solvers and the tree index consume.  Slots with no available worker
+    return ``None`` (unassignable).
+    """
+
+    def __init__(
+        self,
+        task: Task,
+        registry: WorkerRegistry,
+        *,
+        counters: OpCounters | None = None,
+    ):
+        self.task = task
+        self.counters = counters if counters is not None else OpCounters()
+        self._offers: list[SlotOffer | None] = [None] * (task.num_slots + 1)
+        for slot in task.slots:
+            hit = registry.nearest_available(task.loc, task.global_slot(slot))
+            self.counters.worker_cost_lookups += 1
+            if hit is not None:
+                worker, dist = hit
+                self._offers[slot] = SlotOffer(worker.worker_id, dist, worker.reliability)
+
+    def offer(self, slot: int) -> SlotOffer | None:
+        """The full offer for ``slot`` (or None when unassignable)."""
+        return self._offers[slot]
+
+    def cost(self, slot: int) -> float | None:
+        """Travel cost of executing ``slot``, or None when unassignable."""
+        offer = self._offers[slot]
+        return None if offer is None else offer.cost
+
+    def reliability(self, slot: int) -> float:
+        """Reliability of the offered worker (1.0 when unassignable —
+        the value is never used in that case)."""
+        offer = self._offers[slot]
+        return 1.0 if offer is None else offer.reliability
+
+    @property
+    def assignable_slots(self) -> list[int]:
+        """Slots with at least one available worker."""
+        return [s for s in self.task.slots if self._offers[s] is not None]
+
+    @property
+    def min_cost(self) -> float | None:
+        """Cheapest single-slot cost, or None when nothing assignable."""
+        costs = [o.cost for o in self._offers if o is not None]
+        return min(costs) if costs else None
+
+    @property
+    def total_cost(self) -> float:
+        """Cost of executing every assignable slot (used to scale budgets)."""
+        return sum(o.cost for o in self._offers if o is not None)
+
+
+class DynamicCostProvider:
+    """Live nearest-remaining-worker offers for one task in a multi-task run.
+
+    Offers are cached per slot and invalidated when the offered worker
+    is consumed (by this task or any competitor).  The owning
+    coordinator must call :meth:`invalidate_worker` whenever a worker
+    is consumed at a global slot.
+    """
+
+    def __init__(
+        self,
+        task: Task,
+        registry: WorkerRegistry,
+        *,
+        counters: OpCounters | None = None,
+    ):
+        self.task = task
+        self.registry = registry
+        self.counters = counters if counters is not None else OpCounters()
+        self._cache: dict[int, SlotOffer | None] = {}
+
+    def offer(self, slot: int) -> SlotOffer | None:
+        """Current cheapest remaining worker for local ``slot``."""
+        if slot in self._cache:
+            return self._cache[slot]
+        hit = self.registry.nearest_available(self.task.loc, self.task.global_slot(slot))
+        self.counters.worker_cost_lookups += 1
+        offer = None
+        if hit is not None:
+            worker, dist = hit
+            offer = SlotOffer(worker.worker_id, dist, worker.reliability)
+        self._cache[slot] = offer
+        return offer
+
+    def cost(self, slot: int) -> float | None:
+        """Travel cost for ``slot`` under current worker availability."""
+        offer = self.offer(slot)
+        return None if offer is None else offer.cost
+
+    def reliability(self, slot: int) -> float:
+        """Reliability of the current offer (1.0 when unassignable)."""
+        offer = self.offer(slot)
+        return 1.0 if offer is None else offer.reliability
+
+    def invalidate_worker(self, worker_id: int, global_slot: int) -> list[int]:
+        """Drop cached offers that referenced a just-consumed worker.
+
+        Returns the local slots whose offers were invalidated, so the
+        caller can refresh dependent index state.
+        """
+        task = self.task
+        if not task.start_slot <= global_slot <= task.start_slot + task.num_slots - 1:
+            return []
+        local = global_slot - task.start_slot + 1
+        cached = self._cache.get(local)
+        if cached is not None and cached.worker_id == worker_id:
+            del self._cache[local]
+            return [local]
+        return []
+
+    def invalidate_all(self) -> None:
+        """Flush the entire offer cache."""
+        self._cache.clear()

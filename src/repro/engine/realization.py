@@ -1,0 +1,105 @@
+"""Execution realization: what actually happens after assignment.
+
+The reliability extension (Eq. 4-5) treats a worker's lambda as the
+probability that an assigned subtask really gets finished.  This
+module closes the loop: it *samples* that Bernoulli process over a
+committed assignment, producing the set of subtasks that actually
+executed, and scores the realized outcome with the same entropy
+metric — so tests and studies can check that planning with lambdas
+(rather than assuming perfect workers) pays off under the model's own
+semantics, and inject failures into end-to-end pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.quality import task_quality
+from repro.model.assignment import Assignment
+from repro.model.task import TaskSet
+from repro.model.worker import WorkerPool
+from repro.util.rng import make_rng
+
+__all__ = ["RealizationOutcome", "simulate_execution", "expected_realized_quality"]
+
+
+@dataclass(frozen=True, slots=True)
+class RealizationOutcome:
+    """One sampled execution of an assignment."""
+
+    #: (task_id, slot) pairs whose workers showed up.
+    completed: frozenset[tuple[int, int]]
+    #: (task_id, slot) pairs whose workers failed.
+    failed: frozenset[tuple[int, int]]
+    #: task_id -> realized quality (completed slots at reliability 1 —
+    #: once a probe happened, its value is known with certainty).
+    qualities: dict[int, float]
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of assigned subtasks actually executed."""
+        total = len(self.completed) + len(self.failed)
+        return len(self.completed) / total if total else 1.0
+
+    @property
+    def sum_quality(self) -> float:
+        """Realized qsum."""
+        return sum(self.qualities.values())
+
+
+def simulate_execution(
+    tasks: TaskSet,
+    pool: WorkerPool,
+    assignment: Assignment,
+    *,
+    k: int = 3,
+    seed: int | np.random.Generator | None = 0,
+) -> RealizationOutcome:
+    """Sample one Bernoulli realization of an assignment.
+
+    Each record succeeds independently with its worker's reliability;
+    failed subtasks contribute nothing (their slots fall back to
+    interpolation from the successful ones).
+    """
+    rng = make_rng(seed)
+    completed: set[tuple[int, int]] = set()
+    failed: set[tuple[int, int]] = set()
+    for record in assignment:
+        lam = pool.by_id(record.worker_id).reliability
+        if rng.uniform() < lam:
+            completed.add((record.task_id, record.slot))
+        else:
+            failed.add((record.task_id, record.slot))
+    qualities: dict[int, float] = {}
+    for task in tasks:
+        slots = {slot for tid, slot in completed if tid == task.task_id}
+        qualities[task.task_id] = task_quality(
+            task.num_slots, k, {s: 1.0 for s in slots}
+        )
+    return RealizationOutcome(
+        completed=frozenset(completed),
+        failed=frozenset(failed),
+        qualities=qualities,
+    )
+
+
+def expected_realized_quality(
+    tasks: TaskSet,
+    pool: WorkerPool,
+    assignment: Assignment,
+    *,
+    k: int = 3,
+    trials: int = 50,
+    seed: int = 0,
+) -> dict[int, float]:
+    """Monte-Carlo estimate of the expected realized quality per task."""
+    totals = {task.task_id: 0.0 for task in tasks}
+    for trial in range(trials):
+        outcome = simulate_execution(
+            tasks, pool, assignment, k=k, seed=seed * 1_000_003 + trial
+        )
+        for task_id, quality in outcome.qualities.items():
+            totals[task_id] += quality
+    return {task_id: total / trials for task_id, total in totals.items()}

@@ -1,0 +1,138 @@
+"""Worker registry with per-slot spatial indexes.
+
+The registry answers the question at the bottom of every TCSC cost
+lookup: *which is the rank-th nearest worker still available at global
+slot t?*  Workers are indexed per slot in a
+:class:`~repro.geo.grid.GridIndex`; the multi-task solvers *consume* a
+worker at a slot once assigned (a worker serves one subtask per slot —
+the source of the paper's worker conflicts), and the registry supports
+releasing them again for what-if exploration.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError, WorkerUnavailableError
+from repro.geo.bbox import BoundingBox
+from repro.geo.grid import GridIndex
+from repro.geo.kdtree import KDTree
+from repro.geo.point import Point
+from repro.model.worker import Worker, WorkerPool
+
+__all__ = ["WorkerRegistry"]
+
+_BACKENDS = ("grid", "kdtree")
+
+
+class WorkerRegistry:
+    """Per-slot spatial indexes over a worker pool.
+
+    ``backend`` selects the spatial index: ``"grid"`` (the default
+    uniform grid — O(1) removal, density-proportional searches) or
+    ``"kdtree"`` (median-split 2-d tree with tombstone deletion); the
+    two are interchangeable and compared by the ablation benchmarks.
+    """
+
+    def __init__(self, pool: WorkerPool, bbox: BoundingBox, *, backend: str = "grid"):
+        if backend not in _BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; choose one of {_BACKENDS}"
+            )
+        self.pool = pool
+        self.bbox = bbox
+        self.backend = backend
+        self._by_id: dict[int, Worker] = {w.worker_id: w for w in pool}
+        # Lazily-built index per global slot, over *remaining* workers.
+        self._slot_index: dict[int, GridIndex | KDTree] = {}
+        self._consumed: dict[int, set[int]] = {}  # slot -> worker ids
+
+    # ------------------------------------------------------------------
+    # Index maintenance
+    # ------------------------------------------------------------------
+    def _index_for(self, global_slot: int) -> GridIndex | KDTree:
+        index = self._slot_index.get(global_slot)
+        if index is None:
+            items = [
+                (w.worker_id, w.availability[global_slot])
+                for w in self.pool
+                if global_slot in w.availability
+            ]
+            if self.backend == "grid":
+                index = GridIndex.from_items(self.bbox, items)
+            else:
+                index = KDTree(items)
+            self._slot_index[global_slot] = index
+        return index
+
+    def worker(self, worker_id: int) -> Worker:
+        """Look up a worker by id."""
+        return self._by_id[worker_id]
+
+    def available_count(self, global_slot: int) -> int:
+        """Workers still available (not consumed) at ``global_slot``."""
+        return len(self._index_for(global_slot))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def nearest_available(
+        self, query: Point, global_slot: int, *, rank: int = 1
+    ) -> tuple[Worker, float] | None:
+        """The ``rank``-th nearest remaining worker at ``global_slot``.
+
+        ``rank=1`` is "the worker with the lowest cost", ``rank=2`` the
+        second lowest, and so on — the ladder tasks climb when they
+        conflict (Section IV).  Returns ``(worker, distance)`` or
+        ``None`` when fewer than ``rank`` workers remain.
+        """
+        index = self._index_for(global_slot)
+        hits = index.k_nearest(query, rank)
+        if len(hits) < rank:
+            return None
+        worker_id, dist = hits[rank - 1]
+        return self._by_id[worker_id], dist
+
+    def k_nearest_available(
+        self, query: Point, global_slot: int, k: int
+    ) -> list[tuple[Worker, float]]:
+        """Up to ``k`` nearest remaining workers at ``global_slot``."""
+        index = self._index_for(global_slot)
+        return [(self._by_id[wid], dist) for wid, dist in index.k_nearest(query, k)]
+
+    # ------------------------------------------------------------------
+    # Consumption
+    # ------------------------------------------------------------------
+    def consume(self, worker_id: int, global_slot: int) -> None:
+        """Mark a worker as assigned at ``global_slot``."""
+        index = self._index_for(global_slot)
+        if worker_id not in index:
+            raise WorkerUnavailableError(
+                f"worker {worker_id} not available (or already consumed) at slot {global_slot}"
+            )
+        index.remove(worker_id)
+        self._consumed.setdefault(global_slot, set()).add(worker_id)
+
+    def release(self, worker_id: int, global_slot: int) -> None:
+        """Undo a :meth:`consume` (used by what-if exploration)."""
+        consumed = self._consumed.get(global_slot, set())
+        if worker_id not in consumed:
+            raise WorkerUnavailableError(
+                f"worker {worker_id} was not consumed at slot {global_slot}"
+            )
+        consumed.discard(worker_id)
+        worker = self._by_id[worker_id]
+        self._index_for(global_slot).add(worker_id, worker.availability[global_slot])
+
+    def is_consumed(self, worker_id: int, global_slot: int) -> bool:
+        """True iff the worker has been assigned at that slot."""
+        return worker_id in self._consumed.get(global_slot, set())
+
+    def consumed_at(self, global_slot: int) -> set[int]:
+        """Ids of workers consumed at ``global_slot`` (copy)."""
+        return set(self._consumed.get(global_slot, set()))
+
+    def reset(self) -> None:
+        """Release all consumed workers (fresh solver run)."""
+        for slot, workers in list(self._consumed.items()):
+            for worker_id in list(workers):
+                self.release(worker_id, slot)
+        self._consumed.clear()

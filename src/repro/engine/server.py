@@ -1,0 +1,190 @@
+"""The TCSC server: the end-to-end orchestration loop of Figure 1.
+
+The server accepts tasks, looks up registered worker availability,
+decomposes tasks into subtasks, runs the selected assignment policy,
+and aggregates the crowdsourced results.  It is the public entry point
+the examples use; benchmarks drive the solvers directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.baselines import RandomAssignmentSolver
+from repro.core.greedy import IndexedSingleTaskGreedy, SingleTaskGreedy, SolverResult
+from repro.core.instrumentation import OpCounters
+from repro.engine.costs import SingleTaskCostTable
+from repro.engine.field import SpatioTemporalField
+from repro.engine.interpolation import idw_series, reconstruction_rmse
+from repro.engine.registry import WorkerRegistry
+from repro.errors import ConfigurationError
+from repro.model.assignment import Assignment
+from repro.model.task import Task, TaskSet
+from repro.model.worker import WorkerPool
+
+__all__ = ["ServerReport", "TCSCServer"]
+
+_SINGLE_POLICIES = ("approx", "approx_star", "random")
+_MULTI_OBJECTIVES = ("sum", "min")
+
+
+@dataclass(slots=True)
+class ServerReport:
+    """Aggregated outcome of one server round."""
+
+    assignment: Assignment
+    qualities: dict[int, float]       # task_id -> q(tau)
+    total_cost: float
+    counters: OpCounters
+    #: Physical reconstruction error per task, when a value field was
+    #: attached (probed + interpolated series vs ground truth).
+    rmse: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def sum_quality(self) -> float:
+        """qsum over the round's tasks (Eq. 7)."""
+        return sum(self.qualities.values())
+
+    @property
+    def min_quality(self) -> float:
+        """qmin over the round's tasks (Eq. 9)."""
+        return min(self.qualities.values()) if self.qualities else 0.0
+
+
+class TCSCServer:
+    """Quality-aware TCSC assignment server.
+
+    Parameters mirror the paper's defaults: ``k=3`` interpolation
+    neighbours, ``ts=4`` tree fanout.  Attach a
+    :class:`~repro.engine.field.SpatioTemporalField` to have workers
+    "probe" values so reports include physical reconstruction error.
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        bbox,
+        *,
+        k: int = 3,
+        ts: int = 4,
+        field_model: SpatioTemporalField | None = None,
+    ):
+        self.pool = pool
+        self.bbox = bbox
+        self.k = k
+        self.ts = ts
+        self.field_model = field_model
+
+    # ------------------------------------------------------------------
+    # Single task
+    # ------------------------------------------------------------------
+    def assign_single(
+        self,
+        task: Task,
+        budget: float,
+        *,
+        policy: str = "approx_star",
+        seed: int = 0,
+    ) -> ServerReport:
+        """Assign one task under ``budget`` with the chosen policy."""
+        if policy not in _SINGLE_POLICIES:
+            raise ConfigurationError(
+                f"unknown policy {policy!r}; choose one of {_SINGLE_POLICIES}"
+            )
+        registry = WorkerRegistry(self.pool, self.bbox)
+        counters = OpCounters()
+        costs = SingleTaskCostTable(task, registry, counters=counters)
+        if policy == "approx":
+            result = SingleTaskGreedy(
+                task, costs, k=self.k, budget=budget, counters=counters
+            ).solve()
+        elif policy == "approx_star":
+            result = IndexedSingleTaskGreedy(
+                task, costs, k=self.k, budget=budget, ts=self.ts, counters=counters
+            ).solve()
+        else:
+            quality, assignment = RandomAssignmentSolver(
+                task, costs, k=self.k, budget=budget, seed=seed
+            ).run_once()
+            result = SolverResult(
+                assignment=assignment,
+                quality=quality,
+                spent=assignment.total_cost,
+                counters=counters,
+            )
+        return self._report(TaskSet([task]), result.assignment, {task.task_id: result.quality}, counters)
+
+    # ------------------------------------------------------------------
+    # Multiple tasks
+    # ------------------------------------------------------------------
+    def assign_multi(
+        self,
+        tasks: TaskSet,
+        budget: float,
+        *,
+        objective: str = "sum",
+        use_index: bool = True,
+        cores: int | None = None,
+    ) -> ServerReport:
+        """Assign a task set under a shared budget.
+
+        ``objective="sum"`` solves MSQM (Problem 2), ``"min"`` solves
+        MMQM (Problem 3).  ``cores`` enables the task-level parallel
+        framework on the virtual-clock simulator; ``None`` runs the
+        serial solver.
+        """
+        if objective not in _MULTI_OBJECTIVES:
+            raise ConfigurationError(
+                f"unknown objective {objective!r}; choose one of {_MULTI_OBJECTIVES}"
+            )
+        # Imported here: repro.multi depends on repro.engine.
+        from repro.multi.mmqm import MinQualityGreedy
+        from repro.multi.msqm import SumQualityGreedy
+        from repro.multi.scheduler import TaskLevelParallelSolver
+
+        registry = WorkerRegistry(self.pool, self.bbox)
+        if objective == "sum":
+            if cores is not None:
+                solver = TaskLevelParallelSolver(
+                    tasks, registry, k=self.k, budget=budget, ts=self.ts, cores=cores
+                )
+            else:
+                solver = SumQualityGreedy(
+                    tasks, registry, k=self.k, budget=budget, ts=self.ts, use_index=use_index
+                )
+        else:
+            solver = MinQualityGreedy(
+                tasks, registry, k=self.k, budget=budget, ts=self.ts, use_index=use_index
+            )
+        result = solver.solve()
+        return self._report(tasks, result.assignment, result.qualities, result.counters)
+
+    # ------------------------------------------------------------------
+    # Result aggregation
+    # ------------------------------------------------------------------
+    def _report(
+        self,
+        tasks: TaskSet,
+        assignment: Assignment,
+        qualities: dict[int, float],
+        counters: OpCounters,
+    ) -> ServerReport:
+        report = ServerReport(
+            assignment=assignment,
+            qualities=qualities,
+            total_cost=assignment.total_cost,
+            counters=counters,
+        )
+        if self.field_model is not None:
+            for task in tasks:
+                probed = {
+                    record.slot: self.field_model.value(task.loc, task.global_slot(record.slot))
+                    for record in assignment.records_for(task.task_id)
+                }
+                truth = [
+                    self.field_model.value(task.loc, task.global_slot(slot))
+                    for slot in task.slots
+                ]
+                reconstructed = idw_series(task.num_slots, probed, k=self.k)
+                report.rmse[task.task_id] = reconstruction_rmse(truth, reconstructed)
+        return report

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the TCSC library.
+
+Every error raised by :mod:`repro` derives from :class:`TCSCError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from infeasible problem
+instances.
+"""
+
+from __future__ import annotations
+
+
+class TCSCError(Exception):
+    """Base class for all errors raised by the TCSC library."""
+
+
+class ConfigurationError(TCSCError, ValueError):
+    """A parameter is out of its documented range (e.g. ``k < 1``)."""
+
+
+class InfeasibleAssignmentError(TCSCError):
+    """No feasible assignment exists (e.g. no worker covers any slot)."""
+
+
+class BudgetExhaustedError(TCSCError):
+    """An operation requires budget that has already been spent."""
+
+
+class WorkerUnavailableError(TCSCError):
+    """A requested worker is not available at the requested time slot."""
+
+
+class SchedulingError(TCSCError):
+    """The parallel scheduler reached an inconsistent state."""

@@ -1,0 +1,28 @@
+"""Geometry substrate: points, distances, and spatial indexes.
+
+The TCSC cost model is built on planar Euclidean distances between task
+locations and worker locations.  Worker nearest-neighbour lookups (the
+"worker with the lowest cost", "second lowest cost", ... of Section IV)
+are served by the spatial indexes implemented here from scratch:
+
+* :class:`~repro.geo.grid.GridIndex` — a uniform grid with ring-expansion
+  k-NN search; the default per-slot worker index.
+* :class:`~repro.geo.kdtree.KDTree` — a classic k-d tree; used as a
+  correctness oracle in tests and as an alternative backend.
+"""
+
+from repro.geo.bbox import BoundingBox
+from repro.geo.distance import euclidean, manhattan, squared_euclidean
+from repro.geo.grid import GridIndex
+from repro.geo.kdtree import KDTree
+from repro.geo.point import Point
+
+__all__ = [
+    "BoundingBox",
+    "GridIndex",
+    "KDTree",
+    "Point",
+    "euclidean",
+    "manhattan",
+    "squared_euclidean",
+]

@@ -1,0 +1,72 @@
+"""Axis-aligned bounding boxes (spatial domains).
+
+A :class:`BoundingBox` describes the spatial domain of a scenario: the
+workload generators sample task and worker locations inside it, and the
+spatiotemporal quality metric (Appendix C) normalizes spatial
+interpolation distances by the domain *size* (its diagonal), so the
+spatial error ratio stays in ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.geo.point import Point
+
+__all__ = ["BoundingBox"]
+
+
+@dataclass(frozen=True, slots=True)
+class BoundingBox:
+    """Closed axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self):
+        if self.max_x < self.min_x or self.max_y < self.min_y:
+            raise ConfigurationError(
+                f"degenerate bounding box: ({self.min_x}, {self.min_y}) .. "
+                f"({self.max_x}, {self.max_y})"
+            )
+
+    @classmethod
+    def square(cls, side: float, *, origin: tuple[float, float] = (0.0, 0.0)) -> "BoundingBox":
+        """A square of the given side length anchored at ``origin``."""
+        ox, oy = origin
+        return cls(ox, oy, ox + side, oy + side)
+
+    @property
+    def width(self) -> float:
+        """Extent along x."""
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        """Extent along y."""
+        return self.max_y - self.min_y
+
+    @property
+    def center(self) -> Point:
+        """The centre point of the box."""
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    @property
+    def diagonal(self) -> float:
+        """Length of the diagonal — the domain size ``|D|`` of Eq. 13."""
+        return math.hypot(self.width, self.height)
+
+    def contains(self, p: Point) -> bool:
+        """True iff ``p`` lies inside the closed box."""
+        return self.min_x <= p.x <= self.max_x and self.min_y <= p.y <= self.max_y
+
+    def clamp(self, p: Point) -> Point:
+        """The closest point inside the box."""
+        return Point(
+            min(max(p.x, self.min_x), self.max_x),
+            min(max(p.y, self.min_y), self.max_y),
+        )

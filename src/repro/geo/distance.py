@@ -1,0 +1,33 @@
+"""Distance functions over :class:`~repro.geo.point.Point`.
+
+The paper's cost model uses Euclidean distance ("we assume the travel
+cost of a subtask is the Euclidean distance from the location of a
+subtask and the assigned worker") but notes the work is general w.r.t.
+the type of cost; Manhattan distance is provided for that generality
+and exercised by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geo.point import Point
+
+__all__ = ["euclidean", "squared_euclidean", "manhattan"]
+
+
+def euclidean(a: Point, b: Point) -> float:
+    """Planar Euclidean (L2) distance."""
+    return math.hypot(a.x - b.x, a.y - b.y)
+
+
+def squared_euclidean(a: Point, b: Point) -> float:
+    """Squared Euclidean distance — monotone in L2, cheaper to compute."""
+    dx = a.x - b.x
+    dy = a.y - b.y
+    return dx * dx + dy * dy
+
+
+def manhattan(a: Point, b: Point) -> float:
+    """L1 (taxicab) distance."""
+    return abs(a.x - b.x) + abs(a.y - b.y)

@@ -1,0 +1,179 @@
+"""A uniform-grid spatial index with dynamic insertion and removal.
+
+The multi-task assignment of Section IV repeatedly asks "which is the
+j-th nearest *remaining* worker to this task at this slot?" and then
+consumes that worker.  A uniform grid supports exactly this access
+pattern: ``O(1)`` removal and a ring-expansion nearest-neighbour search
+whose cost is proportional to the local point density.
+
+The search is exact: rings are expanded until the best candidate found
+so far is provably closer than anything an unexplored ring could hold.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable
+
+from repro.errors import ConfigurationError
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+
+__all__ = ["GridIndex"]
+
+
+class GridIndex:
+    """Uniform grid over a bounding box holding ``(id, point)`` pairs."""
+
+    def __init__(
+        self,
+        bbox: BoundingBox,
+        *,
+        cell_size: float | None = None,
+        expected_points: int | None = None,
+    ):
+        """Create an empty index.
+
+        ``cell_size`` fixes the grid resolution explicitly; otherwise it
+        is chosen so that the grid holds roughly one expected point per
+        cell (a standard rule of thumb), defaulting to a 32x32 grid.
+        """
+        self.bbox = bbox
+        if cell_size is None:
+            if expected_points and expected_points > 0:
+                # Aim for ~1 point per cell.
+                cells_per_side = max(1, int(math.sqrt(expected_points)))
+            else:
+                cells_per_side = 32
+            cell_size = max(bbox.width, bbox.height, 1e-12) / cells_per_side
+        if cell_size <= 0:
+            raise ConfigurationError(f"cell_size must be positive, got {cell_size}")
+        self.cell_size = cell_size
+        self._cols = max(1, int(math.ceil(bbox.width / cell_size)))
+        self._rows = max(1, int(math.ceil(bbox.height / cell_size)))
+        self._cells: dict[tuple[int, int], dict[Hashable, Point]] = {}
+        self._points: dict[Hashable, Point] = {}
+
+    # ------------------------------------------------------------------
+    # Construction / mutation
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_items(
+        cls, bbox: BoundingBox, items: Iterable[tuple[Hashable, Point]]
+    ) -> "GridIndex":
+        """Build an index holding all ``(id, point)`` items."""
+        items = list(items)
+        index = cls(bbox, expected_points=len(items))
+        for key, point in items:
+            index.add(key, point)
+        return index
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._points
+
+    def location_of(self, key: Hashable) -> Point:
+        """Return the stored location of ``key``."""
+        return self._points[key]
+
+    def add(self, key: Hashable, point: Point) -> None:
+        """Insert ``key`` at ``point`` (re-inserting moves it)."""
+        if key in self._points:
+            self.remove(key)
+        self._points[key] = point
+        self._cells.setdefault(self._cell_of(point), {})[key] = point
+
+    def remove(self, key: Hashable) -> None:
+        """Remove ``key``; raise :class:`KeyError` if absent."""
+        point = self._points.pop(key)
+        cell = self._cell_of(point)
+        bucket = self._cells[cell]
+        del bucket[key]
+        if not bucket:
+            del self._cells[cell]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def nearest(self, query: Point, *, exclude: frozenset | set | None = None):
+        """Return ``(key, distance)`` of the nearest item, or ``None``."""
+        result = self.k_nearest(query, 1, exclude=exclude)
+        return result[0] if result else None
+
+    def k_nearest(
+        self, query: Point, k: int, *, exclude: frozenset | set | None = None
+    ) -> list[tuple[Hashable, float]]:
+        """Exact k-NN search by expanding rings of grid cells.
+
+        Returns up to ``k`` pairs ``(key, distance)`` sorted by distance
+        (ties broken by the repr of the key for determinism).
+        """
+        if k <= 0 or not self._points:
+            return []
+        qc, qr = self._cell_of(query)
+        best: list[tuple[float, str, Hashable]] = []
+        radius = 0
+        max_radius = max(self._cols, self._rows)
+        while radius <= max_radius + 1:
+            for cell in self._ring(qc, qr, radius):
+                bucket = self._cells.get(cell)
+                if not bucket:
+                    continue
+                for key, point in bucket.items():
+                    if exclude and key in exclude:
+                        continue
+                    dist = query.distance_to(point)
+                    best.append((dist, repr(key), key))
+            if len(best) >= k:
+                best.sort()
+                # Anything in an unexplored ring is at least this far away.
+                ring_clearance = radius * self.cell_size
+                if best[k - 1][0] <= ring_clearance:
+                    break
+            radius += 1
+        best.sort()
+        return [(key, dist) for dist, _, key in best[:k]]
+
+    def within(self, query: Point, radius: float) -> list[tuple[Hashable, float]]:
+        """All items within ``radius`` of ``query``, sorted by distance."""
+        out: list[tuple[float, str, Hashable]] = []
+        rings = int(math.ceil(radius / self.cell_size)) + 1
+        qc, qr = self._cell_of(query)
+        for ring in range(rings + 1):
+            for cell in self._ring(qc, qr, ring):
+                bucket = self._cells.get(cell)
+                if not bucket:
+                    continue
+                for key, point in bucket.items():
+                    dist = query.distance_to(point)
+                    if dist <= radius:
+                        out.append((dist, repr(key), key))
+        out.sort()
+        return [(key, dist) for dist, _, key in out]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _cell_of(self, p: Point) -> tuple[int, int]:
+        col = int((p.x - self.bbox.min_x) / self.cell_size)
+        row = int((p.y - self.bbox.min_y) / self.cell_size)
+        return (min(max(col, 0), self._cols - 1), min(max(row, 0), self._rows - 1))
+
+    def _ring(self, qc: int, qr: int, radius: int):
+        """Cells at Chebyshev distance ``radius`` from ``(qc, qr)``."""
+        if radius == 0:
+            if 0 <= qc < self._cols and 0 <= qr < self._rows:
+                yield (qc, qr)
+            return
+        lo_c, hi_c = qc - radius, qc + radius
+        lo_r, hi_r = qr - radius, qr + radius
+        for col in range(lo_c, hi_c + 1):
+            for row in (lo_r, hi_r):
+                if 0 <= col < self._cols and 0 <= row < self._rows:
+                    yield (col, row)
+        for row in range(lo_r + 1, hi_r):
+            for col in (lo_c, hi_c):
+                if 0 <= col < self._cols and 0 <= row < self._rows:
+                    yield (col, row)

@@ -1,0 +1,129 @@
+"""A classic 2-d tree (k-d tree for the plane) built from scratch.
+
+The tree is static (median-split bulk build) with tombstone deletion:
+removing a point marks it dead and is skipped during search.  When more
+than half the points are dead the tree rebuilds itself, keeping
+amortized costs low.  It serves as the correctness oracle for
+:class:`~repro.geo.grid.GridIndex` in the test suite and as an
+alternative worker-index backend.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.geo.point import Point
+
+__all__ = ["KDTree"]
+
+
+class _Node:
+    __slots__ = ("key", "point", "axis", "left", "right")
+
+    def __init__(self, key, point, axis):
+        self.key = key
+        self.point = point
+        self.axis = axis
+        self.left: _Node | None = None
+        self.right: _Node | None = None
+
+
+class KDTree:
+    """2-d tree over ``(id, point)`` pairs with exact k-NN queries."""
+
+    def __init__(self, items: Iterable[tuple[Hashable, Point]] = ()):
+        self._points: dict[Hashable, Point] = dict(items)
+        self._dead: set[Hashable] = set()
+        self._root = self._build(
+            sorted(self._points.items(), key=lambda kv: (kv[1].x, kv[1].y, repr(kv[0]))), 0
+        )
+
+    def __len__(self) -> int:
+        return len(self._points) - len(self._dead)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._points and key not in self._dead
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def remove(self, key: Hashable) -> None:
+        """Tombstone-delete ``key``; raise :class:`KeyError` if absent."""
+        if key not in self._points or key in self._dead:
+            raise KeyError(key)
+        self._dead.add(key)
+        if len(self._dead) * 2 > len(self._points):
+            self._rebuild()
+
+    def add(self, key: Hashable, point: Point) -> None:
+        """Insert a point (triggers a rebuild — the tree is static)."""
+        if key in self._dead:
+            self._dead.discard(key)
+        self._points[key] = point
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        for key in self._dead:
+            del self._points[key]
+        self._dead.clear()
+        self._root = self._build(
+            sorted(self._points.items(), key=lambda kv: (kv[1].x, kv[1].y, repr(kv[0]))), 0
+        )
+
+    def _build(self, items, depth) -> _Node | None:
+        if not items:
+            return None
+        axis = depth % 2
+        items = sorted(
+            items, key=(lambda kv: (kv[1].x, kv[1].y)) if axis == 0 else (lambda kv: (kv[1].y, kv[1].x))
+        )
+        mid = len(items) // 2
+        key, point = items[mid]
+        node = _Node(key, point, axis)
+        node.left = self._build(items[:mid], depth + 1)
+        node.right = self._build(items[mid + 1 :], depth + 1)
+        return node
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def k_nearest(
+        self, query: Point, k: int, *, exclude: frozenset | set | None = None
+    ) -> list[tuple[Hashable, float]]:
+        """Exact k-NN with branch-and-bound pruning.
+
+        Returns pairs ``(key, distance)`` sorted by distance, ties
+        broken by the repr of the key.
+        """
+        if k <= 0:
+            return []
+        best: list[tuple[float, str, Hashable]] = []
+
+        def consider(node: _Node):
+            if node.key in self._dead or (exclude and node.key in exclude):
+                return
+            dist = query.distance_to(node.point)
+            best.append((dist, repr(node.key), node.key))
+            best.sort()
+            if len(best) > k:
+                best.pop()
+
+        def visit(node: _Node | None):
+            if node is None:
+                return
+            consider(node)
+            q_coord = query.x if node.axis == 0 else query.y
+            n_coord = node.point.x if node.axis == 0 else node.point.y
+            near, far = (node.left, node.right) if q_coord <= n_coord else (node.right, node.left)
+            visit(near)
+            plane_dist = abs(q_coord - n_coord)
+            if len(best) < k or plane_dist <= best[-1][0]:
+                visit(far)
+
+        visit(self._root)
+        return [(key, dist) for dist, _, key in best]
+
+    def nearest(self, query: Point, *, exclude: frozenset | set | None = None):
+        """Return ``(key, distance)`` of the nearest live point, or None."""
+        result = self.k_nearest(query, 1, exclude=exclude)
+        return result[0] if result else None

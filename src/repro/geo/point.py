@@ -1,0 +1,38 @@
+"""An immutable 2-D point."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Point"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Point:
+    """A point in the plane.
+
+    Ordering is lexicographic ``(x, y)`` so that collections of points
+    can be sorted deterministically.
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def squared_distance_to(self, other: "Point") -> float:
+        """Squared Euclidean distance (avoids the sqrt for comparisons)."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """A new point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)

@@ -1,0 +1,22 @@
+"""Domain model: tasks, workers, and assignments.
+
+These classes are the vocabulary of the paper's Section II: a
+:class:`~repro.model.task.Task` with ``m`` subtask slots, a
+:class:`~repro.model.worker.Worker` registered with spatiotemporal
+availability, and an :class:`~repro.model.assignment.Assignment`
+mapping workers to (task, slot) pairs under a budget.
+"""
+
+from repro.model.assignment import Assignment, AssignmentRecord, Budget
+from repro.model.task import Task, TaskSet
+from repro.model.worker import Worker, WorkerPool
+
+__all__ = [
+    "Assignment",
+    "AssignmentRecord",
+    "Budget",
+    "Task",
+    "TaskSet",
+    "Worker",
+    "WorkerPool",
+]

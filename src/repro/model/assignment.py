@@ -1,0 +1,119 @@
+"""Assignments and budgets.
+
+An :class:`Assignment` is the output of every solver: an ordered list
+of :class:`AssignmentRecord` entries, each binding one worker to one
+(task, slot) pair at a cost.  The order is the greedy execution order,
+which downstream consumers (the parallel schedulers, the benchmarks'
+determinism checks) rely on.
+
+:class:`Budget` tracks the remaining budget ``b`` and enforces the
+knapsack constraint ``sum c(tau^(j)) <= b`` of Problems 1-3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BudgetExhaustedError, ConfigurationError
+
+__all__ = ["AssignmentRecord", "Assignment", "Budget"]
+
+
+@dataclass(frozen=True, slots=True)
+class AssignmentRecord:
+    """One executed subtask: worker -> (task, local slot) at a cost."""
+
+    task_id: int
+    slot: int
+    worker_id: int
+    cost: float
+
+    def __post_init__(self):
+        if self.cost < 0:
+            raise ConfigurationError(f"negative cost {self.cost}")
+
+
+@dataclass(slots=True)
+class Assignment:
+    """The full output plan of a solver, in greedy execution order."""
+
+    records: list[AssignmentRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def add(self, record: AssignmentRecord) -> None:
+        """Append a record, rejecting duplicate (task, slot) pairs."""
+        key = (record.task_id, record.slot)
+        if any((r.task_id, r.slot) == key for r in self.records):
+            raise ConfigurationError(f"slot {key} assigned twice")
+        self.records.append(record)
+
+    @property
+    def total_cost(self) -> float:
+        """Sum of all record costs."""
+        return sum(r.cost for r in self.records)
+
+    def executed_slots(self, task_id: int) -> list[int]:
+        """Sorted local slots executed for ``task_id``."""
+        return sorted(r.slot for r in self.records if r.task_id == task_id)
+
+    def records_for(self, task_id: int) -> list[AssignmentRecord]:
+        """Records of one task, in execution order."""
+        return [r for r in self.records if r.task_id == task_id]
+
+    def worker_load(self) -> dict[int, int]:
+        """Number of subtasks served per worker id."""
+        load: dict[int, int] = {}
+        for record in self.records:
+            load[record.worker_id] = load.get(record.worker_id, 0) + 1
+        return load
+
+    def plan_signature(self) -> tuple[tuple[int, int, int], ...]:
+        """Hashable summary used by determinism tests: (task, slot, worker)."""
+        return tuple((r.task_id, r.slot, r.worker_id) for r in self.records)
+
+
+class Budget:
+    """Mutable budget tracker enforcing ``spent <= limit``."""
+
+    __slots__ = ("limit", "_spent")
+
+    def __init__(self, limit: float):
+        if limit < 0:
+            raise ConfigurationError(f"budget must be non-negative, got {limit}")
+        self.limit = float(limit)
+        self._spent = 0.0
+
+    @property
+    def spent(self) -> float:
+        """Budget consumed so far."""
+        return self._spent
+
+    @property
+    def remaining(self) -> float:
+        """Budget still available."""
+        return self.limit - self._spent
+
+    def can_afford(self, cost: float) -> bool:
+        """True iff ``cost`` fits in the remaining budget."""
+        return cost <= self.remaining + 1e-12
+
+    def charge(self, cost: float) -> None:
+        """Consume ``cost``; raise if it exceeds the remaining budget."""
+        if cost < 0:
+            raise ConfigurationError(f"negative charge {cost}")
+        if not self.can_afford(cost):
+            raise BudgetExhaustedError(
+                f"charge {cost:.6g} exceeds remaining budget {self.remaining:.6g}"
+            )
+        self._spent += cost
+
+    def fork(self) -> "Budget":
+        """An independent copy with the same limit and spend."""
+        clone = Budget(self.limit)
+        clone._spent = self._spent
+        return clone

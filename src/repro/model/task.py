@@ -1,0 +1,119 @@
+"""TCSC tasks and task sets.
+
+A *task* ``tau`` has a location ``tau.loc`` and a duration of ``m``
+equal-sized time slots; slot ``j`` (1-based, ``1 <= j <= m``) is the
+*subtask* ``tau^(j)`` at the same location (Section II-A).  Subtasks
+are identified by their slot index — they carry no state of their own;
+execution state lives in the solvers' evaluators so that a single task
+instance can be shared across alternative assignment strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.geo.point import Point
+
+__all__ = ["Task", "TaskSet"]
+
+
+@dataclass(frozen=True, slots=True)
+class Task:
+    """A time-continuous spatial crowdsourcing task.
+
+    Attributes:
+        task_id: unique identifier within a scenario.
+        loc: the task's spatial location (all subtasks share it).
+        num_slots: ``m``, the number of subtasks / time slots.
+        start_slot: global time slot at which the task begins; workers'
+            availability is expressed in global slots, and the task's
+            local slot ``j`` maps to global slot ``start_slot + j - 1``.
+    """
+
+    task_id: int
+    loc: Point
+    num_slots: int
+    start_slot: int = 1
+
+    def __post_init__(self):
+        if self.num_slots < 3:
+            # The entropy metric is monotone only for p <= 1/m <= 1/e,
+            # i.e. m >= 3 (the paper evaluates m >= 300).
+            raise ConfigurationError(
+                f"task {self.task_id}: num_slots must be >= 3, got {self.num_slots}"
+            )
+        if self.start_slot < 1:
+            raise ConfigurationError(
+                f"task {self.task_id}: start_slot must be >= 1, got {self.start_slot}"
+            )
+
+    @property
+    def m(self) -> int:
+        """Alias for ``num_slots`` matching the paper's notation."""
+        return self.num_slots
+
+    @property
+    def slots(self) -> range:
+        """Local slot indices ``1..m``."""
+        return range(1, self.num_slots + 1)
+
+    def global_slot(self, local_slot: int) -> int:
+        """Map a local slot index to the scenario's global timeline."""
+        if not 1 <= local_slot <= self.num_slots:
+            raise ConfigurationError(
+                f"task {self.task_id}: slot {local_slot} outside 1..{self.num_slots}"
+            )
+        return self.start_slot + local_slot - 1
+
+    def temporal_distance(self, slot_a: int, slot_b: int) -> int:
+        """``|tau^(a), tau^(b)|`` — absolute slot-index difference."""
+        return abs(slot_a - slot_b)
+
+
+@dataclass(slots=True)
+class TaskSet:
+    """An ordered collection of tasks submitted to the TCSC server."""
+
+    tasks: list[Task] = field(default_factory=list)
+
+    def __post_init__(self):
+        seen: set[int] = set()
+        for task in self.tasks:
+            if task.task_id in seen:
+                raise ConfigurationError(f"duplicate task_id {task.task_id}")
+            seen.add(task.task_id)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self):
+        return iter(self.tasks)
+
+    def __getitem__(self, index: int) -> Task:
+        return self.tasks[index]
+
+    def add(self, task: Task) -> None:
+        """Append a task, enforcing id uniqueness."""
+        if any(t.task_id == task.task_id for t in self.tasks):
+            raise ConfigurationError(f"duplicate task_id {task.task_id}")
+        self.tasks.append(task)
+
+    def by_id(self, task_id: int) -> Task:
+        """Look up a task by id; raise :class:`KeyError` if absent."""
+        for task in self.tasks:
+            if task.task_id == task_id:
+                return task
+        raise KeyError(task_id)
+
+    @property
+    def total_slots(self) -> int:
+        """Sum of ``m`` over all tasks."""
+        return sum(task.num_slots for task in self.tasks)
+
+    @property
+    def max_global_slot(self) -> int:
+        """The largest global slot index any task occupies."""
+        if not self.tasks:
+            return 0
+        return max(task.start_slot + task.num_slots - 1 for task in self.tasks)

@@ -1,0 +1,105 @@
+"""Workers and worker pools.
+
+A worker registers a set of *active* global time slots and a location
+for each (Section II-A: "registered spatiotemporal information consists
+of workers' available time slots, working regions...").  The optional
+``reliability`` score ``lambda in [0, 1]`` feeds the reliability
+extension of the quality metric (Eq. 4-5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, WorkerUnavailableError
+from repro.geo.point import Point
+
+__all__ = ["Worker", "WorkerPool"]
+
+
+@dataclass(frozen=True, slots=True)
+class Worker:
+    """A registered crowdsourcing worker.
+
+    Attributes:
+        worker_id: unique identifier within a scenario.
+        availability: mapping of global time slot -> location at that
+            slot.  A worker is available exactly at the slots present.
+        reliability: trust score ``lambda`` in ``[0, 1]`` (1 = fully
+            reliable, the default, under which Eq. 4-5 degenerate to
+            Eq. 2-3).
+    """
+
+    worker_id: int
+    availability: dict[int, Point]
+    reliability: float = 1.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.reliability <= 1.0:
+            raise ConfigurationError(
+                f"worker {self.worker_id}: reliability must be in [0, 1], "
+                f"got {self.reliability}"
+            )
+        for slot in self.availability:
+            if slot < 1:
+                raise ConfigurationError(
+                    f"worker {self.worker_id}: slot indices start at 1, got {slot}"
+                )
+
+    def is_available(self, global_slot: int) -> bool:
+        """True iff the worker registered the given global slot."""
+        return global_slot in self.availability
+
+    def location_at(self, global_slot: int) -> Point:
+        """Location at ``global_slot``; raise if not available then."""
+        try:
+            return self.availability[global_slot]
+        except KeyError:
+            raise WorkerUnavailableError(
+                f"worker {self.worker_id} is not available at slot {global_slot}"
+            ) from None
+
+    @property
+    def active_slots(self) -> list[int]:
+        """Sorted global slots at which the worker is available."""
+        return sorted(self.availability)
+
+
+@dataclass(slots=True)
+class WorkerPool:
+    """The set ``W`` of registered workers."""
+
+    workers: list[Worker] = field(default_factory=list)
+
+    def __post_init__(self):
+        seen: set[int] = set()
+        for worker in self.workers:
+            if worker.worker_id in seen:
+                raise ConfigurationError(f"duplicate worker_id {worker.worker_id}")
+            seen.add(worker.worker_id)
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    def __iter__(self):
+        return iter(self.workers)
+
+    def by_id(self, worker_id: int) -> Worker:
+        """Look up a worker by id; raise :class:`KeyError` if absent."""
+        for worker in self.workers:
+            if worker.worker_id == worker_id:
+                return worker
+        raise KeyError(worker_id)
+
+    def available_at(self, global_slot: int) -> list[Worker]:
+        """All workers available at the given global slot, by id."""
+        return sorted(
+            (w for w in self.workers if w.is_available(global_slot)),
+            key=lambda w: w.worker_id,
+        )
+
+    @property
+    def max_slot(self) -> int:
+        """The largest global slot any worker registered."""
+        slots = [max(w.availability) for w in self.workers if w.availability]
+        return max(slots) if slots else 0

@@ -1,0 +1,138 @@
+"""Worker-conflict detection and the independence graph (Section IV-A.1).
+
+Two tasks *conflict* when they compete for the same worker at the same
+time slot — both would pick that worker as their cheapest option.  The
+paper resolves multi-task parallelization around this relation:
+
+* :func:`detect_conflicts` finds rank-1 conflicts (shared nearest
+  workers), the Figure 4(a) situation.
+* :func:`build_independence_graph` runs the *gradual NN-bound
+  expansion* of Figure 4(c-e): a task of degree ``d`` in the evolving
+  graph must consider its ``(d+1)`` nearest workers (the ladder it may
+  be pushed down by conflicts), which can reveal further conflicts;
+  the process repeats until the edge set is stable.
+
+Connected components of the resulting graph are *independent groups*:
+tasks in different groups can never compete for a worker, so their
+optimizations may run on different cores with no coordination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.registry import WorkerRegistry
+from repro.errors import ConfigurationError
+from repro.model.task import TaskSet
+from repro.util.dsu import DisjointSetUnion
+
+__all__ = ["ConflictRecord", "detect_conflicts", "build_independence_graph", "independent_groups"]
+
+
+@dataclass(frozen=True, slots=True)
+class ConflictRecord:
+    """One contested (worker, slot) pair, as stored in the Conflicting
+    Table: the competing tasks, the slot, and the NN rank at stake."""
+
+    task_ids: tuple[int, ...]
+    global_slot: int
+    worker_id: int
+    rank: int
+
+
+def detect_conflicts(tasks: TaskSet, registry: WorkerRegistry) -> list[ConflictRecord]:
+    """Rank-1 conflicts: tasks sharing a cheapest worker at a slot."""
+    claims: dict[tuple[int, int], list[int]] = {}
+    for task in tasks:
+        for local in task.slots:
+            global_slot = task.global_slot(local)
+            hit = registry.nearest_available(task.loc, global_slot)
+            if hit is None:
+                continue
+            worker, _ = hit
+            claims.setdefault((global_slot, worker.worker_id), []).append(task.task_id)
+    records = []
+    for (global_slot, worker_id), claimants in sorted(claims.items()):
+        unique = tuple(sorted(set(claimants)))
+        if len(unique) > 1:
+            records.append(ConflictRecord(unique, global_slot, worker_id, rank=1))
+    return records
+
+
+def build_independence_graph(
+    tasks: TaskSet,
+    registry: WorkerRegistry,
+    *,
+    max_iterations: int = 20,
+) -> tuple[set[tuple[int, int]], dict[int, int]]:
+    """Gradual NN-bound expansion; returns ``(edges, final ranks)``.
+
+    ``edges`` holds unordered task-id pairs ``(a, b)`` with ``a < b``;
+    ``ranks[t]`` is the NN depth task ``t`` ended up needing (its
+    degree plus one, per the paper's rule).  ``max_iterations`` caps
+    pathological cascades; stopping early only *under*-connects the
+    graph, which is safe because the group-level solver still executes
+    against the shared registry (grouping affects the timing model,
+    never correctness).
+    """
+    if max_iterations < 1:
+        raise ConfigurationError(f"max_iterations must be >= 1, got {max_iterations}")
+    task_ids = [task.task_id for task in tasks]
+    ranks: dict[int, int] = {tid: 1 for tid in task_ids}
+    edges: set[tuple[int, int]] = set()
+    # Cache: (task_id, global_slot) -> list of worker ids by rank.
+    nn_cache: dict[tuple[int, int], list[int]] = {}
+
+    def workers_within_rank(task, rank: int) -> list[tuple[int, int]]:
+        """(global_slot, worker_id) pairs within the task's rank bound."""
+        out = []
+        for local in task.slots:
+            global_slot = task.global_slot(local)
+            key = (task.task_id, global_slot)
+            cached = nn_cache.get(key)
+            if cached is None or len(cached) < rank:
+                hits = registry.k_nearest_available(task.loc, global_slot, rank)
+                cached = [worker.worker_id for worker, _ in hits]
+                nn_cache[key] = cached
+            for worker_id in cached[:rank]:
+                out.append((global_slot, worker_id))
+        return out
+
+    for _ in range(max_iterations):
+        claims: dict[tuple[int, int], set[int]] = {}
+        for task in tasks:
+            for claim in workers_within_rank(task, ranks[task.task_id]):
+                claims.setdefault(claim, set()).add(task.task_id)
+        new_edges: set[tuple[int, int]] = set()
+        for claimants in claims.values():
+            if len(claimants) < 2:
+                continue
+            ordered = sorted(claimants)
+            for i, a in enumerate(ordered):
+                for b in ordered[i + 1 :]:
+                    new_edges.add((a, b))
+        if new_edges <= edges:
+            break
+        edges |= new_edges
+        degree: dict[int, int] = {tid: 0 for tid in task_ids}
+        for a, b in edges:
+            degree[a] += 1
+            degree[b] += 1
+        ranks = {tid: degree[tid] + 1 for tid in task_ids}
+    return edges, ranks
+
+
+def independent_groups(
+    tasks: TaskSet,
+    registry: WorkerRegistry,
+    *,
+    max_iterations: int = 20,
+) -> list[list[int]]:
+    """Connected components of the independence graph (sorted task ids)."""
+    edges, _ = build_independence_graph(tasks, registry, max_iterations=max_iterations)
+    dsu = DisjointSetUnion(task.task_id for task in tasks)
+    for a, b in edges:
+        dsu.union(a, b)
+    groups = [sorted(group) for group in dsu.groups()]
+    groups.sort(key=lambda g: g[0])
+    return groups

@@ -1,0 +1,129 @@
+"""MMQM: multi-task minimum-quality maximization (Problem 3).
+
+``qmin`` is submodular and non-decreasing (Lemma 5), so the paper's
+solver "iteratively execut[es] the selected subtask from the task
+yielding the minimum quality", with the subtask selection inside that
+task following Algorithm 1's heuristic rule.  A min-heap over task
+qualities retrieves the weakest task in ``O(log |T|)``.
+
+Subtasks execute strictly sequentially, so — as the paper notes —
+there are no worker-conflict races; workers are still consumed from
+the shared registry, so a later task may pay a higher cost for a slot
+whose nearest worker an earlier execution took.
+
+Tasks that cannot improve any further (no affordable candidate) are
+parked: improving anyone else cannot raise ``qmin`` past a parked
+task, but the remaining budget is still spent greedily on the weakest
+improvable task, which is the sensible (and deterministic) completion
+of the paper's loop.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.core.instrumentation import OpCounters
+from repro.engine.registry import WorkerRegistry
+from repro.model.assignment import Assignment, AssignmentRecord, Budget
+from repro.model.task import TaskSet
+from repro.multi.result import MultiSolverResult, MultiStep
+from repro.multi.task_state import TaskState
+
+__all__ = ["MinQualityGreedy"]
+
+
+class MinQualityGreedy:
+    """MMQM greedy: always strengthen the currently weakest task."""
+
+    def __init__(
+        self,
+        tasks: TaskSet,
+        registry: WorkerRegistry,
+        *,
+        k: int = 3,
+        budget: float,
+        ts: int = 4,
+        use_index: bool = True,
+        gain_strategy: str = "local",
+        counters: OpCounters | None = None,
+    ):
+        self.tasks = tasks
+        self.registry = registry
+        self.budget_limit = float(budget)
+        self.counters = counters if counters is not None else OpCounters()
+        self.states = [
+            TaskState(
+                task,
+                registry,
+                k=k,
+                ts=ts,
+                use_index=use_index,
+                gain_strategy=gain_strategy,
+                counters=self.counters,
+            )
+            for task in tasks
+        ]
+        self._by_id = {state.task.task_id: state for state in self.states}
+
+    def solve(self) -> MultiSolverResult:
+        """Run the min-quality greedy to budget exhaustion."""
+        budget = Budget(self.budget_limit)
+        assignment = Assignment()
+        steps: list[MultiStep] = []
+        conflicts = 0
+
+        # Min-heap of (quality, task_id); qualities only grow, so stale
+        # entries are skipped by comparing against the live value.
+        heap = [(state.quality, state.task.task_id) for state in self.states]
+        heapq.heapify(heap)
+        parked: set[int] = set()
+
+        while heap:
+            quality, task_id = heapq.heappop(heap)
+            state = self._by_id[task_id]
+            if task_id in parked:
+                continue
+            if quality != state.quality:
+                # Stale entry; reinsert at the live quality.
+                heapq.heappush(heap, (state.quality, task_id))
+                continue
+            candidate = state.best_candidate(budget.remaining)
+            if candidate is None:
+                parked.add(task_id)
+                continue
+            offer = state.execute(candidate.slot)
+            budget.charge(candidate.cost)
+            global_slot = state.task.global_slot(candidate.slot)
+            self.registry.consume(offer.worker_id, global_slot)
+            assignment.add(
+                AssignmentRecord(task_id, candidate.slot, offer.worker_id, candidate.cost)
+            )
+            steps.append(
+                MultiStep(
+                    task_id,
+                    candidate.slot,
+                    candidate.gain,
+                    candidate.cost,
+                    candidate.heuristic,
+                    offer.worker_id,
+                )
+            )
+            self.counters.iterations += 1
+            # Sequential execution: competitors simply observe the
+            # consumption next time they query an offer.
+            for other in self.states:
+                if other.task.task_id != task_id and other.on_worker_consumed(
+                    offer.worker_id, global_slot
+                ):
+                    conflicts += 1
+                    self.counters.conflicts_detected += 1
+            heapq.heappush(heap, (state.quality, task_id))
+
+        return MultiSolverResult(
+            assignment=assignment,
+            qualities={state.task.task_id: state.quality for state in self.states},
+            spent=budget.spent,
+            counters=self.counters,
+            steps=steps,
+            conflict_count=conflicts,
+        )

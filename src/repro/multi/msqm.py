@@ -1,0 +1,178 @@
+"""MSQM: multi-task summation-quality maximization (Problem 2).
+
+The serial reference solver applies Algorithm 1's greedy rule across
+the whole task set: at every iteration, execute the (task, slot) pair
+maximizing ``delta qsum / cost`` under the shared budget.  Because
+``qsum`` is submodular and non-decreasing (Lemma 4), the stream
+inherits the ``(1 - 1/sqrt(e))`` guarantee.
+
+Two facts make the implementation fast without changing the plan:
+
+* Temporal interpolation never crosses tasks, so executing a subtask
+  of task ``i`` leaves every other task's candidate *gains* untouched;
+  only *costs* can change, and only for tasks whose cached cheapest
+  worker was just consumed (a *worker conflict*).  Each task therefore
+  caches its best candidate and recomputes only when (a) it executed
+  something itself, (b) it lost its cached worker, or (c) its cached
+  cost no longer fits the remaining budget.
+* A cached candidate computed under a larger remaining budget is an
+  upper bound on the task's current best (the affordable set only
+  shrinks), so a lazy max-heap over tasks pops the true global best.
+
+Worker conflicts are detected exactly as the paper describes: the
+consuming task takes the contested worker, every other task whose
+offer referenced that worker re-offers its next-nearest worker
+(``conflict_count`` tallies these events for Fig. 9b/c).
+"""
+
+from __future__ import annotations
+
+from repro.core.instrumentation import OpCounters
+from repro.engine.registry import WorkerRegistry
+from repro.model.assignment import Assignment, AssignmentRecord, Budget
+from repro.model.task import TaskSet
+from repro.multi.result import MultiSolverResult, MultiStep
+from repro.multi.task_state import Candidate, TaskState
+from repro.util.heaps import LazyMaxHeap
+
+__all__ = ["SumQualityGreedy"]
+
+
+class SumQualityGreedy:
+    """Serial MSQM greedy over a shared worker registry and budget."""
+
+    def __init__(
+        self,
+        tasks: TaskSet,
+        registry: WorkerRegistry,
+        *,
+        k: int = 3,
+        budget: float,
+        ts: int = 4,
+        use_index: bool = True,
+        gain_strategy: str = "local",
+        counters: OpCounters | None = None,
+    ):
+        self.tasks = tasks
+        self.registry = registry
+        self.budget_limit = float(budget)
+        self.counters = counters if counters is not None else OpCounters()
+        self.states = [
+            TaskState(
+                task,
+                registry,
+                k=k,
+                ts=ts,
+                use_index=use_index,
+                gain_strategy=gain_strategy,
+                counters=self.counters,
+            )
+            for task in tasks
+        ]
+        self._by_id = {state.task.task_id: state for state in self.states}
+
+    def solve(self) -> MultiSolverResult:
+        """Run the greedy stream to budget exhaustion."""
+        budget = Budget(self.budget_limit)
+        assignment = Assignment()
+        steps: list[MultiStep] = []
+        conflicts = 0
+
+        heap = LazyMaxHeap()
+        cached: dict[int, Candidate] = {}
+        for state in self.states:
+            candidate = state.best_candidate(budget.remaining)
+            if candidate is not None:
+                cached[state.task.task_id] = candidate
+                heap.push(
+                    candidate.heuristic, state.task.task_id, None
+                )
+
+        while heap:
+            popped = heap.pop()
+            if popped is None:
+                break
+            _, task_id, _ = popped
+            state = self._by_id[task_id]
+            candidate = cached.get(task_id)
+            if candidate is None:
+                continue
+            # Stale checks: the cached candidate must still be affordable
+            # and its worker still available; otherwise recompute.
+            stale = candidate.cost > budget.remaining + 1e-12
+            if not stale:
+                offer = state.provider.offer(candidate.slot)
+                stale = offer is None or offer.worker_id != candidate.worker_id
+            if stale:
+                candidate = state.best_candidate(budget.remaining)
+                if candidate is None:
+                    cached.pop(task_id, None)
+                    continue
+                cached[task_id] = candidate
+                heap.push(candidate.heuristic, task_id, None)
+                continue
+            # The heap guarantees this is the global max (cached values
+            # are upper bounds, and this one is exact).
+            peek = heap.peek()
+            if peek is not None and peek[0] > candidate.heuristic:
+                # A fresher candidate overtook us; re-queue at the exact
+                # value and let the heap re-decide.
+                heap.push(candidate.heuristic, task_id, None)
+                continue
+
+            offer = state.execute(candidate.slot)
+            budget.charge(candidate.cost)
+            global_slot = state.task.global_slot(candidate.slot)
+            self.registry.consume(offer.worker_id, global_slot)
+            assignment.add(
+                AssignmentRecord(task_id, candidate.slot, offer.worker_id, candidate.cost)
+            )
+            steps.append(
+                MultiStep(
+                    task_id,
+                    candidate.slot,
+                    candidate.gain,
+                    candidate.cost,
+                    candidate.heuristic,
+                    offer.worker_id,
+                )
+            )
+            self.counters.iterations += 1
+
+            # Notify competitors: whoever cached this worker conflicts.
+            for other in self.states:
+                if other.task.task_id == task_id:
+                    continue
+                lost_slots = other.on_worker_consumed(offer.worker_id, global_slot)
+                if lost_slots:
+                    conflicts += 1
+                    self.counters.conflicts_detected += 1
+                    # Their cached candidate is stale only if it sat on a
+                    # lost offer; other slots' costs are untouched and
+                    # the lost slot's cost can only have increased.
+                    prev = cached.get(other.task.task_id)
+                    if prev is not None and prev.slot in lost_slots:
+                        refreshed = other.best_candidate(budget.remaining)
+                        if refreshed is None:
+                            cached.pop(other.task.task_id, None)
+                            heap.invalidate(other.task.task_id)
+                        else:
+                            cached[other.task.task_id] = refreshed
+                            heap.push(refreshed.heuristic, other.task.task_id, None)
+
+            # Recompute the executing task's next candidate.
+            refreshed = state.best_candidate(budget.remaining)
+            if refreshed is None:
+                cached.pop(task_id, None)
+            else:
+                cached[task_id] = refreshed
+                heap.push(refreshed.heuristic, task_id, None)
+
+        return MultiSolverResult(
+            assignment=assignment,
+            qualities={state.task.task_id: state.quality for state in self.states},
+            spent=budget.spent,
+            counters=self.counters,
+            steps=steps,
+            conflict_count=conflicts,
+        )

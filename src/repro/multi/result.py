@@ -1,0 +1,51 @@
+"""Result types shared by the multi-task solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.instrumentation import OpCounters
+from repro.model.assignment import Assignment
+
+__all__ = ["MultiStep", "MultiSolverResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class MultiStep:
+    """One committed greedy iteration of a multi-task solver."""
+
+    task_id: int
+    slot: int
+    gain: float
+    cost: float
+    heuristic: float
+    worker_id: int
+
+
+@dataclass(slots=True)
+class MultiSolverResult:
+    """Outcome of a multi-task solver run."""
+
+    assignment: Assignment
+    qualities: dict[int, float]
+    spent: float
+    counters: OpCounters
+    steps: list[MultiStep] = field(default_factory=list)
+    #: Virtual-clock duration for parallel solvers (None when serial).
+    virtual_time: float | None = None
+    #: Worker conflicts observed during the run (Fig. 9b/c).
+    conflict_count: int = 0
+
+    @property
+    def sum_quality(self) -> float:
+        """qsum (Eq. 7) over the solved tasks."""
+        return sum(self.qualities.values())
+
+    @property
+    def min_quality(self) -> float:
+        """qmin (Eq. 9) over the solved tasks."""
+        return min(self.qualities.values()) if self.qualities else 0.0
+
+    def plan_signature(self) -> tuple[tuple[int, int, int], ...]:
+        """(task, slot, worker) sequence for determinism checks."""
+        return self.assignment.plan_signature()

@@ -1,0 +1,102 @@
+"""The master thread's bookkeeping tables (Figure 5).
+
+* :class:`HeartbeatTable` — the latest heuristic value each worker
+  thread reported, with its report time.
+* :class:`LoggingTable` — the append-only history of heartbeats (the
+  paper's trace of the Heartbeat table).
+* :class:`ConflictingTable` — records of contested workers: the
+  competing task set, the time slot, and the NN rank currently at
+  stake ("so that [the losers] would compete for the worker with the
+  2nd lowest cost next time").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["HeartbeatTable", "LoggingTable", "ConflictingTable", "ConflictEntry"]
+
+
+@dataclass(frozen=True, slots=True)
+class ConflictEntry:
+    """One row of the Conflicting Table."""
+
+    task_ids: tuple[int, ...]
+    global_slot: int
+    worker_id: int
+    rank: int
+    time: float
+
+
+class HeartbeatTable:
+    """task_id -> (last reported heuristic, report time)."""
+
+    def __init__(self):
+        self._beats: dict[int, tuple[float, float]] = {}
+
+    def report(self, task_id: int, heuristic: float, time: float) -> None:
+        """Record a heartbeat."""
+        self._beats[task_id] = (heuristic, time)
+
+    def remove(self, task_id: int) -> None:
+        """Forget a finished thread."""
+        self._beats.pop(task_id, None)
+
+    def value(self, task_id: int) -> float | None:
+        """Last reported heuristic, or None if never reported."""
+        beat = self._beats.get(task_id)
+        return None if beat is None else beat[0]
+
+    def descending(self) -> list[tuple[int, float]]:
+        """(task_id, heuristic) sorted by heuristic descending —
+        the master's sorted view driving grant decisions."""
+        return sorted(
+            ((tid, beat[0]) for tid, beat in self._beats.items()),
+            key=lambda item: (-item[1], item[0]),
+        )
+
+    def __len__(self) -> int:
+        return len(self._beats)
+
+
+class LoggingTable:
+    """Historical trace of heartbeat reports."""
+
+    def __init__(self):
+        self.entries: list[tuple[float, int, float]] = []  # (time, task, heuristic)
+
+    def log(self, time: float, task_id: int, heuristic: float) -> None:
+        """Append one heartbeat to the trace."""
+        self.entries.append((time, task_id, heuristic))
+
+    def for_task(self, task_id: int) -> list[tuple[float, float]]:
+        """(time, heuristic) history of one task."""
+        return [(t, h) for t, tid, h in self.entries if tid == task_id]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass(slots=True)
+class ConflictingTable:
+    """Rows describing contested workers and the current rank at stake."""
+
+    entries: list[ConflictEntry] = field(default_factory=list)
+
+    def record(
+        self,
+        task_ids: tuple[int, ...],
+        global_slot: int,
+        worker_id: int,
+        rank: int,
+        time: float,
+    ) -> None:
+        """Store one conflict event."""
+        self.entries.append(ConflictEntry(task_ids, global_slot, worker_id, rank, time))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def bump_rank(self, global_slot: int) -> int:
+        """Next NN rank to compete for at a slot (1 + times contested)."""
+        return 1 + sum(1 for e in self.entries if e.global_slot == global_slot)

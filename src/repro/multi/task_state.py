@@ -1,0 +1,150 @@
+"""Per-task solver state for the multi-task algorithms.
+
+A :class:`TaskState` bundles one task's quality evaluator, its live
+cost provider (offers over *remaining* workers), and — in the indexed
+configuration — its tree index.  All multi-task solvers operate on a
+list of these, differing only in which task they let move next.
+"""
+
+from __future__ import annotations
+
+from repro.core.evaluator import TemporalQualityEvaluator
+from repro.core.instrumentation import OpCounters
+from repro.core.tree_index import COST_EPSILON, TreeIndex
+from repro.engine.costs import DynamicCostProvider, SlotOffer
+from repro.engine.registry import WorkerRegistry
+from repro.errors import ConfigurationError
+from repro.model.task import Task
+
+__all__ = ["Candidate", "TaskState"]
+
+
+class Candidate:
+    """A task's current best executable subtask."""
+
+    __slots__ = ("task_id", "slot", "gain", "cost", "heuristic", "worker_id")
+
+    def __init__(self, task_id, slot, gain, cost, heuristic, worker_id):
+        self.task_id = task_id
+        self.slot = slot
+        self.gain = gain
+        self.cost = cost
+        self.heuristic = heuristic
+        self.worker_id = worker_id
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (
+            f"Candidate(task={self.task_id}, slot={self.slot}, "
+            f"h={self.heuristic:.4g}, cost={self.cost:.4g}, worker={self.worker_id})"
+        )
+
+
+class TaskState:
+    """Evaluator + cost provider (+ index) for one task in a multi-task run."""
+
+    def __init__(
+        self,
+        task: Task,
+        registry: WorkerRegistry,
+        *,
+        k: int = 3,
+        ts: int = 4,
+        use_index: bool = True,
+        gain_strategy: str = "local",
+        counters: OpCounters | None = None,
+    ):
+        if gain_strategy not in ("full", "local"):
+            raise ConfigurationError(f"unknown gain_strategy {gain_strategy!r}")
+        self.task = task
+        self.counters = counters if counters is not None else OpCounters()
+        self.provider = DynamicCostProvider(task, registry, counters=self.counters)
+        self.ev = TemporalQualityEvaluator(task.num_slots, k, counters=self.counters)
+        self.gain_strategy = gain_strategy
+        self.index: TreeIndex | None = None
+        if use_index:
+            self.index = TreeIndex(self.ev, self.provider, ts=ts, counters=self.counters)
+
+    @property
+    def quality(self) -> float:
+        """Current q(tau) of this task."""
+        return self.ev.quality
+
+    # ------------------------------------------------------------------
+    # Candidate search
+    # ------------------------------------------------------------------
+    def best_candidate(self, remaining: float) -> Candidate | None:
+        """This task's best executable subtask under the remaining budget."""
+        if self.index is not None:
+            best = self.index.find_best(remaining)
+            if best is None:
+                return None
+            offer = self.provider.offer(best.slot)
+            return Candidate(
+                self.task.task_id, best.slot, best.gain, best.cost, best.heuristic, offer.worker_id
+            )
+        return self._best_by_enumeration(remaining)
+
+    def _best_by_enumeration(self, remaining: float) -> Candidate | None:
+        ev = self.ev
+        best: Candidate | None = None
+        candidates = 0
+        for slot in self.task.slots:
+            if ev.is_executed(slot):
+                continue
+            offer = self.provider.offer(slot)
+            if offer is None:
+                continue
+            candidates += 1
+            if offer.cost > remaining + 1e-12:
+                continue
+            if self.gain_strategy == "full":
+                gain = ev.gain_full_rescan(slot, offer.reliability)
+            else:
+                gain = ev.gain_if_executed(slot, offer.reliability)
+            if gain <= 0.0:
+                continue
+            heuristic = gain / max(offer.cost, COST_EPSILON)
+            if (
+                best is None
+                or heuristic > best.heuristic
+                or (heuristic == best.heuristic and slot < best.slot)
+            ):
+                best = Candidate(
+                    self.task.task_id, slot, gain, offer.cost, heuristic, offer.worker_id
+                )
+        self.counters.candidates_total += candidates
+        return best
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def execute(self, slot: int) -> SlotOffer:
+        """Commit the execution of ``slot`` with its current offer.
+
+        Returns the offer consumed; the caller is responsible for
+        consuming the worker in the shared registry (so competing
+        tasks observe the conflict) and for charging the budget.
+        """
+        offer = self.provider.offer(slot)
+        if offer is None:
+            raise ConfigurationError(
+                f"task {self.task.task_id}: slot {slot} has no available worker"
+            )
+        window = self.ev.affected_window(slot)
+        self.ev.execute(slot, offer.reliability)
+        if self.index is not None:
+            self.index.refresh_range(*window)
+        return offer
+
+    def on_worker_consumed(self, worker_id: int, global_slot: int) -> list[int]:
+        """React to a worker being consumed anywhere in the system.
+
+        Returns the local slots whose cached offers were invalidated —
+        non-empty means this task *conflicted* with the consumer and
+        now sees its next-nearest worker for those slots.
+        """
+        invalidated = self.provider.invalidate_worker(worker_id, global_slot)
+        if invalidated and self.index is not None:
+            for local in invalidated:
+                self.index.refresh_range(local, local)
+        return invalidated

@@ -1,0 +1,20 @@
+"""Parallel-execution substrate.
+
+CPython's GIL makes real CPU-parallel speedups unobservable for the
+pure-Python solvers, so the multi-task parallel framework of Section IV
+runs on two interchangeable backends:
+
+* :mod:`repro.parallel.simcluster` — a deterministic *virtual-clock*
+  multi-core simulator: work items carry virtual costs (derived from
+  the solvers' operation counters) and the cluster computes round
+  makespans for any core count.  This is what reproduces the paper's
+  time-vs-cores curves (Fig. 9a/f) on any host.
+* :mod:`repro.parallel.threadpool` — a real ``threading`` pool used by
+  the functional tests to demonstrate the master/worker message
+  protocol with actual concurrency.
+"""
+
+from repro.parallel.simcluster import SimCluster, WorkItem
+from repro.parallel.threadpool import MasterWorkerPool
+
+__all__ = ["MasterWorkerPool", "SimCluster", "WorkItem"]

@@ -1,0 +1,134 @@
+"""Deterministic virtual-clock multi-core simulator.
+
+The simulator models the TCSC server's thread pool as ``cores``
+identical processors executing *work items* (each a virtual cost, in
+abstract operation units taken from the solvers'
+:class:`~repro.core.instrumentation.OpCounters`).  Scheduling is
+longest-processing-time-first (LPT) within a round, which is both a
+good approximation of a work-stealing pool and fully deterministic.
+
+Two accounting modes cover the paper's experiments:
+
+* :meth:`SimCluster.run_round` — a bulk-synchronous round: the given
+  work items are spread over the cores and the clock advances by the
+  round's *makespan* (plus any serial coordination cost).  The
+  task-level parallel solver calls this once per greedy iteration.
+* :meth:`SimCluster.run_partitions` — independent partitions (the
+  group-level parallelization): each partition is a serial chain, the
+  clock advances by the makespan of partition totals.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["WorkItem", "SimCluster"]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkItem:
+    """One schedulable unit of work."""
+
+    owner: Hashable
+    cost: float
+
+    def __post_init__(self):
+        if self.cost < 0:
+            raise ConfigurationError(f"negative work cost {self.cost}")
+
+
+class SimCluster:
+    """Virtual-clock cluster with LPT scheduling."""
+
+    def __init__(self, cores: int, *, per_message_cost: float = 1.0):
+        if cores < 1:
+            raise ConfigurationError(f"cores must be >= 1, got {cores}")
+        self.cores = cores
+        self.per_message_cost = per_message_cost
+        self._clock = 0.0
+        self._busy_time = 0.0
+        self._rounds = 0
+        self._messages = 0
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> float:
+        """Elapsed virtual time."""
+        return self._clock
+
+    @property
+    def busy_time(self) -> float:
+        """Total work executed (core-seconds); clock * cores >= busy."""
+        return self._busy_time
+
+    @property
+    def utilization(self) -> float:
+        """busy_time / (clock * cores); 1.0 = perfectly parallel."""
+        if self._clock == 0.0:
+            return 0.0
+        return self._busy_time / (self._clock * self.cores)
+
+    @property
+    def rounds(self) -> int:
+        """Bulk-synchronous rounds executed."""
+        return self._rounds
+
+    @property
+    def messages(self) -> int:
+        """Coordination messages charged so far."""
+        return self._messages
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    @staticmethod
+    def makespan(costs: Sequence[float], cores: int) -> float:
+        """LPT makespan of independent costs on identical cores."""
+        if not costs:
+            return 0.0
+        if cores == 1:
+            return float(sum(costs))
+        loads = [0.0] * min(cores, len(costs)) or [0.0]
+        heap = list(loads)
+        heapq.heapify(heap)
+        for cost in sorted(costs, reverse=True):
+            lightest = heapq.heappop(heap)
+            heapq.heappush(heap, lightest + cost)
+        return max(heap)
+
+    def run_round(self, items: Iterable[WorkItem], *, messages: int = 0) -> float:
+        """Execute one bulk-synchronous round; returns its duration.
+
+        The round lasts for the LPT makespan of the items, plus the
+        serial master-thread coordination cost for ``messages``
+        messages (heartbeats, conflict reports, grants).
+        """
+        items = list(items)
+        costs = [item.cost for item in items]
+        duration = self.makespan(costs, self.cores) + messages * self.per_message_cost
+        self._clock += duration
+        self._busy_time += sum(costs) + messages * self.per_message_cost
+        self._rounds += 1
+        self._messages += messages
+        return duration
+
+    def run_partitions(self, partitions: Iterable[Sequence[WorkItem]]) -> float:
+        """Execute independent serial partitions in parallel.
+
+        Each partition's items run back-to-back on one core (the
+        group-level model: a whole task group is one serial
+        optimization); partitions are spread over the cores with LPT.
+        Returns the elapsed duration.
+        """
+        totals = [sum(item.cost for item in partition) for partition in partitions]
+        duration = self.makespan(totals, self.cores)
+        self._clock += duration
+        self._busy_time += sum(totals)
+        self._rounds += 1
+        return duration

@@ -1,0 +1,72 @@
+"""A real master/worker thread pool for the task-level framework.
+
+This backend demonstrates the paper's Figure 5 architecture with
+actual ``threading`` threads: worker threads evaluate candidate
+heuristics for their tasks; the master thread collects heartbeats,
+resolves worker conflicts by consulting the heartbeat table, and
+grants executions one at a time.  Because CPython's GIL serializes the
+bytecode anyway, this backend is for functional demonstration (the
+tests assert its plan equals the serial plan); timing experiments use
+:mod:`repro.parallel.simcluster`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Hashable
+
+from repro.errors import SchedulingError
+
+__all__ = ["MasterWorkerPool"]
+
+
+class MasterWorkerPool:
+    """Run per-owner jobs on real threads and collect the results.
+
+    ``jobs`` maps an owner id to a zero-argument callable; :meth:`run`
+    executes them on ``num_threads`` threads and returns
+    ``{owner: result}``.  Exceptions propagate to the caller.
+    """
+
+    def __init__(self, num_threads: int):
+        if num_threads < 1:
+            raise SchedulingError(f"num_threads must be >= 1, got {num_threads}")
+        self.num_threads = num_threads
+
+    def run(self, jobs: dict[Hashable, Callable[[], Any]]) -> dict[Hashable, Any]:
+        """Execute all jobs; block until every one finished."""
+        work: queue.Queue = queue.Queue()
+        for owner, job in jobs.items():
+            work.put((owner, job))
+        results: dict[Hashable, Any] = {}
+        errors: list[BaseException] = []
+        lock = threading.Lock()
+
+        def worker():
+            while True:
+                try:
+                    owner, job = work.get_nowait()
+                except queue.Empty:
+                    return
+                try:
+                    value = job()
+                    with lock:
+                        results[owner] = value
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    with lock:
+                        errors.append(exc)
+                finally:
+                    work.task_done()
+
+        threads = [
+            threading.Thread(target=worker, name=f"tcsc-worker-{i}", daemon=True)
+            for i in range(min(self.num_threads, max(len(jobs), 1)))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return results

@@ -1,0 +1,24 @@
+"""Small generic utilities shared across the library.
+
+The submodules implement the classic building blocks the paper's
+algorithms assume to exist: a sorted integer set with neighbour queries
+(:mod:`repro.util.sorted_slots`), a lazily-pruned max-heap
+(:mod:`repro.util.heaps`), a disjoint-set union structure
+(:mod:`repro.util.dsu`), and deterministic RNG plumbing
+(:mod:`repro.util.rng`).
+"""
+
+from repro.util.dsu import DisjointSetUnion
+from repro.util.heaps import LazyMaxHeap
+from repro.util.rng import RngFactory, derive_rng, make_rng, stable_digest
+from repro.util.sorted_slots import SortedSlots
+
+__all__ = [
+    "DisjointSetUnion",
+    "LazyMaxHeap",
+    "RngFactory",
+    "SortedSlots",
+    "derive_rng",
+    "make_rng",
+    "stable_digest",
+]

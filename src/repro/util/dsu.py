@@ -1,0 +1,63 @@
+"""Disjoint-set union (union-find) with path compression and union by size.
+
+Used by the group-level parallelization of Section IV-A.1 to turn the
+pairwise worker-conflict relation into connected *independent groups* of
+tasks that can be optimized on separate cores.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+__all__ = ["DisjointSetUnion"]
+
+
+class DisjointSetUnion:
+    """Union-find over arbitrary hashable items."""
+
+    def __init__(self, items: Iterable[Hashable] = ()):
+        self._parent: dict[Hashable, Hashable] = {}
+        self._size: dict[Hashable, int] = {}
+        for item in items:
+            self.add(item)
+
+    def add(self, item: Hashable) -> None:
+        """Register ``item`` as a singleton set (no-op if present)."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+
+    def find(self, item: Hashable) -> Hashable:
+        """Return the canonical representative of ``item``'s set."""
+        parent = self._parent
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        # Path compression.
+        while parent[item] != root:
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> bool:
+        """Merge the sets of ``a`` and ``b``; return True if they differed."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return True
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """True iff ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def groups(self) -> list[list[Hashable]]:
+        """Return all sets, each sorted, ordered by their smallest member."""
+        buckets: dict[Hashable, list[Hashable]] = {}
+        for item in self._parent:
+            buckets.setdefault(self.find(item), []).append(item)
+        groups = [sorted(members, key=repr) for members in buckets.values()]
+        groups.sort(key=lambda g: repr(g[0]))
+        return groups

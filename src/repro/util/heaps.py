@@ -1,0 +1,75 @@
+"""Heap utilities used by the best-first search and the greedy solvers.
+
+Python's :mod:`heapq` is a min-heap of immutable entries; the solvers
+need a *max*-heap whose entries can become stale (their priority only
+ever decreases — the lazy-greedy property of submodular maximization).
+:class:`LazyMaxHeap` wraps the standard library with negated keys,
+insertion counters for deterministic tie-breaking, and a tombstone set
+for lazily discarding invalidated entries.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Hashable
+
+__all__ = ["LazyMaxHeap"]
+
+
+class LazyMaxHeap:
+    """Max-heap with lazy invalidation.
+
+    Entries are ``(priority, token, payload)``.  ``token`` identifies
+    the entry for invalidation; pushing a token again supersedes any
+    older entry with the same token.  Ties in priority are broken by
+    insertion order (FIFO), so iteration is fully deterministic.
+    """
+
+    __slots__ = ("_heap", "_counter", "_live")
+
+    def __init__(self):
+        self._heap: list[tuple[float, int, Hashable, Any]] = []
+        self._counter = 0
+        self._live: dict[Hashable, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __bool__(self) -> bool:
+        return bool(self._live)
+
+    def push(self, priority: float, token: Hashable, payload: Any = None) -> None:
+        """Insert or supersede the entry identified by ``token``."""
+        self._counter += 1
+        self._live[token] = self._counter
+        heapq.heappush(self._heap, (-priority, self._counter, token, payload))
+
+    def invalidate(self, token: Hashable) -> None:
+        """Drop the entry for ``token`` if present (lazy removal)."""
+        self._live.pop(token, None)
+
+    def peek(self) -> tuple[float, Hashable, Any] | None:
+        """Return the max entry without removing it, or ``None``."""
+        self._drop_stale()
+        if not self._heap:
+            return None
+        neg, _, token, payload = self._heap[0]
+        return (-neg, token, payload)
+
+    def pop(self) -> tuple[float, Hashable, Any] | None:
+        """Remove and return ``(priority, token, payload)``, or ``None``."""
+        self._drop_stale()
+        if not self._heap:
+            return None
+        neg, counter, token, payload = heapq.heappop(self._heap)
+        del self._live[token]
+        return (-neg, token, payload)
+
+    def _drop_stale(self) -> None:
+        heap = self._heap
+        live = self._live
+        while heap:
+            _, counter, token, _ = heap[0]
+            if live.get(token) == counter:
+                return
+            heapq.heappop(heap)

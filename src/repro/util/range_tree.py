@@ -1,0 +1,77 @@
+"""Segment tree with lazy range-add and range-max queries.
+
+Backing structure for the tree index's neighbour-gain bounds: every
+slot *paints* its potential-gain bound over its influence interval,
+and the best-first search asks for the maximum painted value over a
+node's segment.  Classic lazy propagation; all operations are
+``O(log n)``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RangeAddMaxTree"]
+
+
+class RangeAddMaxTree:
+    """Array of ``n`` floats (1-based) with range-add and range-max."""
+
+    __slots__ = ("n", "_max", "_lazy")
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {n}")
+        self.n = n
+        self._max = [0.0] * (4 * n)
+        self._lazy = [0.0] * (4 * n)
+
+    def add(self, lo: int, hi: int, value: float) -> None:
+        """Add ``value`` to every position in ``[lo, hi]`` (clamped)."""
+        lo = max(1, lo)
+        hi = min(self.n, hi)
+        if hi < lo or value == 0.0:
+            return
+        self._add(1, 1, self.n, lo, hi, value)
+
+    def max_in(self, lo: int, hi: int) -> float:
+        """Maximum value over ``[lo, hi]`` (clamped; -inf if empty)."""
+        lo = max(1, lo)
+        hi = min(self.n, hi)
+        if hi < lo:
+            return float("-inf")
+        return self._query(1, 1, self.n, lo, hi)
+
+    def value_at(self, pos: int) -> float:
+        """The current value at a single position."""
+        return self.max_in(pos, pos)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _add(self, node: int, l: int, r: int, lo: int, hi: int, value: float) -> None:
+        if hi < l or r < lo:
+            return
+        if lo <= l and r <= hi:
+            self._max[node] += value
+            self._lazy[node] += value
+            return
+        mid = (l + r) // 2
+        self._add(2 * node, l, mid, lo, hi, value)
+        self._add(2 * node + 1, mid + 1, r, lo, hi, value)
+        self._max[node] = self._lazy[node] + max(self._max[2 * node], self._max[2 * node + 1])
+
+    def _query(self, node: int, l: int, r: int, lo: int, hi: int) -> float:
+        if lo <= l and r <= hi:
+            return self._max[node]
+        mid = (l + r) // 2
+        if hi <= mid:
+            below = self._query(2 * node, l, mid, lo, hi)
+        elif lo > mid:
+            below = self._query(2 * node + 1, mid + 1, r, lo, hi)
+        else:
+            below = max(
+                self._query(2 * node, l, mid, lo, hi),
+                self._query(2 * node + 1, mid + 1, r, lo, hi),
+            )
+        return below + self._lazy[node]

@@ -1,0 +1,33 @@
+"""Workload generators: the paper's datasets, synthesized.
+
+The paper evaluates on (i) T-Drive taxi trajectories for worker
+movements, (ii) a public spatial data generator (uniform / Gaussian /
+Zipfian) for task locations, and (iii) a Beijing POI dataset as the
+"real" task workload.  None of these can ship with the library, so
+this package provides faithful synthetic stand-ins (see DESIGN.md
+section 3 for the substitution argument):
+
+* :mod:`repro.workloads.spatial` — the three point distributions with
+  the paper's exact parameterization.
+* :mod:`repro.workloads.trajectories` — random-waypoint taxi
+  trajectories cut into 1-5-slot active windows.
+* :mod:`repro.workloads.poi` — clustered (Gaussian-mixture) POIs
+  standing in for the Beijing POI dataset.
+* :mod:`repro.workloads.scenario` — the one-stop builder assembling
+  tasks, workers, registry, and budgets for a named configuration.
+"""
+
+from repro.workloads.poi import ClusteredPOIGenerator
+from repro.workloads.scenario import Scenario, ScenarioConfig, build_scenario
+from repro.workloads.spatial import Distribution, generate_points
+from repro.workloads.trajectories import TaxiTrajectoryGenerator
+
+__all__ = [
+    "ClusteredPOIGenerator",
+    "Distribution",
+    "Scenario",
+    "ScenarioConfig",
+    "TaxiTrajectoryGenerator",
+    "build_scenario",
+    "generate_points",
+]

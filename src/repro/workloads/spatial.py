@@ -1,0 +1,98 @@
+"""Spatial point generators: uniform, Gaussian, Zipfian.
+
+Mirrors the chorochronos ``SpatialDataGenerator`` settings the paper
+uses (Section V-A): for the Gaussian distribution "the mean is set as
+the domain center and the sigma is set as 1/6 of the domain
+sidelength"; for the Zipfian distribution "the exponent is set to 1".
+
+Zipfian points follow the generator's convention: each coordinate is a
+Zipf-distributed rank mapped onto the domain side, producing the heavy
+corner-skew the paper's skewed workloads exhibit.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+from repro.util.rng import make_rng
+
+__all__ = ["Distribution", "generate_points"]
+
+
+class Distribution(str, enum.Enum):
+    """Task/worker location distributions used in the experiments."""
+
+    UNIFORM = "uniform"
+    GAUSSIAN = "gaussian"
+    ZIPFIAN = "zipfian"
+    #: The "real dataset" stand-in: clustered POIs (see repro.workloads.poi).
+    REAL = "real"
+
+
+def generate_points(
+    n: int,
+    bbox: BoundingBox,
+    distribution: Distribution | str = Distribution.UNIFORM,
+    *,
+    seed: int | np.random.Generator | None = 0,
+    zipf_exponent: float = 1.0,
+    zipf_levels: int = 1000,
+) -> list[Point]:
+    """Sample ``n`` points inside ``bbox`` from a named distribution.
+
+    Gaussian samples are clamped to the box (the paper chooses sigma so
+    "most of generated data are within the domain space"; clamping
+    handles the tail).  ``zipf_levels`` discretizes each axis for the
+    Zipfian rank mapping.
+    """
+    if n < 0:
+        raise ConfigurationError(f"n must be >= 0, got {n}")
+    distribution = Distribution(distribution)
+    if distribution is Distribution.REAL:
+        # Delegated to the POI generator to keep this module dependency-free.
+        from repro.workloads.poi import ClusteredPOIGenerator
+
+        return ClusteredPOIGenerator(bbox, seed=seed).generate(n)
+    rng = make_rng(seed)
+    if distribution is Distribution.UNIFORM:
+        xs = rng.uniform(bbox.min_x, bbox.max_x, n)
+        ys = rng.uniform(bbox.min_y, bbox.max_y, n)
+    elif distribution is Distribution.GAUSSIAN:
+        center = bbox.center
+        sigma_x = bbox.width / 6.0
+        sigma_y = bbox.height / 6.0
+        xs = np.clip(rng.normal(center.x, sigma_x, n), bbox.min_x, bbox.max_x)
+        ys = np.clip(rng.normal(center.y, sigma_y, n), bbox.min_y, bbox.max_y)
+    elif distribution is Distribution.ZIPFIAN:
+        if zipf_exponent <= 0:
+            raise ConfigurationError(f"zipf_exponent must be > 0, got {zipf_exponent}")
+        xs = _zipf_axis(rng, n, bbox.min_x, bbox.max_x, zipf_exponent, zipf_levels)
+        ys = _zipf_axis(rng, n, bbox.min_y, bbox.max_y, zipf_exponent, zipf_levels)
+    else:  # pragma: no cover - exhaustive enum
+        raise ConfigurationError(f"unknown distribution {distribution}")
+    return [Point(float(x), float(y)) for x, y in zip(xs, ys)]
+
+
+def _zipf_axis(
+    rng: np.random.Generator,
+    n: int,
+    lo: float,
+    hi: float,
+    exponent: float,
+    levels: int,
+) -> np.ndarray:
+    """Zipf-ranked coordinates: rank r (1 = most popular) maps to the
+    fraction (r-1)/levels of the axis, so mass piles up near ``lo``."""
+    ranks = np.arange(1, levels + 1, dtype=float)
+    weights = ranks ** (-exponent)
+    weights /= weights.sum()
+    chosen = rng.choice(levels, size=n, p=weights)
+    # Jitter inside each level's bucket to avoid exact collisions.
+    jitter = rng.uniform(0.0, 1.0, n)
+    fraction = (chosen + jitter) / levels
+    return lo + fraction * (hi - lo)

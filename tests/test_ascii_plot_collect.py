@@ -1,0 +1,85 @@
+"""Tests for the ASCII plotting helpers and the report collector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.ascii_plot import bar_chart, line_chart
+from repro.bench.collect import collect, main
+from repro.errors import ConfigurationError
+
+
+class TestLineChart:
+    def test_single_series(self):
+        chart = line_chart([1, 2, 3], {"time": [1.0, 2.0, 4.0]}, title="demo")
+        assert "demo" in chart
+        assert "o=time" in chart
+        assert chart.count("o") >= 3
+
+    def test_two_series_markers(self):
+        chart = line_chart([1, 2], {"a": [1.0, 2.0], "b": [2.0, 1.0]})
+        assert "o=a" in chart and "x=b" in chart
+
+    def test_log_scale(self):
+        chart = line_chart([1, 2, 3], {"t": [1.0, 100.0, 10000.0]}, log=True)
+        assert "(log scale)" in chart
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            line_chart([1], {"t": [0.0]}, log=True)
+
+    def test_flat_series(self):
+        chart = line_chart([1, 2], {"t": [5.0, 5.0]})
+        grid_only = chart.split("\n|", 1)[1].rsplit("+", 1)[0]
+        assert grid_only.count("o") == 2  # both points at the mid row
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            line_chart([1, 2], {})
+        with pytest.raises(ConfigurationError):
+            line_chart([1, 2], {"a": [1.0]})
+        with pytest.raises(ConfigurationError):
+            line_chart([1, 2], {"a": [1.0, 2.0], "b": [1.0]})
+        with pytest.raises(ConfigurationError):
+            line_chart([], {"a": []})
+
+    def test_x_labels_rendered(self):
+        chart = line_chart(["u", "g", "z"], {"t": [1.0, 2.0, 3.0]})
+        assert "u" in chart and "g" in chart and "z" in chart
+
+
+class TestBarChart:
+    def test_basic(self):
+        chart = bar_chart(["grid", "kdtree"], [0.3, 0.6], title="backends")
+        assert "backends" in chart
+        lines = chart.splitlines()
+        assert lines[1].count("#") < lines[2].count("#")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            bar_chart([], [])
+        with pytest.raises(ConfigurationError):
+            bar_chart(["a"], [0.0])
+
+
+class TestCollect:
+    def test_collects_and_orders(self, tmp_path):
+        (tmp_path / "fig11a.txt").write_text("# fig11a: late\nrow\n")
+        (tmp_path / "fig6a.txt").write_text("# fig6a: early\nrow\n")
+        (tmp_path / "abl1.txt").write_text("# abl1: ablation\nrow\n")
+        report = collect(tmp_path)
+        assert report.index("fig6a") < report.index("fig11a") < report.index("abl1")
+        assert "3 figure series" in report
+
+    def test_main_writes_report(self, tmp_path, capsys):
+        (tmp_path / "fig6a.txt").write_text("# fig6a: early\nrow\n")
+        code = main([str(tmp_path)])
+        assert code == 0
+        assert (tmp_path.parent / "REPORT.md").exists() or (
+            tmp_path / ".." / "REPORT.md"
+        ).resolve().exists()
+
+    def test_main_missing_dir(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == 1

@@ -1,0 +1,93 @@
+"""Tests for the batch-arrival server."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.batches import BatchTCSCServer
+from repro.errors import ConfigurationError
+from repro.geo.point import Point
+from repro.model.task import Task, TaskSet
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario(
+        ScenarioConfig(num_tasks=6, num_slots=25, num_workers=60, seed=19)
+    )
+
+
+def split_batches(scenario):
+    tasks = list(scenario.tasks)
+    return TaskSet(tasks[:3]), TaskSet(tasks[3:])
+
+
+class TestBatchServer:
+    def test_rounds_accumulate(self, scenario):
+        server = BatchTCSCServer(scenario.pool, scenario.bbox)
+        first, second = split_batches(scenario)
+        budget = scenario.budget * 3
+        r1 = server.process_batch(first, budget)
+        r2 = server.process_batch(second, budget)
+        assert server.rounds == 2
+        assert r1.round_id == 0 and r2.round_id == 1
+        assert r2.cumulative_spent == pytest.approx(r1.result.spent + r2.result.spent)
+        assert server.total_spent == pytest.approx(r2.cumulative_spent)
+
+    def test_duplicate_task_ids_rejected(self, scenario):
+        server = BatchTCSCServer(scenario.pool, scenario.bbox)
+        first, _ = split_batches(scenario)
+        server.process_batch(first, scenario.budget * 3)
+        with pytest.raises(ConfigurationError):
+            server.process_batch(first, scenario.budget * 3)
+
+    def test_unknown_objective(self, scenario):
+        server = BatchTCSCServer(scenario.pool, scenario.bbox)
+        first, _ = split_batches(scenario)
+        with pytest.raises(ConfigurationError):
+            server.process_batch(first, 1.0, objective="median")
+
+    def test_later_batches_see_consumed_workers(self, scenario):
+        """A batch assigned after another pays at least as much for the
+        same task as it would on a fresh registry."""
+        first, second = split_batches(scenario)
+        budget = scenario.budget * 3
+
+        sequential = BatchTCSCServer(scenario.pool, scenario.bbox)
+        sequential.process_batch(first, budget)
+        later = sequential.process_batch(second, budget, objective="sum")
+
+        fresh = BatchTCSCServer(scenario.pool, scenario.bbox)
+        alone = fresh.process_batch(second, budget, objective="sum")
+
+        # Same budget, but contention can only reduce achievable quality.
+        assert later.result.sum_quality <= alone.result.sum_quality + 1e-9
+
+    def test_min_objective_round(self, scenario):
+        server = BatchTCSCServer(scenario.pool, scenario.bbox)
+        first, _ = split_batches(scenario)
+        report = server.process_batch(first, scenario.budget * 3, objective="min")
+        assert report.result.min_quality > 0.0
+
+    def test_no_double_booking_across_rounds(self, scenario):
+        server = BatchTCSCServer(scenario.pool, scenario.bbox)
+        first, second = split_batches(scenario)
+        budget = scenario.budget * 3
+        r1 = server.process_batch(first, budget)
+        r2 = server.process_batch(second, budget)
+        tasks = {t.task_id: t for t in scenario.tasks}
+        seen = set()
+        for result in (r1.result, r2.result):
+            for record in result.assignment:
+                key = (record.worker_id, tasks[record.task_id].global_slot(record.slot))
+                assert key not in seen
+                seen.add(key)
+
+    def test_workers_committed_monotone(self, scenario):
+        server = BatchTCSCServer(scenario.pool, scenario.bbox)
+        first, second = split_batches(scenario)
+        budget = scenario.budget * 3
+        r1 = server.process_batch(first, budget)
+        r2 = server.process_batch(second, budget)
+        assert r2.workers_committed >= r1.workers_committed

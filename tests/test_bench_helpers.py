@@ -1,0 +1,83 @@
+"""Tests for the benchmark support package (reporter + baselines)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.baselines import random_multi_assignment
+from repro.bench.report import Reporter
+from repro.core.quality import task_quality
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+
+
+class TestReporter:
+    def test_writes_file_and_prints(self, tmp_path, capsys):
+        reporter = Reporter("figX", "Test figure", results_dir=tmp_path)
+        reporter.note("a note")
+        reporter.header("col1", "col2")
+        reporter.row("a", 1.23456789)
+        path = reporter.close()
+        out = capsys.readouterr().out
+        assert "figX: Test figure" in out
+        assert path.exists()
+        content = path.read_text()
+        assert "note: a note" in content
+        assert "col1 | col2" in content
+        assert "a | 1.23457" in content  # 6 significant digits
+
+    def test_integer_and_string_rows(self, tmp_path):
+        reporter = Reporter("figY", "Ints", results_dir=tmp_path)
+        reporter.row(42, "text", 0.5)
+        content = reporter.close().read_text()
+        assert "42 | text | 0.5" in content
+
+
+class TestRandomMultiBaseline:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return build_scenario(
+            ScenarioConfig(num_tasks=4, num_slots=15, num_workers=80, seed=3)
+        )
+
+    def test_budget_respected(self, scenario):
+        budget = scenario.budget * 4
+        qualities, assignment = random_multi_assignment(
+            scenario.tasks, scenario.fresh_registry(), budget=budget, seed=1,
+            return_assignment=True,
+        )
+        assert assignment.total_cost <= budget + 1e-9
+        assert set(qualities) == {t.task_id for t in scenario.tasks}
+
+    def test_qualities_match_assignment(self, scenario):
+        budget = scenario.budget * 4
+        qualities, assignment = random_multi_assignment(
+            scenario.tasks, scenario.fresh_registry(), budget=budget, seed=2,
+            return_assignment=True,
+        )
+        for task in scenario.tasks:
+            slots = assignment.executed_slots(task.task_id)
+            expected = task_quality(task.num_slots, 3, {s: 1.0 for s in slots})
+            assert qualities[task.task_id] == pytest.approx(expected)
+
+    def test_deterministic_per_seed(self, scenario):
+        budget = scenario.budget * 4
+        a = random_multi_assignment(
+            scenario.tasks, scenario.fresh_registry(), budget=budget, seed=5
+        )
+        b = random_multi_assignment(
+            scenario.tasks, scenario.fresh_registry(), budget=budget, seed=5
+        )
+        assert a == b
+
+    def test_workers_not_double_booked(self, scenario):
+        budget = scenario.budget * 4
+        _, assignment = random_multi_assignment(
+            scenario.tasks, scenario.fresh_registry(), budget=budget, seed=4,
+            return_assignment=True,
+        )
+        tasks = {t.task_id: t for t in scenario.tasks}
+        seen = set()
+        for record in assignment:
+            key = (record.worker_id, tasks[record.task_id].global_slot(record.slot))
+            assert key not in seen
+            seen.add(key)

@@ -1,0 +1,86 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["solve-single"])
+        assert args.policy == "approx_star"
+        assert args.slots == 100
+        assert args.k == 3
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve-single", "--policy", "magic"])
+
+    def test_multi_options(self):
+        args = build_parser().parse_args(
+            ["solve-multi", "--tasks", "5", "--objective", "min", "--cores", "4"]
+        )
+        assert (args.tasks, args.objective, args.cores) == (5, "min", 4)
+
+
+class TestCommands:
+    def test_solve_single(self, capsys):
+        code = main(["solve-single", "--slots", "30", "--workers", "120", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "quality" in out
+        assert "assigned" in out
+
+    def test_solve_single_random_policy(self, capsys):
+        code = main(
+            ["solve-single", "--slots", "30", "--workers", "120", "--policy", "random"]
+        )
+        assert code == 0
+        assert "policy=random" in capsys.readouterr().out
+
+    def test_solve_multi_sum(self, capsys):
+        code = main(
+            ["solve-multi", "--tasks", "4", "--slots", "20", "--workers", "120"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "qsum" in out
+
+    def test_solve_multi_min_with_cores(self, capsys):
+        code = main(
+            [
+                "solve-multi", "--tasks", "4", "--slots", "20", "--workers", "120",
+                "--objective", "min",
+            ]
+        )
+        assert code == 0
+        assert "qmin" in capsys.readouterr().out
+
+    def test_solve_multi_parallel(self, capsys):
+        code = main(
+            ["solve-multi", "--tasks", "4", "--slots", "20", "--workers", "120",
+             "--cores", "2"]
+        )
+        assert code == 0
+        assert "cores=2" in capsys.readouterr().out
+
+    def test_cover(self, capsys):
+        code = main(
+            ["cover", "--slots", "30", "--workers", "120", "--target", "0.6"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "reached" in out
+
+    def test_zipfian_distribution(self, capsys):
+        code = main(
+            ["solve-single", "--slots", "30", "--workers", "120",
+             "--distribution", "zipfian"]
+        )
+        assert code == 0

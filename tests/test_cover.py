@@ -1,0 +1,105 @@
+"""Tests for the dual problem: minimum-cost quality cover."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cover import MinCostCoverSolver
+from repro.core.greedy import IndexedSingleTaskGreedy
+from repro.core.quality import max_quality, task_quality
+from repro.errors import ConfigurationError, InfeasibleAssignmentError
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+from repro.engine.costs import SingleTaskCostTable
+
+
+@pytest.fixture(scope="module")
+def instance():
+    scenario = build_scenario(
+        ScenarioConfig(num_tasks=1, num_slots=40, num_workers=250, seed=17)
+    )
+    costs = SingleTaskCostTable(scenario.single_task, scenario.fresh_registry())
+    return scenario, costs
+
+
+class TestValidation:
+    def test_negative_target(self, instance):
+        scenario, costs = instance
+        with pytest.raises(ConfigurationError):
+            MinCostCoverSolver(scenario.single_task, costs, target_quality=-1.0)
+
+    def test_target_above_maximum(self, instance):
+        scenario, costs = instance
+        upper = max_quality(scenario.single_task.num_slots)
+        with pytest.raises(ConfigurationError):
+            MinCostCoverSolver(scenario.single_task, costs, target_quality=upper + 1)
+
+
+class TestCover:
+    def test_zero_target_costs_nothing(self, instance):
+        scenario, costs = instance
+        result = MinCostCoverSolver(scenario.single_task, costs, target_quality=0.0).solve()
+        assert result.cost == 0.0
+        assert len(result.assignment) == 0
+        assert result.reached
+
+    def test_reaches_target(self, instance):
+        scenario, costs = instance
+        target = 0.8 * max_quality(scenario.single_task.num_slots)
+        result = MinCostCoverSolver(
+            scenario.single_task, costs, target_quality=target
+        ).solve()
+        assert result.reached
+        assert result.quality >= target
+        # Quality claimed matches the reference metric.
+        executed = {r.slot: costs.reliability(r.slot) for r in result.assignment}
+        assert result.quality == pytest.approx(
+            task_quality(scenario.single_task.num_slots, 3, executed)
+        )
+
+    def test_indexed_matches_enumerated(self, instance):
+        scenario, costs = instance
+        target = 0.7 * max_quality(scenario.single_task.num_slots)
+        indexed = MinCostCoverSolver(
+            scenario.single_task, costs, target_quality=target, use_index=True
+        ).solve()
+        plain = MinCostCoverSolver(
+            scenario.single_task, costs, target_quality=target, use_index=False
+        ).solve()
+        assert indexed.assignment.plan_signature() == plain.assignment.plan_signature()
+        assert indexed.cost == pytest.approx(plain.cost)
+
+    def test_cost_monotone_in_target(self, instance):
+        scenario, costs = instance
+        upper = max_quality(scenario.single_task.num_slots)
+        costs_out = []
+        for fraction in (0.3, 0.6, 0.9):
+            result = MinCostCoverSolver(
+                scenario.single_task, costs, target_quality=fraction * upper
+            ).solve()
+            costs_out.append(result.cost)
+        assert costs_out == sorted(costs_out)
+
+    def test_duality_with_primal(self, instance):
+        """Covering to the primal's achieved quality costs no more than
+        the primal spent (the greedy streams coincide)."""
+        scenario, costs = instance
+        primal = IndexedSingleTaskGreedy(
+            scenario.single_task, costs, budget=scenario.budget
+        ).solve()
+        dual = MinCostCoverSolver(
+            scenario.single_task, costs, target_quality=primal.quality
+        ).solve()
+        assert dual.cost <= primal.spent + 1e-9
+        assert dual.quality >= primal.quality - 1e-12
+
+    def test_unreachable_target_raises(self):
+        """Sparse workers leave coverage gaps; near-max targets fail."""
+        scenario = build_scenario(
+            ScenarioConfig(num_tasks=1, num_slots=40, num_workers=3, seed=17)
+        )
+        costs = SingleTaskCostTable(scenario.single_task, scenario.fresh_registry())
+        upper = max_quality(scenario.single_task.num_slots)
+        with pytest.raises(InfeasibleAssignmentError):
+            MinCostCoverSolver(
+                scenario.single_task, costs, target_quality=0.99 * upper
+            ).solve()

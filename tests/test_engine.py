@@ -1,0 +1,210 @@
+"""Tests for the engine substrate: registry, costs, field, interpolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.costs import DynamicCostProvider, SingleTaskCostTable
+from repro.engine.field import SpatioTemporalField
+from repro.engine.interpolation import idw_series, reconstruction_rmse
+from repro.engine.registry import WorkerRegistry
+from repro.errors import ConfigurationError, WorkerUnavailableError
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+from repro.model.task import Task
+from repro.model.worker import Worker, WorkerPool
+
+BOX = BoundingBox.square(100.0)
+
+
+def make_registry():
+    """Three workers with hand-placed availability."""
+    pool = WorkerPool(
+        [
+            Worker(1, {1: Point(10, 10), 2: Point(20, 20)}),
+            Worker(2, {1: Point(30, 30), 2: Point(25, 25)}),
+            Worker(3, {2: Point(90, 90)}),
+        ]
+    )
+    return WorkerRegistry(pool, BOX)
+
+
+class TestRegistry:
+    def test_nearest_available(self):
+        registry = make_registry()
+        worker, dist = registry.nearest_available(Point(12, 12), 1)
+        assert worker.worker_id == 1
+        assert dist == pytest.approx(Point(12, 12).distance_to(Point(10, 10)))
+
+    def test_rank_queries(self):
+        registry = make_registry()
+        second = registry.nearest_available(Point(12, 12), 1, rank=2)
+        assert second[0].worker_id == 2
+        assert registry.nearest_available(Point(12, 12), 1, rank=3) is None
+
+    def test_consume_removes_from_index(self):
+        registry = make_registry()
+        registry.consume(1, 1)
+        assert registry.is_consumed(1, 1)
+        worker, _ = registry.nearest_available(Point(12, 12), 1)
+        assert worker.worker_id == 2
+        # Slot 2 is unaffected.
+        assert registry.nearest_available(Point(20, 20), 2)[0].worker_id == 1
+
+    def test_double_consume_raises(self):
+        registry = make_registry()
+        registry.consume(1, 1)
+        with pytest.raises(WorkerUnavailableError):
+            registry.consume(1, 1)
+
+    def test_release_restores(self):
+        registry = make_registry()
+        registry.consume(1, 1)
+        registry.release(1, 1)
+        assert registry.nearest_available(Point(12, 12), 1)[0].worker_id == 1
+        with pytest.raises(WorkerUnavailableError):
+            registry.release(1, 1)
+
+    def test_reset(self):
+        registry = make_registry()
+        registry.consume(1, 1)
+        registry.consume(2, 1)
+        registry.reset()
+        assert registry.available_count(1) == 2
+
+    def test_available_count(self):
+        registry = make_registry()
+        assert registry.available_count(1) == 2
+        assert registry.available_count(2) == 3
+        assert registry.available_count(99) == 0
+
+    def test_k_nearest_available(self):
+        registry = make_registry()
+        hits = registry.k_nearest_available(Point(0, 0), 2, 5)
+        assert [w.worker_id for w, _ in hits] == [1, 2, 3]
+
+    def test_kdtree_backend_agrees_with_grid(self):
+        pool = make_registry().pool
+        grid = WorkerRegistry(pool, BOX, backend="grid")
+        tree = WorkerRegistry(pool, BOX, backend="kdtree")
+        for slot in (1, 2):
+            for query in (Point(12, 12), Point(80, 80)):
+                g = grid.nearest_available(query, slot)
+                t = tree.nearest_available(query, slot)
+                assert g[0].worker_id == t[0].worker_id
+                assert g[1] == pytest.approx(t[1])
+        # Consumption works identically.
+        tree.consume(1, 1)
+        assert tree.nearest_available(Point(12, 12), 1)[0].worker_id == 2
+        tree.release(1, 1)
+        assert tree.nearest_available(Point(12, 12), 1)[0].worker_id == 1
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkerRegistry(make_registry().pool, BOX, backend="quadtree")
+
+
+class TestSingleTaskCostTable:
+    def test_offers_are_nearest_workers(self):
+        registry = make_registry()
+        task = Task(0, Point(12, 12), 3)
+        table = SingleTaskCostTable(task, registry)
+        assert table.offer(1).worker_id == 1
+        assert table.cost(3) is None  # no worker at slot 3
+        assert table.reliability(3) == 1.0
+        assert table.assignable_slots == [1, 2]
+        assert table.min_cost == pytest.approx(min(table.cost(1), table.cost(2)))
+        assert table.total_cost == pytest.approx(table.cost(1) + table.cost(2))
+
+    def test_counters_track_lookups(self):
+        from repro.core.instrumentation import OpCounters
+
+        counters = OpCounters()
+        SingleTaskCostTable(Task(0, Point(0, 0), 5), make_registry(), counters=counters)
+        assert counters.worker_cost_lookups == 5
+
+
+class TestDynamicCostProvider:
+    def test_offer_updates_after_consumption(self):
+        registry = make_registry()
+        task = Task(0, Point(12, 12), 3)
+        provider = DynamicCostProvider(task, registry)
+        first = provider.offer(1)
+        assert first.worker_id == 1
+        registry.consume(1, 1)
+        invalidated = provider.invalidate_worker(1, 1)
+        assert invalidated == [1]
+        second = provider.offer(1)
+        assert second.worker_id == 2
+        assert second.cost > first.cost
+
+    def test_invalidation_ignores_other_workers(self):
+        registry = make_registry()
+        provider = DynamicCostProvider(Task(0, Point(12, 12), 3), registry)
+        provider.offer(1)
+        assert provider.invalidate_worker(2, 1) == []  # cached offer is worker 1
+
+    def test_invalidation_outside_task_range(self):
+        registry = make_registry()
+        provider = DynamicCostProvider(Task(0, Point(12, 12), 3), registry)
+        assert provider.invalidate_worker(1, 99) == []
+
+    def test_invalidate_all(self):
+        registry = make_registry()
+        provider = DynamicCostProvider(Task(0, Point(12, 12), 3), registry)
+        provider.offer(1)
+        provider.invalidate_all()
+        registry.consume(1, 1)
+        assert provider.offer(1).worker_id == 2
+
+
+class TestField:
+    def test_deterministic(self):
+        a = SpatioTemporalField(BOX, seed=1)
+        b = SpatioTemporalField(BOX, seed=1)
+        assert a.value(Point(5, 5), 3) == pytest.approx(b.value(Point(5, 5), 3))
+
+    def test_series(self):
+        field = SpatioTemporalField(BOX, seed=1)
+        series = field.series(Point(5, 5), range(1, 6))
+        assert len(series) == 5
+
+    def test_values_bounded(self):
+        field = SpatioTemporalField(BOX, num_plumes=3, amplitude=10.0, seed=2)
+        for slot in (1, 50, 100):
+            value = field.value(Point(50, 50), slot)
+            assert 0.0 <= value <= 3 * 10.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SpatioTemporalField(BOX, num_plumes=0)
+
+
+class TestInterpolation:
+    def test_probed_slots_exact(self):
+        series = idw_series(5, {2: 10.0, 4: 20.0})
+        assert series[1] == 10.0 and series[3] == 20.0
+
+    def test_constant_signal_reconstructed_exactly(self):
+        series = idw_series(9, {2: 7.0, 6: 7.0}, k=2)
+        assert all(v == pytest.approx(7.0) for v in series)
+
+    def test_no_probes_gives_zeros(self):
+        assert idw_series(4, {}) == [0.0] * 4
+
+    def test_closer_probe_dominates(self):
+        series = idw_series(10, {1: 0.0, 10: 100.0}, k=2)
+        assert series[1] < 50.0 < series[8]
+
+    def test_rejects_bad_slots(self):
+        with pytest.raises(ConfigurationError):
+            idw_series(5, {6: 1.0})
+        with pytest.raises(ConfigurationError):
+            idw_series(0, {})
+
+    def test_rmse(self):
+        assert reconstruction_rmse([1.0, 2.0], [1.0, 2.0]) == 0.0
+        assert reconstruction_rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx((12.5) ** 0.5)
+        with pytest.raises(ConfigurationError):
+            reconstruction_rmse([1.0], [1.0, 2.0])
+        assert reconstruction_rmse([], []) == 0.0

@@ -1,0 +1,195 @@
+"""Tests for the incremental TemporalQualityEvaluator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.evaluator import TemporalQualityEvaluator
+from repro.core.quality import task_quality
+from repro.errors import ConfigurationError
+
+
+class TestBasics:
+    def test_initial_state(self):
+        ev = TemporalQualityEvaluator(10, 3)
+        assert ev.quality == 0.0
+        assert ev.executed_count == 0
+        assert ev.p(5) == 0.0
+        assert ev.rho_err(5) == pytest.approx(1.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            TemporalQualityEvaluator(2, 3)
+        with pytest.raises(ConfigurationError):
+            TemporalQualityEvaluator(10, 0)
+
+    def test_execute_marks_slot(self):
+        ev = TemporalQualityEvaluator(10, 3)
+        ev.execute(4)
+        assert ev.is_executed(4)
+        assert ev.p(4) == pytest.approx(0.1)
+        assert ev.rho_err(4) == 0.0
+
+    def test_double_execute_rejected(self):
+        ev = TemporalQualityEvaluator(10, 3)
+        ev.execute(4)
+        with pytest.raises(ConfigurationError):
+            ev.execute(4)
+        with pytest.raises(ConfigurationError):
+            ev.gain_if_executed(4)
+
+    def test_out_of_range_slot(self):
+        ev = TemporalQualityEvaluator(10, 3)
+        with pytest.raises(ConfigurationError):
+            ev.execute(0)
+        with pytest.raises(ConfigurationError):
+            ev.p(11)
+
+    def test_reliability_validated(self):
+        ev = TemporalQualityEvaluator(10, 3)
+        with pytest.raises(ConfigurationError):
+            ev.execute(3, reliability=1.5)
+
+    def test_execute_returns_changes(self):
+        ev = TemporalQualityEvaluator(10, 2)
+        changes = ev.execute(5)
+        changed = {c.slot for c in changes}
+        assert 5 in changed
+        # All other slots gained a first neighbour.
+        assert changed == set(range(1, 11))
+        total_delta = sum(c.quality_delta for c in changes)
+        assert total_delta == pytest.approx(ev.quality)
+
+
+class TestAgainstReference:
+    def test_matches_reference_formula(self):
+        ev = TemporalQualityEvaluator(100, 2)
+        ev.execute(2)
+        ev.execute(4)
+        # Paper's example: rho(tau(1)) = 0.02.
+        assert ev.rho_err(1) == pytest.approx(0.02)
+        assert ev.quality == pytest.approx(task_quality(100, 2, {2: 1.0, 4: 1.0}))
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        slots=st.lists(st.integers(1, 25), min_size=1, max_size=12, unique=True),
+        k=st.integers(1, 4),
+    )
+    def test_incremental_equals_batch(self, slots, k):
+        """Incremental updates agree with the from-scratch formula."""
+        ev = TemporalQualityEvaluator(25, k)
+        for slot in slots:
+            ev.execute(slot)
+        expected = task_quality(25, k, {s: 1.0 for s in slots})
+        assert ev.quality == pytest.approx(expected)
+        assert ev.recompute_quality() == pytest.approx(expected)
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        slots=st.lists(st.integers(1, 25), min_size=1, max_size=10, unique=True),
+        lams=st.lists(st.floats(0.1, 1.0), min_size=10, max_size=10),
+        k=st.integers(1, 3),
+    )
+    def test_incremental_with_reliability(self, slots, lams, k):
+        ev = TemporalQualityEvaluator(25, k)
+        executed = {}
+        for slot, lam in zip(slots, lams):
+            ev.execute(slot, lam)
+            executed[slot] = lam
+        assert ev.quality == pytest.approx(task_quality(25, k, executed))
+
+
+class TestGains:
+    def test_gain_equals_commit_delta(self):
+        ev = TemporalQualityEvaluator(30, 3)
+        ev.execute(10)
+        gain = ev.gain_if_executed(20)
+        before = ev.quality
+        ev.execute(20)
+        assert ev.quality - before == pytest.approx(gain)
+
+    def test_full_rescan_equals_local(self):
+        ev = TemporalQualityEvaluator(30, 3)
+        for slot in (4, 15, 27):
+            ev.execute(slot)
+        for candidate in (1, 8, 20, 30):
+            assert ev.gain_full_rescan(candidate) == pytest.approx(
+                ev.gain_if_executed(candidate)
+            )
+
+    def test_gain_positive_under_unit_reliability(self):
+        ev = TemporalQualityEvaluator(30, 3)
+        ev.execute(5)
+        assert ev.gain_if_executed(20) > 0.0
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        slots=st.lists(st.integers(1, 30), max_size=8, unique=True),
+        candidate=st.integers(1, 30),
+        k=st.integers(1, 4),
+    )
+    def test_gain_matches_quality_difference(self, slots, candidate, k):
+        if candidate in slots:
+            return
+        executed = {s: 1.0 for s in slots}
+        before = task_quality(30, k, executed)
+        after = task_quality(30, k, {**executed, candidate: 1.0})
+        ev = TemporalQualityEvaluator(30, k)
+        for s in slots:
+            ev.execute(s)
+        assert ev.gain_if_executed(candidate) == pytest.approx(after - before)
+
+
+class TestAffectedWindow:
+    def test_window_contains_slot(self):
+        ev = TemporalQualityEvaluator(50, 3)
+        lo, hi = ev.affected_window(25)
+        assert lo <= 25 <= hi
+
+    def test_empty_set_affects_everything(self):
+        ev = TemporalQualityEvaluator(50, 3)
+        assert ev.affected_window(25) == (1, 50)
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        slots=st.lists(st.integers(1, 40), min_size=1, max_size=12, unique=True),
+        new=st.integers(1, 40),
+        k=st.integers(1, 3),
+    )
+    def test_slots_outside_window_unchanged(self, slots, new, k):
+        """Executing `new` must not change p outside its window."""
+        if new in slots:
+            return
+        ev = TemporalQualityEvaluator(40, k)
+        for s in slots:
+            ev.execute(s)
+        lo, hi = ev.affected_window(new)
+        outside_before = {u: ev.p(u) for u in range(1, 41) if not lo <= u <= hi}
+        ev.execute(new)
+        # Oracle recomputation for every outside slot.
+        for u, old in outside_before.items():
+            assert ev._p_of(u) == pytest.approx(old), f"slot {u} changed outside window"
+
+
+class TestNeighborQueries:
+    def test_kth_nn_distance(self):
+        ev = TemporalQualityEvaluator(30, 2)
+        assert ev.kth_nn_distance(10) == 30  # fewer than k neighbours
+        ev.execute(8)
+        ev.execute(13)
+        assert ev.kth_nn_distance(10) == 3
+
+    def test_farthest_neighbor(self):
+        ev = TemporalQualityEvaluator(30, 2)
+        assert ev.farthest_neighbor(10) is None
+        ev.execute(8, reliability=0.5)
+        ev.execute(13, reliability=0.9)
+        dist, lam = ev.farthest_neighbor(10)
+        assert (dist, lam) == (3, 0.9)
+
+    def test_knn_of(self):
+        ev = TemporalQualityEvaluator(30, 2)
+        for s in (5, 9, 20):
+            ev.execute(s)
+        assert ev.knn_of(7) == [5, 9]

@@ -1,0 +1,25 @@
+"""Smoke tests: every example script must run end to end.
+
+These execute the real example files (so they can never rot), with
+stdout captured; the slowest takes a few seconds.
+"""
+
+from __future__ import annotations
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).resolve().parents[1] / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100, f"{script.name} produced suspiciously little output"
+
+
+def test_examples_discovered():
+    assert len(EXAMPLES) >= 4

@@ -1,0 +1,170 @@
+"""Geometry substrate tests: points, boxes, distances, spatial indexes."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.geo.bbox import BoundingBox
+from repro.geo.distance import euclidean, manhattan, squared_euclidean
+from repro.geo.grid import GridIndex
+from repro.geo.kdtree import KDTree
+from repro.geo.point import Point
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_squared_distance(self):
+        assert Point(0, 0).squared_distance_to(Point(3, 4)) == pytest.approx(25.0)
+
+    def test_translated(self):
+        assert Point(1, 2).translated(3, -1) == Point(4, 1)
+
+    def test_ordering_lexicographic(self):
+        assert Point(1, 9) < Point(2, 0)
+        assert Point(1, 1) < Point(1, 2)
+
+    def test_as_tuple(self):
+        assert Point(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+    def test_hashable(self):
+        assert len({Point(1, 2), Point(1, 2), Point(2, 1)}) == 2
+
+
+class TestDistances:
+    def test_euclidean_symmetric(self):
+        a, b = Point(1, 7), Point(-2, 3)
+        assert euclidean(a, b) == pytest.approx(euclidean(b, a)) == pytest.approx(5.0)
+
+    def test_squared_consistent(self):
+        a, b = Point(0, 0), Point(2, 3)
+        assert squared_euclidean(a, b) == pytest.approx(euclidean(a, b) ** 2)
+
+    def test_manhattan(self):
+        assert manhattan(Point(0, 0), Point(2, -3)) == pytest.approx(5.0)
+
+
+class TestBoundingBox:
+    def test_square(self):
+        box = BoundingBox.square(10.0)
+        assert box.width == box.height == 10.0
+        assert box.center == Point(5.0, 5.0)
+        assert box.diagonal == pytest.approx(math.sqrt(200))
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BoundingBox(1, 1, 0, 0)
+
+    def test_contains_and_clamp(self):
+        box = BoundingBox.square(10.0)
+        assert box.contains(Point(5, 5))
+        assert not box.contains(Point(11, 5))
+        assert box.clamp(Point(11, -1)) == Point(10, 0)
+
+    def test_zero_area_allowed(self):
+        box = BoundingBox(2, 2, 2, 2)
+        assert box.diagonal == 0.0
+        assert box.contains(Point(2, 2))
+
+
+def _points_strategy(n_max=40):
+    coord = st.floats(0.0, 100.0, allow_nan=False, allow_infinity=False)
+    return st.lists(st.tuples(coord, coord), min_size=1, max_size=n_max, unique=True)
+
+
+class TestGridIndex:
+    def _make(self, coords):
+        bbox = BoundingBox.square(100.0)
+        return GridIndex.from_items(
+            bbox, [(i, Point(x, y)) for i, (x, y) in enumerate(coords)]
+        )
+
+    def test_nearest_simple(self):
+        index = self._make([(10, 10), (50, 50), (90, 90)])
+        key, dist = index.nearest(Point(12, 12))
+        assert key == 0
+        assert dist == pytest.approx(math.hypot(2, 2))
+
+    def test_empty(self):
+        index = GridIndex(BoundingBox.square(10.0))
+        assert index.nearest(Point(5, 5)) is None
+        assert index.k_nearest(Point(5, 5), 3) == []
+
+    def test_remove(self):
+        index = self._make([(10, 10), (20, 20)])
+        index.remove(0)
+        assert index.nearest(Point(10, 10))[0] == 1
+        with pytest.raises(KeyError):
+            index.remove(0)
+
+    def test_add_moves_existing_key(self):
+        index = self._make([(10, 10)])
+        index.add(0, Point(90, 90))
+        assert len(index) == 1
+        assert index.location_of(0) == Point(90, 90)
+
+    def test_k_larger_than_population(self):
+        index = self._make([(10, 10), (20, 20)])
+        assert len(index.k_nearest(Point(0, 0), 10)) == 2
+
+    def test_within_radius(self):
+        index = self._make([(10, 10), (11, 10), (50, 50)])
+        hits = index.within(Point(10, 10), 2.0)
+        assert [key for key, _ in hits] == [0, 1]
+
+    def test_rejects_bad_cell_size(self):
+        with pytest.raises(ConfigurationError):
+            GridIndex(BoundingBox.square(10.0), cell_size=0.0)
+
+    @settings(deadline=None)
+    @given(coords=_points_strategy(), qx=st.floats(0, 100), qy=st.floats(0, 100), k=st.integers(1, 5))
+    def test_knn_matches_brute_force(self, coords, qx, qy, k):
+        index = self._make(coords)
+        query = Point(qx, qy)
+        got = index.k_nearest(query, k)
+        expected = sorted(
+            ((query.distance_to(Point(x, y)), i) for i, (x, y) in enumerate(coords))
+        )[:k]
+        assert [d for _, d in got] == pytest.approx([d for d, _ in expected])
+
+
+class TestKDTree:
+    def test_nearest(self):
+        tree = KDTree([(i, Point(x, x)) for i, x in enumerate([1, 5, 9])])
+        assert tree.nearest(Point(4.6, 4.6))[0] == 1
+
+    def test_remove_tombstones(self):
+        tree = KDTree([(0, Point(1, 1)), (1, Point(2, 2))])
+        tree.remove(0)
+        assert 0 not in tree
+        assert len(tree) == 1
+        assert tree.nearest(Point(1, 1))[0] == 1
+        with pytest.raises(KeyError):
+            tree.remove(0)
+
+    def test_add(self):
+        tree = KDTree()
+        tree.add(7, Point(3, 3))
+        assert tree.nearest(Point(0, 0))[0] == 7
+
+    def test_exclude(self):
+        tree = KDTree([(0, Point(1, 1)), (1, Point(2, 2))])
+        assert tree.nearest(Point(1, 1), exclude={0})[0] == 1
+
+    @settings(deadline=None)
+    @given(coords=_points_strategy(25), qx=st.floats(0, 100), qy=st.floats(0, 100), k=st.integers(1, 4))
+    def test_matches_grid_index(self, coords, qx, qy, k):
+        """The two spatial indexes agree (they share the tie-break)."""
+        bbox = BoundingBox.square(100.0)
+        items = [(i, Point(x, y)) for i, (x, y) in enumerate(coords)]
+        grid = GridIndex.from_items(bbox, items)
+        tree = KDTree(items)
+        query = Point(qx, qy)
+        grid_d = [d for _, d in grid.k_nearest(query, k)]
+        tree_d = [d for _, d in tree.k_nearest(query, k)]
+        assert grid_d == pytest.approx(tree_d)

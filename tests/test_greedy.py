@@ -1,0 +1,204 @@
+"""Tests for the single-task solvers (Algorithm 1, Approx, Approx*)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.baselines import OptimalSolver, RandomAssignmentSolver
+from repro.core.greedy import (
+    IndexedSingleTaskGreedy,
+    SingleTaskGreedy,
+    single_slot_quality,
+    single_slot_quality_table,
+)
+from repro.core.quality import task_quality
+from repro.engine.costs import SingleTaskCostTable
+from repro.errors import ConfigurationError
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+
+
+class TestSingleSlotQuality:
+    def test_table_matches_direct(self):
+        m, k = 25, 3
+        table = single_slot_quality_table(m, k)
+        for h in (1, 7, 13, 25):
+            assert table[h] == pytest.approx(single_slot_quality(m, k, h))
+
+    def test_matches_task_quality(self):
+        m, k = 20, 2
+        for h in (1, 10, 20):
+            assert single_slot_quality(m, k, h) == pytest.approx(
+                task_quality(m, k, {h: 1.0})
+            )
+
+    def test_middle_is_best(self):
+        m = 31
+        table = single_slot_quality_table(m, 3)
+        assert max(range(1, m + 1), key=lambda h: table[h]) == 16
+
+    def test_reliability_scales_down(self):
+        assert single_slot_quality(20, 3, 10, 0.5) < single_slot_quality(20, 3, 10, 1.0)
+
+    def test_rejects_bad_slot(self):
+        with pytest.raises(ConfigurationError):
+            single_slot_quality(10, 3, 11)
+
+
+class TestSolverEquivalence:
+    def test_all_three_produce_identical_plans(self, small_scenario, small_costs):
+        task = small_scenario.single_task
+        budget = small_scenario.budget
+        full = SingleTaskGreedy(task, small_costs, budget=budget, strategy="full").solve()
+        local = SingleTaskGreedy(task, small_costs, budget=budget, strategy="local").solve()
+        indexed = IndexedSingleTaskGreedy(task, small_costs, budget=budget).solve()
+        assert full.assignment.plan_signature() == local.assignment.plan_signature()
+        assert local.assignment.plan_signature() == indexed.assignment.plan_signature()
+        assert full.quality == pytest.approx(indexed.quality)
+
+    def test_equivalence_across_ts(self, small_scenario, small_costs):
+        task = small_scenario.single_task
+        budget = small_scenario.budget
+        reference = None
+        for ts in (1, 2, 4, 9):
+            result = IndexedSingleTaskGreedy(task, small_costs, budget=budget, ts=ts).solve()
+            if reference is None:
+                reference = result.assignment.plan_signature()
+            else:
+                assert result.assignment.plan_signature() == reference
+
+    def test_equivalence_across_k(self, small_scenario, small_costs):
+        task = small_scenario.single_task
+        for k in (1, 2, 5):
+            local = SingleTaskGreedy(
+                task, small_costs, k=k, budget=small_scenario.budget, strategy="local"
+            ).solve()
+            indexed = IndexedSingleTaskGreedy(
+                task, small_costs, k=k, budget=small_scenario.budget
+            ).solve()
+            assert local.assignment.plan_signature() == indexed.assignment.plan_signature()
+
+    def test_medium_scenario_equivalence(self, medium_scenario, medium_costs):
+        task = medium_scenario.single_task
+        budget = medium_scenario.budget
+        local = SingleTaskGreedy(task, medium_costs, budget=budget, strategy="local").solve()
+        indexed = IndexedSingleTaskGreedy(task, medium_costs, budget=budget).solve()
+        assert local.assignment.plan_signature() == indexed.assignment.plan_signature()
+
+
+class TestSolverInvariants:
+    def test_budget_respected(self, small_scenario, small_costs):
+        result = IndexedSingleTaskGreedy(
+            small_scenario.single_task, small_costs, budget=small_scenario.budget
+        ).solve()
+        assert result.spent <= small_scenario.budget + 1e-9
+        assert result.assignment.total_cost == pytest.approx(result.spent)
+
+    def test_quality_matches_reference(self, small_scenario, small_costs):
+        result = IndexedSingleTaskGreedy(
+            small_scenario.single_task, small_costs, budget=small_scenario.budget
+        ).solve()
+        executed = {
+            r.slot: small_costs.reliability(r.slot) for r in result.assignment
+        }
+        expected = task_quality(small_scenario.single_task.num_slots, 3, executed)
+        assert result.quality == pytest.approx(expected)
+
+    def test_heuristics_non_increasing(self, small_scenario, small_costs):
+        """Submodularity + static costs => the greedy stream's chosen
+        heuristic values never increase."""
+        result = IndexedSingleTaskGreedy(
+            small_scenario.single_task, small_costs, budget=small_scenario.budget
+        ).solve()
+        heuristics = [step.heuristic for step in result.steps]
+        assert len(heuristics) > 2
+        for earlier, later in zip(heuristics, heuristics[1:]):
+            assert later <= earlier + 1e-9
+
+    def test_zero_budget_yields_empty(self, small_scenario, small_costs):
+        result = IndexedSingleTaskGreedy(
+            small_scenario.single_task, small_costs, budget=0.0
+        ).solve()
+        assert len(result.assignment) == 0
+        assert result.quality == 0.0
+
+    def test_huge_budget_executes_everything(self, small_scenario, small_costs):
+        result = IndexedSingleTaskGreedy(
+            small_scenario.single_task, small_costs, budget=1e12
+        ).solve()
+        assert len(result.assignment) == len(small_costs.assignable_slots)
+
+    def test_quality_increases_with_budget(self, small_scenario, small_costs):
+        qualities = []
+        for fraction in (0.1, 0.3, 0.6):
+            result = IndexedSingleTaskGreedy(
+                small_scenario.single_task,
+                small_costs,
+                budget=fraction * small_costs.total_cost,
+            ).solve()
+            qualities.append(result.quality)
+        assert qualities == sorted(qualities)
+
+    def test_rejects_unknown_strategy(self, small_scenario, small_costs):
+        with pytest.raises(ConfigurationError):
+            SingleTaskGreedy(
+                small_scenario.single_task,
+                small_costs,
+                budget=1.0,
+                strategy="warp-speed",
+            )
+
+    def test_counters_populated(self, small_scenario, small_costs):
+        result = IndexedSingleTaskGreedy(
+            small_scenario.single_task, small_costs, budget=small_scenario.budget
+        ).solve()
+        assert result.counters.iterations == len(result.steps)
+        assert result.counters.knn_queries > 0
+        assert result.counters.tree_node_updates > 0
+
+
+class TestApproximationGuarantee:
+    def _tiny_instance(self, seed):
+        scenario = build_scenario(
+            ScenarioConfig(num_tasks=1, num_slots=10, num_workers=120, seed=seed)
+        )
+        costs = SingleTaskCostTable(scenario.single_task, scenario.fresh_registry())
+        budget = 0.5 * costs.total_cost
+        return scenario.single_task, costs, budget
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_greedy_within_guarantee_of_opt(self, seed):
+        """q(greedy) >= (1 - 1/sqrt(e)) q(OPT) — usually far better."""
+        task, costs, budget = self._tiny_instance(seed)
+        greedy = SingleTaskGreedy(task, costs, budget=budget, strategy="local").solve()
+        opt = OptimalSolver(task, costs, budget=budget).solve()
+        ratio = 1.0 - 1.0 / math.sqrt(math.e)
+        assert greedy.quality >= ratio * opt.quality - 1e-9
+        assert greedy.quality <= opt.quality + 1e-9
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_greedy_beats_random_average(self, seed):
+        task, costs, budget = self._tiny_instance(seed)
+        greedy = SingleTaskGreedy(task, costs, budget=budget, strategy="local").solve()
+        rand = RandomAssignmentSolver(task, costs, budget=budget, seed=seed).run_trials(10)
+        assert greedy.quality >= rand.avg - 1e-9
+
+
+class TestLineThree:
+    def test_single_best_used_when_stream_is_worse(self):
+        """With budget for exactly one expensive-but-central subtask, the
+        final answer must be max(single best, stream)."""
+        scenario = build_scenario(
+            ScenarioConfig(num_tasks=1, num_slots=15, num_workers=150, seed=13)
+        )
+        costs = SingleTaskCostTable(scenario.single_task, scenario.fresh_registry())
+        cheapest = min(costs.cost(s) for s in costs.assignable_slots)
+        result = SingleTaskGreedy(
+            scenario.single_task, costs, budget=cheapest, strategy="local"
+        ).solve()
+        # The best single affordable subtask is at least as good as the
+        # stream under the same budget.
+        assert len(result.assignment) <= 1
+        if result.steps:
+            assert result.quality > 0.0

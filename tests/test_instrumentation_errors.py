@@ -1,0 +1,72 @@
+"""Tests for operation counters and the error hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instrumentation import OpCounters
+from repro.errors import (
+    BudgetExhaustedError,
+    ConfigurationError,
+    InfeasibleAssignmentError,
+    SchedulingError,
+    TCSCError,
+    WorkerUnavailableError,
+)
+
+
+class TestOpCounters:
+    def test_merge(self):
+        a = OpCounters(knn_queries=2, iterations=1)
+        b = OpCounters(knn_queries=3, slot_evaluations=5)
+        a.merge(b)
+        assert a.knn_queries == 5
+        assert a.slot_evaluations == 5
+        assert a.iterations == 1
+
+    def test_snapshot_and_delta(self):
+        counters = OpCounters(knn_queries=2)
+        snap = counters.snapshot()
+        counters.knn_queries += 7
+        counters.gain_evaluations += 1
+        delta = counters.delta_since(snap)
+        assert delta.knn_queries == 7
+        assert delta.gain_evaluations == 1
+        assert snap.knn_queries == 2  # snapshot unaffected
+
+    def test_pruning_ratio(self):
+        counters = OpCounters(candidates_total=100, candidates_pruned=80)
+        assert counters.pruning_ratio == pytest.approx(0.8)
+        assert OpCounters().pruning_ratio == 0.0
+
+    def test_virtual_cost_weights(self):
+        counters = OpCounters(knn_queries=1, slot_evaluations=1, gain_evaluations=1,
+                              worker_cost_lookups=1, tree_node_visits=1, tree_node_updates=1)
+        assert counters.virtual_cost() == pytest.approx(1 + 1 + 2 + 3 + 0.5 + 0.5)
+
+    def test_virtual_cost_monotone(self):
+        small = OpCounters(knn_queries=1)
+        big = OpCounters(knn_queries=100, gain_evaluations=20)
+        assert big.virtual_cost() > small.virtual_cost()
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            InfeasibleAssignmentError,
+            BudgetExhaustedError,
+            WorkerUnavailableError,
+            SchedulingError,
+        ],
+    )
+    def test_all_derive_from_base(self, exc):
+        assert issubclass(exc, TCSCError)
+
+    def test_configuration_error_is_value_error(self):
+        assert issubclass(ConfigurationError, ValueError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(TCSCError):
+            raise BudgetExhaustedError("out of money")

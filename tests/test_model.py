@@ -1,0 +1,172 @@
+"""Tests for the domain model: tasks, workers, assignments, budgets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BudgetExhaustedError, ConfigurationError, WorkerUnavailableError
+from repro.geo.point import Point
+from repro.model.assignment import Assignment, AssignmentRecord, Budget
+from repro.model.task import Task, TaskSet
+from repro.model.worker import Worker, WorkerPool
+
+
+class TestTask:
+    def test_basic_properties(self):
+        task = Task(1, Point(3, 4), 10)
+        assert task.m == 10
+        assert list(task.slots) == list(range(1, 11))
+        assert task.global_slot(1) == 1
+        assert task.temporal_distance(2, 4) == 2
+
+    def test_start_slot_offsets_global(self):
+        task = Task(1, Point(0, 0), 5, start_slot=10)
+        assert task.global_slot(1) == 10
+        assert task.global_slot(5) == 14
+
+    def test_rejects_tiny_m(self):
+        with pytest.raises(ConfigurationError):
+            Task(1, Point(0, 0), 2)
+
+    def test_rejects_bad_start(self):
+        with pytest.raises(ConfigurationError):
+            Task(1, Point(0, 0), 5, start_slot=0)
+
+    def test_global_slot_bounds(self):
+        task = Task(1, Point(0, 0), 5)
+        with pytest.raises(ConfigurationError):
+            task.global_slot(0)
+        with pytest.raises(ConfigurationError):
+            task.global_slot(6)
+
+    def test_frozen(self):
+        task = Task(1, Point(0, 0), 5)
+        with pytest.raises(AttributeError):
+            task.num_slots = 7
+
+
+class TestTaskSet:
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TaskSet([Task(1, Point(0, 0), 5), Task(1, Point(1, 1), 5)])
+
+    def test_add_and_lookup(self):
+        tasks = TaskSet()
+        tasks.add(Task(7, Point(0, 0), 5))
+        assert tasks.by_id(7).task_id == 7
+        with pytest.raises(KeyError):
+            tasks.by_id(8)
+        with pytest.raises(ConfigurationError):
+            tasks.add(Task(7, Point(1, 1), 5))
+
+    def test_totals(self):
+        tasks = TaskSet([Task(1, Point(0, 0), 5), Task(2, Point(0, 0), 7, start_slot=3)])
+        assert tasks.total_slots == 12
+        assert tasks.max_global_slot == 9
+        assert len(tasks) == 2
+        assert tasks[0].task_id == 1
+
+    def test_empty(self):
+        assert TaskSet().max_global_slot == 0
+
+
+class TestWorker:
+    def test_availability(self):
+        worker = Worker(1, {3: Point(0, 0), 5: Point(1, 1)})
+        assert worker.is_available(3)
+        assert not worker.is_available(4)
+        assert worker.location_at(5) == Point(1, 1)
+        assert worker.active_slots == [3, 5]
+
+    def test_location_at_unavailable_raises(self):
+        worker = Worker(1, {3: Point(0, 0)})
+        with pytest.raises(WorkerUnavailableError):
+            worker.location_at(9)
+
+    def test_reliability_bounds(self):
+        with pytest.raises(ConfigurationError):
+            Worker(1, {}, reliability=1.2)
+        with pytest.raises(ConfigurationError):
+            Worker(1, {}, reliability=-0.1)
+
+    def test_rejects_bad_slots(self):
+        with pytest.raises(ConfigurationError):
+            Worker(1, {0: Point(0, 0)})
+
+
+class TestWorkerPool:
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkerPool([Worker(1, {}), Worker(1, {})])
+
+    def test_available_at(self):
+        pool = WorkerPool(
+            [Worker(2, {1: Point(0, 0)}), Worker(1, {1: Point(1, 1)}), Worker(3, {2: Point(0, 0)})]
+        )
+        available = pool.available_at(1)
+        assert [w.worker_id for w in available] == [1, 2]
+
+    def test_max_slot(self):
+        pool = WorkerPool([Worker(1, {4: Point(0, 0)}), Worker(2, {})])
+        assert pool.max_slot == 4
+        assert WorkerPool([]).max_slot == 0
+
+    def test_by_id(self):
+        pool = WorkerPool([Worker(5, {})])
+        assert pool.by_id(5).worker_id == 5
+        with pytest.raises(KeyError):
+            pool.by_id(6)
+
+
+class TestAssignment:
+    def test_add_rejects_duplicate_slot(self):
+        assignment = Assignment()
+        assignment.add(AssignmentRecord(1, 2, 10, 1.0))
+        with pytest.raises(ConfigurationError):
+            assignment.add(AssignmentRecord(1, 2, 11, 2.0))
+
+    def test_total_cost_and_queries(self):
+        assignment = Assignment()
+        assignment.add(AssignmentRecord(1, 2, 10, 1.0))
+        assignment.add(AssignmentRecord(1, 5, 10, 2.0))
+        assignment.add(AssignmentRecord(2, 2, 11, 3.0))
+        assert assignment.total_cost == pytest.approx(6.0)
+        assert assignment.executed_slots(1) == [2, 5]
+        assert len(assignment.records_for(2)) == 1
+        assert assignment.worker_load() == {10: 2, 11: 1}
+        assert assignment.plan_signature() == ((1, 2, 10), (1, 5, 10), (2, 2, 11))
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AssignmentRecord(1, 2, 3, -1.0)
+
+
+class TestBudget:
+    def test_charge_and_remaining(self):
+        budget = Budget(10.0)
+        budget.charge(4.0)
+        assert budget.spent == pytest.approx(4.0)
+        assert budget.remaining == pytest.approx(6.0)
+        assert budget.can_afford(6.0)
+        assert not budget.can_afford(6.1)
+
+    def test_overcharge_raises(self):
+        budget = Budget(1.0)
+        with pytest.raises(BudgetExhaustedError):
+            budget.charge(2.0)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Budget(1.0).charge(-0.5)
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Budget(-1.0)
+
+    def test_fork_is_independent(self):
+        budget = Budget(10.0)
+        budget.charge(3.0)
+        clone = budget.fork()
+        clone.charge(2.0)
+        assert budget.spent == pytest.approx(3.0)
+        assert clone.spent == pytest.approx(5.0)

@@ -1,0 +1,248 @@
+"""Tests for the multi-task solvers: MSQM, MMQM, conflicts, grouping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.quality import task_quality
+from repro.multi.conflicts import build_independence_graph, detect_conflicts, independent_groups
+from repro.multi.grouping import GroupLevelParallelSolver
+from repro.multi.mmqm import MinQualityGreedy
+from repro.multi.msqm import SumQualityGreedy
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+from repro.workloads.spatial import Distribution
+
+
+def shared_budget(scenario):
+    """Scale the per-task average budget to the whole task set."""
+    return scenario.budget * len(scenario.tasks)
+
+
+class TestSumQualityGreedy:
+    def test_budget_respected(self, multi_scenario):
+        budget = shared_budget(multi_scenario)
+        result = SumQualityGreedy(
+            multi_scenario.tasks, multi_scenario.fresh_registry(), budget=budget
+        ).solve()
+        assert result.spent <= budget + 1e-9
+        assert result.assignment.total_cost == pytest.approx(result.spent)
+
+    def test_deterministic(self, multi_scenario):
+        budget = shared_budget(multi_scenario)
+        a = SumQualityGreedy(
+            multi_scenario.tasks, multi_scenario.fresh_registry(), budget=budget
+        ).solve()
+        b = SumQualityGreedy(
+            multi_scenario.tasks, multi_scenario.fresh_registry(), budget=budget
+        ).solve()
+        assert a.plan_signature() == b.plan_signature()
+
+    def test_indexed_equals_enumerated(self, multi_scenario):
+        budget = shared_budget(multi_scenario)
+        indexed = SumQualityGreedy(
+            multi_scenario.tasks, multi_scenario.fresh_registry(), budget=budget,
+            use_index=True,
+        ).solve()
+        plain = SumQualityGreedy(
+            multi_scenario.tasks, multi_scenario.fresh_registry(), budget=budget,
+            use_index=False,
+        ).solve()
+        assert indexed.plan_signature() == plain.plan_signature()
+
+    def test_qualities_match_reference(self, multi_scenario):
+        budget = shared_budget(multi_scenario)
+        result = SumQualityGreedy(
+            multi_scenario.tasks, multi_scenario.fresh_registry(), budget=budget
+        ).solve()
+        for task in multi_scenario.tasks:
+            slots = result.assignment.executed_slots(task.task_id)
+            expected = task_quality(task.num_slots, 3, {s: 1.0 for s in slots})
+            assert result.qualities[task.task_id] == pytest.approx(expected)
+        assert result.sum_quality == pytest.approx(sum(result.qualities.values()))
+
+    def test_workers_not_double_booked(self, multi_scenario):
+        budget = shared_budget(multi_scenario)
+        result = SumQualityGreedy(
+            multi_scenario.tasks, multi_scenario.fresh_registry(), budget=budget
+        ).solve()
+        seen = set()
+        tasks = {t.task_id: t for t in multi_scenario.tasks}
+        for record in result.assignment:
+            key = (record.worker_id, tasks[record.task_id].global_slot(record.slot))
+            assert key not in seen, "worker assigned twice at one slot"
+            seen.add(key)
+
+    def test_heuristics_non_increasing(self, multi_scenario):
+        result = SumQualityGreedy(
+            multi_scenario.tasks,
+            multi_scenario.fresh_registry(),
+            budget=shared_budget(multi_scenario),
+        ).solve()
+        heuristics = [step.heuristic for step in result.steps]
+        for earlier, later in zip(heuristics, heuristics[1:]):
+            assert later <= earlier + 1e-9
+
+    def test_conflicts_reported(self):
+        scenario = build_scenario(
+            ScenarioConfig(
+                num_tasks=10,
+                num_slots=30,
+                num_workers=60,
+                seed=4,
+                distribution=Distribution.GAUSSIAN,
+            )
+        )
+        result = SumQualityGreedy(
+            scenario.tasks, scenario.fresh_registry(), budget=shared_budget(scenario)
+        ).solve()
+        assert result.conflict_count == result.counters.conflicts_detected
+        assert result.conflict_count > 0
+
+    def test_zero_budget(self, multi_scenario):
+        result = SumQualityGreedy(
+            multi_scenario.tasks, multi_scenario.fresh_registry(), budget=0.0
+        ).solve()
+        assert len(result.assignment) == 0
+        assert result.sum_quality == 0.0
+
+
+class TestMinQualityGreedy:
+    def test_budget_respected(self, multi_scenario):
+        budget = shared_budget(multi_scenario)
+        result = MinQualityGreedy(
+            multi_scenario.tasks, multi_scenario.fresh_registry(), budget=budget
+        ).solve()
+        assert result.spent <= budget + 1e-9
+
+    def test_min_quality_at_least_sum_solver(self, multi_scenario):
+        """MMQM optimizes the weakest task: its qmin should not lose to
+        the sum-objective solver's qmin."""
+        budget = shared_budget(multi_scenario)
+        mmqm = MinQualityGreedy(
+            multi_scenario.tasks, multi_scenario.fresh_registry(), budget=budget
+        ).solve()
+        msqm = SumQualityGreedy(
+            multi_scenario.tasks, multi_scenario.fresh_registry(), budget=budget
+        ).solve()
+        assert mmqm.min_quality >= msqm.min_quality - 1e-9
+
+    def test_every_task_receives_slots_under_ample_budget(self, multi_scenario):
+        result = MinQualityGreedy(
+            multi_scenario.tasks,
+            multi_scenario.fresh_registry(),
+            budget=shared_budget(multi_scenario),
+        ).solve()
+        for task in multi_scenario.tasks:
+            assert result.assignment.executed_slots(task.task_id)
+
+    def test_indexed_equals_enumerated(self, multi_scenario):
+        budget = shared_budget(multi_scenario)
+        indexed = MinQualityGreedy(
+            multi_scenario.tasks, multi_scenario.fresh_registry(), budget=budget,
+            use_index=True,
+        ).solve()
+        plain = MinQualityGreedy(
+            multi_scenario.tasks, multi_scenario.fresh_registry(), budget=budget,
+            use_index=False,
+        ).solve()
+        assert indexed.plan_signature() == plain.plan_signature()
+
+    def test_deterministic(self, multi_scenario):
+        budget = shared_budget(multi_scenario)
+        a = MinQualityGreedy(
+            multi_scenario.tasks, multi_scenario.fresh_registry(), budget=budget
+        ).solve()
+        b = MinQualityGreedy(
+            multi_scenario.tasks, multi_scenario.fresh_registry(), budget=budget
+        ).solve()
+        assert a.plan_signature() == b.plan_signature()
+
+
+class TestConflicts:
+    def _contended_scenario(self):
+        return build_scenario(
+            ScenarioConfig(
+                num_tasks=8,
+                num_slots=20,
+                num_workers=30,
+                seed=6,
+                distribution=Distribution.GAUSSIAN,
+            )
+        )
+
+    def test_detect_conflicts_finds_shared_workers(self):
+        scenario = self._contended_scenario()
+        records = detect_conflicts(scenario.tasks, scenario.fresh_registry())
+        assert records, "contended scenario should show rank-1 conflicts"
+        for record in records:
+            assert len(record.task_ids) >= 2
+            assert record.rank == 1
+
+    def test_independence_graph_superset_of_rank1(self):
+        scenario = self._contended_scenario()
+        registry = scenario.fresh_registry()
+        rank1 = detect_conflicts(scenario.tasks, registry)
+        edges, ranks = build_independence_graph(scenario.tasks, registry)
+        rank1_pairs = {
+            (a, b)
+            for record in rank1
+            for i, a in enumerate(record.task_ids)
+            for b in record.task_ids[i + 1 :]
+        }
+        assert rank1_pairs <= edges
+        # Ranks follow the degree+1 rule.
+        degree = {t.task_id: 0 for t in scenario.tasks}
+        for a, b in edges:
+            degree[a] += 1
+            degree[b] += 1
+        for task_id, rank in ranks.items():
+            assert rank == degree[task_id] + 1
+
+    def test_groups_partition_tasks(self):
+        scenario = self._contended_scenario()
+        groups = independent_groups(scenario.tasks, scenario.fresh_registry())
+        flattened = sorted(tid for group in groups for tid in group)
+        assert flattened == sorted(t.task_id for t in scenario.tasks)
+
+    def test_no_cross_group_rank1_conflicts(self):
+        scenario = self._contended_scenario()
+        registry = scenario.fresh_registry()
+        groups = independent_groups(scenario.tasks, registry)
+        group_of = {tid: i for i, group in enumerate(groups) for tid in group}
+        for record in detect_conflicts(scenario.tasks, scenario.fresh_registry()):
+            group_ids = {group_of[tid] for tid in record.task_ids}
+            assert len(group_ids) == 1
+
+
+class TestGroupLevelSolver:
+    def test_covers_all_tasks_and_budget(self, multi_scenario):
+        budget = shared_budget(multi_scenario)
+        solver = GroupLevelParallelSolver(
+            multi_scenario.tasks, multi_scenario.fresh_registry(), budget=budget, cores=4
+        )
+        result = solver.solve()
+        assert set(result.qualities) == {t.task_id for t in multi_scenario.tasks}
+        assert result.spent <= budget + 1e-9
+        assert result.virtual_time is not None and result.virtual_time > 0
+
+    def test_group_sizes_sum_to_task_count(self, multi_scenario):
+        solver = GroupLevelParallelSolver(
+            multi_scenario.tasks,
+            multi_scenario.fresh_registry(),
+            budget=shared_budget(multi_scenario),
+            cores=4,
+        )
+        assert sum(solver.group_sizes()) == len(multi_scenario.tasks)
+
+    def test_more_cores_never_slower(self, multi_scenario):
+        budget = shared_budget(multi_scenario)
+        times = []
+        for cores in (1, 2, 8):
+            solver = GroupLevelParallelSolver(
+                multi_scenario.tasks,
+                multi_scenario.fresh_registry(),
+                budget=budget,
+                cores=cores,
+            )
+            times.append(solver.solve().virtual_time)
+        assert times[0] >= times[1] >= times[2]

@@ -1,0 +1,206 @@
+"""Tests for the entropy quality metric (Section II, Eq. 1-5).
+
+Includes the paper's worked example (Fig. 2 / Section II-B) and
+hypothesis property tests for Lemmas 6-7 (submodularity and
+non-decreasingness of the finishing probability) and Lemma 2
+(monotone, bounded task quality).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.quality import (
+    entropy_term,
+    error_ratio,
+    finishing_probability,
+    interpolation_neighbors,
+    max_quality,
+    task_quality,
+)
+from repro.errors import ConfigurationError
+
+
+class TestEntropyTerm:
+    def test_zero(self):
+        assert entropy_term(0.0) == 0.0
+
+    def test_known_value(self):
+        assert entropy_term(0.5) == pytest.approx(0.5)
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            entropy_term(-0.1)
+        with pytest.raises(ConfigurationError):
+            entropy_term(1.1)
+
+    def test_increasing_below_one_over_e(self):
+        xs = [i / 1000 for i in range(1, int(1000 / math.e))]
+        values = [entropy_term(x) for x in xs]
+        assert values == sorted(values)
+
+
+class TestErrorRatio:
+    def test_paper_example(self):
+        """Section II-B: m=100, k=2, tau(1) interpolated by {tau(2),
+        tau(4)} at distances 1 and 3 -> rho = (1+3)/(2*100) = 0.02."""
+        rho = error_ratio(100, 2, [(1, 1.0), (3, 1.0)])
+        assert rho == pytest.approx(0.02)
+
+    def test_no_neighbors_is_total_loss(self):
+        assert error_ratio(50, 3, []) == pytest.approx(1.0)
+
+    def test_footnote2_missing_neighbor(self):
+        # One of two neighbours missing: it contributes distance m.
+        rho = error_ratio(10, 2, [(1, 1.0)])
+        assert rho == pytest.approx((1 + 10) / (2 * 10))
+
+    def test_reliability_weighting(self):
+        # Eq. 5: distances weighted by worker reliability.
+        rho = error_ratio(10, 1, [(4, 0.5)])
+        assert rho == pytest.approx(0.5 * 4 / 10)
+
+    def test_too_many_neighbors_rejected(self):
+        with pytest.raises(ConfigurationError):
+            error_ratio(10, 1, [(1, 1.0), (2, 1.0)])
+
+    def test_range(self):
+        assert 0.0 <= error_ratio(20, 3, [(1, 1.0), (5, 1.0), (19, 1.0)]) <= 1.0
+
+
+class TestFinishingProbability:
+    def test_executed(self):
+        assert finishing_probability(10, 3, None, executed_reliability=1.0) == pytest.approx(0.1)
+
+    def test_executed_with_reliability(self):
+        assert finishing_probability(10, 3, None, executed_reliability=0.6) == pytest.approx(0.06)
+
+    def test_unexecuted_equals_one_minus_rho_over_m(self):
+        m, k = 100, 2
+        neighbors = [(1, 1.0), (3, 1.0)]
+        p = finishing_probability(m, k, neighbors)
+        rho = error_ratio(m, k, neighbors)
+        assert p == pytest.approx((1 - rho) / m)
+
+    def test_no_neighbors_zero(self):
+        assert finishing_probability(10, 3, []) == 0.0
+
+    def test_never_exceeds_one_over_m(self):
+        p = finishing_probability(10, 1, [(1, 1.0)])
+        assert p <= 1.0 / 10
+
+    def test_rejects_contradictory_arguments(self):
+        with pytest.raises(ConfigurationError):
+            finishing_probability(10, 3, [(1, 1.0)], executed_reliability=1.0)
+        with pytest.raises(ConfigurationError):
+            finishing_probability(10, 3, None)
+
+    def test_rejects_bad_distance(self):
+        with pytest.raises(ConfigurationError):
+            finishing_probability(10, 1, [(0, 1.0)])
+        with pytest.raises(ConfigurationError):
+            finishing_probability(10, 1, [(11, 1.0)])
+
+
+class TestInterpolationNeighbors:
+    def test_paper_example(self):
+        # Fig. 2: tau(1)'s 2-NN among executed {2, 4} is {2, 4}.
+        assert interpolation_neighbors(1, [2, 4], 2) == [2, 4]
+
+    def test_excludes_self(self):
+        assert interpolation_neighbors(3, [3, 5], 2) == [5]
+
+    def test_tie_breaks_to_smaller(self):
+        assert interpolation_neighbors(5, [3, 7], 1) == [3]
+
+
+class TestTaskQuality:
+    def test_empty_is_zero(self):
+        assert task_quality(10, 3, {}) == 0.0
+
+    def test_all_executed_is_log2_m(self):
+        m = 16
+        q = task_quality(m, 3, {j: 1.0 for j in range(1, m + 1)})
+        assert q == pytest.approx(math.log2(m))
+        assert max_quality(m) == pytest.approx(math.log2(m))
+
+    def test_bounded(self):
+        q = task_quality(20, 3, {1: 1.0, 10: 1.0})
+        assert 0.0 < q < math.log2(20)
+
+    def test_middle_slot_beats_corner(self):
+        """A single executed slot in the middle interpolates better."""
+        m = 21
+        assert task_quality(m, 3, {11: 1.0}) > task_quality(m, 3, {1: 1.0})
+
+    def test_rejects_out_of_range_slot(self):
+        with pytest.raises(ConfigurationError):
+            task_quality(10, 3, {11: 1.0})
+
+    def test_rejects_tiny_m(self):
+        with pytest.raises(ConfigurationError):
+            task_quality(2, 3, {})
+
+
+# ---------------------------------------------------------------------------
+# Property tests for the paper's lemmas
+# ---------------------------------------------------------------------------
+_M = 30
+
+
+def _p_of(slot: int, executed: set[int], k: int) -> float:
+    """Reference finishing probability under unit reliability."""
+    if slot in executed:
+        return 1.0 / _M
+    nn = interpolation_neighbors(slot, sorted(executed), k)
+    return finishing_probability(_M, k, [(abs(e - slot), 1.0) for e in nn])
+
+
+@given(
+    executed=st.sets(st.integers(1, _M), max_size=10),
+    extra=st.integers(1, _M),
+    slot=st.integers(1, _M),
+    k=st.integers(1, 4),
+)
+def test_lemma7_p_is_non_decreasing(executed, extra, slot, k):
+    """Executing one more subtask never lowers any p(j) (Lemma 7)."""
+    before = _p_of(slot, executed, k)
+    after = _p_of(slot, executed | {extra}, k)
+    assert after >= before - 1e-12
+
+
+@given(
+    executed=st.sets(st.integers(1, _M), max_size=10),
+    extra=st.integers(1, _M),
+    slot=st.integers(1, _M),
+    k=st.integers(1, 4),
+)
+def test_lemma6_p_is_submodular(executed, extra, slot, k):
+    """p(S ∩ {e}) + p(S ∪ {e}) <= p(S) + p({e}) (Lemma 6)."""
+    s = executed
+    e = {extra}
+    lhs = _p_of(slot, s & e, k) + _p_of(slot, s | e, k)
+    rhs = _p_of(slot, s, k) + _p_of(slot, e, k)
+    assert lhs <= rhs + 1e-12
+
+
+@given(
+    executed=st.sets(st.integers(1, _M), max_size=10),
+    extra=st.integers(1, _M),
+    k=st.integers(1, 4),
+)
+def test_lemma2_quality_is_monotone(executed, extra, k):
+    """q is non-decreasing in the executed set (Lemma 2)."""
+    before = task_quality(_M, k, {j: 1.0 for j in executed})
+    after = task_quality(_M, k, {j: 1.0 for j in executed | {extra}})
+    assert after >= before - 1e-12
+
+
+@given(executed=st.sets(st.integers(1, _M), max_size=12), k=st.integers(1, 4))
+def test_quality_bounds(executed, k):
+    """0 <= q <= log2 m always."""
+    q = task_quality(_M, k, {j: 1.0 for j in executed})
+    assert -1e-12 <= q <= math.log2(_M) + 1e-12

@@ -1,0 +1,109 @@
+"""Tests for execution realization (failure injection)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.greedy import IndexedSingleTaskGreedy
+from repro.engine.costs import SingleTaskCostTable
+from repro.engine.realization import expected_realized_quality, simulate_execution
+from repro.model.task import TaskSet
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+
+
+def make_instance(reliability_range, seed=37):
+    scenario = build_scenario(
+        ScenarioConfig(
+            num_tasks=1,
+            num_slots=30,
+            num_workers=200,
+            seed=seed,
+            reliability_range=reliability_range,
+        )
+    )
+    costs = SingleTaskCostTable(scenario.single_task, scenario.fresh_registry())
+    result = IndexedSingleTaskGreedy(
+        scenario.single_task, costs, budget=scenario.budget
+    ).solve()
+    return scenario, result
+
+
+class TestSimulateExecution:
+    def test_perfect_workers_complete_everything(self):
+        scenario, result = make_instance((1.0, 1.0))
+        outcome = simulate_execution(
+            scenario.tasks, scenario.pool, result.assignment, seed=1
+        )
+        assert outcome.completion_rate == 1.0
+        assert not outcome.failed
+        task_id = scenario.single_task.task_id
+        assert outcome.qualities[task_id] == pytest.approx(result.quality)
+
+    def test_unreliable_workers_fail_sometimes(self):
+        scenario, result = make_instance((0.2, 0.6))
+        outcome = simulate_execution(
+            scenario.tasks, scenario.pool, result.assignment, seed=1
+        )
+        assert outcome.failed, "some assignments should fail at lambda <= 0.6"
+        assert 0.0 < outcome.completion_rate < 1.0
+        assert set(outcome.completed) | set(outcome.failed) == {
+            (r.task_id, r.slot) for r in result.assignment
+        }
+
+    def test_deterministic_per_seed(self):
+        scenario, result = make_instance((0.3, 0.9))
+        a = simulate_execution(scenario.tasks, scenario.pool, result.assignment, seed=5)
+        b = simulate_execution(scenario.tasks, scenario.pool, result.assignment, seed=5)
+        assert a.completed == b.completed
+
+    def test_empty_assignment(self):
+        scenario, result = make_instance((1.0, 1.0))
+        from repro.model.assignment import Assignment
+
+        outcome = simulate_execution(scenario.tasks, scenario.pool, Assignment(), seed=1)
+        assert outcome.completion_rate == 1.0
+        assert outcome.sum_quality == 0.0
+
+
+class TestExpectedRealizedQuality:
+    def test_bounded_by_perfect_quality(self):
+        scenario, result = make_instance((0.4, 0.9))
+        expected = expected_realized_quality(
+            scenario.tasks, scenario.pool, result.assignment, trials=30
+        )
+        task_id = scenario.single_task.task_id
+        from repro.core.quality import task_quality
+
+        perfect = task_quality(
+            scenario.single_task.num_slots,
+            3,
+            {r.slot: 1.0 for r in result.assignment},
+        )
+        assert 0.0 < expected[task_id] <= perfect + 1e-9
+
+    def test_higher_reliability_pools_do_better(self):
+        low_scenario, low_result = make_instance((0.2, 0.5))
+        high_scenario, high_result = make_instance((0.8, 1.0))
+        low = expected_realized_quality(
+            low_scenario.tasks, low_scenario.pool, low_result.assignment, trials=30
+        )
+        high = expected_realized_quality(
+            high_scenario.tasks, high_scenario.pool, high_result.assignment, trials=30
+        )
+        low_id = low_scenario.single_task.task_id
+        high_id = high_scenario.single_task.task_id
+        assert high[high_id] > low[low_id]
+
+    def test_planned_metric_correlates_with_realization(self):
+        """The Eq.-4 planning quality and the Monte-Carlo realized
+        quality should rank reliability regimes the same way."""
+        planned, realized = [], []
+        for rng_pair in ((0.3, 0.6), (0.6, 0.9), (0.9, 1.0)):
+            scenario, result = make_instance(rng_pair)
+            planned.append(result.quality)
+            expected = expected_realized_quality(
+                scenario.tasks, scenario.pool, result.assignment, trials=30
+            )
+            realized.append(expected[scenario.single_task.task_id])
+        assert planned == sorted(planned)
+        assert realized == sorted(realized)

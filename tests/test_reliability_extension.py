@@ -1,0 +1,141 @@
+"""End-to-end tests of the worker-reliability extension (Eq. 4-5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.greedy import IndexedSingleTaskGreedy, SingleTaskGreedy
+from repro.core.quality import error_ratio, finishing_probability, task_quality
+from repro.engine.costs import SingleTaskCostTable
+from repro.multi.msqm import SumQualityGreedy
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+
+
+@pytest.fixture(scope="module")
+def unreliable_scenario():
+    return build_scenario(
+        ScenarioConfig(
+            num_tasks=1,
+            num_slots=40,
+            num_workers=250,
+            seed=29,
+            reliability_range=(0.3, 1.0),
+        )
+    )
+
+
+class TestEquationDegeneration:
+    def test_eq5_degenerates_to_eq3_at_unit_lambda(self):
+        """Paper: 'If ... the reliability of each worker ... equals 1,
+        Equation 5 degenerates into Equation 3.'"""
+        neighbors_weighted = [(2, 1.0), (5, 1.0), (9, 1.0)]
+        assert error_ratio(50, 3, neighbors_weighted) == pytest.approx(
+            (2 + 5 + 9) / (3 * 50)
+        )
+
+    def test_executed_probability_scales_with_lambda(self):
+        for lam in (0.2, 0.5, 1.0):
+            p = finishing_probability(20, 3, None, executed_reliability=lam)
+            assert p == pytest.approx(lam / 20)
+
+    def test_interpolated_probability_scales_with_neighbor_lambda(self):
+        strong = finishing_probability(20, 1, [(3, 1.0)])
+        weak = finishing_probability(20, 1, [(3, 0.5)])
+        assert weak == pytest.approx(strong * 0.5)
+
+
+class TestSolversWithReliability:
+    def test_workers_carry_heterogeneous_lambdas(self, unreliable_scenario):
+        lambdas = {w.reliability for w in unreliable_scenario.pool}
+        assert len(lambdas) > 10
+        assert all(0.3 <= lam <= 1.0 for lam in lambdas)
+
+    def test_indexed_matches_enumerated(self, unreliable_scenario):
+        """The tree index's bounds stay sound with reliabilities."""
+        scenario = unreliable_scenario
+        costs = SingleTaskCostTable(scenario.single_task, scenario.fresh_registry())
+        local = SingleTaskGreedy(
+            scenario.single_task, costs, budget=scenario.budget, strategy="local"
+        ).solve()
+        indexed = IndexedSingleTaskGreedy(
+            scenario.single_task, costs, budget=scenario.budget
+        ).solve()
+        assert local.assignment.plan_signature() == indexed.assignment.plan_signature()
+
+    def test_quality_accounts_for_lambdas(self, unreliable_scenario):
+        scenario = unreliable_scenario
+        costs = SingleTaskCostTable(scenario.single_task, scenario.fresh_registry())
+        result = IndexedSingleTaskGreedy(
+            scenario.single_task, costs, budget=scenario.budget
+        ).solve()
+        executed = {r.slot: costs.reliability(r.slot) for r in result.assignment}
+        assert result.quality == pytest.approx(
+            task_quality(scenario.single_task.num_slots, 3, executed)
+        )
+        # With imperfect workers the quality must be strictly below the
+        # unit-reliability quality of the same slots.
+        perfect = task_quality(
+            scenario.single_task.num_slots, 3, {s: 1.0 for s in executed}
+        )
+        assert result.quality < perfect
+
+    def test_multi_task_with_reliability(self):
+        scenario = build_scenario(
+            ScenarioConfig(
+                num_tasks=5,
+                num_slots=20,
+                num_workers=120,
+                seed=31,
+                reliability_range=(0.4, 1.0),
+            )
+        )
+        budget = scenario.budget * 5
+        indexed = SumQualityGreedy(
+            scenario.tasks, scenario.fresh_registry(), budget=budget, use_index=True
+        ).solve()
+        plain = SumQualityGreedy(
+            scenario.tasks, scenario.fresh_registry(), budget=budget, use_index=False
+        ).solve()
+        assert indexed.plan_signature() == plain.plan_signature()
+        for task in scenario.tasks:
+            records = indexed.assignment.records_for(task.task_id)
+            executed = {
+                r.slot: scenario.pool.by_id(r.worker_id).reliability for r in records
+            }
+            assert indexed.qualities[task.task_id] == pytest.approx(
+                task_quality(task.num_slots, 3, executed)
+            )
+
+
+class TestCostTypeGenerality:
+    """The paper: 'Our work is general w.r.t. the type of cost.'  The
+    solvers consume only a cost table, so any cost function plugs in."""
+
+    class QuadraticCosts:
+        """Arbitrary non-Euclidean costs: quadratic in the slot index."""
+
+        def __init__(self, m):
+            self.m = m
+
+        def cost(self, slot):
+            return 1.0 + (slot % 7) ** 2 * 0.3
+
+        def reliability(self, slot):
+            return 1.0
+
+        def offer(self, slot):
+            from repro.engine.costs import SlotOffer
+
+            return SlotOffer(worker_id=slot, cost=self.cost(slot), reliability=1.0)
+
+    def test_solvers_accept_custom_costs(self):
+        from repro.model.task import Task
+        from repro.geo.point import Point
+
+        task = Task(0, Point(0, 0), 30)
+        costs = self.QuadraticCosts(30)
+        local = SingleTaskGreedy(task, costs, budget=40.0, strategy="local").solve()
+        indexed = IndexedSingleTaskGreedy(task, costs, budget=40.0).solve()
+        assert local.assignment.plan_signature() == indexed.assignment.plan_signature()
+        assert local.spent <= 40.0 + 1e-9
+        assert local.quality > 0.0

@@ -1,0 +1,107 @@
+"""End-to-end tests: the TCSC server and the physical-quality link."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.field import SpatioTemporalField
+from repro.engine.server import TCSCServer
+from repro.errors import ConfigurationError
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario(ScenarioConfig(num_tasks=1, num_slots=50, num_workers=250, seed=21))
+
+
+@pytest.fixture(scope="module")
+def multi_scenario_srv():
+    return build_scenario(ScenarioConfig(num_tasks=5, num_slots=30, num_workers=200, seed=22))
+
+
+class TestSingleTaskServer:
+    def test_approx_star_matches_approx(self, scenario):
+        server = TCSCServer(scenario.pool, scenario.bbox)
+        star = server.assign_single(scenario.single_task, scenario.budget, policy="approx_star")
+        plain = server.assign_single(scenario.single_task, scenario.budget, policy="approx")
+        assert star.assignment.plan_signature() == plain.assignment.plan_signature()
+        assert star.sum_quality == pytest.approx(plain.sum_quality)
+
+    def test_approx_beats_random(self, scenario):
+        server = TCSCServer(scenario.pool, scenario.bbox)
+        approx = server.assign_single(scenario.single_task, scenario.budget)
+        rand = server.assign_single(
+            scenario.single_task, scenario.budget, policy="random", seed=5
+        )
+        assert approx.sum_quality >= rand.sum_quality
+
+    def test_unknown_policy(self, scenario):
+        server = TCSCServer(scenario.pool, scenario.bbox)
+        with pytest.raises(ConfigurationError):
+            server.assign_single(scenario.single_task, 1.0, policy="magic")
+
+    def test_report_costs_consistent(self, scenario):
+        server = TCSCServer(scenario.pool, scenario.bbox)
+        report = server.assign_single(scenario.single_task, scenario.budget)
+        assert report.total_cost <= scenario.budget + 1e-9
+        assert report.total_cost == pytest.approx(report.assignment.total_cost)
+
+
+class TestMultiTaskServer:
+    def test_sum_objective(self, multi_scenario_srv):
+        scenario = multi_scenario_srv
+        server = TCSCServer(scenario.pool, scenario.bbox)
+        report = server.assign_multi(scenario.tasks, scenario.budget * 5, objective="sum")
+        assert set(report.qualities) == {t.task_id for t in scenario.tasks}
+        assert report.sum_quality > 0
+
+    def test_min_objective(self, multi_scenario_srv):
+        scenario = multi_scenario_srv
+        server = TCSCServer(scenario.pool, scenario.bbox)
+        report = server.assign_multi(scenario.tasks, scenario.budget * 5, objective="min")
+        assert report.min_quality > 0
+
+    def test_parallel_cores(self, multi_scenario_srv):
+        scenario = multi_scenario_srv
+        server = TCSCServer(scenario.pool, scenario.bbox)
+        report = server.assign_multi(scenario.tasks, scenario.budget * 5, cores=4)
+        assert report.sum_quality > 0
+
+    def test_unknown_objective(self, multi_scenario_srv):
+        scenario = multi_scenario_srv
+        server = TCSCServer(scenario.pool, scenario.bbox)
+        with pytest.raises(ConfigurationError):
+            server.assign_multi(scenario.tasks, 1.0, objective="max")
+
+
+class TestPhysicalQualityLink:
+    """The entropy metric is a proxy for reconstruction fidelity: more
+    budget -> higher entropy quality -> lower RMSE against the field."""
+
+    def test_rmse_decreases_with_budget(self, scenario):
+        field = SpatioTemporalField(scenario.bbox, seed=4)
+        server = TCSCServer(scenario.pool, scenario.bbox, field_model=field)
+        task = scenario.single_task
+        rmses = []
+        qualities = []
+        for fraction in (0.05, 0.3, 0.9):
+            report = server.assign_single(task, fraction * scenario.budget / 0.25)
+            rmses.append(report.rmse[task.task_id])
+            qualities.append(report.qualities[task.task_id])
+        assert qualities == sorted(qualities)
+        assert rmses[0] >= rmses[-1]
+
+    def test_quality_correlates_with_rmse_vs_random(self, scenario):
+        """At the same budget, Approx's entropy-optimal placement should
+        reconstruct at least as well as a typical random placement."""
+        field = SpatioTemporalField(scenario.bbox, seed=4)
+        server = TCSCServer(scenario.pool, scenario.bbox, field_model=field)
+        task = scenario.single_task
+        approx = server.assign_single(task, scenario.budget)
+        random_rmses = [
+            server.assign_single(task, scenario.budget, policy="random", seed=s).rmse[task.task_id]
+            for s in range(5)
+        ]
+        median_random = sorted(random_rmses)[len(random_rmses) // 2]
+        assert approx.rmse[task.task_id] <= median_random * 1.5

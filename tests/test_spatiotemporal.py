@@ -1,0 +1,288 @@
+"""Tests for the STCC extension (Appendix C)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.spatiotemporal import (
+    LazySpatioTemporalGreedy,
+    SpatioTemporalEvaluator,
+    SpatioTemporalGreedy,
+    score_assignment,
+    spatiotemporal_opt,
+)
+from repro.errors import ConfigurationError
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+from repro.model.task import Task, TaskSet
+from repro.multi.msqm import SumQualityGreedy
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+
+BOX = BoundingBox.square(100.0)
+
+
+def two_tasks(m=10):
+    return TaskSet([Task(0, Point(10, 10), m), Task(1, Point(20, 20), m)])
+
+
+@pytest.fixture(scope="module")
+def stcc_scenario():
+    return build_scenario(ScenarioConfig(num_tasks=4, num_slots=12, num_workers=80, seed=9))
+
+
+class TestEvaluatorBasics:
+    def test_initial_quality_zero(self):
+        ev = SpatioTemporalEvaluator(two_tasks(), BOX, k=2)
+        assert ev.sum_quality == 0.0
+        assert ev.min_quality == 0.0
+        assert ev.p(0, 1) == 0.0
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            SpatioTemporalEvaluator(two_tasks(), BOX, wt=0.5, ws=0.3)
+
+    def test_tasks_must_align(self):
+        tasks = TaskSet([Task(0, Point(0, 0), 10), Task(1, Point(1, 1), 12)])
+        with pytest.raises(ConfigurationError):
+            SpatioTemporalEvaluator(tasks, BOX)
+
+    def test_empty_task_set(self):
+        with pytest.raises(ConfigurationError):
+            SpatioTemporalEvaluator(TaskSet(), BOX)
+
+    def test_double_execute_rejected(self):
+        ev = SpatioTemporalEvaluator(two_tasks(), BOX)
+        ev.execute(0, 3)
+        with pytest.raises(ConfigurationError):
+            ev.execute(0, 3)
+
+
+class TestEvaluatorSemantics:
+    def test_spatial_neighbor_raises_other_tasks_p(self):
+        """Executing task 0 at slot j lifts task 1's p at slot j via
+        spatial interpolation (ws > 0)."""
+        ev = SpatioTemporalEvaluator(two_tasks(), BOX, wt=0.7, ws=0.3)
+        before = ev.p(1, 5)
+        ev.execute(0, 5)
+        after = ev.p(1, 5)
+        assert after > before
+
+    def test_wt_one_disables_spatial_coupling(self):
+        ev = SpatioTemporalEvaluator(two_tasks(), BOX, wt=1.0, ws=0.0)
+        ev.execute(0, 5)
+        assert ev.p(1, 5) == 0.0
+        assert ev.quality(1) == 0.0
+
+    def test_temporal_rho_matches_eq3(self):
+        ev = SpatioTemporalEvaluator(two_tasks(100), BOX, k=2)
+        ev.execute(0, 2)
+        ev.execute(0, 4)
+        assert ev.temporal_rho(0, 1) == pytest.approx(0.02)  # paper's example
+
+    def test_spatial_rho_range(self):
+        ev = SpatioTemporalEvaluator(two_tasks(), BOX, k=2)
+        assert ev.spatial_rho(0, 1) == pytest.approx(1.0)  # no neighbours
+        ev.execute(1, 1)
+        rho = ev.spatial_rho(0, 1)
+        assert 0.0 < rho < 1.0
+
+    def test_incremental_matches_recompute(self, stcc_scenario):
+        ev = SpatioTemporalEvaluator(stcc_scenario.tasks, stcc_scenario.bbox, k=3)
+        ids = [t.task_id for t in stcc_scenario.tasks]
+        moves = [(ids[0], 3), (ids[1], 3), (ids[0], 8), (ids[2], 5), (ids[3], 3), (ids[1], 9)]
+        for task_id, slot in moves:
+            ev.execute(task_id, slot)
+        for task_id in ids:
+            assert ev.quality(task_id) == pytest.approx(ev.recompute_quality(task_id))
+
+    def test_gain_is_pure(self):
+        ev = SpatioTemporalEvaluator(two_tasks(), BOX)
+        ev.execute(0, 5)
+        before = {(tid, j): ev.p(tid, j) for tid in (0, 1) for j in range(1, 11)}
+        gain = ev.gain_if_executed(1, 5)
+        after = {(tid, j): ev.p(tid, j) for tid in (0, 1) for j in range(1, 11)}
+        assert gain > 0.0
+        assert before == after  # rollback restored everything
+
+    def test_gain_matches_commit(self):
+        ev = SpatioTemporalEvaluator(two_tasks(), BOX)
+        ev.execute(0, 2)
+        gain = ev.gain_if_executed(1, 7)
+        before = ev.sum_quality
+        ev.execute(1, 7)
+        assert ev.sum_quality - before == pytest.approx(gain)
+
+
+class TestSolver:
+    def test_budget_respected(self, stcc_scenario):
+        budget = stcc_scenario.budget * len(stcc_scenario.tasks)
+        result = SpatioTemporalGreedy(
+            stcc_scenario.tasks, stcc_scenario.fresh_registry(), stcc_scenario.bbox,
+            budget=budget,
+        ).solve()
+        assert result.spent <= budget + 1e-9
+
+    def test_wt1_matches_temporal_msqm_quality(self, stcc_scenario):
+        budget = stcc_scenario.budget * len(stcc_scenario.tasks)
+        stcc = SpatioTemporalGreedy(
+            stcc_scenario.tasks, stcc_scenario.fresh_registry(), stcc_scenario.bbox,
+            budget=budget, wt=1.0, ws=0.0,
+        ).solve()
+        temporal = SumQualityGreedy(
+            stcc_scenario.tasks, stcc_scenario.fresh_registry(), budget=budget
+        ).solve()
+        assert stcc.sum_quality == pytest.approx(temporal.sum_quality)
+
+    def test_sapprox_beats_approx_under_combined_metric(self, stcc_scenario):
+        """Fig. 11: SApprox >= Approx when both are scored with the
+        spatiotemporal metric."""
+        budget = stcc_scenario.budget * len(stcc_scenario.tasks)
+        sapprox = SpatioTemporalGreedy(
+            stcc_scenario.tasks, stcc_scenario.fresh_registry(), stcc_scenario.bbox,
+            budget=budget, wt=0.7, ws=0.3,
+        ).solve()
+        approx = SpatioTemporalGreedy(
+            stcc_scenario.tasks, stcc_scenario.fresh_registry(), stcc_scenario.bbox,
+            budget=budget, wt=1.0, ws=0.0,
+        ).solve()
+        approx_scored = sum(
+            score_assignment(
+                stcc_scenario.tasks, stcc_scenario.bbox, approx.assignment,
+                wt=0.7, ws=0.3,
+            ).values()
+        )
+        assert sapprox.sum_quality >= approx_scored - 1e-9
+
+    def test_deterministic(self, stcc_scenario):
+        budget = stcc_scenario.budget * len(stcc_scenario.tasks)
+        a = SpatioTemporalGreedy(
+            stcc_scenario.tasks, stcc_scenario.fresh_registry(), stcc_scenario.bbox,
+            budget=budget,
+        ).solve()
+        b = SpatioTemporalGreedy(
+            stcc_scenario.tasks, stcc_scenario.fresh_registry(), stcc_scenario.bbox,
+            budget=budget,
+        ).solve()
+        assert a.plan_signature() == b.plan_signature()
+
+
+class TestOpt:
+    def _tiny(self):
+        return build_scenario(
+            ScenarioConfig(num_tasks=2, num_slots=6, num_workers=40, seed=2)
+        )
+
+    def test_opt_at_least_greedy(self):
+        scenario = self._tiny()
+        budget = scenario.budget * 2
+        greedy = SpatioTemporalGreedy(
+            scenario.tasks, scenario.fresh_registry(), scenario.bbox, budget=budget
+        ).solve()
+        opt_quality, chosen = spatiotemporal_opt(
+            scenario.tasks, scenario.fresh_registry(), scenario.bbox, budget=budget
+        )
+        assert opt_quality >= greedy.sum_quality - 1e-9
+        assert chosen  # the budget affords something
+
+    def test_opt_refuses_large_instances(self, stcc_scenario):
+        with pytest.raises(ConfigurationError):
+            spatiotemporal_opt(
+                stcc_scenario.tasks,
+                stcc_scenario.fresh_registry(),
+                stcc_scenario.bbox,
+                budget=10.0,
+                max_pairs=4,
+            )
+
+
+class TestScoreAssignment:
+    def test_scores_respect_reliabilities(self, stcc_scenario):
+        budget = stcc_scenario.budget
+        result = SpatioTemporalGreedy(
+            stcc_scenario.tasks, stcc_scenario.fresh_registry(), stcc_scenario.bbox,
+            budget=budget,
+        ).solve()
+        full = score_assignment(stcc_scenario.tasks, stcc_scenario.bbox, result.assignment)
+        halved = score_assignment(
+            stcc_scenario.tasks, stcc_scenario.bbox, result.assignment,
+            reliabilities={r.worker_id: 0.5 for r in result.assignment},
+        )
+        assert sum(halved.values()) < sum(full.values())
+
+    def test_scoring_own_assignment_reproduces_quality(self, stcc_scenario):
+        budget = stcc_scenario.budget * len(stcc_scenario.tasks)
+        result = SpatioTemporalGreedy(
+            stcc_scenario.tasks, stcc_scenario.fresh_registry(), stcc_scenario.bbox,
+            budget=budget, wt=0.7, ws=0.3,
+        ).solve()
+        scored = score_assignment(
+            stcc_scenario.tasks, stcc_scenario.bbox, result.assignment, wt=0.7, ws=0.3
+        )
+        assert sum(scored.values()) == pytest.approx(result.sum_quality)
+
+
+class TestLazySolver:
+    """SApprox* (CELF) must replicate the exhaustive SApprox exactly."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_plan_equals_exhaustive(self, seed):
+        scenario = build_scenario(
+            ScenarioConfig(num_tasks=6, num_slots=10, num_workers=100, seed=seed)
+        )
+        budget = scenario.budget * 6
+        naive = SpatioTemporalGreedy(
+            scenario.tasks, scenario.fresh_registry(), scenario.bbox, budget=budget
+        ).solve()
+        lazy = LazySpatioTemporalGreedy(
+            scenario.tasks, scenario.fresh_registry(), scenario.bbox, budget=budget
+        ).solve()
+        assert lazy.plan_signature() == naive.plan_signature()
+        assert lazy.sum_quality == pytest.approx(naive.sum_quality)
+        assert lazy.spent == pytest.approx(naive.spent)
+
+    def test_fewer_gain_evaluations(self, stcc_scenario):
+        from repro.core.instrumentation import OpCounters
+
+        budget = stcc_scenario.budget * len(stcc_scenario.tasks)
+        naive_counters = OpCounters()
+        SpatioTemporalGreedy(
+            stcc_scenario.tasks, stcc_scenario.fresh_registry(), stcc_scenario.bbox,
+            budget=budget, counters=naive_counters,
+        ).solve()
+        lazy_counters = OpCounters()
+        LazySpatioTemporalGreedy(
+            stcc_scenario.tasks, stcc_scenario.fresh_registry(), stcc_scenario.bbox,
+            budget=budget, counters=lazy_counters,
+        ).solve()
+        assert lazy_counters.gain_evaluations < naive_counters.gain_evaluations
+
+    def test_budget_respected(self, stcc_scenario):
+        budget = stcc_scenario.budget
+        result = LazySpatioTemporalGreedy(
+            stcc_scenario.tasks, stcc_scenario.fresh_registry(), stcc_scenario.bbox,
+            budget=budget,
+        ).solve()
+        assert result.spent <= budget + 1e-9
+
+    def test_zero_budget(self, stcc_scenario):
+        result = LazySpatioTemporalGreedy(
+            stcc_scenario.tasks, stcc_scenario.fresh_registry(), stcc_scenario.bbox,
+            budget=0.0,
+        ).solve()
+        assert len(result.assignment) == 0
+
+    def test_with_reliabilities(self):
+        scenario = build_scenario(
+            ScenarioConfig(num_tasks=4, num_slots=10, num_workers=80, seed=6,
+                           reliability_range=(0.5, 1.0))
+        )
+        budget = scenario.budget * 4
+        naive = SpatioTemporalGreedy(
+            scenario.tasks, scenario.fresh_registry(), scenario.bbox, budget=budget
+        ).solve()
+        lazy = LazySpatioTemporalGreedy(
+            scenario.tasks, scenario.fresh_registry(), scenario.bbox, budget=budget
+        ).solve()
+        # With heterogeneous reliabilities gains may rise after a
+        # conflict swap, so only quality parity is guaranteed.
+        assert lazy.sum_quality >= 0.98 * naive.sum_quality

@@ -1,0 +1,137 @@
+"""Stateful (model-based) property tests with hypothesis.
+
+Random interleavings of operations against simple reference models:
+
+* the incremental evaluator + tree index pair, checked against
+  from-scratch quality recomputation and brute-force argmax;
+* the grid index under add/remove churn, checked against a dict.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, precondition, rule
+from hypothesis import strategies as st
+
+from repro.core.evaluator import TemporalQualityEvaluator
+from repro.core.quality import task_quality
+from repro.core.tree_index import COST_EPSILON, TreeIndex
+from repro.geo.bbox import BoundingBox
+from repro.geo.grid import GridIndex
+from repro.geo.point import Point
+
+_M = 24
+
+
+class _Costs:
+    """Mutable cost table driven by the state machine."""
+
+    def __init__(self, m):
+        self.table = {slot: 1.0 + (slot % 5) * 0.7 for slot in range(1, m + 1)}
+
+    def cost(self, slot):
+        return self.table.get(slot)
+
+    def reliability(self, slot):
+        return 1.0
+
+
+class EvaluatorIndexMachine(RuleBasedStateMachine):
+    """Drive evaluator + index through executions and cost changes."""
+
+    def __init__(self):
+        super().__init__()
+        self.costs = _Costs(_M)
+        self.ev = TemporalQualityEvaluator(_M, 2)
+        self.index = TreeIndex(self.ev, self.costs, ts=3)
+        self.executed: dict[int, float] = {}
+
+    @rule(slot=st.integers(1, _M))
+    def execute_slot(self, slot):
+        if slot in self.executed or self.costs.cost(slot) is None:
+            return
+        window = self.ev.affected_window(slot)
+        self.ev.execute(slot)
+        self.index.refresh_range(*window)
+        self.executed[slot] = 1.0
+
+    @rule(slot=st.integers(1, _M), new_cost=st.floats(0.1, 9.0))
+    def change_cost(self, slot, new_cost):
+        if slot not in self.costs.table:
+            return
+        self.costs.table[slot] = new_cost
+        self.index.refresh_range(slot, slot)
+
+    @rule(remaining=st.floats(0.5, 20.0))
+    def find_best_matches_brute_force(self, remaining):
+        got = self.index.find_best(remaining)
+        best = None
+        for slot in range(1, _M + 1):
+            if self.ev.is_executed(slot):
+                continue
+            cost = self.costs.cost(slot)
+            if cost is None or cost > remaining + 1e-12:
+                continue
+            gain = self.ev.gain_if_executed(slot)
+            if gain <= 0.0:
+                continue
+            heur = gain / max(cost, COST_EPSILON)
+            if best is None or heur > best[1] or (heur == best[1] and slot < best[0]):
+                best = (slot, heur)
+        if best is None:
+            assert got is None
+        else:
+            assert got is not None
+            assert got.slot == best[0]
+            assert got.heuristic == pytest.approx(best[1])
+
+    @invariant()
+    def quality_matches_reference(self):
+        assert self.ev.quality == pytest.approx(task_quality(_M, 2, self.executed))
+
+
+class GridIndexMachine(RuleBasedStateMachine):
+    """Grid index vs a plain dict under add/remove churn."""
+
+    def __init__(self):
+        super().__init__()
+        self.bbox = BoundingBox.square(50.0)
+        self.index = GridIndex(self.bbox)
+        self.model: dict[int, Point] = {}
+
+    @rule(key=st.integers(0, 30), x=st.floats(0, 50), y=st.floats(0, 50))
+    def add(self, key, x, y):
+        point = Point(x, y)
+        self.index.add(key, point)
+        self.model[key] = point
+
+    @rule(key=st.integers(0, 30))
+    def remove(self, key):
+        if key in self.model:
+            self.index.remove(key)
+            del self.model[key]
+        else:
+            with pytest.raises(KeyError):
+                self.index.remove(key)
+
+    @rule(x=st.floats(0, 50), y=st.floats(0, 50), k=st.integers(1, 4))
+    def knn_matches_model(self, x, y, k):
+        query = Point(x, y)
+        got = [d for _, d in self.index.k_nearest(query, k)]
+        expected = sorted(query.distance_to(p) for p in self.model.values())[:k]
+        assert got == pytest.approx(expected)
+
+    @invariant()
+    def sizes_agree(self):
+        assert len(self.index) == len(self.model)
+
+
+TestEvaluatorIndexMachine = EvaluatorIndexMachine.TestCase
+TestEvaluatorIndexMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestGridIndexMachine = GridIndexMachine.TestCase
+TestGridIndexMachine.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)

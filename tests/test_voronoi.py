@@ -1,0 +1,119 @@
+"""Tests for the exact 1-D order-k Voronoi diagram."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.voronoi import OrderKVoronoi
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_no_sites_single_cell(self):
+        d = OrderKVoronoi(10, 2, [])
+        assert len(d) == 1
+        assert d.cells[0].lo == 1 and d.cells[0].hi == 10
+        assert d.cells[0].sites == ()
+
+    def test_fewer_sites_than_k(self):
+        d = OrderKVoronoi(10, 3, [4, 7])
+        assert len(d) == 1
+        assert d.cells[0].sites == (4, 7)
+
+    def test_cells_partition_domain(self):
+        d = OrderKVoronoi(20, 2, [3, 8, 15])
+        covered = []
+        for cell in d.cells:
+            covered.extend(range(cell.lo, cell.hi + 1))
+        assert covered == list(range(1, 21))
+
+    def test_rejects_bad_sites(self):
+        with pytest.raises(ConfigurationError):
+            OrderKVoronoi(10, 2, [0])
+        with pytest.raises(ConfigurationError):
+            OrderKVoronoi(10, 2, [11])
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            OrderKVoronoi(0, 2, [])
+        with pytest.raises(ConfigurationError):
+            OrderKVoronoi(10, 0, [])
+
+    def test_order1_midpoint_boundary(self):
+        d = OrderKVoronoi(10, 1, [2, 8])
+        # Midpoint of 2 and 8 is 5; tie goes to the smaller site.
+        assert d.knn(5) == (2,)
+        assert d.knn(6) == (8,)
+
+
+class TestQueries:
+    def test_cell_of_and_knn(self):
+        d = OrderKVoronoi(100, 2, [2, 4, 7, 9])
+        # Fig. 3(c): V(tau2, tau4) covers slots 1..4 approximately.
+        assert d.knn(1) == (2, 4)
+        assert d.knn(3) == (2, 4)
+
+    def test_cell_of_out_of_range(self):
+        d = OrderKVoronoi(10, 1, [5])
+        with pytest.raises(ConfigurationError):
+            d.cell_of(0)
+
+    def test_cell_width(self):
+        d = OrderKVoronoi(10, 1, [5])
+        assert d.cells[0].width == 10
+        assert 3 in d.cells[0]
+
+    def test_average_cell_count_bound(self):
+        d = OrderKVoronoi(100, 3, [1, 2, 3, 4])
+        assert d.average_cell_count_bound() == 3 * 97
+        assert len(d) <= d.average_cell_count_bound()
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    m=st.integers(3, 50),
+    sites=st.sets(st.integers(1, 50), max_size=12),
+    k=st.integers(1, 4),
+)
+def test_sliding_window_matches_brute_force(m, sites, k):
+    sites = {s for s in sites if s <= m}
+    fast = OrderKVoronoi(m, k, sorted(sites)).cells
+    slow = OrderKVoronoi.brute_force_cells(m, k, sorted(sites))
+    assert fast == slow
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    m=st.integers(3, 50),
+    sites=st.sets(st.integers(1, 50), min_size=1, max_size=12),
+    query=st.integers(1, 50),
+    k=st.integers(1, 4),
+)
+def test_diagram_knn_matches_direct_query(m, sites, query, k):
+    """The diagram's precomputed k-NN set equals a direct k-NN query."""
+    sites = {s for s in sites if s <= m}
+    if not sites or query > m:
+        return
+    d = OrderKVoronoi(m, k, sorted(sites))
+    assert d.knn(query) == OrderKVoronoi.site_knn(query, sorted(sites), k)
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    m=st.integers(3, 40),
+    sites=st.sets(st.integers(1, 40), min_size=1, max_size=10),
+    k=st.integers(1, 3),
+)
+def test_lemma8_cells_are_knn_constant(m, sites, k):
+    """Lemma 8: within a cell, every slot shares the end slots' k-NN."""
+    sites = {s for s in sites if s <= m}
+    if not sites:
+        return
+    d = OrderKVoronoi(m, k, sorted(sites))
+    for cell in d.cells:
+        knns = {
+            OrderKVoronoi.site_knn(u, sorted(sites), k)
+            for u in range(cell.lo, cell.hi + 1)
+        }
+        assert len(knns) == 1

@@ -276,7 +276,7 @@ def test_fig8g_effect_of_k(run_once):
 def test_fig8h_effect_of_budget(run_once):
     reporter = Reporter("fig8h", "Effect of the budget per distribution")
     reporter.note("fractions {0.125, 0.25, 0.5} of the full-task cost stand in for $50/$100/$200")
-    reporter.header("distribution", "budget_fraction", "ApproxStar_s(m=300)")
+    reporter.header("distribution", "budget_fraction", "ApproxStar_s(m=300)", "virtual_cost")
 
     def work():
         rows = []
@@ -284,18 +284,24 @@ def test_fig8h_effect_of_budget(run_once):
             scenario, costs = _instance(300, distribution=distribution)
             for fraction in (0.125, 0.25, 0.5):
                 budget = fraction * costs.total_cost
+                counters = OpCounters()
                 star_t, _ = _timed(
-                    IndexedSingleTaskGreedy(scenario.single_task, costs, budget=budget)
+                    IndexedSingleTaskGreedy(
+                        scenario.single_task, costs, budget=budget, counters=counters
+                    )
                 )
-                rows.append((distribution.value, fraction, star_t))
+                rows.append((distribution.value, fraction, star_t, counters.virtual_cost()))
         return rows
 
     rows = run_once(work)
     by_distribution: dict[str, list[float]] = {}
-    for distribution, fraction, star_t in rows:
-        reporter.row(distribution, fraction, star_t)
-        by_distribution.setdefault(distribution, []).append(star_t)
-    # Paper: time increases moderately with b (more executed subtasks).
+    for distribution, fraction, star_t, work_done in rows:
+        reporter.row(distribution, fraction, star_t, work_done)
+        by_distribution.setdefault(distribution, []).append(work_done)
+    # Paper: cost increases moderately with b (more executed subtasks).
+    # Asserted on the deterministic operation-count work measure — the
+    # wall-clock column is reported but too noisy to gate on (the
+    # fractions differ by only ~15% in solve time).
     for series in by_distribution.values():
         assert series[-1] > series[0]
     reporter.close()

@@ -1,0 +1,105 @@
+"""Streaming throughput benchmark: incremental vs rebuild-every-epoch.
+
+Not a paper figure — the paper has no online mode.  This drives the
+same churnful event trace through both index-maintenance policies of
+:class:`~repro.stream.online_server.StreamingTCSCServer` and records
+events/sec plus the index work counters.  Beyond the human-readable
+``stream1.txt`` block, the series lands in ``stream1.json`` so
+``python -m repro.bench.collect`` can fold it into the machine-readable
+``BENCH_stream.json`` perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.bench import Reporter
+from repro.stream.online_server import StreamingTCSCServer
+from repro.workloads.streaming import StreamScenarioConfig, build_stream_events
+
+
+def test_stream1_incremental_vs_rebuild(run_once):
+    reporter = Reporter(
+        "stream1", "Streaming TCSC: incremental vs rebuild-every-epoch indexes"
+    )
+    reporter.header(
+        "mode", "time_s", "events_per_sec", "index_full_builds", "tree_node_updates"
+    )
+
+    def work():
+        scenario = build_stream_events(
+            StreamScenarioConfig(
+                horizon=90,
+                task_rate=0.2,
+                task_slots=24,
+                initial_workers=35,
+                worker_join_rate=1.0,
+                mean_worker_lifetime=20.0,
+                early_leave_prob=0.4,
+                seed=11,
+            )
+        )
+        rows = []
+        plans = []
+        for mode in ("incremental", "rebuild"):
+            server = StreamingTCSCServer(
+                scenario.bbox, index_mode=mode, epoch_length=4.0
+            )
+            start = time.perf_counter()
+            metrics = server.run(list(scenario.events))
+            elapsed = time.perf_counter() - start
+            rows.append(
+                (
+                    mode,
+                    elapsed,
+                    metrics.total_events / elapsed,
+                    metrics.counters.index_full_builds,
+                    metrics.counters.tree_node_updates,
+                )
+            )
+            plans.append(server.assignment().plan_signature())
+        assert plans[0] == plans[1], "policies must produce identical plans"
+        assert len(plans[0]) > 0
+        return scenario, rows
+
+    scenario, rows = run_once(work)
+    for row in rows:
+        reporter.row(*row)
+    by_mode = {row[0]: row for row in rows}
+    inc, reb = by_mode["incremental"], by_mode["rebuild"]
+    # The structural win must hold regardless of timer noise.
+    assert inc[3] < reb[3], "incremental must build fewer indexes"
+    assert inc[4] < reb[4], "incremental must touch fewer tree nodes"
+    speedup = reb[1] / inc[1] if inc[1] > 0 else float("inf")
+    reporter.note(
+        f"identical plans; wall-clock speedup {speedup:.2f}x, "
+        f"index builds {inc[3]} vs {reb[3]}"
+    )
+
+    payload = {
+        "trace": {
+            "events": len(scenario.events),
+            "tasks": scenario.task_count,
+            "workers": scenario.worker_count,
+            "horizon": scenario.config.horizon,
+        },
+        "incremental": {
+            "time_s": inc[1],
+            "events_per_sec": inc[2],
+            "index_full_builds": inc[3],
+            "tree_node_updates": inc[4],
+        },
+        "rebuild": {
+            "time_s": reb[1],
+            "events_per_sec": reb[2],
+            "index_full_builds": reb[3],
+            "tree_node_updates": reb[4],
+        },
+        "incremental_vs_rebuild_speedup": speedup,
+    }
+    reporter.results_dir.mkdir(parents=True, exist_ok=True)
+    (reporter.results_dir / "stream1.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    reporter.close()

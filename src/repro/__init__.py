@@ -5,7 +5,9 @@ Time-Continuous Spatial Crowdsourcing" (ICDE 2021): the entropy-based
 quality metric, budgeted single-task assignment (``Approx`` and the
 tree-indexed ``Approx*``), multi-task summation-/minimum-quality
 assignment with worker-conflict-aware parallelization, and the
-spatiotemporal (STCC) extension.
+spatiotemporal (STCC) extension — plus the *streaming* subsystem
+(:mod:`repro.stream`): an event-driven online server with worker
+churn, admission control, and incrementally-maintained indexes.
 
 Quickstart::
 
@@ -15,6 +17,14 @@ Quickstart::
     server = TCSCServer(scenario.pool, scenario.bbox)
     report = server.assign_single(scenario.single_task, budget=scenario.budget)
     print(report.qualities)
+
+Streaming quickstart::
+
+    from repro import StreamScenarioConfig, StreamingTCSCServer, build_stream_events
+
+    scenario = build_stream_events(StreamScenarioConfig(seed=7))
+    server = StreamingTCSCServer(scenario.bbox, index_mode="incremental")
+    print(server.run(scenario.events).report())
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-figure reproduction index.
@@ -70,6 +80,17 @@ from repro.geo.point import Point
 from repro.model.assignment import Assignment, AssignmentRecord, Budget
 from repro.model.task import Task, TaskSet
 from repro.model.worker import Worker, WorkerPool
+from repro.stream.clock import VirtualClock
+from repro.stream.events import (
+    BudgetRefresh,
+    EventQueue,
+    TaskArrival,
+    WorkerJoin,
+    WorkerLeave,
+)
+from repro.stream.metrics import StreamMetrics
+from repro.stream.online_server import BudgetPool, StreamingTCSCServer
+from repro.stream.session import TaskSession
 from repro.multi.conflicts import ConflictRecord, detect_conflicts, independent_groups
 from repro.multi.grouping import GroupLevelParallelSolver
 from repro.multi.mmqm import MinQualityGreedy
@@ -78,8 +99,13 @@ from repro.multi.result import MultiSolverResult, MultiStep
 from repro.multi.scheduler import TaskLevelParallelSolver, ThreadedTaskLevelSolver
 from repro.workloads.scenario import Scenario, ScenarioConfig, build_scenario
 from repro.workloads.spatial import Distribution, generate_points
+from repro.workloads.streaming import (
+    StreamScenario,
+    StreamScenarioConfig,
+    build_stream_events,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Assignment",
@@ -90,6 +116,9 @@ __all__ = [
     "BoundingBox",
     "Budget",
     "BudgetExhaustedError",
+    "BudgetPool",
+    "BudgetRefresh",
+    "EventQueue",
     "ConfigurationError",
     "ConflictRecord",
     "CoverResult",
@@ -123,21 +152,31 @@ __all__ = [
     "SpatioTemporalEvaluator",
     "SpatioTemporalField",
     "SpatioTemporalGreedy",
+    "StreamMetrics",
+    "StreamScenario",
+    "StreamScenarioConfig",
+    "StreamingTCSCServer",
     "SumQualityGreedy",
     "TCSCError",
     "TCSCServer",
     "Task",
+    "TaskArrival",
     "TaskLevelParallelSolver",
+    "TaskSession",
     "TaskSet",
     "TemporalQualityEvaluator",
     "ThreadedTaskLevelSolver",
     "TreeIndex",
+    "VirtualClock",
     "VoronoiCell",
     "Worker",
+    "WorkerJoin",
+    "WorkerLeave",
     "WorkerPool",
     "WorkerRegistry",
     "WorkerUnavailableError",
     "build_scenario",
+    "build_stream_events",
     "detect_conflicts",
     "entropy_term",
     "error_ratio",

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three subcommands cover the common workflows:
+Four subcommands cover the common workflows:
 
 * ``solve-single`` — build a synthetic scenario and assign one task
   (policies: approx, approx_star, random).
@@ -8,6 +8,11 @@ Three subcommands cover the common workflows:
   (objectives: sum, min; optional virtual-clock cores).
 * ``cover`` — the dual problem: minimum cost to reach a target
   fraction of the maximum quality.
+* ``simulate`` — event-driven streaming mode: tasks and workers
+  arrive/depart over a virtual clock (``--task-rate``,
+  ``--burstiness``, ``--join-rate``, ``--mean-lifetime`` shape the
+  arrival processes; ``--index-mode`` picks incremental vs
+  rebuild-every-epoch index maintenance).
 
 Every command prints a compact report; ``--seed`` makes runs
 reproducible.
@@ -22,8 +27,11 @@ from repro.core.cover import MinCostCoverSolver
 from repro.core.quality import max_quality
 from repro.engine.costs import SingleTaskCostTable
 from repro.engine.server import TCSCServer
+from repro.stream.online_server import StreamingTCSCServer
+from repro.stream.session import INDEX_MODES
 from repro.workloads.scenario import ScenarioConfig, build_scenario
 from repro.workloads.spatial import Distribution
+from repro.workloads.streaming import StreamScenarioConfig, build_stream_events
 
 __all__ = ["main", "build_parser"]
 
@@ -81,6 +89,45 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.8,
         help="target quality as a fraction of log2(m)",
     )
+
+    sim = sub.add_parser(
+        "simulate", help="event-driven streaming assignment over a virtual clock"
+    )
+    sim.add_argument("--seed", type=int, default=7, help="scenario seed")
+    sim.add_argument("--horizon", type=int, default=100,
+                     help="arrival window in global slots")
+    sim.add_argument("--task-rate", type=float, default=0.15,
+                     help="mean task arrivals per slot (Poisson)")
+    sim.add_argument("--burstiness", type=float, default=0.0,
+                     help="0 = Poisson arrivals; (0, 1] = on/off bursts")
+    sim.add_argument("--task-slots", type=int, default=24,
+                     help="subtasks per arriving task (m)")
+    sim.add_argument("--initial-workers", type=int, default=40,
+                     help="workers present at t=0")
+    sim.add_argument("--join-rate", type=float, default=1.0,
+                     help="worker joins per slot (Poisson)")
+    sim.add_argument("--mean-lifetime", type=float, default=25.0,
+                     help="mean worker lifetime in slots (exponential)")
+    sim.add_argument("--early-leave-prob", type=float, default=0.3,
+                     help="chance a worker churns out before its advertised end")
+    sim.add_argument(
+        "--distribution",
+        choices=[d.value for d in Distribution],
+        default="uniform",
+        help="task-location distribution",
+    )
+    sim.add_argument("--epoch", type=float, default=5.0,
+                     help="assignment-round period in virtual slots")
+    sim.add_argument("--index-mode", choices=list(INDEX_MODES),
+                     default="incremental",
+                     help="tree-index maintenance under churn")
+    sim.add_argument("--max-active", type=int, default=8,
+                     help="admission-window size (concurrent live tasks)")
+    sim.add_argument("--queue-depth", type=int, default=16,
+                     help="pending tasks beyond this are rejected")
+    sim.add_argument("--budget-fraction", type=float, default=0.25,
+                     help="per-task budget as a fraction of its full cost")
+    sim.add_argument("--k", type=int, default=3, help="interpolation neighbours")
     return parser
 
 
@@ -140,6 +187,39 @@ def _cmd_cover(args) -> int:
     return 0
 
 
+def _cmd_simulate(args) -> int:
+    scenario = build_stream_events(
+        StreamScenarioConfig(
+            horizon=args.horizon,
+            task_rate=args.task_rate,
+            burstiness=args.burstiness,
+            task_slots=args.task_slots,
+            initial_workers=args.initial_workers,
+            worker_join_rate=args.join_rate,
+            mean_worker_lifetime=args.mean_lifetime,
+            early_leave_prob=args.early_leave_prob,
+            distribution=Distribution(args.distribution),
+            seed=args.seed,
+        )
+    )
+    server = StreamingTCSCServer(
+        scenario.bbox,
+        k=args.k,
+        epoch_length=args.epoch,
+        index_mode=args.index_mode,
+        budget_fraction=args.budget_fraction,
+        max_active_tasks=args.max_active,
+        max_queue_depth=args.queue_depth,
+        realization_seed=args.seed,
+    )
+    metrics = server.run(scenario.events)
+    print(f"index_mode={args.index_mode} epoch={args.epoch:g} seed={args.seed}")
+    print(f"trace: {scenario.task_count} tasks, {scenario.worker_count} workers "
+          f"over {args.horizon} slots")
+    print(metrics.report())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -147,6 +227,7 @@ def main(argv: list[str] | None = None) -> int:
         "solve-single": _cmd_solve_single,
         "solve-multi": _cmd_solve_multi,
         "cover": _cmd_cover,
+        "simulate": _cmd_simulate,
     }
     return handlers[args.command](args)
 

@@ -4,15 +4,22 @@
 *.txt`` block written by the figure benches, orders them by figure id,
 and emits a single ``REPORT.md`` — the artifact to skim after a full
 ``pytest benchmarks/ --benchmark-only`` run.
+
+Streaming benchmarks additionally persist machine-readable series as
+``benchmarks/results/stream*.json``; :func:`collect_stream` merges
+those into ``benchmarks/BENCH_stream.json`` (events/sec and
+incremental-vs-rebuild speedups), the file the perf trajectory is
+tracked from.
 """
 
 from __future__ import annotations
 
+import json
 import re
 import sys
 from pathlib import Path
 
-__all__ = ["collect", "main"]
+__all__ = ["collect", "collect_stream", "main"]
 
 _DEFAULT_RESULTS = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
 
@@ -42,8 +49,30 @@ def collect(results_dir: Path | str = _DEFAULT_RESULTS) -> str:
     return header + "\n\n" + "\n\n".join(blocks) + "\n"
 
 
+def collect_stream(results_dir: Path | str = _DEFAULT_RESULTS) -> dict | None:
+    """Merge ``stream*.json`` series into one machine-readable record.
+
+    Returns ``None`` when no streaming benchmark has run yet; otherwise
+    a dict of ``{series_name: payload}`` ready to dump as
+    ``BENCH_stream.json``.
+    """
+    results_dir = Path(results_dir)
+    series: dict[str, dict] = {}
+    for path in sorted(results_dir.glob("stream*.json")):
+        try:
+            series[path.stem] = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"skipping unreadable {path}: {exc}", file=sys.stderr)
+    if not series:
+        return None
+    return {
+        "generated_by": "python -m repro.bench.collect",
+        "series": series,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
-    """CLI: write REPORT.md next to the results directory."""
+    """CLI: write REPORT.md and BENCH_stream.json next to the results."""
     argv = sys.argv[1:] if argv is None else argv
     results_dir = Path(argv[0]) if argv else _DEFAULT_RESULTS
     if not results_dir.exists():
@@ -53,6 +82,11 @@ def main(argv: list[str] | None = None) -> int:
     out = results_dir.parent / "REPORT.md"
     out.write_text(report)
     print(f"wrote {out} ({len(report.splitlines())} lines)")
+    stream = collect_stream(results_dir)
+    if stream is not None:
+        stream_out = results_dir.parent / "BENCH_stream.json"
+        stream_out.write_text(json.dumps(stream, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {stream_out} ({len(stream['series'])} series)")
     return 0
 
 

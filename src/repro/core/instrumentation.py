@@ -31,6 +31,8 @@ class OpCounters:
     candidates_total: int = 0     # slots that the naive algorithm would evaluate
     conflicts_detected: int = 0   # multi-task worker conflicts
     iterations: int = 0           # greedy iterations (subtasks executed)
+    index_full_builds: int = 0    # tree indexes constructed from scratch
+    index_incremental_refreshes: int = 0  # partial index refreshes (churn)
 
     def merge(self, other: "OpCounters") -> None:
         """Accumulate another counter record into this one."""
@@ -44,6 +46,8 @@ class OpCounters:
         self.candidates_total += other.candidates_total
         self.conflicts_detected += other.conflicts_detected
         self.iterations += other.iterations
+        self.index_full_builds += other.index_full_builds
+        self.index_incremental_refreshes += other.index_incremental_refreshes
 
     @property
     def pruning_ratio(self) -> float:
@@ -87,5 +91,9 @@ class OpCounters:
             candidates_total=self.candidates_total - earlier.candidates_total,
             conflicts_detected=self.conflicts_detected - earlier.conflicts_detected,
             iterations=self.iterations - earlier.iterations,
+            index_full_builds=self.index_full_builds - earlier.index_full_builds,
+            index_incremental_refreshes=(
+                self.index_incremental_refreshes - earlier.index_incremental_refreshes
+            ),
         )
         return diff

@@ -120,6 +120,7 @@ class TreeIndex:
         for slot in range(1, m + 1):
             self._refresh_slot(slot)
         self._build(1, 1, m)
+        self.counters.index_full_builds += 1
 
     # ------------------------------------------------------------------
     # Per-slot state
@@ -248,6 +249,31 @@ class TreeIndex:
             self._rel[slot] = self.costs.reliability(slot) if cost is not None else 0.0
             self._refresh_slot(slot)
         self._update(1, 1, self.m, lo, hi)
+
+    def refresh_slots(self, slots) -> int:
+        """Incrementally refresh an arbitrary set of slots.
+
+        The streaming churn path: a worker join/leave/consumption only
+        perturbs the offers of the slots it overlaps, so the index is
+        repaired by coalescing those slots into maximal contiguous runs
+        and calling :meth:`refresh_range` per run — never rebuilding
+        the whole tree.  Returns the number of runs refreshed.
+        """
+        ordered = sorted({s for s in slots if 1 <= s <= self.m})
+        if not ordered:
+            return 0
+        self.counters.index_incremental_refreshes += 1
+        runs = 0
+        lo = hi = ordered[0]
+        for slot in ordered[1:]:
+            if slot == hi + 1:
+                hi = slot
+                continue
+            self.refresh_range(lo, hi)
+            runs += 1
+            lo = hi = slot
+        self.refresh_range(lo, hi)
+        return runs + 1
 
     def _update(self, node: int, l: int, r: int, a: int, b: int) -> None:
         if b < l or r < a:

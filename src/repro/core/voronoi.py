@@ -17,11 +17,22 @@ a query at the exact midpoint belongs to the left window.
 This module provides both the O(|E|) sliding-window construction and a
 brute-force construction; the test suite checks they agree, and the
 diagram serves as the correctness oracle for the tree index.
+
+For the streaming subsystem the diagram is also maintainable *online*:
+:meth:`OrderKVoronoi.insert_site` and :meth:`OrderKVoronoi.remove_site`
+rebuild only the cells whose defining site windows involve the mutated
+site — at most ``k + 2`` windows plus the catch-all, independent of
+``|E|`` — and fall back to a full rebuild when the affected span
+exceeds ``rebuild_threshold`` of all windows.  (Cell *construction*
+is O(k) per update; the list splice itself still copies O(|cells|)
+references at slice speed.)  ``cells_built`` counts cell
+constructions so callers can verify the incremental path does less
+work than rebuild-from-scratch.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
@@ -49,48 +60,158 @@ class VoronoiCell:
 class OrderKVoronoi:
     """Exact order-k Voronoi diagram of executed slots on ``[1, m]``."""
 
-    def __init__(self, m: int, k: int, executed: list[int] | tuple[int, ...]):
+    def __init__(
+        self,
+        m: int,
+        k: int,
+        executed: list[int] | tuple[int, ...],
+        *,
+        rebuild_threshold: float = 0.5,
+    ):
         if m < 1:
             raise ConfigurationError(f"m must be >= 1, got {m}")
         if k < 1:
             raise ConfigurationError(f"k must be >= 1, got {k}")
+        if not 0.0 < rebuild_threshold <= 1.0:
+            raise ConfigurationError(
+                f"rebuild_threshold must be in (0, 1], got {rebuild_threshold}"
+            )
         self.m = m
         self.k = k
+        self.rebuild_threshold = rebuild_threshold
         self.sites = sorted(set(executed))
         for site in self.sites:
             if not 1 <= site <= m:
                 raise ConfigurationError(f"site {site} outside 1..{m}")
+        #: Cells constructed so far (full builds + splices) — the work
+        #: measure incremental-maintenance tests assert on.
+        self.cells_built = 0
+        #: Full reconstructions, including threshold fallbacks.
+        self.full_rebuilds = 0
         self.cells = self._build()
         self._boundaries = [cell.hi for cell in self.cells]
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
-    def _build(self) -> list[VoronoiCell]:
+    def _make_cell(self, lo: int, hi: int, sites: tuple[int, ...]) -> VoronoiCell:
+        self.cells_built += 1
+        return VoronoiCell(lo, hi, sites)
+
+    def _cells_for_windows(
+        self, first: int, last: int, lo: int, include_tail: bool
+    ) -> list[VoronoiCell]:
+        """Cells of site windows ``first..last``, chaining from slot ``lo``.
+
+        Window i covers queries up to floor((sites[i] + sites[i+k]) / 2):
+        beyond that, sites[i+k] is strictly closer than sites[i] (or
+        tied, in which case the tie-break keeps the smaller index and
+        the boundary slot still belongs to the left window).  With
+        ``include_tail`` the last-k-sites catch-all cell is appended.
+        Shared by the full build and the incremental splice so the
+        boundary chaining cannot diverge between them.
+        """
         sites, m, k = self.sites, self.m, self.k
-        n = len(sites)
-        if n == 0:
-            return [VoronoiCell(1, m, ())]
-        if n <= k:
-            # Every query sees all sites: a single cell.
-            return [VoronoiCell(1, m, tuple(sites))]
         cells: list[VoronoiCell] = []
-        lo = 1
-        # Window i covers queries up to floor((sites[i] + sites[i+k]) / 2):
-        # beyond that, sites[i+k] is strictly closer than sites[i] (or
-        # tied, in which case the tie-break keeps the smaller index and
-        # the boundary slot still belongs to the left window).
-        for i in range(n - k):
+        for i in range(first, last + 1):
             boundary = (sites[i] + sites[i + k]) // 2
             hi = min(boundary, m)
             if hi >= lo:
-                cells.append(VoronoiCell(lo, hi, tuple(sites[i : i + k])))
+                cells.append(self._make_cell(lo, hi, tuple(sites[i : i + k])))
                 lo = hi + 1
             if lo > m:
                 break
-        if lo <= m:
-            cells.append(VoronoiCell(lo, m, tuple(sites[n - k :])))
+        if include_tail and lo <= m:
+            cells.append(self._make_cell(lo, m, tuple(sites[len(sites) - k :])))
         return cells
+
+    def _build(self) -> list[VoronoiCell]:
+        sites, m, k = self.sites, self.m, self.k
+        n = len(sites)
+        self.full_rebuilds += 1
+        if n == 0:
+            return [self._make_cell(1, m, ())]
+        if n <= k:
+            # Every query sees all sites: a single cell.
+            return [self._make_cell(1, m, tuple(sites))]
+        return self._cells_for_windows(0, n - k - 1, 1, True)
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def insert_site(self, site: int) -> None:
+        """Add an executed slot, splicing only the affected cells.
+
+        Windows whose site set or boundary involves the new site have
+        indices in ``[idx - k, idx + 1]`` (``idx`` the insertion
+        position), so the splice constructs at most ``k + 2`` cells
+        plus the catch-all — independent of the number of sites.
+        """
+        if not 1 <= site <= self.m:
+            raise ConfigurationError(f"site {site} outside 1..{self.m}")
+        idx = bisect_left(self.sites, site)
+        if idx < len(self.sites) and self.sites[idx] == site:
+            raise ConfigurationError(f"site {site} already present")
+        insort(self.sites, site)
+        self._splice(idx)
+
+    def remove_site(self, site: int) -> None:
+        """Remove an executed slot, splicing only the affected cells."""
+        idx = bisect_left(self.sites, site)
+        if idx >= len(self.sites) or self.sites[idx] != site:
+            raise ConfigurationError(f"site {site} not present")
+        del self.sites[idx]
+        self._splice(idx)
+
+    def _rebuild(self) -> None:
+        self.cells = self._build()
+        self._boundaries = [cell.hi for cell in self.cells]
+
+    def _splice(self, idx: int) -> None:
+        """Recompute the cell run around mutated site position ``idx``.
+
+        Windows with index < ``idx - k`` keep both their site sets and
+        their boundaries; windows beyond ``idx + 1`` are index-shifted
+        copies of pre-mutation windows with identical cell intervals.
+        Only the run in between is rebuilt and spliced over the old
+        cells it tiles.
+        """
+        sites, m, k = self.sites, self.m, self.k
+        n = len(sites)
+        windows = n - k
+        if windows <= 1 or not self.cells:
+            # Trivial diagrams (<= 1 regular window): a full rebuild is
+            # already O(1) cells.
+            self._rebuild()
+            return
+        a = min(max(0, idx - k), windows - 1)
+        b = min(idx + 1, windows - 1)
+        if (b - a + 1) > max(1.0, self.rebuild_threshold * windows):
+            # Fallback: the affected span is a large fraction of the
+            # diagram; splicing would not beat rebuilding.
+            self._rebuild()
+            return
+
+        left_edge = 1 if a == 0 else min((sites[a - 1] + sites[a - 1 + k]) // 2, m) + 1
+        tail = b >= windows - 1
+        middle: list[VoronoiCell] = []
+        right_edge = m
+        if left_edge <= m:
+            middle = self._cells_for_windows(a, b, left_edge, tail)
+            if not tail:
+                right_edge = min((sites[b] + sites[b + k]) // 2, m)
+        # Splice: prefix cells end before the rebuilt run, suffix cells
+        # start after it (boundaries there are unchanged by the edit,
+        # so both cut points fall on existing cell edges and bisect on
+        # the hi-sorted boundary list finds them).
+        i = bisect_left(self._boundaries, left_edge)
+        j = len(self.cells) if tail else bisect_left(self._boundaries, right_edge + 1)
+        self.cells = self.cells[:i] + middle + self.cells[j:]
+        self._boundaries = (
+            self._boundaries[:i]
+            + [cell.hi for cell in middle]
+            + self._boundaries[j:]
+        )
 
     @staticmethod
     def site_knn(slot: int, sites: list[int], k: int) -> tuple[int, ...]:

@@ -151,6 +151,15 @@ class DynamicCostProvider:
             return [local]
         return []
 
+    def invalidate_slots(self, slots) -> None:
+        """Drop cached offers for specific local slots.
+
+        The streaming churn path: a worker join/leave perturbs only the
+        slots it overlaps, so only those offers need re-deriving.
+        """
+        for slot in slots:
+            self._cache.pop(slot, None)
+
     def invalidate_all(self) -> None:
         """Flush the entire offer cache."""
         self._cache.clear()

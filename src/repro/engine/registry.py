@@ -44,6 +44,7 @@ class WorkerRegistry:
         # Lazily-built index per global slot, over *remaining* workers.
         self._slot_index: dict[int, GridIndex | KDTree] = {}
         self._consumed: dict[int, set[int]] = {}  # slot -> worker ids
+        self._departed: set[int] = set()  # churned-out worker ids
 
     # ------------------------------------------------------------------
     # Index maintenance
@@ -53,8 +54,9 @@ class WorkerRegistry:
         if index is None:
             items = [
                 (w.worker_id, w.availability[global_slot])
-                for w in self.pool
+                for w in self._by_id.values()
                 if global_slot in w.availability
+                and w.worker_id not in self._departed
             ]
             if self.backend == "grid":
                 index = GridIndex.from_items(self.bbox, items)
@@ -66,6 +68,50 @@ class WorkerRegistry:
     def worker(self, worker_id: int) -> Worker:
         """Look up a worker by id."""
         return self._by_id[worker_id]
+
+    # ------------------------------------------------------------------
+    # Churn (streaming mode)
+    # ------------------------------------------------------------------
+    def add_worker(self, worker: Worker) -> None:
+        """Register a worker that joined after construction.
+
+        The worker becomes visible to every slot index covering its
+        availability — indexes already built are patched in place,
+        unbuilt ones pick it up on their lazy construction.
+        """
+        if worker.worker_id in self._by_id:
+            raise ConfigurationError(
+                f"worker {worker.worker_id} is already registered"
+            )
+        self._by_id[worker.worker_id] = worker
+        for global_slot, location in worker.availability.items():
+            index = self._slot_index.get(global_slot)
+            if index is not None:
+                index.add(worker.worker_id, location)
+
+    def remove_worker(self, worker_id: int) -> Worker:
+        """Deregister a worker that left (churn).
+
+        The worker disappears from every slot it was still available
+        at; slots where it was already consumed keep their committed
+        assignments (the work was promised before the departure).
+        Returns the departed worker for the caller's bookkeeping.
+        """
+        worker = self._by_id.get(worker_id)
+        if worker is None or worker_id in self._departed:
+            raise WorkerUnavailableError(
+                f"worker {worker_id} is not registered (or already departed)"
+            )
+        self._departed.add(worker_id)
+        for global_slot in worker.availability:
+            index = self._slot_index.get(global_slot)
+            if index is not None and worker_id in index:
+                index.remove(worker_id)
+        return worker
+
+    def is_departed(self, worker_id: int) -> bool:
+        """True iff the worker has churned out of the registry."""
+        return worker_id in self._departed
 
     def available_count(self, global_slot: int) -> int:
         """Workers still available (not consumed) at ``global_slot``."""
@@ -119,6 +165,10 @@ class WorkerRegistry:
                 f"worker {worker_id} was not consumed at slot {global_slot}"
             )
         consumed.discard(worker_id)
+        if worker_id in self._departed:
+            # A departed worker's release frees the bookkeeping slot but
+            # must not resurrect the worker for new assignments.
+            return
         worker = self._by_id[worker_id]
         self._index_for(global_slot).add(worker_id, worker.availability[global_slot])
 

@@ -1,0 +1,55 @@
+"""Streaming TCSC: event-driven online assignment.
+
+The paper's problem is *time-continuous*, but its algorithms solve
+one-shot instances.  This package supplies the missing operational
+layer: a virtual clock and deterministic event queue
+(:mod:`~repro.stream.clock`, :mod:`~repro.stream.events`), per-task
+live assignment sessions with incrementally-maintained tree indexes
+(:mod:`~repro.stream.session`), the epoch-driven
+:class:`~repro.stream.online_server.StreamingTCSCServer`, and the
+operator metrics (:mod:`~repro.stream.metrics`).
+
+Quickstart::
+
+    from repro import StreamScenarioConfig, build_stream_events
+    from repro.stream import StreamingTCSCServer
+
+    scenario = build_stream_events(StreamScenarioConfig(seed=7))
+    server = StreamingTCSCServer(scenario.bbox, index_mode="incremental")
+    print(server.run(scenario.events).report())
+
+Event traces come from
+:func:`repro.workloads.streaming.build_stream_events` (Poisson or
+bursty task arrivals, Poisson worker joins with exponential
+lifetimes) or can be hand-built from the event dataclasses.
+"""
+
+from repro.stream.clock import VirtualClock
+from repro.stream.events import (
+    BudgetRefresh,
+    Event,
+    EventQueue,
+    TaskArrival,
+    WorkerJoin,
+    WorkerLeave,
+)
+from repro.stream.metrics import StreamMetrics, percentile
+from repro.stream.online_server import BudgetPool, StreamingTCSCServer
+from repro.stream.session import INDEX_MODES, TaskSession, WindowedCosts
+
+__all__ = [
+    "BudgetPool",
+    "BudgetRefresh",
+    "Event",
+    "EventQueue",
+    "INDEX_MODES",
+    "StreamMetrics",
+    "StreamingTCSCServer",
+    "TaskArrival",
+    "TaskSession",
+    "VirtualClock",
+    "WindowedCosts",
+    "WorkerJoin",
+    "WorkerLeave",
+    "percentile",
+]

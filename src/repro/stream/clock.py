@@ -1,0 +1,49 @@
+"""The virtual simulation clock.
+
+Virtual time is measured in *global slots* — the same axis workers'
+availability and tasks' start slots live on — so "one epoch" and "one
+slot" are directly comparable quantities.  The clock only moves
+forward; the streaming server advances it epoch by epoch and every
+latency metric is a difference of clock readings.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """Monotonic virtual clock over the global slot axis."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ConfigurationError(f"clock must start >= 0, got {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def advance_to(self, time: float) -> float:
+        """Move the clock forward to ``time`` (never backwards)."""
+        if time < self._now:
+            raise ConfigurationError(
+                f"clock cannot move backwards: {time} < {self._now}"
+            )
+        self._now = float(time)
+        return self._now
+
+    def epoch_index(self, epoch_length: float) -> int:
+        """Index of the epoch containing the current instant."""
+        if epoch_length <= 0:
+            raise ConfigurationError(
+                f"epoch_length must be > 0, got {epoch_length}"
+            )
+        return int(math.floor(self._now / epoch_length))

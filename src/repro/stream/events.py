@@ -1,0 +1,137 @@
+"""Streaming events and the deterministic event queue.
+
+The online TCSC mode is event-driven: workers join and leave, tasks
+arrive, and the operator tops up the budget pool, all stamped with a
+*virtual time* measured in global slots.  Four event kinds cover the
+scenarios the paper's one-shot formulation cannot express:
+
+* :class:`WorkerJoin` — a worker registers, carrying its availability
+  (location per active global slot) for its lifetime.
+* :class:`WorkerLeave` — a worker churns out; unconsumed future slots
+  vanish, already-committed assignments stand.
+* :class:`TaskArrival` — a TCSC task is submitted; admission control
+  decides whether it enters the live assignment window.
+* :class:`BudgetRefresh` — the shared budget pool is topped up.
+
+:class:`EventQueue` orders events by ``(time, kind priority, push
+sequence)``.  The kind priority fixes same-instant semantics: joins and
+budget top-ups land first (an arriving task sees workers that joined
+"at" its arrival instant), then task arrivals, then departures (a
+worker present at ``t`` can still serve a task arriving at ``t``).
+The push sequence makes ties fully deterministic, which the
+seed-determinism tests rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.model.task import Task
+from repro.model.worker import Worker
+
+__all__ = [
+    "Event",
+    "WorkerJoin",
+    "WorkerLeave",
+    "TaskArrival",
+    "BudgetRefresh",
+    "EventQueue",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """Base event: something that happens at a virtual time."""
+
+    time: float
+
+    def __post_init__(self):
+        if self.time < 0:
+            raise ConfigurationError(f"event time must be >= 0, got {self.time}")
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerJoin(Event):
+    """A worker registers with the platform."""
+
+    worker: Worker
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerLeave(Event):
+    """A registered worker churns out."""
+
+    worker_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class TaskArrival(Event):
+    """A TCSC task is submitted.
+
+    ``budget`` is the task's own budget; ``None`` lets the server
+    derive one from its configured budget fraction at admission time.
+    """
+
+    task: Task
+    budget: float | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class BudgetRefresh(Event):
+    """The shared budget pool is topped up by ``amount``."""
+
+    amount: float
+
+    def __post_init__(self):
+        Event.__post_init__(self)
+        if self.amount < 0:
+            raise ConfigurationError(f"refresh amount must be >= 0, got {self.amount}")
+
+
+#: Same-instant ordering (see module docstring).
+_KIND_PRIORITY = {WorkerJoin: 0, BudgetRefresh: 1, TaskArrival: 2, WorkerLeave: 3}
+
+
+class EventQueue:
+    """Min-heap of events with deterministic total order."""
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self, events=()):
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        for event in events:
+            self.push(event)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, event: Event) -> None:
+        """Enqueue an event."""
+        priority = _KIND_PRIORITY.get(type(event))
+        if priority is None:
+            raise ConfigurationError(f"unknown event type {type(event).__name__}")
+        heapq.heappush(self._heap, (event.time, priority, self._seq, event))
+        self._seq += 1
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next event, or ``None`` when empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def pop(self) -> Event | None:
+        """Dequeue the next event, or ``None`` when empty."""
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[3]
+
+    def pop_until(self, time: float) -> list[Event]:
+        """Dequeue every event with timestamp strictly before ``time``."""
+        ready: list[Event] = []
+        while self._heap and self._heap[0][0] < time:
+            ready.append(heapq.heappop(self._heap)[3])
+        return ready

@@ -1,0 +1,149 @@
+"""Live metrics for the streaming server.
+
+The batch benchmarks measure solver throughput; a streaming deployment
+is judged on different axes: how deep the admission queue gets, how
+long a task waits (in virtual time) before its first subtask executes,
+and whether the quality *promised* at planning time survives worker
+unreliability when the plan is realized.  :class:`StreamMetrics`
+accumulates all three during a run and renders the operator report the
+``simulate`` CLI prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.instrumentation import OpCounters
+
+__all__ = ["percentile", "StreamMetrics"]
+
+
+def percentile(values, q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of a value list.
+
+    Returns 0.0 for an empty list — streaming reports must render even
+    when nothing was assigned.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if q <= 0:
+        return float(ordered[0])
+    if q >= 100:
+        return float(ordered[-1])
+    rank = max(1, -(-int(q * len(ordered)) // 100))  # ceil(q/100 * n), >= 1
+    return float(ordered[rank - 1])
+
+
+@dataclass(slots=True)
+class StreamMetrics:
+    """Everything observed during one streaming run."""
+
+    counters: OpCounters = field(default_factory=OpCounters)
+    #: Event counts by class name (WorkerJoin, TaskArrival, ...).
+    events_processed: dict[str, int] = field(default_factory=dict)
+    epochs: int = 0
+    tasks_arrived: int = 0
+    tasks_admitted: int = 0
+    tasks_rejected: int = 0
+    tasks_completed: int = 0
+    #: Tasks that finished their window without a single execution.
+    tasks_starved: int = 0
+    workers_joined: int = 0
+    workers_left: int = 0
+    budget_spent: float = 0.0
+    #: (virtual time, pending-queue depth) sampled at every epoch.
+    queue_depth_samples: list[tuple[float, int]] = field(default_factory=list)
+    #: Virtual-time lag from task arrival to its first executed subtask.
+    assignment_latencies: list[float] = field(default_factory=list)
+    #: task_id -> quality the planner committed to (entropy metric).
+    promised_quality: dict[int, float] = field(default_factory=dict)
+    #: task_id -> quality after sampling worker reliability (Eq. 4-5).
+    realized_quality: dict[int, float] = field(default_factory=dict)
+    #: task_id -> Voronoi cell count of the final executed-slot diagram
+    #: (coverage fragmentation: fewer cells = sparser probing).
+    coverage_cells: dict[int, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def count_event(self, event) -> None:
+        """Tally one processed event by its class name."""
+        name = type(event).__name__
+        self.events_processed[name] = self.events_processed.get(name, 0) + 1
+
+    @property
+    def total_events(self) -> int:
+        """All events processed, any kind."""
+        return sum(self.events_processed.values())
+
+    # ------------------------------------------------------------------
+    # Derived statistics
+    # ------------------------------------------------------------------
+    @property
+    def p50_latency(self) -> float:
+        """Median assignment latency in virtual slots."""
+        return percentile(self.assignment_latencies, 50)
+
+    @property
+    def p99_latency(self) -> float:
+        """99th-percentile assignment latency in virtual slots."""
+        return percentile(self.assignment_latencies, 99)
+
+    @property
+    def max_queue_depth(self) -> int:
+        """Deepest pending queue observed."""
+        return max((depth for _, depth in self.queue_depth_samples), default=0)
+
+    @property
+    def mean_promised_quality(self) -> float:
+        """Average planned quality over completed tasks."""
+        if not self.promised_quality:
+            return 0.0
+        return sum(self.promised_quality.values()) / len(self.promised_quality)
+
+    @property
+    def mean_realized_quality(self) -> float:
+        """Average realized quality over completed tasks."""
+        if not self.realized_quality:
+            return 0.0
+        return sum(self.realized_quality.values()) / len(self.realized_quality)
+
+    @property
+    def realization_ratio(self) -> float:
+        """Realized / promised quality (1.0 = promises kept exactly)."""
+        promised = self.mean_promised_quality
+        if promised <= 0.0:
+            return 1.0
+        return self.mean_realized_quality / promised
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def report(self) -> str:
+        """The operator-facing multi-line report."""
+        lines = [
+            "streaming report",
+            "----------------",
+            f"events    {self.total_events} "
+            + " ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.events_processed.items())
+            ),
+            f"epochs    {self.epochs}",
+            f"workers   joined={self.workers_joined} left={self.workers_left}",
+            f"tasks     arrived={self.tasks_arrived} admitted={self.tasks_admitted} "
+            f"rejected={self.tasks_rejected} completed={self.tasks_completed} "
+            f"starved={self.tasks_starved}",
+            f"queue     max_depth={self.max_queue_depth}",
+            f"latency   p50={self.p50_latency:.3g} p99={self.p99_latency:.3g} "
+            "(virtual slots, arrival -> first execution)",
+            f"quality   promised={self.mean_promised_quality:.4f} "
+            f"realized={self.mean_realized_quality:.4f} "
+            f"ratio={self.realization_ratio:.3f}",
+            f"budget    spent={self.budget_spent:.3f}",
+            f"index     full_builds={self.counters.index_full_builds} "
+            f"incremental_refreshes={self.counters.index_incremental_refreshes} "
+            f"tree_node_updates={self.counters.tree_node_updates}",
+        ]
+        return "\n".join(lines)

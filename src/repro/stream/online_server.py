@@ -1,0 +1,324 @@
+"""The event-driven streaming TCSC server.
+
+Where :class:`~repro.engine.server.TCSCServer` solves one fully-known
+instance and :class:`~repro.engine.batches.BatchTCSCServer` replays
+pre-cut rounds, :class:`StreamingTCSCServer` runs an *online* loop over
+a virtual clock: worker-join / worker-leave / task-arrival /
+budget-refresh events drain from an :class:`~repro.stream.events.EventQueue`,
+admitted tasks hold live :class:`~repro.stream.session.TaskSession`
+state, and every epoch the server extends each session's assignment on
+the sliding window of still-executable slots.
+
+The loop per epoch:
+
+1. drain events stamped before the epoch boundary (registry churn,
+   admission control, budget top-ups);
+2. advance the clock and every session's sliding window;
+3. finalize sessions whose window closed or budget drained, freeing
+   admission capacity;
+4. admit pending tasks FIFO up to ``max_active_tasks``;
+5. run one greedy assignment round per active session, oldest first —
+   worker consumption is broadcast so competing sessions drop stale
+   offers (the paper's worker conflicts, online).
+
+Index maintenance is the subsystem's measured trade-off: with
+``index_mode="incremental"`` each session repairs its tree index over
+exactly the churn-dirtied slots; ``"rebuild"`` reconstructs it every
+round.  Both must produce identical assignments on the same trace.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.instrumentation import OpCounters
+from repro.engine.realization import simulate_execution
+from repro.engine.registry import WorkerRegistry
+from repro.errors import ConfigurationError, SchedulingError
+from repro.geo.bbox import BoundingBox
+from repro.model.assignment import Assignment, Budget
+from repro.model.task import TaskSet
+from repro.model.worker import Worker, WorkerPool
+from repro.stream.clock import VirtualClock
+from repro.stream.events import (
+    BudgetRefresh,
+    Event,
+    EventQueue,
+    TaskArrival,
+    WorkerJoin,
+    WorkerLeave,
+)
+from repro.stream.metrics import StreamMetrics
+from repro.stream.session import INDEX_MODES, TaskSession
+
+__all__ = ["BudgetPool", "StreamingTCSCServer"]
+
+_MAX_EPOCHS = 1_000_000
+
+
+class BudgetPool:
+    """Shared spending pool topped up by budget-refresh events."""
+
+    __slots__ = ("_remaining", "refreshed")
+
+    def __init__(self, initial: float):
+        if initial < 0:
+            raise ConfigurationError(f"pool must start >= 0, got {initial}")
+        self._remaining = float(initial)
+        self.refreshed = 0.0
+
+    @property
+    def remaining(self) -> float:
+        """Budget currently available to all sessions."""
+        return self._remaining
+
+    def add(self, amount: float) -> None:
+        """Top up the pool (a budget-refresh event)."""
+        if amount < 0:
+            raise ConfigurationError(f"refresh amount must be >= 0, got {amount}")
+        self._remaining += amount
+        self.refreshed += amount
+
+    def charge(self, cost: float) -> None:
+        """Draw from the pool."""
+        if cost > self._remaining + 1e-9:
+            raise SchedulingError(
+                f"pool charge {cost:.6g} exceeds remaining {self._remaining:.6g}"
+            )
+        self._remaining = max(0.0, self._remaining - cost)
+
+
+class StreamingTCSCServer:
+    """Online TCSC assignment over an event stream.
+
+    Parameters:
+        bbox: spatial domain shared by tasks and workers.
+        epoch_length: assignment-round period in virtual slots.
+        index_mode: ``"incremental"`` (repair per-session tree indexes
+            over churn-dirtied slots) or ``"rebuild"`` (reconstruct
+            every round).
+        rebuild_threshold: dirty-slot fraction above which incremental
+            mode falls back to a full rebuild.
+        budget_fraction: per-task budget as a fraction of the task's
+            full execution cost at admission (used when the arrival
+            event carries no explicit budget).
+        pool_budget: initial shared pool; ``None`` disables pooling so
+            only per-task budgets bind.  Budget-refresh events top up
+            the pool when enabled.
+        max_active_tasks: admission-window size.
+        max_queue_depth: pending tasks beyond this are rejected.
+    """
+
+    def __init__(
+        self,
+        bbox: BoundingBox,
+        *,
+        k: int = 3,
+        ts: int = 4,
+        epoch_length: float = 5.0,
+        index_mode: str = "incremental",
+        rebuild_threshold: float = 0.8,
+        budget_fraction: float = 0.25,
+        pool_budget: float | None = None,
+        max_active_tasks: int = 8,
+        max_queue_depth: int = 16,
+        realization_seed: int = 0,
+        counters: OpCounters | None = None,
+    ):
+        if index_mode not in INDEX_MODES:
+            raise ConfigurationError(
+                f"unknown index_mode {index_mode!r}; choose one of {INDEX_MODES}"
+            )
+        if epoch_length <= 0:
+            raise ConfigurationError(f"epoch_length must be > 0, got {epoch_length}")
+        if max_active_tasks < 1:
+            raise ConfigurationError(
+                f"max_active_tasks must be >= 1, got {max_active_tasks}"
+            )
+        if max_queue_depth < 0:
+            raise ConfigurationError(
+                f"max_queue_depth must be >= 0, got {max_queue_depth}"
+            )
+        if not 0.0 < budget_fraction <= 1.0:
+            raise ConfigurationError(
+                f"budget_fraction must be in (0, 1], got {budget_fraction}"
+            )
+        self.bbox = bbox
+        self.k = k
+        self.ts = ts
+        self.epoch_length = float(epoch_length)
+        self.index_mode = index_mode
+        self.rebuild_threshold = rebuild_threshold
+        self.budget_fraction = budget_fraction
+        self.max_active_tasks = max_active_tasks
+        self.max_queue_depth = max_queue_depth
+        self.realization_seed = realization_seed
+        self.counters = counters if counters is not None else OpCounters()
+        self.clock = VirtualClock()
+        self.registry = WorkerRegistry(WorkerPool([]), bbox)
+        self.pool = None if pool_budget is None else BudgetPool(pool_budget)
+        self._workers_seen: dict[int, Worker] = {}
+        self._pending: list[TaskArrival] = []
+        self._active: list[TaskSession] = []
+        self._finished: list[TaskSession] = []
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # Event handling
+    # ------------------------------------------------------------------
+    def _handle(self, event: Event, metrics: StreamMetrics) -> None:
+        metrics.count_event(event)
+        if isinstance(event, WorkerJoin):
+            worker = event.worker
+            self.registry.add_worker(worker)
+            self._workers_seen[worker.worker_id] = worker
+            metrics.workers_joined += 1
+            for session in self._active:
+                session.note_worker_join(worker)
+        elif isinstance(event, WorkerLeave):
+            worker = self.registry.remove_worker(event.worker_id)
+            metrics.workers_left += 1
+            for session in self._active:
+                session.note_worker_leave(worker)
+        elif isinstance(event, TaskArrival):
+            metrics.tasks_arrived += 1
+            if len(self._pending) >= self.max_queue_depth:
+                metrics.tasks_rejected += 1
+            else:
+                self._pending.append(event)
+        elif isinstance(event, BudgetRefresh):
+            if self.pool is not None:
+                self.pool.add(event.amount)
+        else:
+            raise ConfigurationError(f"unknown event type {type(event).__name__}")
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+    def _admit(self, arrival: TaskArrival, metrics: StreamMetrics) -> TaskSession:
+        session = TaskSession(
+            arrival.task,
+            self.registry,
+            k=self.k,
+            ts=self.ts,
+            budget=0.0,
+            arrival_time=arrival.time,
+            index_mode=self.index_mode,
+            rebuild_threshold=self.rebuild_threshold,
+            counters=self.counters,
+        )
+        session.on_epoch(self.clock.now)
+        amount = arrival.budget
+        if amount is None:
+            amount = self.budget_fraction * session.estimate_full_cost()
+        session.budget = Budget(amount)
+        metrics.tasks_admitted += 1
+        self._active.append(session)
+        return session
+
+    def _finalize(self, session: TaskSession, metrics: StreamMetrics) -> None:
+        task_id = session.task.task_id
+        metrics.tasks_completed += 1
+        metrics.promised_quality[task_id] = session.quality
+        metrics.coverage_cells[task_id] = len(session.voronoi.cells)
+        metrics.budget_spent += session.budget.spent
+        if session.first_assign_time is None:
+            metrics.tasks_starved += 1
+        else:
+            metrics.assignment_latencies.append(
+                session.first_assign_time - session.arrival_time
+            )
+        self._finished.append(session)
+
+    def _commit(self, consuming: TaskSession, worker_id: int, global_slot: int) -> None:
+        """Consume a worker and broadcast the conflict to competitors."""
+        self.registry.consume(worker_id, global_slot)
+        for other in self._active:
+            if other is consuming:
+                continue
+            if other.note_worker_consumed(worker_id, global_slot):
+                self.counters.conflicts_detected += 1
+
+    # ------------------------------------------------------------------
+    # The loop
+    # ------------------------------------------------------------------
+    def run(self, events) -> StreamMetrics:
+        """Drain an event trace to completion and return the metrics.
+
+        One-shot: the server accumulates registry, clock, and session
+        state; create a fresh server per trace.
+        """
+        if self._ran:
+            raise SchedulingError(
+                "StreamingTCSCServer.run is one-shot; create a new server per trace"
+            )
+        self._ran = True
+        queue = events if isinstance(events, EventQueue) else EventQueue(events)
+        metrics = StreamMetrics(counters=self.counters)
+        epochs = 0
+        while queue or self._pending or self._active:
+            epochs += 1
+            if epochs > _MAX_EPOCHS:
+                raise SchedulingError("streaming run exceeded the epoch safety cap")
+            next_epoch = self.clock.now + self.epoch_length
+            if not self._active and not self._pending:
+                # Idle: fast-forward to the epoch containing the next
+                # event instead of spinning through empty rounds.
+                upcoming = queue.peek_time()
+                if upcoming is not None and upcoming >= next_epoch:
+                    skip = math.floor(upcoming / self.epoch_length) + 1
+                    next_epoch = skip * self.epoch_length
+            for event in queue.pop_until(next_epoch):
+                self._handle(event, metrics)
+            now = self.clock.advance_to(next_epoch)
+            metrics.epochs += 1
+
+            for session in self._active:
+                session.on_epoch(now)
+            still_active: list[TaskSession] = []
+            for session in self._active:
+                if session.expired or session.exhausted:
+                    self._finalize(session, metrics)
+                else:
+                    still_active.append(session)
+            self._active = still_active
+
+            while self._pending and len(self._active) < self.max_active_tasks:
+                self._admit(self._pending.pop(0), metrics)
+
+            for session in list(self._active):
+                session.step(
+                    now,
+                    self.pool,
+                    lambda wid, gslot, s=session: self._commit(s, wid, gslot),
+                )
+            metrics.queue_depth_samples.append((now, len(self._pending)))
+
+        self._realize(metrics)
+        return metrics
+
+    # ------------------------------------------------------------------
+    # Realization
+    # ------------------------------------------------------------------
+    def assignment(self) -> Assignment:
+        """The combined plan of every finished session."""
+        combined = Assignment()
+        for session in self._finished:
+            for record in session.records:
+                combined.add(record)
+        return combined
+
+    def _realize(self, metrics: StreamMetrics) -> None:
+        """Close the loop: sample execution of the committed plan."""
+        if not self._finished:
+            return
+        tasks = TaskSet([session.task for session in self._finished])
+        pool = WorkerPool(list(self._workers_seen.values()))
+        outcome = simulate_execution(
+            tasks,
+            pool,
+            self.assignment(),
+            k=self.k,
+            seed=self.realization_seed,
+        )
+        metrics.realized_quality.update(outcome.qualities)

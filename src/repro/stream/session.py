@@ -1,0 +1,279 @@
+"""Per-task live assignment state for the streaming server.
+
+A :class:`TaskSession` is the online analogue of one
+:class:`~repro.core.greedy.IndexedSingleTaskGreedy` run, stretched over
+the task's whole duration: the evaluator, the cost view, and the tree
+index persist across epochs while workers churn underneath them.
+
+Two index-maintenance policies are supported and must produce
+*identical assignments* (the acceptance property of the subsystem):
+
+* ``"incremental"`` — the tree index is built once and repaired with
+  :meth:`~repro.core.tree_index.TreeIndex.refresh_slots` over exactly
+  the slots dirtied by churn, consumption, or the advancing clock,
+  falling back to a full rebuild when the dirty set exceeds
+  ``rebuild_threshold`` of the slot line;
+* ``"rebuild"`` — the index is reconstructed from scratch at every
+  assignment round (the baseline the benchmarks compare against).
+
+Both policies read the same evaluator and cost state, so the index
+aggregates — and therefore every ``find_best`` answer — coincide; only
+the operation counts differ.
+
+The session additionally maintains the order-k Voronoi diagram of its
+executed slots *incrementally* (one :meth:`insert_site` per
+execution); the final cell count is the coverage-fragmentation metric
+reported by :class:`~repro.stream.metrics.StreamMetrics`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.evaluator import TemporalQualityEvaluator
+from repro.core.instrumentation import OpCounters
+from repro.core.tree_index import TreeIndex
+from repro.core.voronoi import OrderKVoronoi
+from repro.engine.costs import DynamicCostProvider
+from repro.errors import ConfigurationError
+from repro.model.assignment import AssignmentRecord, Budget
+from repro.model.task import Task
+from repro.model.worker import Worker
+
+__all__ = ["WindowedCosts", "TaskSession", "INDEX_MODES"]
+
+INDEX_MODES = ("incremental", "rebuild")
+
+
+class WindowedCosts:
+    """Sliding-window view over a cost provider.
+
+    Subtasks whose global slot the virtual clock has passed can no
+    longer be executed; this wrapper masks them (cost ``None``) so the
+    solvers need no online-specific logic.  ``mask_hi`` is the highest
+    masked local slot and only ever grows.
+    """
+
+    __slots__ = ("provider", "task", "mask_hi")
+
+    def __init__(self, provider: DynamicCostProvider, task: Task):
+        self.provider = provider
+        self.task = task
+        self.mask_hi = 0
+
+    def advance(self, now: float) -> list[int]:
+        """Mask slots whose global time is strictly before ``now``.
+
+        Returns the newly masked local slots (they need an index
+        refresh: their candidacy just ended).
+        """
+        task = self.task
+        new_hi = min(
+            task.num_slots,
+            max(0, math.ceil(now - task.start_slot + 1) - 1),
+        )
+        fresh = list(range(self.mask_hi + 1, new_hi + 1))
+        self.mask_hi = max(self.mask_hi, new_hi)
+        return fresh
+
+    def cost(self, slot: int) -> float | None:
+        """Provider cost, or ``None`` once the slot's time has passed."""
+        if slot <= self.mask_hi:
+            return None
+        return self.provider.cost(slot)
+
+    def reliability(self, slot: int) -> float:
+        """Provider reliability (1.0 for masked slots, never used)."""
+        if slot <= self.mask_hi:
+            return 1.0
+        return self.provider.reliability(slot)
+
+    def offer(self, slot: int):
+        """Provider offer, or ``None`` once the slot's time has passed."""
+        if slot <= self.mask_hi:
+            return None
+        return self.provider.offer(slot)
+
+
+class TaskSession:
+    """Live assignment state of one admitted task."""
+
+    def __init__(
+        self,
+        task: Task,
+        registry,
+        *,
+        k: int,
+        ts: int,
+        budget: float,
+        arrival_time: float,
+        index_mode: str = "incremental",
+        rebuild_threshold: float = 0.8,
+        counters: OpCounters | None = None,
+    ):
+        if index_mode not in INDEX_MODES:
+            raise ConfigurationError(
+                f"unknown index_mode {index_mode!r}; choose one of {INDEX_MODES}"
+            )
+        if not 0.0 < rebuild_threshold <= 1.0:
+            raise ConfigurationError(
+                f"rebuild_threshold must be in (0, 1], got {rebuild_threshold}"
+            )
+        self.task = task
+        self.k = k
+        self.ts = ts
+        self.index_mode = index_mode
+        self.arrival_time = arrival_time
+        self.counters = counters if counters is not None else OpCounters()
+        self.ev = TemporalQualityEvaluator(task.num_slots, k, counters=self.counters)
+        self.provider = DynamicCostProvider(task, registry, counters=self.counters)
+        self.costs = WindowedCosts(self.provider, task)
+        self.budget = Budget(budget)
+        self.voronoi = OrderKVoronoi(task.num_slots, k, [])
+        self.records: list[AssignmentRecord] = []
+        self.first_assign_time: float | None = None
+        self._index: TreeIndex | None = None
+        self._dirty: set[int] = set()
+        self._dirty_limit = max(1, int(rebuild_threshold * task.num_slots))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def end_slot(self) -> int:
+        """Last global slot the task occupies."""
+        return self.task.start_slot + self.task.num_slots - 1
+
+    @property
+    def expired(self) -> bool:
+        """True once every slot's time has passed."""
+        return self.costs.mask_hi >= self.task.num_slots
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the task budget is effectively spent."""
+        return self.budget.remaining < 1e-9
+
+    @property
+    def quality(self) -> float:
+        """Quality promised by the plan so far."""
+        return self.ev.quality
+
+    def estimate_full_cost(self) -> float:
+        """Cost of executing every currently-assignable slot.
+
+        The online analogue of the scenario builder's budget reference:
+        per-task budgets are expressed as a fraction of this estimate
+        at admission time.
+        """
+        total = 0.0
+        for slot in self.task.slots:
+            cost = self.costs.cost(slot)
+            if cost is not None:
+                total += cost
+        return total
+
+    # ------------------------------------------------------------------
+    # Churn notifications
+    # ------------------------------------------------------------------
+    def _overlapping_local_slots(self, worker: Worker) -> list[int]:
+        task = self.task
+        slots = []
+        for global_slot in worker.availability:
+            if task.start_slot <= global_slot <= self.end_slot:
+                local = global_slot - task.start_slot + 1
+                if local > self.costs.mask_hi and not self.ev.is_executed(local):
+                    slots.append(local)
+        return slots
+
+    def note_worker_join(self, worker: Worker) -> list[int]:
+        """A worker joined: re-derive offers for the slots it overlaps."""
+        slots = self._overlapping_local_slots(worker)
+        if slots:
+            self.provider.invalidate_slots(slots)
+            self._dirty.update(slots)
+        return slots
+
+    def note_worker_leave(self, worker: Worker) -> list[int]:
+        """A worker left: drop offers that referenced it."""
+        lost: list[int] = []
+        task = self.task
+        for global_slot in worker.availability:
+            if task.start_slot <= global_slot <= self.end_slot:
+                lost.extend(self.provider.invalidate_worker(worker.worker_id, global_slot))
+        if lost:
+            self._dirty.update(lost)
+        return lost
+
+    def note_worker_consumed(self, worker_id: int, global_slot: int) -> list[int]:
+        """A competitor consumed a worker: invalidate the lost offer."""
+        lost = self.provider.invalidate_worker(worker_id, global_slot)
+        if lost:
+            self._dirty.update(lost)
+        return lost
+
+    def on_epoch(self, now: float) -> None:
+        """Advance the sliding window to ``now``."""
+        self._dirty.update(self.costs.advance(now))
+
+    # ------------------------------------------------------------------
+    # Assignment
+    # ------------------------------------------------------------------
+    def _ensure_index(self) -> TreeIndex:
+        if self.index_mode == "rebuild" or self._index is None:
+            # Rebuild-every-round baseline (or very first build).
+            self._index = TreeIndex(
+                self.ev, self.costs, ts=self.ts, counters=self.counters
+            )
+            self._dirty.clear()
+        elif self._dirty:
+            if len(self._dirty) >= self._dirty_limit:
+                # Rebuild-threshold fallback: churn touched so much of
+                # the slot line that a fresh build is cheaper than many
+                # range refreshes.
+                self._index = TreeIndex(
+                    self.ev, self.costs, ts=self.ts, counters=self.counters
+                )
+            else:
+                self._index.refresh_slots(self._dirty)
+            self._dirty.clear()
+        return self._index
+
+    def step(self, now: float, pool, on_consume) -> int:
+        """Run greedy assignment for one epoch.
+
+        ``pool`` bounds spending globally (``None`` = task budget
+        only); ``on_consume(worker_id, global_slot)`` commits a worker
+        in the registry and notifies competing sessions.  Returns the
+        number of subtasks executed.
+        """
+        if self.exhausted or self.expired:
+            return 0
+        index = self._ensure_index()
+        executed = 0
+        while True:
+            remaining = self.budget.remaining
+            if pool is not None:
+                remaining = min(remaining, pool.remaining)
+            if remaining < 1e-12:
+                break
+            best = index.find_best(remaining)
+            if best is None:
+                break
+            offer = self.costs.offer(best.slot)
+            window = self.ev.affected_window(best.slot)
+            self.ev.execute(best.slot, self.costs.reliability(best.slot))
+            self.voronoi.insert_site(best.slot)
+            self.budget.charge(best.cost)
+            if pool is not None:
+                pool.charge(best.cost)
+            on_consume(offer.worker_id, self.task.global_slot(best.slot))
+            self.records.append(
+                AssignmentRecord(self.task.task_id, best.slot, offer.worker_id, best.cost)
+            )
+            if self.first_assign_time is None:
+                self.first_assign_time = now
+            self.counters.iterations += 1
+            index.refresh_range(*window)
+            executed += 1
+        return executed

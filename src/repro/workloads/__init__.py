@@ -15,11 +15,18 @@ section 3 for the substitution argument):
   standing in for the Beijing POI dataset.
 * :mod:`repro.workloads.scenario` — the one-stop builder assembling
   tasks, workers, registry, and budgets for a named configuration.
+* :mod:`repro.workloads.streaming` — event traces for the online mode:
+  Poisson/bursty task arrivals and worker churn over a virtual clock.
 """
 
 from repro.workloads.poi import ClusteredPOIGenerator
 from repro.workloads.scenario import Scenario, ScenarioConfig, build_scenario
 from repro.workloads.spatial import Distribution, generate_points
+from repro.workloads.streaming import (
+    StreamScenario,
+    StreamScenarioConfig,
+    build_stream_events,
+)
 from repro.workloads.trajectories import TaxiTrajectoryGenerator
 
 __all__ = [
@@ -27,7 +34,10 @@ __all__ = [
     "Distribution",
     "Scenario",
     "ScenarioConfig",
+    "StreamScenario",
+    "StreamScenarioConfig",
     "TaxiTrajectoryGenerator",
     "build_scenario",
+    "build_stream_events",
     "generate_points",
 ]

@@ -1,0 +1,266 @@
+"""Streaming scenario generator: arrival processes for the online mode.
+
+The batch :class:`~repro.workloads.scenario.ScenarioConfig` materializes
+one fully-known instance; a streaming scenario is instead an *event
+trace*: task submissions from a (possibly bursty) Poisson process,
+worker joins from a Poisson process with exponentially-distributed
+advertised lifetimes, early departures (churn that cancels advertised
+availability), and optional periodic budget refreshes.
+
+Everything is deterministic in ``config.seed`` via the same
+label-addressed stream derivation the batch builder uses: arrival
+times, task locations, worker trajectories, lifetimes, and churn each
+draw from independent streams, so changing one axis never reshuffles
+another.
+
+Burstiness is a two-phase Markov-modulated Poisson process: phases of
+mean length ``burst_cycle`` alternate between a high rate
+``task_rate * (1 + 3 * burstiness)`` and a low rate
+``task_rate * (1 - burstiness)`` (floored at 5% of nominal), so
+``burstiness=0`` degenerates to a plain Poisson process with the same
+mean rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+from repro.geo.bbox import BoundingBox
+from repro.model.task import Task
+from repro.model.worker import Worker
+from repro.stream.events import BudgetRefresh, Event, TaskArrival, WorkerJoin, WorkerLeave
+from repro.util.rng import derive_rng
+from repro.workloads.spatial import Distribution, generate_points
+from repro.workloads.trajectories import TaxiTrajectoryGenerator
+
+__all__ = ["StreamScenarioConfig", "StreamScenario", "build_stream_events"]
+
+
+@dataclass(frozen=True, slots=True)
+class StreamScenarioConfig:
+    """Declarative description of one streaming TCSC scenario."""
+
+    horizon: int = 100             # arrival window in global slots
+    task_rate: float = 0.15        # mean task arrivals per slot
+    burstiness: float = 0.0        # 0 = Poisson; (0, 1] = on/off bursts
+    burst_cycle: float = 20.0      # mean burst-phase length in slots
+    task_slots: int = 24           # m of every arriving task
+    initial_workers: int = 40      # workers present at t = 0
+    worker_join_rate: float = 1.0  # worker joins per slot
+    mean_worker_lifetime: float = 25.0  # exponential advertised lifetime
+    early_leave_prob: float = 0.3  # chance a worker churns out early
+    budget_refresh_interval: float = 0.0  # 0 disables refresh events
+    budget_refresh_amount: float = 0.0
+    distribution: Distribution = Distribution.UNIFORM
+    domain_side: float = 100.0
+    reliability_range: tuple[float, float] = (1.0, 1.0)
+    seed: int = 7
+
+    def __post_init__(self):
+        if self.horizon < 1:
+            raise ConfigurationError(f"horizon must be >= 1, got {self.horizon}")
+        if self.task_rate < 0:
+            raise ConfigurationError(f"task_rate must be >= 0, got {self.task_rate}")
+        if not 0.0 <= self.burstiness <= 1.0:
+            raise ConfigurationError(
+                f"burstiness must be in [0, 1], got {self.burstiness}"
+            )
+        if self.burst_cycle <= 0:
+            raise ConfigurationError(
+                f"burst_cycle must be > 0, got {self.burst_cycle}"
+            )
+        if self.task_slots < 3:
+            raise ConfigurationError(
+                f"task_slots must be >= 3, got {self.task_slots}"
+            )
+        if self.initial_workers < 0:
+            raise ConfigurationError(
+                f"initial_workers must be >= 0, got {self.initial_workers}"
+            )
+        if self.worker_join_rate < 0:
+            raise ConfigurationError(
+                f"worker_join_rate must be >= 0, got {self.worker_join_rate}"
+            )
+        if self.mean_worker_lifetime <= 0:
+            raise ConfigurationError(
+                f"mean_worker_lifetime must be > 0, got {self.mean_worker_lifetime}"
+            )
+        if not 0.0 <= self.early_leave_prob <= 1.0:
+            raise ConfigurationError(
+                f"early_leave_prob must be in [0, 1], got {self.early_leave_prob}"
+            )
+        if self.budget_refresh_interval < 0:
+            raise ConfigurationError(
+                f"budget_refresh_interval must be >= 0, got {self.budget_refresh_interval}"
+            )
+        lo, hi = self.reliability_range
+        if not 0.0 <= lo <= hi <= 1.0:
+            raise ConfigurationError(
+                f"invalid reliability range {self.reliability_range}"
+            )
+
+    def with_overrides(self, **kwargs) -> "StreamScenarioConfig":
+        """A copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+@dataclass(slots=True)
+class StreamScenario:
+    """A materialized streaming scenario: the trace plus its domain."""
+
+    config: StreamScenarioConfig
+    bbox: BoundingBox
+    events: list[Event] = field(default_factory=list)
+
+    @property
+    def task_count(self) -> int:
+        """Tasks arriving over the horizon."""
+        return sum(1 for e in self.events if isinstance(e, TaskArrival))
+
+    @property
+    def worker_count(self) -> int:
+        """Workers joining over the horizon (initial included)."""
+        return sum(1 for e in self.events if isinstance(e, WorkerJoin))
+
+    def signature(self) -> tuple:
+        """Hashable trace summary for determinism tests."""
+        parts = []
+        for event in self.events:
+            if isinstance(event, TaskArrival):
+                task = event.task
+                parts.append(
+                    ("task", round(event.time, 9), task.task_id, task.start_slot,
+                     round(task.loc.x, 9), round(task.loc.y, 9))
+                )
+            elif isinstance(event, WorkerJoin):
+                worker = event.worker
+                parts.append(
+                    ("join", round(event.time, 9), worker.worker_id,
+                     len(worker.availability), round(worker.reliability, 9))
+                )
+            elif isinstance(event, WorkerLeave):
+                parts.append(("leave", round(event.time, 9), event.worker_id))
+            else:
+                parts.append(("refresh", round(event.time, 9)))
+        return tuple(parts)
+
+
+def _poisson_times(rng, rate: float, horizon: float) -> list[float]:
+    """Arrival instants of a homogeneous Poisson process on [0, horizon)."""
+    times: list[float] = []
+    if rate <= 0:
+        return times
+    t = float(rng.exponential(1.0 / rate))
+    while t < horizon:
+        times.append(t)
+        t += float(rng.exponential(1.0 / rate))
+    return times
+
+
+def _modulated_times(
+    rng, rate: float, horizon: float, burstiness: float, cycle: float
+) -> list[float]:
+    """On/off Markov-modulated Poisson arrivals (see module docstring)."""
+    if burstiness <= 0.0:
+        return _poisson_times(rng, rate, horizon)
+    times: list[float] = []
+    high_rate = rate * (1.0 + 3.0 * burstiness)
+    low_rate = rate * max(0.05, 1.0 - burstiness)
+    t = 0.0
+    high = True
+    while t < horizon:
+        phase_end = t + float(rng.exponential(cycle))
+        phase_rate = high_rate if high else low_rate
+        tick = t + float(rng.exponential(1.0 / phase_rate))
+        while tick < min(phase_end, horizon):
+            times.append(tick)
+            tick += float(rng.exponential(1.0 / phase_rate))
+        t = phase_end
+        high = not high
+    return times
+
+
+def build_stream_events(config: StreamScenarioConfig) -> StreamScenario:
+    """Materialize the deterministic event trace of a configuration.
+
+    The trace covers arrivals in ``[0, horizon)``; worker availability
+    extends up to ``horizon + task_slots`` so tasks arriving late in
+    the window can still be served.
+    """
+    bbox = BoundingBox.square(config.domain_side)
+    total_horizon = config.horizon + config.task_slots
+    events: list[Event] = []
+
+    # -- workers -------------------------------------------------------
+    join_rng = derive_rng(config.seed, "stream-worker-joins")
+    life_rng = derive_rng(config.seed, "stream-worker-lifetimes")
+    churn_rng = derive_rng(config.seed, "stream-worker-churn")
+    rel_rng = derive_rng(config.seed, "stream-worker-reliability")
+    traj_gen = TaxiTrajectoryGenerator(
+        bbox,
+        horizon=total_horizon,
+        seed=derive_rng(config.seed, "stream-worker-trajectories"),
+    )
+    join_times = [0.0] * config.initial_workers
+    join_times += _poisson_times(join_rng, config.worker_join_rate, config.horizon)
+    rel_lo, rel_hi = config.reliability_range
+    for worker_id, join_time in enumerate(join_times):
+        join_slot = int(math.floor(join_time)) + 1
+        lifetime = max(1, int(round(life_rng.exponential(config.mean_worker_lifetime))))
+        end_slot = min(join_slot + lifetime - 1, total_horizon)
+        path = traj_gen.trajectory()
+        availability = {
+            slot: path[slot - join_slot] for slot in range(join_slot, end_slot + 1)
+        }
+        reliability = (
+            float(rel_rng.uniform(rel_lo, rel_hi)) if rel_hi > rel_lo else rel_lo
+        )
+        worker = Worker(worker_id, availability, reliability)
+        events.append(WorkerJoin(time=join_time, worker=worker))
+        advertised = end_slot - join_slot + 1
+        if advertised > 1 and float(churn_rng.uniform()) < config.early_leave_prob:
+            # Early churn: the worker cancels part of its advertised
+            # availability (at least one slot is served first).
+            served = int(churn_rng.integers(1, advertised))
+            leave_time = float(join_slot + served)
+        else:
+            leave_time = float(end_slot + 1)
+        events.append(WorkerLeave(time=leave_time, worker_id=worker_id))
+
+    # -- tasks ---------------------------------------------------------
+    arrival_rng = derive_rng(config.seed, "stream-task-arrivals")
+    arrival_times = _modulated_times(
+        arrival_rng,
+        config.task_rate,
+        float(config.horizon),
+        config.burstiness,
+        config.burst_cycle,
+    )
+    locations = generate_points(
+        len(arrival_times),
+        bbox,
+        config.distribution,
+        seed=derive_rng(config.seed, "stream-task-locations"),
+    )
+    for task_id, (time, loc) in enumerate(zip(arrival_times, locations)):
+        task = Task(
+            task_id=task_id,
+            loc=loc,
+            num_slots=config.task_slots,
+            start_slot=int(math.floor(time)) + 1,
+        )
+        events.append(TaskArrival(time=time, task=task))
+
+    # -- budget refreshes ----------------------------------------------
+    if config.budget_refresh_interval > 0:
+        tick = config.budget_refresh_interval
+        while tick < config.horizon:
+            events.append(
+                BudgetRefresh(time=float(tick), amount=config.budget_refresh_amount)
+            )
+            tick += config.budget_refresh_interval
+
+    events.sort(key=lambda e: e.time)
+    return StreamScenario(config=config, bbox=bbox, events=events)

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.bench.ascii_plot import bar_chart, line_chart
-from repro.bench.collect import collect, main
+from repro.bench.collect import collect, collect_stream, main
 from repro.errors import ConfigurationError
 
 
@@ -83,3 +85,22 @@ class TestCollect:
 
     def test_main_missing_dir(self, tmp_path, capsys):
         assert main([str(tmp_path / "nope")]) == 1
+
+    def test_collect_stream_merges_json_series(self, tmp_path):
+        (tmp_path / "stream1.json").write_text('{"events_per_sec": 10.0}\n')
+        (tmp_path / "stream2.json").write_text('{"events_per_sec": 20.0}\n')
+        merged = collect_stream(tmp_path)
+        assert set(merged["series"]) == {"stream1", "stream2"}
+        assert merged["series"]["stream1"]["events_per_sec"] == 10.0
+
+    def test_collect_stream_none_without_series(self, tmp_path):
+        assert collect_stream(tmp_path) is None
+
+    def test_main_writes_bench_stream_json(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig6a.txt").write_text("# fig6a: early\nrow\n")
+        (results / "stream1.json").write_text('{"events_per_sec": 10.0}\n')
+        assert main([str(results)]) == 0
+        payload = json.loads((tmp_path / "BENCH_stream.json").read_text())
+        assert "stream1" in payload["series"]

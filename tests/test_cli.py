@@ -28,6 +28,17 @@ class TestParser:
         )
         assert (args.tasks, args.objective, args.cores) == (5, "min", 4)
 
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.index_mode == "incremental"
+        assert args.task_rate == 0.15
+        assert args.epoch == 5.0
+        assert args.seed == 7
+
+    def test_simulate_rejects_unknown_index_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--index-mode", "magic"])
+
 
 class TestCommands:
     def test_solve_single(self, capsys):
@@ -84,3 +95,24 @@ class TestCommands:
              "--distribution", "zipfian"]
         )
         assert code == 0
+
+    def test_simulate(self, capsys):
+        code = main(
+            ["simulate", "--seed", "7", "--horizon", "30", "--task-rate", "0.15",
+             "--task-slots", "10", "--initial-workers", "15", "--join-rate", "0.5"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "streaming report" in out
+        assert "latency" in out
+        assert "index_mode=incremental" in out
+
+    def test_simulate_rebuild_mode(self, capsys):
+        code = main(
+            ["simulate", "--seed", "3", "--horizon", "20", "--task-slots", "8",
+             "--initial-workers", "10", "--join-rate", "0.3",
+             "--index-mode", "rebuild", "--burstiness", "0.5"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "index_mode=rebuild" in out

@@ -1,0 +1,236 @@
+"""Property tests for incremental index maintenance.
+
+The streaming subsystem's correctness rests on two invariants:
+
+* an :class:`OrderKVoronoi` maintained by ``insert_site`` /
+  ``remove_site`` is *identical* to one freshly built from the same
+  site set, while constructing far fewer cells;
+* a :class:`TreeIndex` repaired with ``refresh_slots`` after arbitrary
+  cost churn answers ``find_best`` exactly like a freshly built index
+  over the same evaluator and cost state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.evaluator import TemporalQualityEvaluator
+from repro.core.instrumentation import OpCounters
+from repro.core.tree_index import TreeIndex
+from repro.core.voronoi import OrderKVoronoi
+from repro.engine.registry import WorkerRegistry
+from repro.errors import ConfigurationError, WorkerUnavailableError
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+from repro.model.worker import Worker, WorkerPool
+
+
+class TestVoronoiIncremental:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("m,k", [(30, 1), (40, 2), (60, 3), (25, 5)])
+    def test_random_sequence_matches_fresh_build(self, seed, m, k):
+        rng = np.random.default_rng(seed)
+        diagram = OrderKVoronoi(m, k, [])
+        reference: set[int] = set()
+        for _ in range(80):
+            if reference and rng.uniform() < 0.35:
+                site = int(rng.choice(sorted(reference)))
+                diagram.remove_site(site)
+                reference.discard(site)
+            else:
+                site = int(rng.integers(1, m + 1))
+                if site in reference:
+                    continue
+                diagram.insert_site(site)
+                reference.add(site)
+            fresh = OrderKVoronoi(m, k, sorted(reference))
+            assert diagram.sites == fresh.sites
+            assert diagram.cells == fresh.cells, (
+                f"divergence with sites={sorted(reference)}"
+            )
+            # The lookup structure must stay consistent too.
+            for slot in range(1, m + 1, 7):
+                assert diagram.knn(slot) == fresh.knn(slot)
+
+    def test_incremental_builds_fewer_cells_than_rebuilds(self):
+        m, k = 200, 3
+        sites = list(range(5, 200, 5))
+        diagram = OrderKVoronoi(m, k, sites)
+        diagram.cells_built = 0
+        rebuilt_cells = 0
+        current = list(sites)
+        for site in (101, 52, 3, 198, 77):
+            diagram.insert_site(site)
+            current.append(site)
+            rebuilt_cells += len(OrderKVoronoi(m, k, current).cells)
+        for site in (5, 100, 195):
+            diagram.remove_site(site)
+            current.remove(site)
+            rebuilt_cells += len(OrderKVoronoi(m, k, current).cells)
+        assert diagram.full_rebuilds == 1  # only the constructor
+        assert diagram.cells_built < rebuilt_cells / 3, (
+            f"incremental built {diagram.cells_built} cells; "
+            f"rebuild-every-time builds {rebuilt_cells}"
+        )
+
+    def test_rebuild_threshold_fallback(self):
+        # A tiny threshold forces the fallback; results must not change.
+        strict = OrderKVoronoi(50, 2, [10, 20, 30, 40], rebuild_threshold=0.01)
+        strict.insert_site(25)
+        fresh = OrderKVoronoi(50, 2, [10, 20, 25, 30, 40])
+        assert strict.cells == fresh.cells
+        assert strict.full_rebuilds >= 2  # constructor + fallback
+
+    def test_duplicate_insert_rejected(self):
+        diagram = OrderKVoronoi(20, 2, [5])
+        with pytest.raises(ConfigurationError):
+            diagram.insert_site(5)
+
+    def test_missing_remove_rejected(self):
+        diagram = OrderKVoronoi(20, 2, [5])
+        with pytest.raises(ConfigurationError):
+            diagram.remove_site(6)
+
+    def test_transitions_through_trivial_sizes(self):
+        """Crossing the n <= k boundary in both directions stays exact."""
+        m, k = 30, 3
+        diagram = OrderKVoronoi(m, k, [])
+        sites: list[int] = []
+        for site in (4, 11, 19, 27, 8):
+            diagram.insert_site(site)
+            sites.append(site)
+            assert diagram.cells == OrderKVoronoi(m, k, sites).cells
+        for site in (11, 4, 27, 19, 8):
+            diagram.remove_site(site)
+            sites.remove(site)
+            assert diagram.cells == OrderKVoronoi(m, k, sites).cells
+        assert diagram.cells == [OrderKVoronoi(m, k, []).cells[0]]
+
+
+class _ChurningCosts:
+    """Mutable cost table standing in for worker churn."""
+
+    def __init__(self, m: int, rng):
+        self.m = m
+        self._rng = rng
+        self._cost: dict[int, float | None] = {}
+        self._rel: dict[int, float] = {}
+        for slot in range(1, m + 1):
+            self.randomize(slot)
+
+    def randomize(self, slot: int) -> None:
+        gone = self._rng.uniform() < 0.15
+        self._cost[slot] = None if gone else float(self._rng.uniform(0.5, 5.0))
+        self._rel[slot] = float(self._rng.uniform(0.6, 1.0))
+
+    def cost(self, slot: int) -> float | None:
+        return self._cost[slot]
+
+    def reliability(self, slot: int) -> float:
+        return self._rel[slot]
+
+
+class TestTreeIndexIncremental:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_churned_index_matches_fresh_index(self, seed):
+        m, k, ts, budget = 48, 3, 4, 100.0
+        rng = np.random.default_rng(seed)
+        costs = _ChurningCosts(m, rng)
+        ev = TemporalQualityEvaluator(m, k)
+        index = TreeIndex(ev, costs, ts=ts)
+        executions: list[tuple[int, float]] = []
+
+        def assert_matches_fresh():
+            fresh_ev = TemporalQualityEvaluator(m, k)
+            for slot, rel in executions:
+                fresh_ev.execute(slot, rel)
+            fresh = TreeIndex(fresh_ev, costs, ts=ts)
+            assert index.find_best(budget) == fresh.find_best(budget)
+            assert index.candidate_count == fresh.candidate_count
+
+        for round_id in range(25):
+            if rng.uniform() < 0.6:
+                # Churn: perturb a random batch of slot costs.
+                changed = sorted(
+                    int(s)
+                    for s in rng.choice(m, size=int(rng.integers(1, 6)), replace=False)
+                    + 1
+                )
+                for slot in changed:
+                    costs.randomize(slot)
+                index.refresh_slots(changed)
+            else:
+                best = index.find_best(budget)
+                if best is not None:
+                    rel = costs.reliability(best.slot)
+                    window = ev.affected_window(best.slot)
+                    ev.execute(best.slot, rel)
+                    executions.append((best.slot, rel))
+                    index.refresh_range(*window)
+            if round_id % 5 == 4:
+                assert_matches_fresh()
+        assert_matches_fresh()
+
+    def test_refresh_slots_coalesces_runs(self):
+        m = 20
+        rng = np.random.default_rng(0)
+        costs = _ChurningCosts(m, rng)
+        ev = TemporalQualityEvaluator(m, 3)
+        counters = OpCounters()
+        index = TreeIndex(ev, costs, ts=4, counters=counters)
+        assert counters.index_full_builds == 1
+        runs = index.refresh_slots([3, 4, 5, 9, 10, 17])
+        assert runs == 3
+        assert counters.index_incremental_refreshes == 1
+        assert index.refresh_slots([]) == 0
+        assert index.refresh_slots([0, 21]) == 0  # out of range: ignored
+
+
+class TestRegistryChurn:
+    def _registry(self):
+        bbox = BoundingBox.square(10.0)
+        workers = [
+            Worker(0, {1: Point(1.0, 1.0), 2: Point(2.0, 2.0)}),
+            Worker(1, {1: Point(9.0, 9.0)}),
+        ]
+        return WorkerRegistry(WorkerPool(workers), bbox), bbox
+
+    def test_add_worker_visible_to_built_and_lazy_indexes(self):
+        registry, _ = self._registry()
+        assert registry.available_count(1) == 2  # builds slot 1 eagerly
+        registry.add_worker(Worker(7, {1: Point(0.5, 0.5), 3: Point(4.0, 4.0)}))
+        assert registry.available_count(1) == 3  # patched in place
+        assert registry.available_count(3) == 1  # lazy build sees it
+        hit = registry.nearest_available(Point(0.0, 0.0), 1)
+        assert hit is not None and hit[0].worker_id == 7
+
+    def test_add_duplicate_rejected(self):
+        registry, _ = self._registry()
+        with pytest.raises(ConfigurationError):
+            registry.add_worker(Worker(0, {5: Point(0.0, 0.0)}))
+
+    def test_remove_worker_disappears_everywhere(self):
+        registry, _ = self._registry()
+        assert registry.available_count(1) == 2
+        registry.remove_worker(0)
+        assert registry.available_count(1) == 1
+        assert registry.available_count(2) == 0  # lazy build excludes departed
+        assert registry.is_departed(0)
+        with pytest.raises(WorkerUnavailableError):
+            registry.remove_worker(0)
+
+    def test_departed_consumed_worker_release_does_not_resurrect(self):
+        registry, _ = self._registry()
+        registry.consume(0, 1)
+        registry.remove_worker(0)
+        registry.release(0, 1)
+        assert registry.available_count(1) == 1  # only worker 1 remains
+        assert not registry.is_consumed(0, 1)
+
+    def test_consume_and_release_still_work_for_active_workers(self):
+        registry, _ = self._registry()
+        registry.consume(1, 1)
+        assert registry.available_count(1) == 1
+        registry.release(1, 1)
+        assert registry.available_count(1) == 2

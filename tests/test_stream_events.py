@@ -1,0 +1,103 @@
+"""Tests for the streaming event queue and virtual clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geo.point import Point
+from repro.model.task import Task
+from repro.model.worker import Worker
+from repro.stream.clock import VirtualClock
+from repro.stream.events import (
+    BudgetRefresh,
+    EventQueue,
+    TaskArrival,
+    WorkerJoin,
+    WorkerLeave,
+)
+
+
+def _worker(worker_id=0):
+    return Worker(worker_id, {1: Point(0.0, 0.0)})
+
+
+def _task(task_id=0, start=1):
+    return Task(task_id=task_id, loc=Point(1.0, 1.0), num_slots=5, start_slot=start)
+
+
+class TestEvents:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkerLeave(time=-1.0, worker_id=0)
+
+    def test_negative_refresh_amount_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BudgetRefresh(time=0.0, amount=-5.0)
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        queue.push(WorkerLeave(time=3.0, worker_id=1))
+        queue.push(WorkerJoin(time=1.0, worker=_worker()))
+        queue.push(TaskArrival(time=2.0, task=_task()))
+        times = [queue.pop().time for _ in range(3)]
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_same_instant_kind_priority(self):
+        """joins < refreshes < arrivals < leaves at the same timestamp."""
+        queue = EventQueue()
+        queue.push(WorkerLeave(time=5.0, worker_id=9))
+        queue.push(TaskArrival(time=5.0, task=_task()))
+        queue.push(BudgetRefresh(time=5.0, amount=1.0))
+        queue.push(WorkerJoin(time=5.0, worker=_worker()))
+        kinds = [type(queue.pop()).__name__ for _ in range(4)]
+        assert kinds == ["WorkerJoin", "BudgetRefresh", "TaskArrival", "WorkerLeave"]
+
+    def test_fifo_within_same_kind_and_instant(self):
+        queue = EventQueue()
+        first = TaskArrival(time=1.0, task=_task(0))
+        second = TaskArrival(time=1.0, task=_task(1))
+        queue.push(first)
+        queue.push(second)
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+    def test_pop_until_is_strict(self):
+        queue = EventQueue(
+            [
+                TaskArrival(time=1.0, task=_task(0)),
+                TaskArrival(time=2.0, task=_task(1)),
+                TaskArrival(time=3.0, task=_task(2)),
+            ]
+        )
+        ready = queue.pop_until(2.0)
+        assert [e.time for e in ready] == [1.0]
+        assert len(queue) == 2
+
+    def test_empty_pop_returns_none(self):
+        queue = EventQueue()
+        assert queue.pop() is None
+        assert queue.peek_time() is None
+        assert not queue
+
+
+class TestVirtualClock:
+    def test_monotonic(self):
+        clock = VirtualClock()
+        clock.advance_to(4.0)
+        with pytest.raises(ConfigurationError):
+            clock.advance_to(3.0)
+        assert clock.now == 4.0
+
+    def test_epoch_index(self):
+        clock = VirtualClock()
+        clock.advance_to(11.0)
+        assert clock.epoch_index(5.0) == 2
+        with pytest.raises(ConfigurationError):
+            clock.epoch_index(0.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VirtualClock(start=-1.0)

@@ -1,0 +1,236 @@
+"""End-to-end tests for the streaming TCSC server."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+from repro.model.task import Task
+from repro.model.worker import Worker
+from repro.stream.events import TaskArrival, WorkerJoin, WorkerLeave
+from repro.stream.online_server import BudgetPool, StreamingTCSCServer
+from repro.stream.session import TaskSession, WindowedCosts
+from repro.workloads.streaming import StreamScenarioConfig, build_stream_events
+
+
+def _scenario(**overrides):
+    base = dict(
+        horizon=50,
+        task_rate=0.16,
+        task_slots=14,
+        initial_workers=25,
+        worker_join_rate=0.8,
+        mean_worker_lifetime=15.0,
+        early_leave_prob=0.4,
+        seed=5,
+    )
+    base.update(overrides)
+    return build_stream_events(StreamScenarioConfig(**base))
+
+
+class TestAcceptance:
+    """The subsystem's core property: incremental == rebuild, cheaper."""
+
+    @pytest.mark.parametrize("seed", [5, 19])
+    def test_incremental_matches_rebuild_with_fewer_builds(self, seed):
+        scenario = _scenario(seed=seed)
+        outcomes = {}
+        for mode in ("incremental", "rebuild"):
+            server = StreamingTCSCServer(
+                scenario.bbox, index_mode=mode, epoch_length=4.0
+            )
+            metrics = server.run(list(scenario.events))
+            outcomes[mode] = (server.assignment(), metrics)
+        inc_plan = outcomes["incremental"][0].plan_signature()
+        reb_plan = outcomes["rebuild"][0].plan_signature()
+        assert inc_plan == reb_plan, "index maintenance must not change the plan"
+        assert len(inc_plan) > 0, "the trace must exercise real assignments"
+        inc = outcomes["incremental"][1].counters
+        reb = outcomes["rebuild"][1].counters
+        assert inc.index_full_builds < reb.index_full_builds, (
+            f"incremental built {inc.index_full_builds} indexes, "
+            f"rebuild {reb.index_full_builds}"
+        )
+        assert inc.index_incremental_refreshes > 0
+        assert reb.index_incremental_refreshes == 0
+        assert inc.tree_node_updates < reb.tree_node_updates
+        # Identical plans imply identical qualities.
+        assert outcomes["incremental"][1].promised_quality == pytest.approx(
+            outcomes["rebuild"][1].promised_quality
+        )
+
+
+class TestMetrics:
+    def test_report_invariants(self):
+        scenario = _scenario()
+        server = StreamingTCSCServer(scenario.bbox)
+        metrics = server.run(scenario.events)
+        assert metrics.tasks_arrived == scenario.task_count
+        assert (
+            metrics.tasks_admitted + metrics.tasks_rejected == metrics.tasks_arrived
+        )
+        assert metrics.tasks_completed == metrics.tasks_admitted
+        assert metrics.workers_joined == scenario.worker_count
+        assert metrics.workers_left == metrics.workers_joined
+        assert all(lat >= 0 for lat in metrics.assignment_latencies)
+        assert metrics.p50_latency <= metrics.p99_latency
+        assert metrics.epochs == len(metrics.queue_depth_samples)
+        assert metrics.budget_spent == pytest.approx(
+            server.assignment().total_cost
+        )
+        report = metrics.report()
+        assert "latency" in report and "quality" in report
+
+    def test_realized_quality_tracks_promises_with_reliable_workers(self):
+        scenario = _scenario(seed=8)
+        server = StreamingTCSCServer(scenario.bbox)
+        metrics = server.run(scenario.events)
+        # All reliabilities are 1.0, so realization is exact.
+        for task_id, promised in metrics.promised_quality.items():
+            assert metrics.realized_quality[task_id] == pytest.approx(promised)
+        assert metrics.realization_ratio == pytest.approx(1.0)
+
+    def test_unreliable_workers_realize_off_promise(self):
+        """With lambda < 1 the sampled realization diverges from the
+        plan (completed probes count at certainty, failures at zero),
+        so promised and realized qualities no longer coincide."""
+        scenario = _scenario(seed=8, reliability_range=(0.3, 0.7))
+        server = StreamingTCSCServer(scenario.bbox)
+        metrics = server.run(scenario.events)
+        assert metrics.mean_promised_quality > 0
+        deltas = [
+            abs(metrics.realized_quality[task_id] - promised)
+            for task_id, promised in metrics.promised_quality.items()
+        ]
+        assert max(deltas) > 1e-6
+
+    def test_coverage_cells_recorded_per_completed_task(self):
+        scenario = _scenario()
+        server = StreamingTCSCServer(scenario.bbox)
+        metrics = server.run(scenario.events)
+        assert set(metrics.coverage_cells) == set(metrics.promised_quality)
+        assert all(count >= 1 for count in metrics.coverage_cells.values())
+
+
+class TestAdmissionControl:
+    def test_queue_overflow_rejects(self):
+        scenario = _scenario(task_rate=1.2, seed=13)
+        server = StreamingTCSCServer(
+            scenario.bbox, max_active_tasks=1, max_queue_depth=1, epoch_length=10.0
+        )
+        metrics = server.run(scenario.events)
+        assert metrics.tasks_rejected > 0
+        assert metrics.max_queue_depth <= 1
+        assert metrics.tasks_admitted + metrics.tasks_rejected == metrics.tasks_arrived
+
+    def test_determinism_same_trace_same_plan(self):
+        scenario = _scenario(seed=23)
+        plans = []
+        for _ in range(2):
+            server = StreamingTCSCServer(scenario.bbox)
+            server.run(list(scenario.events))
+            plans.append(server.assignment().plan_signature())
+        assert plans[0] == plans[1]
+
+    def test_run_is_one_shot(self):
+        scenario = _scenario()
+        server = StreamingTCSCServer(scenario.bbox)
+        server.run(list(scenario.events))
+        with pytest.raises(SchedulingError):
+            server.run(list(scenario.events))
+
+    def test_rejects_bad_configuration(self):
+        bbox = BoundingBox.square(10.0)
+        with pytest.raises(ConfigurationError):
+            StreamingTCSCServer(bbox, index_mode="magic")
+        with pytest.raises(ConfigurationError):
+            StreamingTCSCServer(bbox, epoch_length=0.0)
+        with pytest.raises(ConfigurationError):
+            StreamingTCSCServer(bbox, max_active_tasks=0)
+        with pytest.raises(ConfigurationError):
+            StreamingTCSCServer(bbox, budget_fraction=0.0)
+
+
+class TestBudgetPool:
+    def test_pool_bounds_spending(self):
+        scenario = _scenario(seed=5)
+        unlimited = StreamingTCSCServer(scenario.bbox)
+        unlimited_metrics = unlimited.run(list(scenario.events))
+        capped = StreamingTCSCServer(
+            scenario.bbox, pool_budget=unlimited_metrics.budget_spent / 4
+        )
+        capped_metrics = capped.run(list(scenario.events))
+        assert capped_metrics.budget_spent <= unlimited_metrics.budget_spent / 4 + 1e-9
+        assert capped_metrics.budget_spent < unlimited_metrics.budget_spent
+
+    def test_refresh_events_top_up_the_pool(self):
+        scenario = _scenario(
+            seed=5, budget_refresh_interval=10.0, budget_refresh_amount=25.0
+        )
+        starved = StreamingTCSCServer(scenario.bbox, pool_budget=0.0)
+        metrics = starved.run(scenario.events)
+        # With a zero initial pool, everything spent came from refreshes.
+        assert metrics.budget_spent > 0
+        assert starved.pool.refreshed == pytest.approx(100.0)
+        assert metrics.budget_spent <= starved.pool.refreshed + 1e-9
+
+    def test_pool_api(self):
+        pool = BudgetPool(5.0)
+        pool.charge(3.0)
+        assert pool.remaining == pytest.approx(2.0)
+        pool.add(1.0)
+        assert pool.remaining == pytest.approx(3.0)
+        with pytest.raises(Exception):
+            pool.charge(10.0)
+
+
+class TestSlidingWindow:
+    def test_windowed_costs_mask_past_slots(self):
+        task = Task(task_id=0, loc=Point(5.0, 5.0), num_slots=6, start_slot=3)
+
+        class Flat:
+            def cost(self, slot):
+                return 1.0
+
+            def reliability(self, slot):
+                return 0.9
+
+            def offer(self, slot):
+                return ("offer", slot)
+
+        window = WindowedCosts(Flat(), task)
+        assert window.cost(1) == 1.0
+        # now=5: global slots 3 and 4 (locals 1, 2) have passed.
+        fresh = window.advance(5.0)
+        assert fresh == [1, 2]
+        assert window.cost(1) is None and window.cost(2) is None
+        assert window.cost(3) == 1.0
+        assert window.offer(2) is None
+        assert window.reliability(2) == 1.0
+        # The mask never regresses and re-advancing is idempotent.
+        assert window.advance(5.0) == []
+        assert window.advance(100.0) == [3, 4, 5, 6]
+        assert window.mask_hi == 6
+
+    def test_late_admission_starves_gracefully(self):
+        """A task whose window passed before capacity freed up completes
+        with zero quality instead of wedging the loop."""
+        bbox = BoundingBox.square(10.0)
+        worker = Worker(0, {s: Point(5.0, 5.0) for s in range(1, 40)})
+        blocker = Task(task_id=0, loc=Point(5.0, 5.0), num_slots=30, start_slot=1)
+        late = Task(task_id=1, loc=Point(5.0, 5.0), num_slots=3, start_slot=2)
+        events = [
+            WorkerJoin(time=0.0, worker=worker),
+            TaskArrival(time=0.0, task=blocker),
+            TaskArrival(time=0.5, task=late),
+            WorkerLeave(time=39.0, worker_id=0),
+        ]
+        server = StreamingTCSCServer(
+            bbox, max_active_tasks=1, epoch_length=10.0
+        )
+        metrics = server.run(events)
+        assert metrics.tasks_completed == 2
+        assert metrics.tasks_starved >= 1
+        assert metrics.promised_quality[1] == 0.0

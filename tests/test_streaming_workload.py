@@ -1,0 +1,140 @@
+"""Tests for the streaming scenario generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stream.events import TaskArrival, WorkerJoin, WorkerLeave
+from repro.workloads.streaming import StreamScenarioConfig, build_stream_events
+
+
+def _small(**overrides):
+    base = dict(
+        horizon=50,
+        task_rate=0.2,
+        task_slots=10,
+        initial_workers=10,
+        worker_join_rate=0.5,
+        mean_worker_lifetime=12.0,
+        seed=3,
+    )
+    base.update(overrides)
+    return StreamScenarioConfig(**base)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("horizon", 0),
+            ("task_rate", -0.1),
+            ("burstiness", 1.5),
+            ("burst_cycle", 0.0),
+            ("task_slots", 2),
+            ("initial_workers", -1),
+            ("worker_join_rate", -1.0),
+            ("mean_worker_lifetime", 0.0),
+            ("early_leave_prob", 2.0),
+            ("budget_refresh_interval", -1.0),
+            ("reliability_range", (1.5, 0.2)),
+        ],
+    )
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ConfigurationError):
+            _small(**{field: value})
+
+    def test_with_overrides(self):
+        config = _small().with_overrides(seed=9)
+        assert config.seed == 9
+        assert config.horizon == 50
+
+
+class TestTraceShape:
+    def test_events_sorted_and_typed(self):
+        scenario = build_stream_events(_small())
+        times = [e.time for e in scenario.events]
+        assert times == sorted(times)
+        assert scenario.worker_count == sum(
+            isinstance(e, WorkerJoin) for e in scenario.events
+        )
+        assert scenario.task_count == sum(
+            isinstance(e, TaskArrival) for e in scenario.events
+        )
+        # Every join has exactly one matching leave.
+        joins = {e.worker.worker_id for e in scenario.events if isinstance(e, WorkerJoin)}
+        leaves = [e.worker_id for e in scenario.events if isinstance(e, WorkerLeave)]
+        assert sorted(leaves) == sorted(joins)
+
+    def test_initial_workers_join_at_zero(self):
+        scenario = build_stream_events(_small(initial_workers=7))
+        at_zero = [
+            e for e in scenario.events if isinstance(e, WorkerJoin) and e.time == 0.0
+        ]
+        assert len(at_zero) >= 7
+
+    def test_worker_availability_is_contiguous_until_leave(self):
+        scenario = build_stream_events(_small())
+        leave_by_id = {
+            e.worker_id: e.time
+            for e in scenario.events
+            if isinstance(e, WorkerLeave)
+        }
+        for event in scenario.events:
+            if not isinstance(event, WorkerJoin):
+                continue
+            slots = sorted(event.worker.availability)
+            assert slots, "workers must advertise at least one slot"
+            assert slots == list(range(slots[0], slots[-1] + 1))
+            assert slots[0] >= 1
+            # A worker never leaves before serving at least one slot.
+            assert leave_by_id[event.worker.worker_id] > slots[0]
+
+    def test_task_start_slots_follow_arrival_times(self):
+        scenario = build_stream_events(_small())
+        for event in scenario.events:
+            if isinstance(event, TaskArrival):
+                assert event.task.start_slot == int(event.time) + 1
+
+    def test_budget_refresh_events(self):
+        scenario = build_stream_events(
+            _small(budget_refresh_interval=10.0, budget_refresh_amount=5.0)
+        )
+        refreshes = [
+            e for e in scenario.events if type(e).__name__ == "BudgetRefresh"
+        ]
+        assert [e.time for e in refreshes] == [10.0, 20.0, 30.0, 40.0]
+        assert all(e.amount == 5.0 for e in refreshes)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = build_stream_events(_small(seed=21))
+        b = build_stream_events(_small(seed=21))
+        assert a.signature() == b.signature()
+
+    def test_different_seed_different_trace(self):
+        a = build_stream_events(_small(seed=21))
+        b = build_stream_events(_small(seed=22))
+        assert a.signature() != b.signature()
+
+    def test_burstiness_changes_arrivals_only_not_workers(self):
+        smooth = build_stream_events(_small(burstiness=0.0))
+        bursty = build_stream_events(_small(burstiness=0.8))
+        smooth_workers = [
+            part for part in smooth.signature() if part[0] in ("join", "leave")
+        ]
+        bursty_workers = [
+            part for part in bursty.signature() if part[0] in ("join", "leave")
+        ]
+        assert smooth_workers == bursty_workers
+        smooth_tasks = [part for part in smooth.signature() if part[0] == "task"]
+        bursty_tasks = [part for part in bursty.signature() if part[0] == "task"]
+        assert smooth_tasks != bursty_tasks
+
+    def test_zero_rates_yield_worker_only_trace(self):
+        scenario = build_stream_events(
+            _small(task_rate=0.0, worker_join_rate=0.0, initial_workers=3)
+        )
+        assert scenario.task_count == 0
+        assert scenario.worker_count == 3

@@ -71,6 +71,20 @@ def test_abl1_locality_vs_pruning(run_once):
         # All three variants must agree on the plan.
         signatures = {r[3].assignment.plan_signature() for r in rows}
         assert len(signatures) == 1
+        # Counter-parity audit: the NumPy kernel does the same logical
+        # work as the scalar path, so its OpCounters must be identical
+        # field for field (and the plan byte-identical).
+        np_counters = OpCounters()
+        np_result = SingleTaskGreedy(
+            task, costs, budget=budget, strategy="local",
+            backend="numpy", counters=np_counters,
+        ).solve()
+        assert np_result.assignment.plan_signature() in signatures
+        py_counters = next(
+            r[3].counters for r in rows
+            if r[0] == "+ locality (affected windows)"
+        )
+        assert np_counters == py_counters
         return [(label, t, evals) for label, t, evals, _ in rows]
 
     rows = run_once(work)

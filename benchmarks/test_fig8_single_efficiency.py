@@ -273,6 +273,47 @@ def test_fig8g_effect_of_k(run_once):
     reporter.close()
 
 
+def test_fig8i_lazy_gain_evaluations(run_once):
+    """CELF lazy argmax vs enumerated search on the fig8 scenarios.
+
+    Deterministic (op-count) gate: the lazy search must cut candidate
+    heuristic evaluations to <= 30% of the enumerated argmax while
+    producing the byte-identical plan.
+    """
+    reporter = Reporter("fig8i", "Lazy (CELF) vs enumerated candidate search")
+    reporter.note("identical plans asserted; gate is on gain_evaluations, not time")
+    reporter.header("m", "enum_gain_evals", "lazy_gain_evals", "ratio_pct")
+
+    def work():
+        rows = []
+        for m in (60, 100, 140):
+            scenario, costs = _instance(m)
+            enum_counters = OpCounters()
+            enum_result = SingleTaskGreedy(
+                scenario.single_task, costs, budget=scenario.budget,
+                strategy="local", counters=enum_counters,
+            ).solve()
+            lazy_counters = OpCounters()
+            lazy_result = SingleTaskGreedy(
+                scenario.single_task, costs, budget=scenario.budget,
+                strategy="local", search="lazy", counters=lazy_counters,
+            ).solve()
+            assert (
+                enum_result.assignment.plan_signature()
+                == lazy_result.assignment.plan_signature()
+            )
+            rows.append(
+                (m, enum_counters.gain_evaluations, lazy_counters.gain_evaluations)
+            )
+        return rows
+
+    for m, enum_evals, lazy_evals in run_once(work):
+        ratio = lazy_evals / enum_evals
+        reporter.row(m, enum_evals, lazy_evals, 100.0 * ratio)
+        assert ratio <= 0.30, f"m={m}: lazy ratio {ratio:.3f} exceeds 0.30"
+    reporter.close()
+
+
 def test_fig8h_effect_of_budget(run_once):
     reporter = Reporter("fig8h", "Effect of the budget per distribution")
     reporter.note("fractions {0.125, 0.25, 0.5} of the full-task cost stand in for $50/$100/$200")

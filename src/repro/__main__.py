@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the common workflows:
+Five subcommands cover the common workflows:
 
 * ``solve-single`` — build a synthetic scenario and assign one task
   (policies: approx, approx_star, random).
@@ -13,9 +13,14 @@ Four subcommands cover the common workflows:
   ``--burstiness``, ``--join-rate``, ``--mean-lifetime`` shape the
   arrival processes; ``--index-mode`` picks incremental vs
   rebuild-every-epoch index maintenance).
+* ``bench-perf`` — the deterministic perf suite: seed-pinned solver
+  scenarios comparing kernel backends and candidate-search modes,
+  persisted as ``benchmarks/BENCH_perf.json``.
 
 Every command prints a compact report; ``--seed`` makes runs
-reproducible.
+reproducible.  The solve and simulate commands accept ``--backend
+{python,numpy}`` (identical plans, different speed) and ``--profile``
+to print the top cProfile hotspots of the run.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ import argparse
 import sys
 
 from repro.core.cover import MinCostCoverSolver
+from repro.core.evaluator import EVALUATOR_BACKENDS
 from repro.core.quality import max_quality
 from repro.engine.costs import SingleTaskCostTable
 from repro.engine.server import TCSCServer
@@ -44,6 +50,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def profiled(p):
+        p.add_argument(
+            "--profile",
+            action="store_true",
+            help="run under cProfile and print the top-15 cumulative hotspots",
+        )
+
+    def backend(p):
+        p.add_argument(
+            "--backend",
+            choices=list(EVALUATOR_BACKENDS),
+            default="python",
+            help="quality-kernel backend (identical plans, different speed)",
+        )
+
     def common(p):
         p.add_argument("--slots", type=int, default=100, help="subtasks per task (m)")
         p.add_argument("--workers", type=int, default=500, help="worker pool size")
@@ -61,6 +82,8 @@ def build_parser() -> argparse.ArgumentParser:
             default=0.25,
             help="budget as a fraction of the average full-task cost",
         )
+        backend(p)
+        profiled(p)
 
     single = sub.add_parser("solve-single", help="assign one TCSC task")
     common(single)
@@ -128,6 +151,17 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--budget-fraction", type=float, default=0.25,
                      help="per-task budget as a fraction of its full cost")
     sim.add_argument("--k", type=int, default=3, help="interpolation neighbours")
+    backend(sim)
+    profiled(sim)
+
+    perf = sub.add_parser(
+        "bench-perf",
+        help="deterministic perf suite -> benchmarks/BENCH_perf.json",
+    )
+    perf.add_argument("--smoke", action="store_true",
+                      help="smallest scenario only (CI smoke mode)")
+    perf.add_argument("--results-dir", default=None,
+                      help="override benchmarks/results output directory")
     return parser
 
 
@@ -147,7 +181,7 @@ def _scenario(args, num_tasks: int = 1):
 
 def _cmd_solve_single(args) -> int:
     scenario = _scenario(args)
-    server = TCSCServer(scenario.pool, scenario.bbox, k=args.k)
+    server = TCSCServer(scenario.pool, scenario.bbox, k=args.k, backend=args.backend)
     report = server.assign_single(
         scenario.single_task, scenario.budget, policy=args.policy, seed=args.seed
     )
@@ -163,7 +197,7 @@ def _cmd_solve_single(args) -> int:
 def _cmd_solve_multi(args) -> int:
     scenario = _scenario(args, num_tasks=args.tasks)
     budget = scenario.budget * args.tasks
-    server = TCSCServer(scenario.pool, scenario.bbox, k=args.k)
+    server = TCSCServer(scenario.pool, scenario.bbox, k=args.k, backend=args.backend)
     report = server.assign_multi(
         scenario.tasks, budget, objective=args.objective, cores=args.cores
     )
@@ -180,7 +214,9 @@ def _cmd_cover(args) -> int:
     task = scenario.single_task
     costs = SingleTaskCostTable(task, scenario.fresh_registry())
     target = args.target * max_quality(task.num_slots)
-    result = MinCostCoverSolver(task, costs, k=args.k, target_quality=target).solve()
+    result = MinCostCoverSolver(
+        task, costs, k=args.k, target_quality=target, backend=args.backend
+    ).solve()
     print(f"target quality {target:.4f} ({args.target:.0%} of log2(m))")
     print(f"reached {result.quality:.4f} with {len(result.assignment)} subtasks "
           f"at cost {result.cost:.3f}")
@@ -211,6 +247,7 @@ def _cmd_simulate(args) -> int:
         max_active_tasks=args.max_active,
         max_queue_depth=args.queue_depth,
         realization_seed=args.seed,
+        backend=args.backend,
     )
     metrics = server.run(scenario.events)
     print(f"index_mode={args.index_mode} epoch={args.epoch:g} seed={args.seed}")
@@ -218,6 +255,24 @@ def _cmd_simulate(args) -> int:
           f"over {args.horizon} slots")
     print(metrics.report())
     return 0
+
+
+def _cmd_bench_perf(args) -> int:
+    from repro.bench.perfsuite import run_and_write
+
+    return run_and_write(smoke=args.smoke, results_dir=args.results_dir)
+
+
+def _run_profiled(handler, args) -> int:
+    """Run a command under cProfile and print the top-15 hotspots."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    code = profiler.runcall(handler, args)
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("cumulative").print_stats(15)
+    return code
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -228,8 +283,12 @@ def main(argv: list[str] | None = None) -> int:
         "solve-multi": _cmd_solve_multi,
         "cover": _cmd_cover,
         "simulate": _cmd_simulate,
+        "bench-perf": _cmd_bench_perf,
     }
-    return handlers[args.command](args)
+    handler = handlers[args.command]
+    if getattr(args, "profile", False):
+        return _run_profiled(handler, args)
+    return handler(args)
 
 
 if __name__ == "__main__":

@@ -8,8 +8,10 @@ and emits a single ``REPORT.md`` — the artifact to skim after a full
 Streaming benchmarks additionally persist machine-readable series as
 ``benchmarks/results/stream*.json``; :func:`collect_stream` merges
 those into ``benchmarks/BENCH_stream.json`` (events/sec and
-incremental-vs-rebuild speedups), the file the perf trajectory is
-tracked from.
+incremental-vs-rebuild speedups).  The perf suite
+(:mod:`repro.bench.perfsuite`) persists ``perf*.json`` series, merged
+by :func:`collect_perf` into ``benchmarks/BENCH_perf.json`` — the
+solver hot-path trajectory (backend and lazy-search speedups).
 """
 
 from __future__ import annotations
@@ -19,7 +21,7 @@ import re
 import sys
 from pathlib import Path
 
-__all__ = ["collect", "collect_stream", "main"]
+__all__ = ["collect", "collect_perf", "collect_stream", "main"]
 
 _DEFAULT_RESULTS = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
 
@@ -49,26 +51,38 @@ def collect(results_dir: Path | str = _DEFAULT_RESULTS) -> str:
     return header + "\n\n" + "\n\n".join(blocks) + "\n"
 
 
-def collect_stream(results_dir: Path | str = _DEFAULT_RESULTS) -> dict | None:
-    """Merge ``stream*.json`` series into one machine-readable record.
+def _collect_json_series(
+    results_dir: Path | str, pattern: str, generated_by: str
+) -> dict | None:
+    """Merge every ``<pattern>`` JSON series under ``results_dir``.
 
-    Returns ``None`` when no streaming benchmark has run yet; otherwise
-    a dict of ``{series_name: payload}`` ready to dump as
-    ``BENCH_stream.json``.
+    Returns ``None`` when no series exist yet; otherwise a dict of
+    ``{series_name: payload}`` ready to dump as a ``BENCH_*.json``.
     """
     results_dir = Path(results_dir)
     series: dict[str, dict] = {}
-    for path in sorted(results_dir.glob("stream*.json")):
+    for path in sorted(results_dir.glob(pattern)):
         try:
             series[path.stem] = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError) as exc:
             print(f"skipping unreadable {path}: {exc}", file=sys.stderr)
     if not series:
         return None
-    return {
-        "generated_by": "python -m repro.bench.collect",
-        "series": series,
-    }
+    return {"generated_by": generated_by, "series": series}
+
+
+def collect_stream(results_dir: Path | str = _DEFAULT_RESULTS) -> dict | None:
+    """Merge ``stream*.json`` series (the ``BENCH_stream.json`` record)."""
+    return _collect_json_series(
+        results_dir, "stream*.json", "python -m repro.bench.collect"
+    )
+
+
+def collect_perf(results_dir: Path | str = _DEFAULT_RESULTS) -> dict | None:
+    """Merge ``perf*.json`` series (the ``BENCH_perf.json`` record)."""
+    return _collect_json_series(
+        results_dir, "perf*.json", "python -m repro bench-perf"
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -82,11 +96,14 @@ def main(argv: list[str] | None = None) -> int:
     out = results_dir.parent / "REPORT.md"
     out.write_text(report)
     print(f"wrote {out} ({len(report.splitlines())} lines)")
-    stream = collect_stream(results_dir)
-    if stream is not None:
-        stream_out = results_dir.parent / "BENCH_stream.json"
-        stream_out.write_text(json.dumps(stream, indent=2, sort_keys=True) + "\n")
-        print(f"wrote {stream_out} ({len(stream['series'])} series)")
+    for name, merged in (
+        ("BENCH_stream.json", collect_stream(results_dir)),
+        ("BENCH_perf.json", collect_perf(results_dir)),
+    ):
+        if merged is not None:
+            out_path = results_dir.parent / name
+            out_path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+            print(f"wrote {out_path} ({len(merged['series'])} series)")
     return 0
 
 

@@ -1,0 +1,321 @@
+"""Deterministic performance suite: the machine-readable perf trajectory.
+
+``python -m repro bench-perf`` (or ``python -m repro.bench.perfsuite``)
+runs seed-pinned micro and macro benchmarks of the solver hot path and
+persists them as ``benchmarks/results/perf_suite.json``;
+:mod:`repro.bench.collect` merges every ``perf*.json`` series into
+``benchmarks/BENCH_perf.json``, the file the perf trajectory
+accumulates in from PR to PR.
+
+Two measurements per scenario, following the repo's determinism
+policy:
+
+* **operation counts** (``gain_evaluations`` / ``slot_evaluations`` /
+  ``knn_queries``) — deterministic, the values CI gates on;
+* **wall-clock seconds** — recorded for the human-readable speedup
+  story, never asserted in CI.
+
+Every macro scenario asserts *plan identity*: all benchmarked solver
+variants (scalar/numpy backend x enumerated/lazy search x tree index)
+must produce byte-identical assignments, so each speedup row is a
+true apples-to-apples comparison of the same plan.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.greedy import IndexedSingleTaskGreedy, SingleTaskGreedy
+from repro.core.instrumentation import OpCounters
+from repro.engine.costs import SingleTaskCostTable
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+
+__all__ = [
+    "PerfScenario",
+    "SCENARIOS",
+    "SMOKE_SCENARIOS",
+    "run_suite",
+    "run_and_write",
+    "check_payload",
+    "main",
+]
+
+_DEFAULT_RESULTS = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+#: The seed solver path every speedup is measured against.
+BASELINE_VARIANT = "python-enumerate"
+#: The optimized path this PR introduces.
+OPTIMIZED_VARIANT = "numpy-lazy"
+
+#: Lazy search must cut candidate heuristic evaluations to at most
+#: this fraction of the enumerated argmax (deterministic CI gate).
+LAZY_GAIN_EVAL_CEILING = 0.30
+
+
+@dataclass(frozen=True, slots=True)
+class PerfScenario:
+    """One seed-pinned macro benchmark instance."""
+
+    name: str
+    m: int
+    workers: int
+    seed: int
+
+
+#: Increasing-scale scenarios; the largest one (m >= 300, the paper's
+#: default task length) carries the headline speedup number.
+SCENARIOS = (
+    PerfScenario("small", m=60, workers=300, seed=11),
+    PerfScenario("medium", m=140, workers=600, seed=11),
+    PerfScenario("large", m=300, workers=1000, seed=11),
+)
+
+#: CI smoke mode: just the smallest scenario (seconds, not minutes).
+SMOKE_SCENARIOS = SCENARIOS[:1]
+
+
+def _variants(task, costs, budget):
+    """Solver variants benchmarked on every scenario, name -> factory."""
+    return {
+        # The seed hot path: scalar kernels, every candidate re-scored
+        # per greedy round (strategy="local" — the seed's faster
+        # configuration, so speedups are conservative).
+        "python-enumerate": lambda c: SingleTaskGreedy(
+            task, costs, budget=budget, strategy="local", counters=c
+        ),
+        "python-lazy": lambda c: SingleTaskGreedy(
+            task, costs, budget=budget, strategy="local", search="lazy", counters=c
+        ),
+        "numpy-enumerate": lambda c: SingleTaskGreedy(
+            task, costs, budget=budget, strategy="local", backend="numpy", counters=c
+        ),
+        "numpy-lazy": lambda c: SingleTaskGreedy(
+            task, costs, budget=budget, strategy="local", search="lazy",
+            backend="numpy", counters=c,
+        ),
+        "indexed-python": lambda c: IndexedSingleTaskGreedy(
+            task, costs, budget=budget, counters=c
+        ),
+        "indexed-numpy": lambda c: IndexedSingleTaskGreedy(
+            task, costs, budget=budget, backend="numpy", counters=c
+        ),
+    }
+
+
+def _run_scenario(scenario: PerfScenario) -> dict:
+    built = build_scenario(
+        ScenarioConfig(
+            num_tasks=1,
+            num_slots=scenario.m,
+            num_workers=scenario.workers,
+            seed=scenario.seed,
+        )
+    )
+    task = built.single_task
+    costs = SingleTaskCostTable(task, built.fresh_registry())
+    variants: dict[str, dict] = {}
+    signatures = {}
+    for name, factory in _variants(task, costs, built.budget).items():
+        counters = OpCounters()
+        solver = factory(counters)
+        start = time.perf_counter()
+        result = solver.solve()
+        elapsed = time.perf_counter() - start
+        signatures[name] = result.assignment.plan_signature()
+        variants[name] = {
+            "wall_s": elapsed,
+            "quality": result.quality,
+            "gain_evaluations": counters.gain_evaluations,
+            "slot_evaluations": counters.slot_evaluations,
+            "knn_queries": counters.knn_queries,
+            "candidates_total": counters.candidates_total,
+            "candidates_pruned": counters.candidates_pruned,
+            "iterations": counters.iterations,
+        }
+    reference = signatures[BASELINE_VARIANT]
+    plan_identical = all(sig == reference for sig in signatures.values())
+    # A divergence is reported through check_payload (the op-count
+    # gate), not raised: the JSON must still be written so CI's
+    # always()-uploaded artifact carries the diagnostic payload.
+    base = variants[BASELINE_VARIANT]
+    opt = variants[OPTIMIZED_VARIANT]
+    return {
+        "name": scenario.name,
+        "m": scenario.m,
+        "workers": scenario.workers,
+        "seed": scenario.seed,
+        "plan_identical": plan_identical,
+        "divergent_variants": sorted(
+            n for n, s in signatures.items() if s != reference
+        ),
+        "plan_length": len(reference),
+        "variants": variants,
+        "speedups": {
+            "numpy_lazy_vs_python_enumerate_wall": base["wall_s"] / opt["wall_s"],
+            "lazy_gain_evaluation_ratio": (
+                opt["gain_evaluations"] / base["gain_evaluations"]
+            ),
+            "numpy_lazy_slot_evaluation_ratio": (
+                opt["slot_evaluations"] / base["slot_evaluations"]
+            ),
+        },
+    }
+
+
+def _micro_phi(m: int = 300, k: int = 3, repeats: int = 200) -> dict:
+    """Micro benchmark: one full-window vectorized gain vs the scalar loop."""
+    from repro.core.evaluator import TemporalQualityEvaluator
+
+    rows = {}
+    for backend in ("python", "numpy"):
+        ev = TemporalQualityEvaluator(m, k, backend=backend)
+        for slot in range(20, m, 40):
+            ev.execute(slot)
+        candidate = 3
+        start = time.perf_counter()
+        for _ in range(repeats):
+            ev.gain_full_rescan(candidate)
+        elapsed = time.perf_counter() - start
+        rows[backend] = {
+            "wall_s": elapsed,
+            "gain_per_s": repeats / elapsed if elapsed > 0 else float("inf"),
+        }
+    rows["speedup"] = rows["python"]["wall_s"] / rows["numpy"]["wall_s"]
+    return {"m": m, "k": k, "repeats": repeats, "full_rescan_gain": rows}
+
+
+def run_suite(*, smoke: bool = False) -> dict:
+    """Run the suite and return the machine-readable payload."""
+    scenarios = SMOKE_SCENARIOS if smoke else SCENARIOS
+    payload = {
+        "suite": "perfsuite",
+        "mode": "smoke" if smoke else "full",
+        "baseline_variant": BASELINE_VARIANT,
+        "optimized_variant": OPTIMIZED_VARIANT,
+        "micro": _micro_phi(m=120 if smoke else 300, repeats=50 if smoke else 200),
+        "scenarios": [_run_scenario(s) for s in scenarios],
+    }
+    return payload
+
+
+def check_payload(payload: dict) -> list[str]:
+    """Deterministic (op-count) gates; returns a list of failures.
+
+    Wall-clock numbers are deliberately not checked — per the repo's
+    determinism policy, CI gates only on operation counts.
+    """
+    failures = []
+    for scenario in payload["scenarios"]:
+        name = scenario["name"]
+        if not scenario["plan_identical"]:
+            failures.append(
+                f"{name}: solver variants diverged from the "
+                f"{payload['baseline_variant']} plan"
+            )
+        ratio = scenario["speedups"]["lazy_gain_evaluation_ratio"]
+        if ratio > LAZY_GAIN_EVAL_CEILING:
+            failures.append(
+                f"{name}: lazy gain-evaluation ratio {ratio:.3f} exceeds "
+                f"{LAZY_GAIN_EVAL_CEILING}"
+            )
+        base = scenario["variants"][BASELINE_VARIANT]
+        opt = scenario["variants"][OPTIMIZED_VARIANT]
+        for counter in ("iterations",):
+            if base[counter] != opt[counter]:
+                failures.append(
+                    f"{name}: {counter} mismatch "
+                    f"({base[counter]} vs {opt[counter]})"
+                )
+    return failures
+
+
+def _write_report_block(payload: dict, results_dir: Path) -> None:
+    """Persist a human-readable summary block for REPORT.md."""
+    from repro.bench import Reporter
+
+    reporter = Reporter("perf1", "Perf suite: kernel backend x candidate search",
+                        results_dir=results_dir)
+    reporter.note(
+        f"baseline={payload['baseline_variant']} "
+        f"optimized={payload['optimized_variant']}; plans identical across all variants"
+    )
+    reporter.header("scenario", "m", "variant", "wall_s", "gain_evals", "slot_evals")
+    for scenario in payload["scenarios"]:
+        for name, row in scenario["variants"].items():
+            reporter.row(
+                scenario["name"], scenario["m"], name,
+                row["wall_s"], row["gain_evaluations"], row["slot_evaluations"],
+            )
+    reporter.close()
+
+
+def run_and_write(*, smoke: bool = False, results_dir: str | Path | None = None) -> int:
+    """Run the suite, persist JSON, refresh BENCH_perf.json.
+
+    The single entry point behind both ``python -m repro bench-perf``
+    and ``python -m repro.bench.perfsuite``; returns a process exit
+    code (non-zero when an op-count gate fails).
+
+    With the default layout, series land in ``benchmarks/results/``
+    and the merged ``BENCH_perf.json`` next to them in ``benchmarks/``;
+    a custom ``results_dir`` keeps *everything* inside that directory
+    (never its parent).
+    """
+    if results_dir is None:
+        results_dir = _DEFAULT_RESULTS
+        bench_dir = results_dir.parent
+    else:
+        results_dir = Path(results_dir)
+        bench_dir = results_dir
+    results_dir.mkdir(parents=True, exist_ok=True)
+
+    payload = run_suite(smoke=smoke)
+    out = results_dir / "perf_suite.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    _write_report_block(payload, results_dir)
+
+    from repro.bench.collect import collect_perf
+
+    merged = collect_perf(results_dir)
+    if merged is not None:
+        bench_out = bench_dir / "BENCH_perf.json"
+        bench_out.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {bench_out}")
+
+    for scenario in payload["scenarios"]:
+        speed = scenario["speedups"]
+        print(
+            f"{scenario['name']}: m={scenario['m']} "
+            f"numpy+lazy {speed['numpy_lazy_vs_python_enumerate_wall']:.1f}x "
+            f"wall-clock vs seed, lazy gain-eval ratio "
+            f"{speed['lazy_gain_evaluation_ratio']:.3f}"
+        )
+
+    failures = check_payload(payload)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone CLI wrapper around :func:`run_and_write`."""
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="repro.bench.perfsuite")
+    parser.add_argument("--smoke", action="store_true",
+                        help="smallest scenario only (CI smoke mode)")
+    parser.add_argument("--results-dir", default=None,
+                        help="override benchmarks/results output directory")
+    args = parser.parse_args(argv)
+    return run_and_write(smoke=args.smoke, results_dir=args.results_dir)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

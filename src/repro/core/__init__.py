@@ -6,7 +6,12 @@ Modules:
   subtask finishing probability, entropy task quality, and the worker-
   reliability extension.
 * :mod:`repro.core.evaluator` — incremental single-task quality
-  evaluator with local (affected-interval) updates.
+  evaluator with local (affected-interval) updates and selectable
+  scalar/vectorized backends.
+* :mod:`repro.core.kernels` — the vectorized (NumPy) quality kernels:
+  batch temporal k-NN, the Eq.-6 merge rule as array arithmetic, and
+  the precomputed entropy table over the ``O(m*k)`` distinct
+  unit-reliability probabilities.
 * :mod:`repro.core.voronoi` — exact 1-D order-k Voronoi diagram over
   the slot line (validation oracle).
 * :mod:`repro.core.tree_index` — the aggregated-binary-tree
@@ -20,7 +25,12 @@ Modules:
   interpolation (STCC) and the ``SApprox`` solver.
 """
 
-from repro.core.evaluator import SlotChange, TemporalQualityEvaluator
+from repro.core.evaluator import (
+    EVALUATOR_BACKENDS,
+    SlotChange,
+    TemporalQualityEvaluator,
+)
+from repro.core.kernels import QualityKernel, get_kernel, phi_array
 from repro.core.quality import (
     entropy_term,
     error_ratio,
@@ -30,11 +40,15 @@ from repro.core.quality import (
 )
 
 __all__ = [
+    "EVALUATOR_BACKENDS",
+    "QualityKernel",
     "SlotChange",
     "TemporalQualityEvaluator",
     "entropy_term",
     "error_ratio",
     "finishing_probability",
+    "get_kernel",
     "max_quality",
+    "phi_array",
     "task_quality",
 ]

@@ -61,6 +61,7 @@ class MinCostCoverSolver:
         target_quality: float,
         use_index: bool = True,
         ts: int = 4,
+        backend: str = "python",
         counters: OpCounters | None = None,
     ):
         if target_quality < 0:
@@ -77,6 +78,7 @@ class MinCostCoverSolver:
         self.target = float(target_quality)
         self.use_index = use_index
         self.ts = ts
+        self.backend = backend
         self.counters = counters if counters is not None else OpCounters()
 
     def solve(self) -> CoverResult:
@@ -86,7 +88,9 @@ class MinCostCoverSolver:
         every assignable slot cannot reach the target (e.g. worker
         coverage gaps or imperfect reliabilities).
         """
-        ev = TemporalQualityEvaluator(self.task.num_slots, self.k, counters=self.counters)
+        ev = TemporalQualityEvaluator(
+            self.task.num_slots, self.k, counters=self.counters, backend=self.backend
+        )
         index = (
             TreeIndex(ev, self.costs, ts=self.ts, counters=self.counters)
             if self.use_index

@@ -35,12 +35,14 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.instrumentation import OpCounters
 from repro.core.quality import entropy_term
 from repro.errors import ConfigurationError
 from repro.util.sorted_slots import SortedSlots
 
-__all__ = ["SlotChange", "TemporalQualityEvaluator"]
+__all__ = ["EVALUATOR_BACKENDS", "SlotChange", "TemporalQualityEvaluator"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -57,27 +59,65 @@ class SlotChange:
         return entropy_term(self.new_p) - entropy_term(self.old_p)
 
 
+EVALUATOR_BACKENDS = ("python", "numpy")
+
+
 class TemporalQualityEvaluator:
     """Incremental quality bookkeeping for a single task.
 
     Slots are 1-based local indices ``1..m``.  The evaluator starts
     with no executed slots (quality 0) and is mutated exclusively via
     :meth:`execute`.
+
+    ``backend`` selects the evaluation strategy: ``"python"`` (the
+    default) is the scalar reference implementation and determinism
+    oracle; ``"numpy"`` evaluates whole affected windows in one
+    vectorized pass through :mod:`repro.core.kernels`.  Both expose
+    the same API, agree on every probability to float round-off, and
+    increment the :class:`OpCounters` identically for equivalent
+    logical work, so solvers produce identical plans on either.
     """
 
-    def __init__(self, m: int, k: int, *, counters: OpCounters | None = None):
+    def __init__(
+        self,
+        m: int,
+        k: int,
+        *,
+        counters: OpCounters | None = None,
+        backend: str = "python",
+    ):
         if m < 3:
             raise ConfigurationError(f"m must be >= 3, got {m}")
         if k < 1:
             raise ConfigurationError(f"k must be >= 1, got {k}")
+        if backend not in EVALUATOR_BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; choose one of {EVALUATOR_BACKENDS}"
+            )
         self.m = m
         self.k = k
+        self.backend = backend
         self.counters = counters if counters is not None else OpCounters()
         self._executed = SortedSlots()
         self._reliability: dict[int, float] = {}
         # _p[j] for j in 1..m (index 0 unused).
         self._p = [0.0] * (m + 1)
         self._quality = 0.0
+        self._kernel = None
+        if backend == "numpy":
+            from repro.core.kernels import get_kernel
+
+            self._kernel = get_kernel(m, k)
+            self._p = np.zeros(m + 1, dtype=np.float64)
+            self._phi = np.zeros(m + 1, dtype=np.float64)
+            self._totals = np.zeros(m + 1, dtype=np.float64)
+            self._dfar = np.full(m + 1, self._kernel.NO_KTH, dtype=np.int64)
+            self._efar = np.zeros(m + 1, dtype=np.int64)
+            self._lamfar = np.zeros(m + 1, dtype=np.float64)
+            self._exec_mask = np.zeros(m + 1, dtype=bool)
+            self._exec_arr = np.empty(0, dtype=np.int64)
+            self._exec_lam = np.empty(0, dtype=np.float64)
+            self._all_unit = True
 
     # ------------------------------------------------------------------
     # Read access
@@ -104,7 +144,7 @@ class TemporalQualityEvaluator:
     def p(self, slot: int) -> float:
         """Current finishing probability of ``slot``."""
         self._check_slot(slot)
-        return self._p[slot]
+        return float(self._p[slot])
 
     def rho_err(self, slot: int) -> float:
         """Current interpolation error ratio of ``slot`` (Eq. 3/5).
@@ -183,6 +223,8 @@ class TemporalQualityEvaluator:
         self._check_reliability(reliability)
         if slot in self._executed:
             raise ConfigurationError(f"slot {slot} already executed")
+        if self._kernel is not None:
+            return self._gain_over_range_numpy(slot, reliability, lo, hi)
         self.counters.gain_evaluations += 1
         delta = entropy_term(reliability / self.m) - entropy_term(self._p[slot])
         self.counters.slot_evaluations += 1
@@ -204,6 +246,8 @@ class TemporalQualityEvaluator:
         self._check_reliability(reliability)
         if slot in self._executed:
             raise ConfigurationError(f"slot {slot} already executed")
+        if self._kernel is not None:
+            return self._execute_numpy(slot, reliability)
         lo, hi = self.affected_window(slot)
         changes: list[SlotChange] = []
 
@@ -220,6 +264,111 @@ class TemporalQualityEvaluator:
             self.counters.slot_evaluations += 1
             if recomputed != self._p[u]:
                 self._apply_change(u, self._p[u], recomputed, changes)
+        return changes
+
+    # ------------------------------------------------------------------
+    # NumPy backend (vectorized window passes via repro.core.kernels)
+    # ------------------------------------------------------------------
+    def _window_unexecuted(self, lo: int, hi: int, exclude: int):
+        """Unexecuted slot indices in ``[lo, hi]`` minus ``exclude``."""
+        u = np.arange(lo, hi + 1, dtype=np.int64)
+        mask = ~self._exec_mask[lo : hi + 1]
+        if lo <= exclude <= hi:
+            mask[exclude - lo] = False
+        return u[mask]
+
+    def _gain_over_range_numpy(
+        self, slot: int, reliability: float, lo: int, hi: int
+    ) -> float:
+        kernel = self._kernel
+        self.counters.gain_evaluations += 1
+        # The candidate's own flip, counted exactly like the scalar path.
+        delta = kernel.phi_executed(reliability) - float(self._phi[slot])
+        self.counters.slot_evaluations += 1
+        us = self._window_unexecuted(lo, hi, slot)
+        n_affected = int(us.size)
+        self.counters.slot_evaluations += n_affected
+        self.counters.knn_queries += n_affected
+        if n_affected == 0:
+            return delta
+        new_totals = kernel.merge_totals(
+            slot,
+            reliability,
+            us,
+            self._totals[us],
+            self._dfar[us],
+            self._efar[us],
+            self._lamfar[us],
+        )
+        unit = self._all_unit and reliability == 1.0
+        new_phi = kernel.phi_of_totals(new_totals, unit=unit)
+        # Accumulate in the scalar path's exact sequential order
+        # (self term first, then ascending slots): cumsum is a strict
+        # left-to-right reduction, unlike np.sum's pairwise one, so
+        # mathematically tied candidates produce bitwise-identical
+        # gains on both backends and tie-breaking stays plan-stable.
+        terms = np.empty(n_affected + 1, dtype=np.float64)
+        terms[0] = delta
+        np.subtract(new_phi, self._phi[us], out=terms[1:])
+        return float(np.cumsum(terms)[-1])
+
+    def _execute_numpy(self, slot: int, reliability: float) -> list[SlotChange]:
+        kernel = self._kernel
+        lo, hi = self.affected_window(slot)
+        changes: list[SlotChange] = []
+
+        old_p = float(self._p[slot])
+        new_p = reliability / self.m
+        self._executed.add(slot)
+        self._reliability[slot] = reliability
+        if reliability != 1.0:
+            self._all_unit = False
+        self._exec_mask[slot] = True
+        self._exec_arr = np.array(self._executed.as_list(), dtype=np.int64)
+        self._exec_lam = np.array(
+            [self._reliability[e] for e in self._exec_arr], dtype=np.float64
+        )
+        new_phi_slot = kernel.phi_executed(reliability)
+        self._quality += new_phi_slot - float(self._phi[slot])
+        self._p[slot] = new_p
+        self._phi[slot] = new_phi_slot
+        changes.append(SlotChange(slot, old_p, new_p))
+
+        us = self._window_unexecuted(lo, hi, slot)
+        n_affected = int(us.size)
+        self.counters.slot_evaluations += n_affected
+        self.counters.knn_queries += n_affected
+        if n_affected:
+            totals, dfar, efar, lamfar = kernel.batch_knn(
+                self._exec_arr, self._exec_lam, us
+            )
+            new_p_arr = totals / kernel.denom
+            new_phi = kernel.phi_of_totals(totals, unit=self._all_unit)
+            old_p_arr = self._p[us]
+            old_phi = self._phi[us]
+            changed = new_p_arr != old_p_arr
+            # Chain the deltas onto the running quality in the scalar
+            # path's sequential ascending-slot order (unchanged slots
+            # contribute an exact 0.0), keeping the quality bitwise
+            # equal to the python backend in the unit regime — it
+            # feeds exact comparisons (cover targets, best-single vs
+            # stream, the MMQM weakest-task heap).
+            terms = np.empty(n_affected + 1, dtype=np.float64)
+            terms[0] = self._quality
+            np.subtract(new_phi, old_phi, out=terms[1:])
+            self._quality = float(np.cumsum(terms)[-1])
+            self._totals[us] = totals
+            self._dfar[us] = dfar
+            self._efar[us] = efar
+            self._lamfar[us] = lamfar
+            self._p[us] = new_p_arr
+            self._phi[us] = new_phi
+            for idx in np.nonzero(changed)[0]:
+                changes.append(
+                    SlotChange(
+                        int(us[idx]), float(old_p_arr[idx]), float(new_p_arr[idx])
+                    )
+                )
         return changes
 
     # ------------------------------------------------------------------

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.core.evaluator import TemporalQualityEvaluator
 from repro.core.instrumentation import OpCounters
@@ -32,6 +33,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.tree_index import COST_EPSILON, TreeIndex
 from repro.errors import ConfigurationError
+from repro.util.heaps import LazyMaxHeap
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
     from repro.engine.costs import SingleTaskCostTable
@@ -93,13 +95,15 @@ def single_slot_quality(m: int, k: int, slot: int, reliability: float = 1.0) -> 
     return total
 
 
-def single_slot_quality_table(m: int, k: int, reliability: float = 1.0) -> list[float]:
-    """``q({h})`` for every ``h`` in ``1..m`` in ``O(m)`` total.
+@lru_cache(maxsize=1024)
+def _single_slot_quality_table_cached(
+    m: int, k: int, reliability: float
+) -> tuple[float, ...]:
+    """Cached body of :func:`single_slot_quality_table`.
 
-    Uses the prefix-sum identity
-    ``q({h}) = phi(lambda/m) + G(h-1) + G(m-h)`` with
-    ``G(t) = sum_{d=1..t} phi(lambda (m-d) / (k m^2))``.  Index 0 of the
-    returned list is unused (slots are 1-based).
+    Serving layers solve many tasks of the same shape back to back
+    (batch rounds, streaming epochs), so the ``(m, k, reliability)``
+    key amortizes the O(m) entropy prefix scan across all of them.
     """
     prefix = [0.0] * m  # prefix[t] = G(t) for t in 0..m-1
     for d in range(1, m):
@@ -108,7 +112,19 @@ def single_slot_quality_table(m: int, k: int, reliability: float = 1.0) -> list[
     table = [0.0] * (m + 1)
     for h in range(1, m + 1):
         table[h] = base + prefix[h - 1] + prefix[m - h]
-    return table
+    return tuple(table)
+
+
+def single_slot_quality_table(m: int, k: int, reliability: float = 1.0) -> list[float]:
+    """``q({h})`` for every ``h`` in ``1..m`` in ``O(m)`` total.
+
+    Uses the prefix-sum identity
+    ``q({h}) = phi(lambda/m) + G(h-1) + G(m-h)`` with
+    ``G(t) = sum_{d=1..t} phi(lambda (m-d) / (k m^2))``.  Index 0 of the
+    returned list is unused (slots are 1-based).  Results are cached
+    per ``(m, k, reliability)``; callers get a fresh list copy.
+    """
+    return list(_single_slot_quality_table_cached(m, k, reliability))
 
 
 class _GreedyBase:
@@ -121,12 +137,14 @@ class _GreedyBase:
         *,
         k: int = 3,
         budget: float,
+        backend: str = "python",
         counters: OpCounters | None = None,
     ):
         self.task = task
         self.costs = costs
         self.k = k
         self.budget_limit = float(budget)
+        self.backend = backend
         self.counters = counters if counters is not None else OpCounters()
 
     # -- line 3: the best single affordable subtask --------------------
@@ -172,7 +190,9 @@ class _GreedyBase:
         return stream
 
     def _solve_stream(self) -> SolverResult:
-        ev = TemporalQualityEvaluator(self.task.num_slots, self.k, counters=self.counters)
+        ev = TemporalQualityEvaluator(
+            self.task.num_slots, self.k, counters=self.counters, backend=self.backend
+        )
         budget = Budget(self.budget_limit)
         assignment = Assignment()
         steps: list[GreedyStep] = []
@@ -210,24 +230,87 @@ class _GreedyBase:
 
 
 class SingleTaskGreedy(_GreedyBase):
-    """Algorithm 1 (``Approx``) with enumerated candidate search.
+    """Algorithm 1 (``Approx``) with enumerated or lazy candidate search.
 
     ``strategy="full"`` recomputes every slot per candidate (the
     paper's naive complexity); ``strategy="local"`` re-evaluates only
     the affected k-NN window (ablation).
+
+    ``search="enumerate"`` re-scores every candidate each greedy round
+    (the seed behaviour); ``search="lazy"`` runs a CELF-style lazy
+    argmax over a max-heap of stale heuristic values.  Because the
+    quality metric is submodular and non-decreasing (Lemma 2) and
+    single-task costs are static, a candidate's heuristic only ever
+    shrinks, so a stale heap priority is a sound upper bound: pop the
+    stale maximum, re-score it exactly, and commit once no stale bound
+    can beat the best exact value seen — ties resolved by re-scoring
+    every tied entry so the smallest-index winner matches the
+    enumerated argmax exactly.  Plans are identical by construction;
+    only ``gain_evaluations`` drops (to near O(1) per round).
+
+    The lazy-bound argument needs two premises.  Costs must be static
+    (the heap caches them), which cost providers assert via a
+    ``static_costs`` attribute.  And gains must never increase, which
+    holds for unit-reliability workers; with heterogeneous
+    reliabilities a close low-reliability execution can *evict* a far
+    high-reliability neighbour, lowering a slot's probability into a
+    steeper region of phi where a later candidate's marginal gain
+    grows.  If either premise fails the solver silently falls back to
+    enumeration, preserving plan identity over raw speed.
     """
 
-    def __init__(self, task, costs, *, k=3, budget, strategy="full", counters=None):
-        super().__init__(task, costs, k=k, budget=budget, counters=counters)
+    def __init__(
+        self,
+        task,
+        costs,
+        *,
+        k=3,
+        budget,
+        strategy="full",
+        search="enumerate",
+        backend="python",
+        counters=None,
+    ):
+        super().__init__(
+            task, costs, k=k, budget=budget, backend=backend, counters=counters
+        )
         if strategy not in ("full", "local"):
             raise ConfigurationError(f"unknown strategy {strategy!r}")
+        if search not in ("enumerate", "lazy"):
+            raise ConfigurationError(f"unknown search {search!r}")
         self.strategy = strategy
+        self.search = search
         self._ev: TemporalQualityEvaluator | None = None
+        self._heap: LazyMaxHeap | None = None
 
     def _prepare(self, ev):
         self._ev = ev
+        self._heap = None
+        self._assignable = 0
+        self._lazy_sound = False
+        if self.search == "lazy":
+            # Both lazy premises are checked up front; either failing
+            # falls back to enumeration so plans stay identical:
+            # (1) costs must declare themselves static (the heap
+            # caches first-round costs, so a dynamic provider like the
+            # streaming WindowedCosts/DynamicCostProvider would
+            # silently diverge from the enumerated plan);
+            # (2) reliabilities must be unit, else gains are not
+            # guaranteed non-increasing and stale bounds are unsound.
+            self._lazy_sound = getattr(self.costs, "static_costs", False) and all(
+                self.costs.reliability(slot) == 1.0
+                for slot in self.task.slots
+                if self.costs.cost(slot) is not None
+            )
+
+    def _gain(self, ev, slot, reliability):
+        if self.strategy == "full":
+            return ev.gain_full_rescan(slot, reliability)
+        return ev.gain_if_executed(slot, reliability)
 
     def _find_best(self, ev, remaining):
+        if self.search == "lazy" and self._lazy_sound:
+            return self._find_best_lazy(ev, remaining)
         best: tuple[int, float, float, float] | None = None
         candidates = 0
         for slot in self.task.slots:
@@ -240,10 +323,7 @@ class SingleTaskGreedy(_GreedyBase):
             if cost > remaining + 1e-12:
                 continue
             lam = self.costs.reliability(slot)
-            if self.strategy == "full":
-                gain = ev.gain_full_rescan(slot, lam)
-            else:
-                gain = ev.gain_if_executed(slot, lam)
+            gain = self._gain(ev, slot, lam)
             if gain <= 0.0:
                 continue
             heuristic = gain / max(cost, COST_EPSILON)
@@ -254,6 +334,61 @@ class SingleTaskGreedy(_GreedyBase):
         self.counters.candidates_total += candidates
         return best
 
+    def _find_best_lazy(self, ev, remaining):
+        heap = self._heap
+        if heap is None:
+            heap = self._heap = LazyMaxHeap()
+            for slot in self.task.slots:
+                cost = self.costs.cost(slot)
+                if cost is not None:
+                    # Infinite bound forces one exact scoring pass on
+                    # the first round, matching the enumerated search.
+                    heap.push(math.inf, slot, cost)
+            self._assignable = len(heap)
+        # Count what the enumerated argmax would have evaluated this
+        # round — every unexecuted assignable slot, including ones the
+        # heap has permanently dropped — so candidates_total (and the
+        # pruning ratio) stays comparable across search modes.
+        candidates = self._assignable - ev.executed_count
+        self.counters.candidates_total += candidates
+        evaluated = 0
+        best: tuple[int, float, float, float] | None = None
+        buffered: list[tuple[int, float, float, float]] = []
+        while True:
+            popped = heap.pop()
+            if popped is None:
+                break
+            priority, slot, cost = popped
+            if best is not None and priority < best[3]:
+                # Every remaining stale bound is below the incumbent's
+                # exact value; the incumbent is the argmax.
+                heap.push(priority, slot, cost)
+                break
+            # Costs are static and the budget only shrinks, so an
+            # unaffordable candidate never becomes affordable: drop it
+            # permanently.  Likewise a non-positive gain stays
+            # non-positive under submodularity.
+            if cost > remaining + 1e-12:
+                continue
+            gain = self._gain(ev, slot, self.costs.reliability(slot))
+            evaluated += 1
+            if gain <= 0.0:
+                continue
+            heuristic = gain / max(cost, COST_EPSILON)
+            entry = (slot, gain, cost, heuristic)
+            if best is None or heuristic > best[3] or (
+                heuristic == best[3] and slot < best[0]
+            ):
+                if best is not None:
+                    buffered.append(best)
+                best = entry
+            else:
+                buffered.append(entry)
+        for slot, _, cost, heuristic in buffered:
+            heap.push(heuristic, slot, cost)
+        self.counters.candidates_pruned += max(candidates - evaluated, 0)
+        return best
+
     def _after_execute(self, window):
         pass
 
@@ -261,8 +396,10 @@ class SingleTaskGreedy(_GreedyBase):
 class IndexedSingleTaskGreedy(_GreedyBase):
     """``Approx*``: Algorithm 1 driven by the tree index (Section III-C)."""
 
-    def __init__(self, task, costs, *, k=3, budget, ts=4, counters=None):
-        super().__init__(task, costs, k=k, budget=budget, counters=counters)
+    def __init__(self, task, costs, *, k=3, budget, ts=4, backend="python", counters=None):
+        super().__init__(
+            task, costs, k=k, budget=budget, backend=backend, counters=counters
+        )
         self.ts = ts
         self._index: TreeIndex | None = None
 

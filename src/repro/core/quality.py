@@ -54,12 +54,17 @@ def entropy_term(p: float) -> float:
     """The per-slot quality contribution ``phi(p) = -p log2 p``.
 
     ``phi(0) = 0`` by continuity (zero knowledge contributes zero
-    quality).
+    quality).  Values within ``1e-15`` of the valid range are clamped
+    rather than rejected: vectorized accumulation (and any float sum
+    of reliability-weighted terms) can land an epsilon outside
+    ``[0, 1]``, and such round-off is not a caller error.
     """
-    if p < 0.0 or p > 1.0:
+    if p < -1e-15 or p > 1.0 + 1e-15:
         raise ConfigurationError(f"probability out of range: {p}")
-    if p == 0.0:
+    if p <= 0.0:
         return 0.0
+    if p > 1.0:
+        p = 1.0
     return -p * math.log2(p)
 
 

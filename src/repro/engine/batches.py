@@ -42,6 +42,11 @@ class BatchTCSCServer:
     under its own budget; the worker registry persists, so earlier
     commitments constrain later rounds (later batches pay higher costs
     or find slots uncoverable).
+
+    ``backend="numpy"`` routes every round's evaluators through the
+    vectorized quality kernels; because kernels are cached per task
+    shape (:func:`repro.core.kernels.get_kernel`), the entropy tables
+    are built once and amortized across all rounds and tasks.
     """
 
     def __init__(
@@ -51,10 +56,12 @@ class BatchTCSCServer:
         *,
         k: int = 3,
         ts: int = 4,
+        backend: str = "python",
     ):
         self.registry = WorkerRegistry(pool, bbox)
         self.k = k
         self.ts = ts
+        self.backend = backend
         self.history: list[BatchReport] = []
         self._seen_task_ids: set[int] = set()
 
@@ -87,11 +94,13 @@ class BatchTCSCServer:
             )
         if objective == "sum":
             solver = SumQualityGreedy(
-                tasks, self.registry, k=self.k, budget=budget, ts=self.ts
+                tasks, self.registry, k=self.k, budget=budget, ts=self.ts,
+                backend=self.backend,
             )
         elif objective == "min":
             solver = MinQualityGreedy(
-                tasks, self.registry, k=self.k, budget=budget, ts=self.ts
+                tasks, self.registry, k=self.k, budget=budget, ts=self.ts,
+                backend=self.backend,
             )
         else:
             raise ConfigurationError(f"unknown objective {objective!r}")

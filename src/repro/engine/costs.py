@@ -42,6 +42,11 @@ class SingleTaskCostTable:
     return ``None`` (unassignable).
     """
 
+    #: Offers never change after construction — the capability the
+    #: lazy (CELF) search requires to cache costs in its heap.
+    #: Dynamic providers must not declare this.
+    static_costs = True
+
     def __init__(
         self,
         task: Task,

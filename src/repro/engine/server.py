@@ -58,6 +58,9 @@ class TCSCServer:
     neighbours, ``ts=4`` tree fanout.  Attach a
     :class:`~repro.engine.field.SpatioTemporalField` to have workers
     "probe" values so reports include physical reconstruction error.
+    ``backend`` selects the quality-kernel implementation
+    (``"python"`` scalar oracle or ``"numpy"`` vectorized); plans are
+    identical on either.
     """
 
     def __init__(
@@ -67,12 +70,14 @@ class TCSCServer:
         *,
         k: int = 3,
         ts: int = 4,
+        backend: str = "python",
         field_model: SpatioTemporalField | None = None,
     ):
         self.pool = pool
         self.bbox = bbox
         self.k = k
         self.ts = ts
+        self.backend = backend
         self.field_model = field_model
 
     # ------------------------------------------------------------------
@@ -96,11 +101,13 @@ class TCSCServer:
         costs = SingleTaskCostTable(task, registry, counters=counters)
         if policy == "approx":
             result = SingleTaskGreedy(
-                task, costs, k=self.k, budget=budget, counters=counters
+                task, costs, k=self.k, budget=budget,
+                backend=self.backend, counters=counters,
             ).solve()
         elif policy == "approx_star":
             result = IndexedSingleTaskGreedy(
-                task, costs, k=self.k, budget=budget, ts=self.ts, counters=counters
+                task, costs, k=self.k, budget=budget, ts=self.ts,
+                backend=self.backend, counters=counters,
             ).solve()
         else:
             quality, assignment = RandomAssignmentSolver(
@@ -150,11 +157,13 @@ class TCSCServer:
                 )
             else:
                 solver = SumQualityGreedy(
-                    tasks, registry, k=self.k, budget=budget, ts=self.ts, use_index=use_index
+                    tasks, registry, k=self.k, budget=budget, ts=self.ts,
+                    use_index=use_index, backend=self.backend,
                 )
         else:
             solver = MinQualityGreedy(
-                tasks, registry, k=self.k, budget=budget, ts=self.ts, use_index=use_index
+                tasks, registry, k=self.k, budget=budget, ts=self.ts,
+                use_index=use_index, backend=self.backend,
             )
         result = solver.solve()
         return self._report(tasks, result.assignment, result.qualities, result.counters)

@@ -45,6 +45,7 @@ class MinQualityGreedy:
         ts: int = 4,
         use_index: bool = True,
         gain_strategy: str = "local",
+        backend: str = "python",
         counters: OpCounters | None = None,
     ):
         self.tasks = tasks
@@ -59,6 +60,7 @@ class MinQualityGreedy:
                 ts=ts,
                 use_index=use_index,
                 gain_strategy=gain_strategy,
+                backend=backend,
                 counters=self.counters,
             )
             for task in tasks

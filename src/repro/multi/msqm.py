@@ -51,6 +51,7 @@ class SumQualityGreedy:
         ts: int = 4,
         use_index: bool = True,
         gain_strategy: str = "local",
+        backend: str = "python",
         counters: OpCounters | None = None,
     ):
         self.tasks = tasks
@@ -65,6 +66,7 @@ class SumQualityGreedy:
                 ts=ts,
                 use_index=use_index,
                 gain_strategy=gain_strategy,
+                backend=backend,
                 counters=self.counters,
             )
             for task in tasks

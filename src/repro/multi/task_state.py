@@ -51,6 +51,7 @@ class TaskState:
         ts: int = 4,
         use_index: bool = True,
         gain_strategy: str = "local",
+        backend: str = "python",
         counters: OpCounters | None = None,
     ):
         if gain_strategy not in ("full", "local"):
@@ -58,7 +59,9 @@ class TaskState:
         self.task = task
         self.counters = counters if counters is not None else OpCounters()
         self.provider = DynamicCostProvider(task, registry, counters=self.counters)
-        self.ev = TemporalQualityEvaluator(task.num_slots, k, counters=self.counters)
+        self.ev = TemporalQualityEvaluator(
+            task.num_slots, k, counters=self.counters, backend=backend
+        )
         self.gain_strategy = gain_strategy
         self.index: TreeIndex | None = None
         if use_index:

@@ -107,6 +107,9 @@ class StreamingTCSCServer:
             the pool when enabled.
         max_active_tasks: admission-window size.
         max_queue_depth: pending tasks beyond this are rejected.
+        backend: quality-kernel implementation for every session's
+            evaluator (``"python"`` scalar oracle or ``"numpy"``
+            vectorized); identical assignments on either.
     """
 
     def __init__(
@@ -123,6 +126,7 @@ class StreamingTCSCServer:
         max_active_tasks: int = 8,
         max_queue_depth: int = 16,
         realization_seed: int = 0,
+        backend: str = "python",
         counters: OpCounters | None = None,
     ):
         if index_mode not in INDEX_MODES:
@@ -153,6 +157,7 @@ class StreamingTCSCServer:
         self.max_active_tasks = max_active_tasks
         self.max_queue_depth = max_queue_depth
         self.realization_seed = realization_seed
+        self.backend = backend
         self.counters = counters if counters is not None else OpCounters()
         self.clock = VirtualClock()
         self.registry = WorkerRegistry(WorkerPool([]), bbox)
@@ -205,6 +210,7 @@ class StreamingTCSCServer:
             arrival_time=arrival.time,
             index_mode=self.index_mode,
             rebuild_threshold=self.rebuild_threshold,
+            backend=self.backend,
             counters=self.counters,
         )
         session.on_epoch(self.clock.now)

@@ -109,6 +109,7 @@ class TaskSession:
         arrival_time: float,
         index_mode: str = "incremental",
         rebuild_threshold: float = 0.8,
+        backend: str = "python",
         counters: OpCounters | None = None,
     ):
         if index_mode not in INDEX_MODES:
@@ -125,7 +126,12 @@ class TaskSession:
         self.index_mode = index_mode
         self.arrival_time = arrival_time
         self.counters = counters if counters is not None else OpCounters()
-        self.ev = TemporalQualityEvaluator(task.num_slots, k, counters=self.counters)
+        # The evaluator (and, with backend="numpy", its shared per-
+        # (m, k) kernel) persists for the session's whole lifetime:
+        # epochs reuse it instead of rebuilding quality state.
+        self.ev = TemporalQualityEvaluator(
+            task.num_slots, k, counters=self.counters, backend=backend
+        )
         self.provider = DynamicCostProvider(task, registry, counters=self.counters)
         self.costs = WindowedCosts(self.provider, task)
         self.budget = Budget(budget)

@@ -39,6 +39,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--index-mode", "magic"])
 
+    def test_backend_and_profile_flags(self):
+        args = build_parser().parse_args(["solve-single", "--backend", "numpy"])
+        assert args.backend == "numpy"
+        assert args.profile is False
+        args = build_parser().parse_args(["simulate", "--profile"])
+        assert args.profile is True
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve-single", "--backend", "fortran"])
+
+    def test_bench_perf_options(self):
+        args = build_parser().parse_args(["bench-perf", "--smoke"])
+        assert args.smoke is True
+        assert args.results_dir is None
+
 
 class TestCommands:
     def test_solve_single(self, capsys):
@@ -116,3 +132,35 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "index_mode=rebuild" in out
+
+    def test_numpy_backend_matches_python_output(self, capsys):
+        main(["solve-single", "--slots", "30", "--workers", "120", "--seed", "1"])
+        python_out = capsys.readouterr().out
+        main(["solve-single", "--slots", "30", "--workers", "120", "--seed", "1",
+              "--backend", "numpy"])
+        numpy_out = capsys.readouterr().out
+        assert python_out == numpy_out
+
+    def test_profile_prints_hotspots(self, capsys):
+        code = main(["solve-single", "--slots", "20", "--workers", "60", "--profile"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cumulative" in out
+        assert "function calls" in out
+
+    def test_simulate_numpy_backend(self, capsys):
+        code = main(
+            ["simulate", "--seed", "3", "--horizon", "20", "--task-slots", "8",
+             "--initial-workers", "10", "--join-rate", "0.3", "--backend", "numpy"]
+        )
+        assert code == 0
+        assert "streaming report" in capsys.readouterr().out
+
+    def test_bench_perf_smoke(self, tmp_path, capsys):
+        code = main(["bench-perf", "--smoke", "--results-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert (tmp_path / "perf_suite.json").exists()
+        # A custom results dir keeps everything inside it.
+        assert (tmp_path / "BENCH_perf.json").exists()
+        assert "lazy gain-eval ratio" in out

@@ -134,6 +134,16 @@ class TestAdmissionControl:
             plans.append(server.assignment().plan_signature())
         assert plans[0] == plans[1]
 
+    def test_numpy_backend_same_trace_same_plan(self):
+        scenario = _scenario(seed=23)
+        plans = {}
+        for backend in ("python", "numpy"):
+            server = StreamingTCSCServer(scenario.bbox, backend=backend)
+            server.run(list(scenario.events))
+            plans[backend] = server.assignment().plan_signature()
+        assert plans["python"] == plans["numpy"]
+        assert len(plans["python"]) > 0
+
     def test_run_is_one_shot(self):
         scenario = _scenario()
         server = StreamingTCSCServer(scenario.bbox)

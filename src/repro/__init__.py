@@ -7,7 +7,10 @@ tree-indexed ``Approx*``), multi-task summation-/minimum-quality
 assignment with worker-conflict-aware parallelization, and the
 spatiotemporal (STCC) extension — plus the *streaming* subsystem
 (:mod:`repro.stream`): an event-driven online server with worker
-churn, admission control, and incrementally-maintained indexes.
+churn, admission control, and incrementally-maintained indexes — and
+the *sharded serving layer* (:mod:`repro.shard`): halo-partitioned
+multi-shard assignment whose merged plans are byte-identical to the
+single-node solve.
 
 Quickstart::
 
@@ -97,6 +100,13 @@ from repro.multi.mmqm import MinQualityGreedy
 from repro.multi.msqm import SumQualityGreedy
 from repro.multi.result import MultiSolverResult, MultiStep
 from repro.multi.scheduler import TaskLevelParallelSolver, ThreadedTaskLevelSolver
+from repro.shard.partitioner import SpatialPartitioner
+from repro.shard.server import (
+    SequentialServingSolver,
+    ShardedReport,
+    ShardedTCSCServer,
+)
+from repro.shard.streaming import ShardedStreamingServer
 from repro.workloads.scenario import Scenario, ScenarioConfig, build_scenario
 from repro.workloads.spatial import Distribution, generate_points
 from repro.workloads.streaming import (
@@ -105,7 +115,7 @@ from repro.workloads.streaming import (
     build_stream_events,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Assignment",
@@ -143,12 +153,17 @@ __all__ = [
     "Scenario",
     "ScenarioConfig",
     "SchedulingError",
+    "SequentialServingSolver",
     "ServerReport",
+    "ShardedReport",
+    "ShardedStreamingServer",
+    "ShardedTCSCServer",
     "SingleTaskCostTable",
     "SingleTaskGreedy",
     "SlotChange",
     "SlotOffer",
     "SolverResult",
+    "SpatialPartitioner",
     "SpatioTemporalEvaluator",
     "SpatioTemporalField",
     "SpatioTemporalGreedy",

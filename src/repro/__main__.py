@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands cover the common workflows:
+Six subcommands cover the common workflows:
 
 * ``solve-single`` — build a synthetic scenario and assign one task
   (policies: approx, approx_star, random).
@@ -16,11 +16,19 @@ Five subcommands cover the common workflows:
 * ``bench-perf`` — the deterministic perf suite: seed-pinned solver
   scenarios comparing kernel backends and candidate-search modes,
   persisted as ``benchmarks/BENCH_perf.json``.
+* ``bench-shard`` — the shard-scaling suite: seed-pinned serving
+  rounds through the halo-partitioned sharded coordinator at shard
+  counts 1/2/4/8, asserting byte-identical plans, persisted as
+  ``benchmarks/BENCH_shard.json``.
 
 Every command prints a compact report; ``--seed`` makes runs
-reproducible.  The solve and simulate commands accept ``--backend
-{python,numpy}`` (identical plans, different speed) and ``--profile``
-to print the top cProfile hotspots of the run.
+reproducible.  The solve, simulate, and bench-shard commands accept
+``--backend {python,numpy}`` (identical plans, different speed) and
+``--profile`` to print the top cProfile hotspots of the run — both
+flags are attached through one shared helper so every subcommand
+spells them identically.  ``simulate --shards N`` routes the trace
+over a sharded streaming deployment (``--halo`` sizes the worker
+replication margin).
 """
 
 from __future__ import annotations
@@ -42,6 +50,57 @@ from repro.workloads.streaming import StreamScenarioConfig, build_stream_events
 __all__ = ["main", "build_parser"]
 
 
+def _add_profile_flag(p: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--profile`` flag."""
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the top-15 cumulative hotspots",
+    )
+
+
+def _add_backend_flag(p: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--backend`` flag."""
+    p.add_argument(
+        "--backend",
+        choices=list(EVALUATOR_BACKENDS),
+        default="python",
+        help="quality-kernel backend (identical plans, different speed)",
+    )
+
+
+def _add_solver_flags(p: argparse.ArgumentParser) -> None:
+    """The backend/profile pair every solving subcommand carries."""
+    _add_backend_flag(p)
+    _add_profile_flag(p)
+
+
+def _positive_int(value: str) -> int:
+    """Parse a strictly-positive integer argument."""
+    try:
+        count = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}") from None
+    if count < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {count}")
+    return count
+
+
+def _halo_spec(value: str):
+    """Parse ``--halo``: the literal ``auto`` or a non-negative radius."""
+    if value == "auto":
+        return value
+    try:
+        radius = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"halo must be 'auto' or a radius, got {value!r}"
+        ) from None
+    if radius < 0:
+        raise argparse.ArgumentTypeError(f"halo radius must be >= 0, got {radius}")
+    return radius
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -49,21 +108,6 @@ def build_parser() -> argparse.ArgumentParser:
         description="Time-continuous spatial crowdsourcing (TCSC) assignment",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-
-    def profiled(p):
-        p.add_argument(
-            "--profile",
-            action="store_true",
-            help="run under cProfile and print the top-15 cumulative hotspots",
-        )
-
-    def backend(p):
-        p.add_argument(
-            "--backend",
-            choices=list(EVALUATOR_BACKENDS),
-            default="python",
-            help="quality-kernel backend (identical plans, different speed)",
-        )
 
     def common(p):
         p.add_argument("--slots", type=int, default=100, help="subtasks per task (m)")
@@ -82,8 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
             default=0.25,
             help="budget as a fraction of the average full-task cost",
         )
-        backend(p)
-        profiled(p)
+        _add_solver_flags(p)
 
     single = sub.add_parser("solve-single", help="assign one TCSC task")
     common(single)
@@ -151,8 +194,13 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--budget-fraction", type=float, default=0.25,
                      help="per-task budget as a fraction of its full cost")
     sim.add_argument("--k", type=int, default=3, help="interpolation neighbours")
-    backend(sim)
-    profiled(sim)
+    sim.add_argument("--shards", type=_positive_int, default=1,
+                     help="route the trace over this many spatial shards "
+                          "(1 = the plain streaming server)")
+    sim.add_argument("--halo", type=_halo_spec, default="auto",
+                     help="worker-replication margin for sharded mode: "
+                          "'auto' or a radius in domain units")
+    _add_solver_flags(sim)
 
     perf = sub.add_parser(
         "bench-perf",
@@ -162,6 +210,17 @@ def build_parser() -> argparse.ArgumentParser:
                       help="smallest scenario only (CI smoke mode)")
     perf.add_argument("--results-dir", default=None,
                       help="override benchmarks/results output directory")
+    _add_profile_flag(perf)
+
+    shard = sub.add_parser(
+        "bench-shard",
+        help="shard-scaling suite -> benchmarks/BENCH_shard.json",
+    )
+    shard.add_argument("--smoke", action="store_true",
+                       help="smallest scenarios only (CI smoke mode)")
+    shard.add_argument("--results-dir", default=None,
+                       help="override benchmarks/results output directory")
+    _add_solver_flags(shard)
     return parser
 
 
@@ -238,8 +297,7 @@ def _cmd_simulate(args) -> int:
             seed=args.seed,
         )
     )
-    server = StreamingTCSCServer(
-        scenario.bbox,
+    server_kwargs = dict(
         k=args.k,
         epoch_length=args.epoch,
         index_mode=args.index_mode,
@@ -249,11 +307,23 @@ def _cmd_simulate(args) -> int:
         realization_seed=args.seed,
         backend=args.backend,
     )
-    metrics = server.run(scenario.events)
     print(f"index_mode={args.index_mode} epoch={args.epoch:g} seed={args.seed}")
     print(f"trace: {scenario.task_count} tasks, {scenario.worker_count} workers "
           f"over {args.horizon} slots")
-    print(metrics.report())
+    if args.shards > 1:
+        from repro.shard.streaming import ShardedStreamingServer
+
+        sharded = ShardedStreamingServer(
+            scenario.bbox,
+            num_shards=args.shards,
+            halo_margin=args.halo,
+            **server_kwargs,
+        )
+        print(f"shards={args.shards} halo={args.halo}")
+        print(sharded.run(scenario.events).report())
+        return 0
+    server = StreamingTCSCServer(scenario.bbox, **server_kwargs)
+    print(server.run(scenario.events).report())
     return 0
 
 
@@ -261,6 +331,14 @@ def _cmd_bench_perf(args) -> int:
     from repro.bench.perfsuite import run_and_write
 
     return run_and_write(smoke=args.smoke, results_dir=args.results_dir)
+
+
+def _cmd_bench_shard(args) -> int:
+    from repro.bench.shardsuite import run_and_write
+
+    return run_and_write(
+        smoke=args.smoke, results_dir=args.results_dir, backend=args.backend
+    )
 
 
 def _run_profiled(handler, args) -> int:
@@ -284,6 +362,7 @@ def main(argv: list[str] | None = None) -> int:
         "cover": _cmd_cover,
         "simulate": _cmd_simulate,
         "bench-perf": _cmd_bench_perf,
+        "bench-shard": _cmd_bench_shard,
     }
     handler = handlers[args.command]
     if getattr(args, "profile", False):

@@ -5,13 +5,21 @@
 and emits a single ``REPORT.md`` — the artifact to skim after a full
 ``pytest benchmarks/ --benchmark-only`` run.
 
-Streaming benchmarks additionally persist machine-readable series as
-``benchmarks/results/stream*.json``; :func:`collect_stream` merges
-those into ``benchmarks/BENCH_stream.json`` (events/sec and
-incremental-vs-rebuild speedups).  The perf suite
-(:mod:`repro.bench.perfsuite`) persists ``perf*.json`` series, merged
-by :func:`collect_perf` into ``benchmarks/BENCH_perf.json`` — the
-solver hot-path trajectory (backend and lazy-search speedups).
+Machine-readable series are merged per suite into ``BENCH_*.json``
+records next to the results directory; the registry in
+:data:`COLLECTORS` is the source of truth:
+
+* ``stream*.json`` -> ``BENCH_stream.json`` (events/sec and
+  incremental-vs-rebuild speedups, :mod:`repro.stream`);
+* ``perf*.json`` -> ``BENCH_perf.json`` (solver hot-path backend and
+  lazy-search speedups, :mod:`repro.bench.perfsuite`);
+* ``shard*.json`` -> ``BENCH_shard.json`` (shard-count scaling at
+  plan identity, :mod:`repro.bench.shardsuite`).
+
+``BENCH_*.json`` files next to the results directory that no
+registered collector produces are *warned about* rather than silently
+skipped — a stale or hand-dropped artifact would otherwise rot
+unnoticed while looking authoritative.
 """
 
 from __future__ import annotations
@@ -21,7 +29,15 @@ import re
 import sys
 from pathlib import Path
 
-__all__ = ["collect", "collect_perf", "collect_stream", "main"]
+__all__ = [
+    "COLLECTORS",
+    "collect",
+    "collect_perf",
+    "collect_shard",
+    "collect_stream",
+    "unrecognized_artifacts",
+    "main",
+]
 
 _DEFAULT_RESULTS = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
 
@@ -35,20 +51,6 @@ def _sort_key(path: Path) -> tuple:
     prefix, number, letter = match.groups()
     family = 0 if prefix == "fig" else 1
     return (family, prefix, int(number), letter)
-
-
-def collect(results_dir: Path | str = _DEFAULT_RESULTS) -> str:
-    """Concatenate all result blocks into one markdown document."""
-    results_dir = Path(results_dir)
-    blocks = []
-    for path in sorted(results_dir.glob("*.txt"), key=_sort_key):
-        blocks.append("```\n" + path.read_text().rstrip() + "\n```")
-    header = (
-        "# Benchmark report\n\n"
-        f"{len(blocks)} figure series collected from `{results_dir}`.\n"
-        "Regenerate with `pytest benchmarks/ --benchmark-only`.\n"
-    )
-    return header + "\n\n" + "\n\n".join(blocks) + "\n"
 
 
 def _collect_json_series(
@@ -85,25 +87,109 @@ def collect_perf(results_dir: Path | str = _DEFAULT_RESULTS) -> dict | None:
     )
 
 
+def collect_shard(results_dir: Path | str = _DEFAULT_RESULTS) -> dict | None:
+    """Merge ``shard*.json`` series (the ``BENCH_shard.json`` record)."""
+    return _collect_json_series(
+        results_dir, "shard*.json", "python -m repro bench-shard"
+    )
+
+
+#: Artifact name -> (series glob, collector).  Every ``BENCH_*.json``
+#: the repo produces must be registered here; ``main`` regenerates
+#: each one and warns about artifacts no collector owns.
+COLLECTORS: dict[str, tuple[str, callable]] = {
+    "BENCH_stream.json": ("stream*.json", collect_stream),
+    "BENCH_perf.json": ("perf*.json", collect_perf),
+    "BENCH_shard.json": ("shard*.json", collect_shard),
+}
+
+
+def unrecognized_artifacts(bench_dir: Path | str) -> list[str]:
+    """``BENCH_*.json`` files no registered collector produces."""
+    bench_dir = Path(bench_dir)
+    return sorted(
+        path.name
+        for path in bench_dir.glob("BENCH_*.json")
+        if path.name not in COLLECTORS
+    )
+
+
+def _artifact_section(bench_dir: Path) -> str:
+    """Markdown block indexing the machine-readable ``BENCH_*.json``
+    artifacts (series counts, provenance, unrecognized warnings)."""
+    lines = ["## Machine-readable artifacts", ""]
+    found = False
+    for name in sorted(COLLECTORS):
+        path = bench_dir / name
+        if not path.exists():
+            continue
+        found = True
+        try:
+            payload = json.loads(path.read_text())
+            detail = (
+                f"{len(payload.get('series', {}))} series, "
+                f"regenerate with `{payload.get('generated_by', '?')}`"
+            )
+        except (OSError, json.JSONDecodeError) as exc:
+            detail = f"unreadable: {exc}"
+        lines.append(f"* `{name}` — {detail}")
+    if not found:
+        lines.append("* (none yet — run the benchmark suites)")
+    for name in unrecognized_artifacts(bench_dir):
+        lines.append(
+            f"* `{name}` — **unrecognized**: no registered collector "
+            "produces this artifact"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def collect(results_dir: Path | str = _DEFAULT_RESULTS) -> str:
+    """Concatenate all result blocks into one markdown document."""
+    results_dir = Path(results_dir)
+    blocks = []
+    for path in sorted(results_dir.glob("*.txt"), key=_sort_key):
+        blocks.append("```\n" + path.read_text().rstrip() + "\n```")
+    header = (
+        "# Benchmark report\n\n"
+        f"{len(blocks)} figure series collected from `{results_dir}`.\n"
+        "Regenerate with `pytest benchmarks/ --benchmark-only`.\n"
+    )
+    body = header + "\n\n" + "\n\n".join(blocks) + "\n"
+    return body + "\n" + _artifact_section(results_dir.parent)
+
+
 def main(argv: list[str] | None = None) -> int:
-    """CLI: write REPORT.md and BENCH_stream.json next to the results."""
+    """CLI: write REPORT.md and every registered BENCH_*.json."""
     argv = sys.argv[1:] if argv is None else argv
     results_dir = Path(argv[0]) if argv else _DEFAULT_RESULTS
     if not results_dir.exists():
         print(f"no results at {results_dir}; run the benchmarks first", file=sys.stderr)
         return 1
-    report = collect(results_dir)
-    out = results_dir.parent / "REPORT.md"
-    out.write_text(report)
-    print(f"wrote {out} ({len(report.splitlines())} lines)")
-    for name, merged in (
-        ("BENCH_stream.json", collect_stream(results_dir)),
-        ("BENCH_perf.json", collect_perf(results_dir)),
-    ):
+    bench_dir = results_dir.parent
+    for name, (pattern, collector) in sorted(COLLECTORS.items()):
+        merged = collector(results_dir)
         if merged is not None:
-            out_path = results_dir.parent / name
+            out_path = bench_dir / name
             out_path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
             print(f"wrote {out_path} ({len(merged['series'])} series)")
+        elif (bench_dir / name).exists():
+            # The artifact exists but its source series are gone: it
+            # can no longer be regenerated and is silently rotting.
+            print(
+                f"warning: {bench_dir / name} is stale — no {pattern} series "
+                f"under {results_dir} to regenerate it from",
+                file=sys.stderr,
+            )
+    for name in unrecognized_artifacts(bench_dir):
+        print(
+            f"warning: {bench_dir / name} matches no registered collector "
+            "(stale or hand-dropped benchmark artifact?)",
+            file=sys.stderr,
+        )
+    report = collect(results_dir)
+    out = bench_dir / "REPORT.md"
+    out.write_text(report)
+    print(f"wrote {out} ({len(report.splitlines())} lines)")
     return 0
 
 

@@ -1,0 +1,300 @@
+"""Deterministic shard-scaling suite: the horizontal-scaling trajectory.
+
+``python -m repro bench-shard`` (or ``python -m repro.bench.shardsuite``)
+runs seed-pinned serving rounds through
+:class:`~repro.shard.server.ShardedTCSCServer` at shard counts
+{1, 2, 4, 8} and persists them as
+``benchmarks/results/shard_suite.json``;
+:func:`repro.bench.collect.collect_shard` merges every ``shard*.json``
+series into ``benchmarks/BENCH_shard.json``.
+
+Two scenario families:
+
+* the **perfsuite scenarios** (single-task, the paper's task shapes) —
+  these carry the subsystem's hardest invariant: for every scenario
+  and every shard count the sharded plan must be byte-identical to
+  the unsharded solve;
+* **scaleN scenarios** (multi-task batches) — these carry the scaling
+  story: shard-count speedup reported as deterministic op-count
+  makespan reduction through
+  :meth:`~repro.parallel.simcluster.SimCluster.run_partitions`, with
+  cross-shard conflicts, offer revalidations, and serial re-solves
+  broken out.
+
+Per the repo's determinism policy, CI gates on plan identity and
+op-count invariants only; wall-clock is recorded for humans.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.bench.perfsuite import SCENARIOS as PERF_SCENARIOS
+from repro.shard.server import SequentialServingSolver, ShardedTCSCServer
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+
+__all__ = [
+    "ShardScenario",
+    "SHARD_COUNTS",
+    "SCENARIOS",
+    "SMOKE_SCENARIOS",
+    "run_suite",
+    "run_and_write",
+    "check_payload",
+    "main",
+]
+
+_DEFAULT_RESULTS = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+#: Shard counts every scenario is swept over (the acceptance grid).
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True, slots=True)
+class ShardScenario:
+    """One seed-pinned serving-round instance."""
+
+    name: str
+    tasks: int
+    m: int
+    workers: int
+    seed: int
+
+
+#: The perfsuite scenarios, re-expressed as single-task serving rounds
+#: (same names, shapes, and seeds — the plan-identity acceptance set),
+#: plus multi-task batches for the scaling story.
+SCENARIOS = tuple(
+    ShardScenario(p.name, 1, p.m, p.workers, p.seed) for p in PERF_SCENARIOS
+) + (
+    ShardScenario("scale16", tasks=16, m=24, workers=300, seed=13),
+    ShardScenario("scale32", tasks=32, m=24, workers=600, seed=5),
+)
+
+#: CI smoke mode: the smallest perfsuite scenario plus a small batch.
+SMOKE_SCENARIOS = (
+    SCENARIOS[0],
+    ShardScenario("scale8", tasks=8, m=16, workers=200, seed=13),
+)
+
+
+def _signature_hash(signature) -> str:
+    """Stable digest of a plan signature (tuples of ints)."""
+    return hashlib.sha256(repr(signature).encode()).hexdigest()[:16]
+
+
+def _run_scenario(scenario: ShardScenario, *, backend: str = "python") -> dict:
+    built = build_scenario(
+        ScenarioConfig(
+            num_tasks=scenario.tasks,
+            num_slots=scenario.m,
+            num_workers=scenario.workers,
+            seed=scenario.seed,
+        )
+    )
+    start = time.perf_counter()
+    reference = SequentialServingSolver(
+        built.pool, built.bbox, backend=backend
+    ).assign(built.tasks)
+    reference_wall = time.perf_counter() - start
+    reference_sig = reference.plan_signature()
+
+    shard_rows: dict[str, dict] = {}
+    for num_shards in SHARD_COUNTS:
+        server = ShardedTCSCServer(
+            built.pool, built.bbox, num_shards=num_shards, backend=backend
+        )
+        start = time.perf_counter()
+        report = server.assign(built.tasks)
+        wall = time.perf_counter() - start
+        stats = report.shard_map.stats()
+        shard_rows[str(num_shards)] = {
+            "plan_identical": report.plan_signature() == reference_sig,
+            "plan_length": len(report.assignment),
+            "conflicts": report.conflicts,
+            "revalidated": len(report.revalidated_task_ids),
+            "reconciled": len(report.reconciled_task_ids),
+            "messages": report.messages,
+            "makespan": report.makespan,
+            "serial_cost": report.serial_cost,
+            "speedup": report.speedup,
+            "utilization": report.utilization,
+            "wall_s": wall,
+            "tasks_per_shard": stats["tasks_per_shard"],
+            "halo_workers_per_shard": stats["halo_workers_per_shard"],
+            "replicated_workers": stats["replicated_workers"],
+        }
+
+    return {
+        "name": scenario.name,
+        "tasks": scenario.tasks,
+        "m": scenario.m,
+        "workers": scenario.workers,
+        "seed": scenario.seed,
+        "reference": {
+            "plan_length": len(reference.assignment),
+            "serial_cost": reference.serial_cost,
+            "signature": _signature_hash(reference_sig),
+            "wall_s": reference_wall,
+        },
+        "shards": shard_rows,
+    }
+
+
+def run_suite(*, smoke: bool = False, backend: str = "python") -> dict:
+    """Run the suite and return the machine-readable payload."""
+    scenarios = SMOKE_SCENARIOS if smoke else SCENARIOS
+    return {
+        "suite": "shardsuite",
+        "mode": "smoke" if smoke else "full",
+        "backend": backend,
+        "shard_counts": list(SHARD_COUNTS),
+        "scenarios": [_run_scenario(s, backend=backend) for s in scenarios],
+    }
+
+
+def check_payload(payload: dict) -> list[str]:
+    """Deterministic gates; returns a list of failure strings.
+
+    * **Plan identity** — every scenario, every shard count must
+      reproduce the unsharded plan byte-for-byte.
+    * **Serial-cost invariance** — the sum of per-task op costs is the
+      sequential reference cost; it must not depend on the shard
+      count (every accepted or re-solved task runs at its reference
+      cost).
+    * **Degenerate sharding** — one shard must mean zero conflicts and
+      zero re-solves.
+
+    Wall-clock is deliberately unchecked (determinism policy).
+    """
+    failures = []
+    for scenario in payload["scenarios"]:
+        name = scenario["name"]
+        reference_cost = scenario["reference"]["serial_cost"]
+        for count, row in scenario["shards"].items():
+            if not row["plan_identical"]:
+                failures.append(
+                    f"{name}: shards={count} diverged from the unsharded plan"
+                )
+            if abs(row["serial_cost"] - reference_cost) > 1e-6:
+                failures.append(
+                    f"{name}: shards={count} serial cost {row['serial_cost']:.3f} "
+                    f"!= reference {reference_cost:.3f}"
+                )
+        single = scenario["shards"].get("1")
+        if single and (single["conflicts"] or single["reconciled"]):
+            failures.append(
+                f"{name}: shards=1 reported conflicts/re-solves "
+                f"({single['conflicts']}/{single['reconciled']})"
+            )
+    return failures
+
+
+def _write_report_block(payload: dict, results_dir: Path) -> None:
+    """Persist the human-readable shard-scaling block for REPORT.md."""
+    from repro.bench import Reporter
+
+    reporter = Reporter(
+        "shard1",
+        "Shard suite: halo-partitioned serving at shard counts 1/2/4/8",
+        results_dir=results_dir,
+    )
+    reporter.note(
+        "plan byte-identical to the unsharded solve at every shard count; "
+        "makespan/speedup are deterministic op-count units (SimCluster)"
+    )
+    reporter.header(
+        "scenario", "tasks", "shards", "makespan", "speedup",
+        "conflicts", "revalidated", "reconciled",
+    )
+    for scenario in payload["scenarios"]:
+        for count, row in scenario["shards"].items():
+            reporter.row(
+                scenario["name"], scenario["tasks"], count,
+                round(row["makespan"], 1), round(row["speedup"], 3),
+                row["conflicts"], row["revalidated"], row["reconciled"],
+            )
+    reporter.close()
+
+
+def run_and_write(
+    *,
+    smoke: bool = False,
+    results_dir: str | Path | None = None,
+    backend: str = "python",
+) -> int:
+    """Run the suite, persist JSON, refresh BENCH_shard.json.
+
+    The single entry point behind ``python -m repro bench-shard`` and
+    ``python -m repro.bench.shardsuite``; returns a process exit code
+    (non-zero when a determinism gate fails).  Layout mirrors the perf
+    suite: series land in ``benchmarks/results/``, the merged
+    ``BENCH_shard.json`` next to them in ``benchmarks/`` (a custom
+    ``results_dir`` keeps everything inside that directory).
+    """
+    if results_dir is None:
+        results_dir = _DEFAULT_RESULTS
+        bench_dir = results_dir.parent
+    else:
+        results_dir = Path(results_dir)
+        bench_dir = results_dir
+    results_dir.mkdir(parents=True, exist_ok=True)
+
+    payload = run_suite(smoke=smoke, backend=backend)
+    out = results_dir / "shard_suite.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    _write_report_block(payload, results_dir)
+
+    from repro.bench.collect import collect_shard
+
+    merged = collect_shard(results_dir)
+    if merged is not None:
+        bench_out = bench_dir / "BENCH_shard.json"
+        bench_out.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {bench_out}")
+
+    for scenario in payload["scenarios"]:
+        best = scenario["shards"][str(SHARD_COUNTS[-1])]
+        print(
+            f"{scenario['name']}: tasks={scenario['tasks']} m={scenario['m']} "
+            f"shards={SHARD_COUNTS[-1]} speedup {best['speedup']:.2f}x op-makespan "
+            f"(conflicts={best['conflicts']} reconciled={best['reconciled']}), "
+            f"plans identical={best['plan_identical']}"
+        )
+
+    failures = check_payload(payload)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone CLI wrapper around :func:`run_and_write`."""
+    import argparse
+
+    from repro.core.evaluator import EVALUATOR_BACKENDS
+
+    parser = argparse.ArgumentParser(prog="repro.bench.shardsuite")
+    parser.add_argument("--smoke", action="store_true",
+                        help="smallest scenarios only (CI smoke mode)")
+    parser.add_argument("--results-dir", default=None,
+                        help="override benchmarks/results output directory")
+    parser.add_argument("--backend", choices=list(EVALUATOR_BACKENDS),
+                        default="python",
+                        help="quality-kernel backend for every solve")
+    args = parser.parse_args(argv)
+    return run_and_write(
+        smoke=args.smoke, results_dir=args.results_dir, backend=args.backend
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Sharded serving layer: halo-partitioned multi-shard TCSC.
+
+The solvers (and the streaming subsystem) assume one process sees
+every worker and every task.  This package removes that assumption:
+
+* :mod:`repro.shard.partitioner` — a deterministic spatial partitioner
+  that maps grid (or kd) cells to shards, assigns each task to the
+  shard owning its location, and replicates boundary workers into
+  per-shard *halos* sized so that every task's affordable worker set
+  is fully visible inside its own shard.
+* :mod:`repro.shard.server` — :class:`ShardedTCSCServer`, the
+  coordinator: per-shard optimistic solves, cross-shard conflict
+  detection on halo-replicated workers (the
+  :class:`~repro.multi.tables.ConflictingTable` machinery), and a
+  deterministic reconciliation pass that makes the merged plan
+  byte-identical to the unsharded sequential solve
+  (:class:`SequentialServingSolver`).
+* :mod:`repro.shard.streaming` — the sharded streaming mode:
+  :class:`ShardedStreamingServer` routes task arrivals to the shard
+  owning their location and worker churn to the shards whose halo
+  region covers the worker, so each epoch loop runs on a fraction of
+  the universe.
+
+Shard-count scaling is accounted in deterministic op-count makespan
+terms through :class:`~repro.parallel.simcluster.SimCluster`.
+"""
+
+from repro.shard.partitioner import (
+    HALO_AUTO,
+    ShardMap,
+    SpatialPartitioner,
+    TaskFootprint,
+)
+from repro.shard.server import (
+    SequentialServingSolver,
+    ShardedReport,
+    ShardedTCSCServer,
+    ShardSolveStats,
+)
+from repro.shard.streaming import ShardedStreamingServer, ShardedStreamMetrics
+
+__all__ = [
+    "HALO_AUTO",
+    "ShardMap",
+    "SpatialPartitioner",
+    "TaskFootprint",
+    "SequentialServingSolver",
+    "ShardedReport",
+    "ShardedTCSCServer",
+    "ShardSolveStats",
+    "ShardedStreamingServer",
+    "ShardedStreamMetrics",
+]

@@ -1,0 +1,502 @@
+"""The sharded serving coordinator and its unsharded reference.
+
+Serving semantics
+-----------------
+A *serving round* assigns a batch of tasks, each under its own budget
+(``budget_fraction`` of its full nearest-worker cost unless an
+explicit budget is given), in **canonical order** — ascending task id
+— against one shared worker registry: task ``i`` sees every worker
+consumed by tasks ``j < i``.  :class:`SequentialServingSolver` is that
+reference, implemented literally.
+
+:class:`ShardedTCSCServer` produces the byte-identical plan in three
+phases:
+
+1. **Optimistic phase** — each shard solves its owned tasks (in
+   canonical order) against its private halo registry, consuming
+   workers locally.  Shards never communicate; this is the parallel
+   bulk of the work, accounted as one
+   :meth:`~repro.parallel.simcluster.SimCluster.run_partitions` round.
+2. **Conflict detection** — worker-slot pairs claimed by two or more
+   tasks across shards are recorded in a
+   :class:`~repro.multi.tables.ConflictingTable` (the paper's
+   master-thread machinery): these are exactly the halo-replicated
+   workers both sides believed they owned.
+3. **Reconciliation** — one deterministic forward pass in canonical
+   order.  A task's optimistic plan is *exact* iff the committed
+   consumption of all earlier tasks, restricted to the task's halo
+   footprint, equals what its shard's registry showed at solve time
+   (consumption by earlier same-shard tasks).  Matching tasks keep
+   their parallel plans; mismatched tasks — conflict losers and their
+   downstream dependents — are re-solved serially against the true
+   registry state.  By induction the merged plan equals the
+   sequential reference exactly (DESIGN.md §6).
+
+Cost accounting is deterministic op-count makespan: per-shard solve
+costs spread over ``cores`` simulated cores via LPT, the
+reconciliation chain and its coordination messages charged serially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.greedy import IndexedSingleTaskGreedy, SingleTaskGreedy, SolverResult
+from repro.core.instrumentation import OpCounters
+from repro.engine.costs import SingleTaskCostTable
+from repro.engine.registry import WorkerRegistry
+from repro.errors import ConfigurationError
+from repro.geo.bbox import BoundingBox
+from repro.model.assignment import Assignment
+from repro.model.task import Task, TaskSet
+from repro.model.worker import WorkerPool
+from repro.multi.tables import ConflictingTable
+from repro.parallel.simcluster import SimCluster, WorkItem
+from repro.shard.partitioner import HALO_AUTO, ShardMap, SpatialPartitioner
+
+__all__ = [
+    "compute_budgets",
+    "ShardSolveStats",
+    "ServingReport",
+    "ShardedReport",
+    "SequentialServingSolver",
+    "ShardedTCSCServer",
+]
+
+_ENGINES = ("greedy", "indexed")
+
+
+def compute_budgets(
+    tasks: TaskSet,
+    pool: WorkerPool,
+    bbox: BoundingBox,
+    *,
+    budget_fraction: float = 0.25,
+) -> dict[int, float]:
+    """Per-task budgets: ``fraction`` of each task's full serve cost.
+
+    Computed against an unconsumed global registry — the admission
+    step a serving layer runs before any partitioning, so budgets
+    (and therefore halo radii) never depend on the shard count.
+    """
+    if not 0.0 < budget_fraction <= 1.0:
+        raise ConfigurationError(
+            f"budget_fraction must be in (0, 1], got {budget_fraction}"
+        )
+    registry = WorkerRegistry(pool, bbox)
+    return {
+        task.task_id: budget_fraction
+        * SingleTaskCostTable(task, registry).total_cost
+        for task in tasks
+    }
+
+
+@dataclass(frozen=True, slots=True)
+class ShardSolveStats:
+    """One shard's optimistic-phase summary."""
+
+    shard: int
+    task_ids: tuple[int, ...]
+    virtual_cost: float
+    records: int
+    halo_workers: int
+
+
+@dataclass(slots=True)
+class ServingReport:
+    """Outcome of a sequential (unsharded) serving round."""
+
+    assignment: Assignment
+    qualities: dict[int, float]
+    budgets: dict[int, float]
+    counters: OpCounters
+    #: Canonical-order per-task op cost (the serial cost breakdown).
+    per_task_cost: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def total_cost(self) -> float:
+        """Total travel cost of the merged plan."""
+        return self.assignment.total_cost
+
+    @property
+    def serial_cost(self) -> float:
+        """Total virtual op cost of the round (one-core makespan)."""
+        return sum(self.per_task_cost.values())
+
+    def plan_signature(self):
+        """Hashable plan summary (byte-identity checks)."""
+        return self.assignment.plan_signature()
+
+
+@dataclass(slots=True)
+class ShardedReport(ServingReport):
+    """Outcome of a sharded serving round, with scaling accounting."""
+
+    shard_map: ShardMap | None = None
+    conflict_table: ConflictingTable = field(default_factory=ConflictingTable)
+    #: Tasks whose optimistic plans were discarded and re-solved.
+    reconciled_task_ids: tuple[int, ...] = ()
+    #: Tasks kept after the offer-revalidation check (footprint
+    #: consumption changed, but no plan-relevant offer did).
+    revalidated_task_ids: tuple[int, ...] = ()
+    shard_stats: tuple[ShardSolveStats, ...] = ()
+    #: Virtual-clock makespan of the sharded round (op-count units).
+    makespan: float = 0.0
+    #: Coordination messages charged during reconciliation.
+    messages: int = 0
+    utilization: float = 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Serial op cost / sharded makespan (>= 1.0 means it paid off)."""
+        if self.makespan <= 0.0:
+            return 1.0
+        return self.serial_cost / self.makespan
+
+    @property
+    def conflicts(self) -> int:
+        """Cross-shard contested (worker, slot) pairs."""
+        return len(self.conflict_table)
+
+
+class _ServingBase:
+    """Shared solver-variant plumbing for both serving solvers."""
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        bbox: BoundingBox,
+        *,
+        k: int = 3,
+        ts: int = 4,
+        engine: str = "greedy",
+        search: str = "lazy",
+        backend: str = "python",
+    ):
+        if engine not in _ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {engine!r}; choose one of {_ENGINES}"
+            )
+        self.pool = pool
+        self.bbox = bbox
+        self.k = k
+        self.ts = ts
+        self.engine = engine
+        self.search = search
+        self.backend = backend
+
+    def _solve_task(
+        self,
+        task: Task,
+        registry: WorkerRegistry,
+        budget: float,
+        counters: OpCounters,
+    ) -> tuple[SolverResult, SingleTaskCostTable]:
+        """One per-task solve with the configured PR-2 solver variant.
+
+        Returns the result *and* the cost table it was computed from:
+        the plan is a deterministic function of the table's per-slot
+        offers, which is what reconciliation validates against.
+        """
+        costs = SingleTaskCostTable(task, registry, counters=counters)
+        if self.engine == "indexed":
+            solver = IndexedSingleTaskGreedy(
+                task, costs, k=self.k, budget=budget, ts=self.ts,
+                backend=self.backend, counters=counters,
+            )
+        else:
+            solver = SingleTaskGreedy(
+                task, costs, k=self.k, budget=budget, strategy="local",
+                search=self.search, backend=self.backend, counters=counters,
+            )
+        return solver.solve(), costs
+
+    def _budgets(
+        self,
+        tasks: TaskSet,
+        budgets: dict[int, float] | None,
+        budget_fraction: float,
+    ) -> dict[int, float]:
+        if budgets is not None:
+            missing = [t.task_id for t in tasks if t.task_id not in budgets]
+            if missing:
+                raise ConfigurationError(f"budgets missing for tasks {missing}")
+            return {t.task_id: float(budgets[t.task_id]) for t in tasks}
+        return compute_budgets(
+            tasks, self.pool, self.bbox, budget_fraction=budget_fraction
+        )
+
+    @staticmethod
+    def _canonical(tasks: TaskSet) -> list[Task]:
+        return sorted(tasks, key=lambda t: t.task_id)
+
+
+class SequentialServingSolver(_ServingBase):
+    """The unsharded reference: canonical-order service, one registry."""
+
+    def assign(
+        self,
+        tasks: TaskSet,
+        *,
+        budget_fraction: float = 0.25,
+        budgets: dict[int, float] | None = None,
+    ) -> ServingReport:
+        """Serve every task in canonical order against one registry."""
+        budgets = self._budgets(tasks, budgets, budget_fraction)
+        registry = WorkerRegistry(self.pool, self.bbox)
+        counters = OpCounters()
+        assignment = Assignment()
+        qualities: dict[int, float] = {}
+        per_task_cost: dict[int, float] = {}
+        for task in self._canonical(tasks):
+            before = counters.snapshot()
+            result, _ = self._solve_task(task, registry, budgets[task.task_id], counters)
+            per_task_cost[task.task_id] = counters.delta_since(before).virtual_cost()
+            qualities[task.task_id] = result.quality
+            for record in result.assignment:
+                registry.consume(record.worker_id, task.global_slot(record.slot))
+                assignment.add(record)
+        return ServingReport(
+            assignment=assignment,
+            qualities=qualities,
+            budgets=budgets,
+            counters=counters,
+            per_task_cost=per_task_cost,
+        )
+
+
+class ShardedTCSCServer(_ServingBase):
+    """Halo-partitioned multi-shard serving with exact reconciliation.
+
+    Parameters beyond :class:`SequentialServingSolver`:
+        num_shards: shard count.
+        method / cells_per_side: partitioner configuration
+            (:class:`~repro.shard.partitioner.SpatialPartitioner`).
+        halo: :data:`~repro.shard.partitioner.HALO_AUTO` for the exact
+            budget-radius halos (plan identity guaranteed) or a fixed
+            radius (approximate halos — plans may diverge; only the
+            property tests use this).
+        cores: simulated cores for makespan accounting (defaults to
+            ``num_shards`` — one core per shard).
+        per_message_cost: virtual cost of one coordination message.
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        bbox: BoundingBox,
+        *,
+        num_shards: int,
+        method: str = "grid",
+        cells_per_side: int | None = None,
+        halo: str | float = HALO_AUTO,
+        k: int = 3,
+        ts: int = 4,
+        engine: str = "greedy",
+        search: str = "lazy",
+        backend: str = "python",
+        cores: int | None = None,
+        per_message_cost: float = 1.0,
+    ):
+        super().__init__(
+            pool, bbox, k=k, ts=ts, engine=engine, search=search, backend=backend
+        )
+        self.partitioner = SpatialPartitioner(
+            bbox,
+            num_shards=num_shards,
+            method=method,
+            cells_per_side=cells_per_side,
+            halo=halo,
+        )
+        self.num_shards = num_shards
+        self.cores = num_shards if cores is None else cores
+        self.per_message_cost = per_message_cost
+
+    # ------------------------------------------------------------------
+    # Reconciliation helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _offers_unchanged(
+        task: Task,
+        budget: float,
+        costs: SingleTaskCostTable,
+        registry: WorkerRegistry,
+        counters: OpCounters,
+    ) -> bool:
+        """True iff every *plan-relevant* offer survives the true state.
+
+        An offer matters to the plan only when it is affordable under
+        the task's budget limit (the solvers filter
+        ``cost > budget + 1e-12`` everywhere, so present-but-
+        unaffordable and absent are interchangeable).  If the
+        affordable offer of every slot is unchanged against the
+        committed registry, the re-solve would rebuild the identical
+        cost table and — the solvers being deterministic — the
+        identical plan, so the optimistic one can be kept.
+        """
+        for local in task.slots:
+            hit = registry.nearest_available(task.loc, task.global_slot(local))
+            counters.worker_cost_lookups += 1
+            offer = costs.offer(local)
+            offer_relevant = offer is not None and offer.cost <= budget + 1e-12
+            hit_relevant = hit is not None and hit[1] <= budget + 1e-12
+            if offer_relevant != hit_relevant:
+                return False
+            if offer_relevant and offer.worker_id != hit[0].worker_id:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # The three-phase round
+    # ------------------------------------------------------------------
+    def assign(
+        self,
+        tasks: TaskSet,
+        *,
+        budget_fraction: float = 0.25,
+        budgets: dict[int, float] | None = None,
+    ) -> ShardedReport:
+        """Run one sharded serving round over the task batch."""
+        budgets = self._budgets(tasks, budgets, budget_fraction)
+        shard_map = self.partitioner.partition(tasks, self.pool, budgets)
+
+        # Phase 1 — optimistic per-shard solves (parallel).
+        counters = OpCounters()
+        optimistic: dict[int, SolverResult] = {}
+        opt_offers: dict[int, SingleTaskCostTable] = {}
+        opt_cost: dict[int, float] = {}
+        #: (worker_id, global_slot) pairs consumed by same-shard
+        #: predecessors before each task's optimistic solve — the
+        #: consumption context the plan was computed under.
+        prefix_claims: dict[int, frozenset[tuple[int, int]]] = {}
+        shard_items: list[list[WorkItem]] = []
+        shard_stats: list[ShardSolveStats] = []
+        for shard, task_ids in enumerate(shard_map.shard_tasks):
+            registry = WorkerRegistry(shard_map.shard_pools[shard], self.bbox)
+            shard_counters = OpCounters()
+            claimed: set[tuple[int, int]] = set()
+            items: list[WorkItem] = []
+            records = 0
+            for task_id in task_ids:
+                task = tasks.by_id(task_id)
+                prefix_claims[task_id] = frozenset(claimed)
+                before = shard_counters.snapshot()
+                result, costs = self._solve_task(
+                    task, registry, budgets[task_id], shard_counters
+                )
+                cost = shard_counters.delta_since(before).virtual_cost()
+                optimistic[task_id] = result
+                opt_offers[task_id] = costs
+                opt_cost[task_id] = cost
+                items.append(WorkItem(owner=task_id, cost=cost))
+                for record in result.assignment:
+                    gslot = task.global_slot(record.slot)
+                    registry.consume(record.worker_id, gslot)
+                    claimed.add((record.worker_id, gslot))
+                    records += 1
+            counters.merge(shard_counters)
+            shard_items.append(items)
+            shard_stats.append(
+                ShardSolveStats(
+                    shard=shard,
+                    task_ids=tuple(task_ids),
+                    virtual_cost=sum(item.cost for item in items),
+                    records=records,
+                    halo_workers=len(shard_map.shard_pools[shard]),
+                )
+            )
+
+        # Phase 2 — cross-shard conflict detection (Conflicting Table).
+        claims: dict[tuple[int, int], list[int]] = {}
+        for task_id in sorted(optimistic):
+            task = tasks.by_id(task_id)
+            for record in optimistic[task_id].assignment:
+                key = (record.worker_id, task.global_slot(record.slot))
+                claims.setdefault(key, []).append(task_id)
+        conflict_table = ConflictingTable()
+        for (worker_id, gslot), claimants in sorted(claims.items()):
+            if len(claimants) > 1:
+                conflict_table.record(
+                    tuple(sorted(claimants)),
+                    gslot,
+                    worker_id,
+                    rank=conflict_table.bump_rank(gslot),
+                    time=0.0,
+                )
+                counters.conflicts_detected += 1
+
+        # Phase 3 — deterministic reconciliation (canonical order).
+        #
+        # A task's plan is a deterministic function of its per-slot
+        # offer table, so exactness has a two-tier check: (a) free fast
+        # path — committed consumption restricted to the task's halo
+        # footprint equals the consumption its shard showed at solve
+        # time; (b) offer revalidation — re-derive the plan-relevant
+        # offer of every slot against the true registry and compare.
+        # Only an actual offer change forces a serial re-solve.
+        final_registry = WorkerRegistry(self.pool, self.bbox)
+        final_claims: set[tuple[int, int]] = set()
+        assignment = Assignment()
+        qualities: dict[int, float] = {}
+        per_task_cost: dict[int, float] = {}
+        reconciled: list[int] = []
+        revalidated: list[int] = []
+        recon_counters = OpCounters()
+        for task in self._canonical(tasks):
+            task_id = task.task_id
+            footprint = shard_map.footprints[task_id].pairs
+            seen = prefix_claims[task_id] & footprint
+            truth = final_claims & footprint
+            if seen == truth:
+                result = optimistic[task_id]
+                cost = opt_cost[task_id]
+            elif self._offers_unchanged(
+                task, budgets[task_id], opt_offers[task_id],
+                final_registry, recon_counters,
+            ):
+                result = optimistic[task_id]
+                cost = opt_cost[task_id]
+                revalidated.append(task_id)
+            else:
+                before = recon_counters.snapshot()
+                result, _ = self._solve_task(
+                    task, final_registry, budgets[task_id], recon_counters
+                )
+                cost = recon_counters.delta_since(before).virtual_cost()
+                reconciled.append(task_id)
+            per_task_cost[task_id] = cost
+            qualities[task_id] = result.quality
+            for record in result.assignment:
+                gslot = task.global_slot(record.slot)
+                final_registry.consume(record.worker_id, gslot)
+                final_claims.add((record.worker_id, gslot))
+                assignment.add(record)
+        counters.merge(recon_counters)
+
+        # Makespan accounting: parallel shard round, then the serial
+        # reconciliation chain (re-solves + offer revalidation queries)
+        # plus its coordination messages.
+        cluster = SimCluster(self.cores, per_message_cost=self.per_message_cost)
+        cluster.run_partitions(shard_items)
+        recon_cost = recon_counters.virtual_cost()
+        messages = len(conflict_table) + len(reconciled)
+        if recon_cost > 0.0 or messages > 0:
+            cluster.run_round(
+                [WorkItem(owner="reconcile", cost=recon_cost)], messages=messages
+            )
+
+        return ShardedReport(
+            assignment=assignment,
+            qualities=qualities,
+            budgets=budgets,
+            counters=counters,
+            per_task_cost=per_task_cost,
+            shard_map=shard_map,
+            conflict_table=conflict_table,
+            reconciled_task_ids=tuple(reconciled),
+            revalidated_task_ids=tuple(revalidated),
+            shard_stats=tuple(shard_stats),
+            makespan=cluster.clock,
+            messages=cluster.messages,
+            utilization=cluster.utilization,
+        )

@@ -1,0 +1,267 @@
+"""Sharded streaming mode: epoch loops over a partitioned universe.
+
+The batch coordinator (:mod:`repro.shard.server`) proves plan
+identity; the streaming mode trades that guarantee for horizontal
+scale of the *online* loop.  A :class:`ShardedStreamingServer` owns
+``num_shards`` independent :class:`~repro.stream.online_server.StreamingTCSCServer`
+instances and routes the event trace deterministically:
+
+* **Task arrivals** go to the shard owning the task's location (grid
+  cells -> shards; each :class:`~repro.stream.session.TaskSession` is
+  therefore *pinned* to exactly one shard for its whole lifetime).
+* **Worker joins** are replicated to every shard whose region lies
+  within ``halo_margin`` of any point of the worker's trajectory —
+  the streaming halo.  Worker churn therefore updates only the
+  owning shards' registries and session indexes; all other shards
+  never see the event.
+* **Worker leaves** follow the join routing; **budget refreshes**
+  split evenly across shards.
+
+Because shards share no workers *logically* (each halo copy is an
+independent registry entry), cross-shard conflicts are not resolved
+here — two shards may assign the same halo-replicated worker at the
+same slot.  ``halo_margin`` controls that risk: 0 disables
+replication entirely (disjoint worker universes, no duplication,
+lower recall near borders); ``"auto"`` scales the margin with the
+per-task budget fraction of the domain diagonal.  With
+``num_shards=1`` the trace is replayed unchanged and the run is
+byte-identical to the plain streaming server.
+
+Shard-count scaling is reported as deterministic op-count makespan
+via :class:`~repro.parallel.simcluster.SimCluster.run_partitions`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.geo.bbox import BoundingBox
+from repro.model.assignment import Assignment
+from repro.parallel.simcluster import SimCluster, WorkItem
+from repro.shard.partitioner import SpatialPartitioner
+from repro.stream.events import (
+    BudgetRefresh,
+    Event,
+    EventQueue,
+    TaskArrival,
+    WorkerJoin,
+    WorkerLeave,
+)
+from repro.stream.metrics import StreamMetrics
+from repro.stream.online_server import StreamingTCSCServer
+
+__all__ = ["ShardedStreamMetrics", "ShardedStreamingServer"]
+
+
+@dataclass(slots=True)
+class ShardedStreamMetrics:
+    """Merged view over the per-shard streaming runs."""
+
+    per_shard: list[StreamMetrics] = field(default_factory=list)
+    #: Worker id -> shard ids its join event was replicated to.
+    worker_routes: dict[int, tuple[int, ...]] = field(default_factory=dict)
+    tasks_routed: list[int] = field(default_factory=list)  # per shard
+    dropped_events: int = 0
+    #: Deterministic op-count makespan of the sharded run (LPT over
+    #: per-shard totals) and the one-core equivalent.
+    makespan: float = 0.0
+    serial_cost: float = 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Serial op cost / sharded makespan."""
+        if self.makespan <= 0.0:
+            return 1.0
+        return self.serial_cost / self.makespan
+
+    @property
+    def replicated_workers(self) -> int:
+        """Workers whose join was fanned out to two or more shards."""
+        return sum(1 for shards in self.worker_routes.values() if len(shards) > 1)
+
+    def _sum(self, attr: str) -> int:
+        return sum(getattr(metrics, attr) for metrics in self.per_shard)
+
+    @property
+    def tasks_arrived(self) -> int:
+        return self._sum("tasks_arrived")
+
+    @property
+    def tasks_admitted(self) -> int:
+        return self._sum("tasks_admitted")
+
+    @property
+    def tasks_rejected(self) -> int:
+        return self._sum("tasks_rejected")
+
+    @property
+    def tasks_completed(self) -> int:
+        return self._sum("tasks_completed")
+
+    @property
+    def tasks_starved(self) -> int:
+        return self._sum("tasks_starved")
+
+    @property
+    def epochs(self) -> int:
+        return self._sum("epochs")
+
+    @property
+    def promised_quality(self) -> dict[int, float]:
+        merged: dict[int, float] = {}
+        for metrics in self.per_shard:
+            merged.update(metrics.promised_quality)
+        return merged
+
+    @property
+    def realized_quality(self) -> dict[int, float]:
+        merged: dict[int, float] = {}
+        for metrics in self.per_shard:
+            merged.update(metrics.realized_quality)
+        return merged
+
+    def report(self) -> str:
+        """Operator-facing summary of the sharded run."""
+        lines = [
+            "sharded streaming report",
+            "------------------------",
+            f"shards    {len(self.per_shard)} "
+            f"tasks_per_shard={self.tasks_routed} "
+            f"replicated_workers={self.replicated_workers}",
+            f"tasks     arrived={self.tasks_arrived} admitted={self.tasks_admitted} "
+            f"rejected={self.tasks_rejected} completed={self.tasks_completed} "
+            f"starved={self.tasks_starved}",
+            f"epochs    {self.epochs} (sum over shards)",
+            f"makespan  {self.makespan:.0f} op-units "
+            f"(serial {self.serial_cost:.0f}, speedup {self.speedup:.2f}x)",
+        ]
+        for shard, metrics in enumerate(self.per_shard):
+            lines.append(
+                f"  shard {shard}: events={metrics.total_events} "
+                f"completed={metrics.tasks_completed} "
+                f"promised={metrics.mean_promised_quality:.4f}"
+            )
+        return "\n".join(lines)
+
+
+class ShardedStreamingServer:
+    """Route an event trace over per-shard streaming servers.
+
+    ``halo_margin`` is ``"auto"`` (``budget_fraction`` of the domain
+    diagonal), or a non-negative radius in domain units.  All other
+    keyword arguments are forwarded to every per-shard
+    :class:`~repro.stream.online_server.StreamingTCSCServer`.
+    """
+
+    def __init__(
+        self,
+        bbox: BoundingBox,
+        *,
+        num_shards: int,
+        cells_per_side: int | None = None,
+        halo_margin: str | float = "auto",
+        **server_kwargs,
+    ):
+        if num_shards < 1:
+            raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
+        self.bbox = bbox
+        self.num_shards = num_shards
+        self.partitioner = SpatialPartitioner(
+            bbox, num_shards=num_shards, method="grid", cells_per_side=cells_per_side
+        )
+        if isinstance(halo_margin, str):
+            if halo_margin != "auto":
+                raise ConfigurationError(
+                    f"halo_margin must be 'auto' or a radius, got {halo_margin!r}"
+                )
+            fraction = server_kwargs.get("budget_fraction", 0.25)
+            halo_margin = fraction * bbox.diagonal
+        if halo_margin < 0:
+            raise ConfigurationError(
+                f"halo_margin must be >= 0, got {halo_margin}"
+            )
+        self.halo_margin = float(halo_margin)
+        self.servers = [
+            StreamingTCSCServer(bbox, **server_kwargs) for _ in range(num_shards)
+        ]
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _route_worker(self, worker) -> tuple[int, ...]:
+        """Shards whose region is within the halo margin of the
+        worker's trajectory (always includes the owning shards)."""
+        shards: set[int] = set()
+        for loc in worker.availability.values():
+            for shard, dist in enumerate(self.partitioner.shard_distances(loc)):
+                if dist <= self.halo_margin:
+                    shards.add(shard)
+        return tuple(sorted(shards))
+
+    def route(self, events) -> tuple[list[list[Event]], ShardedStreamMetrics]:
+        """Split a trace into per-shard sub-traces (deterministic)."""
+        queue = events if isinstance(events, EventQueue) else EventQueue(events)
+        per_shard: list[list[Event]] = [[] for _ in range(self.num_shards)]
+        metrics = ShardedStreamMetrics(tasks_routed=[0] * self.num_shards)
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            if isinstance(event, TaskArrival):
+                shard = self.partitioner.shard_of_location(event.task.loc)
+                per_shard[shard].append(event)
+                metrics.tasks_routed[shard] += 1
+            elif isinstance(event, WorkerJoin):
+                shards = self._route_worker(event.worker)
+                metrics.worker_routes[event.worker.worker_id] = shards
+                for shard in shards:
+                    per_shard[shard].append(event)
+            elif isinstance(event, WorkerLeave):
+                shards = metrics.worker_routes.get(event.worker_id)
+                if shards is None:
+                    metrics.dropped_events += 1
+                    continue
+                for shard in shards:
+                    per_shard[shard].append(event)
+            elif isinstance(event, BudgetRefresh):
+                share = event.amount / self.num_shards
+                for shard in range(self.num_shards):
+                    per_shard[shard].append(BudgetRefresh(event.time, share))
+            else:
+                raise ConfigurationError(
+                    f"unknown event type {type(event).__name__}"
+                )
+        return per_shard, metrics
+
+    # ------------------------------------------------------------------
+    # The run
+    # ------------------------------------------------------------------
+    def run(self, events) -> ShardedStreamMetrics:
+        """Route the trace, drain every shard, merge the metrics."""
+        if self._ran:
+            raise SchedulingError(
+                "ShardedStreamingServer.run is one-shot; create a new server per trace"
+            )
+        self._ran = True
+        per_shard, metrics = self.route(events)
+        items: list[list[WorkItem]] = []
+        for shard, (server, trace) in enumerate(zip(self.servers, per_shard)):
+            metrics.per_shard.append(server.run(trace))
+            items.append(
+                [WorkItem(owner=shard, cost=server.counters.virtual_cost())]
+            )
+        cluster = SimCluster(self.num_shards)
+        cluster.run_partitions(items)
+        metrics.makespan = cluster.clock
+        metrics.serial_cost = sum(item.cost for row in items for item in row)
+        return metrics
+
+    def assignment(self) -> Assignment:
+        """Merged plan of every finished session across shards."""
+        combined = Assignment()
+        for server in self.servers:
+            for record in server.assignment():
+                combined.add(record)
+        return combined

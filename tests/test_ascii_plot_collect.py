@@ -7,7 +7,14 @@ import json
 import pytest
 
 from repro.bench.ascii_plot import bar_chart, line_chart
-from repro.bench.collect import collect, collect_stream, main
+from repro.bench.collect import (
+    COLLECTORS,
+    collect,
+    collect_shard,
+    collect_stream,
+    main,
+    unrecognized_artifacts,
+)
 from repro.errors import ConfigurationError
 
 
@@ -104,3 +111,65 @@ class TestCollect:
         assert main([str(results)]) == 0
         payload = json.loads((tmp_path / "BENCH_stream.json").read_text())
         assert "stream1" in payload["series"]
+
+    def test_collect_shard_merges_json_series(self, tmp_path):
+        (tmp_path / "shard_suite.json").write_text('{"suite": "shardsuite"}\n')
+        merged = collect_shard(tmp_path)
+        assert set(merged["series"]) == {"shard_suite"}
+        assert "bench-shard" in merged["generated_by"]
+
+    def test_every_registered_artifact_has_a_collector(self):
+        assert set(COLLECTORS) == {
+            "BENCH_stream.json", "BENCH_perf.json", "BENCH_shard.json",
+        }
+        for pattern, collector in COLLECTORS.values():
+            assert pattern.endswith("*.json")
+            assert callable(collector)
+
+    def test_unrecognized_artifacts_detected(self, tmp_path):
+        (tmp_path / "BENCH_stream.json").write_text("{}\n")
+        (tmp_path / "BENCH_mystery.json").write_text("{}\n")
+        assert unrecognized_artifacts(tmp_path) == ["BENCH_mystery.json"]
+
+    def test_main_warns_on_stale_registered_artifact(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig6a.txt").write_text("# fig6a: early\nrow\n")
+        # A registered artifact whose source series vanished: it must
+        # be flagged as stale, not silently skipped.
+        (tmp_path / "BENCH_stream.json").write_text('{"series": {}}\n')
+        assert main([str(results)]) == 0
+        err = capsys.readouterr().err
+        assert "BENCH_stream.json" in err
+        assert "stale" in err
+
+    def test_main_warns_on_unrecognized_artifact(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig6a.txt").write_text("# fig6a: early\nrow\n")
+        (tmp_path / "BENCH_mystery.json").write_text("{}\n")
+        assert main([str(results)]) == 0
+        err = capsys.readouterr().err
+        assert "BENCH_mystery.json" in err
+        assert "no registered collector" in err
+
+    def test_report_ingests_bench_artifacts(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig6a.txt").write_text("# fig6a: early\nrow\n")
+        (tmp_path / "BENCH_shard.json").write_text(
+            json.dumps({"generated_by": "python -m repro bench-shard",
+                        "series": {"shard_suite": {}}})
+        )
+        report = collect(results)
+        assert "Machine-readable artifacts" in report
+        assert "BENCH_shard.json" in report
+        assert "bench-shard" in report
+
+    def test_report_flags_unrecognized_artifacts(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (tmp_path / "BENCH_mystery.json").write_text("{}\n")
+        report = collect(results)
+        assert "BENCH_mystery.json" in report
+        assert "unrecognized" in report

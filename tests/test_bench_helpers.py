@@ -81,3 +81,64 @@ class TestRandomMultiBaseline:
             key = (record.worker_id, tasks[record.task_id].global_slot(record.slot))
             assert key not in seen
             seen.add(key)
+
+
+class TestShardSuiteGates:
+    """Gate logic of the shard suite (synthetic payloads, no solving)."""
+
+    @staticmethod
+    def _payload(**overrides):
+        row = {
+            "plan_identical": True,
+            "conflicts": 0,
+            "reconciled": 0,
+            "serial_cost": 100.0,
+        }
+        row.update(overrides)
+        return {
+            "scenarios": [
+                {
+                    "name": "synthetic",
+                    "reference": {"serial_cost": 100.0},
+                    "shards": {"1": dict(row, conflicts=0, reconciled=0),
+                               "2": row},
+                }
+            ]
+        }
+
+    def test_clean_payload_passes(self):
+        from repro.bench.shardsuite import check_payload
+
+        assert check_payload(self._payload()) == []
+
+    def test_plan_divergence_fails(self):
+        from repro.bench.shardsuite import check_payload
+
+        failures = check_payload(self._payload(plan_identical=False))
+        assert any("diverged" in f for f in failures)
+
+    def test_serial_cost_drift_fails(self):
+        from repro.bench.shardsuite import check_payload
+
+        failures = check_payload(self._payload(serial_cost=150.0))
+        assert any("serial cost" in f for f in failures)
+
+    def test_single_shard_conflicts_fail(self):
+        from repro.bench.shardsuite import check_payload
+
+        payload = self._payload()
+        payload["scenarios"][0]["shards"]["1"]["conflicts"] = 2
+        failures = check_payload(payload)
+        assert any("shards=1" in f for f in failures)
+
+    def test_scenarios_match_perfsuite(self):
+        from repro.bench.perfsuite import SCENARIOS as PERF
+        from repro.bench.shardsuite import SCENARIOS, SHARD_COUNTS
+
+        names = {s.name: s for s in SCENARIOS}
+        for perf in PERF:
+            scenario = names[perf.name]
+            assert (scenario.tasks, scenario.m, scenario.workers, scenario.seed) == (
+                1, perf.m, perf.workers, perf.seed
+            )
+        assert SHARD_COUNTS == (1, 2, 4, 8)

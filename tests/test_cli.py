@@ -55,6 +55,40 @@ class TestParser:
         assert args.smoke is True
         assert args.results_dir is None
 
+    def test_bench_shard_options(self):
+        args = build_parser().parse_args(["bench-shard"])
+        assert args.smoke is False
+        assert args.backend == "python"
+        assert args.profile is False
+        args = build_parser().parse_args(
+            ["bench-shard", "--smoke", "--backend", "numpy"]
+        )
+        assert (args.smoke, args.backend) == (True, "numpy")
+
+    def test_simulate_shard_flags(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.shards == 1
+        assert args.halo == "auto"
+        args = build_parser().parse_args(
+            ["simulate", "--shards", "4", "--halo", "12.5"]
+        )
+        assert args.shards == 4
+        assert args.halo == 12.5
+
+    def test_simulate_rejects_bad_halo(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--halo", "magic"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--halo", "-3"])
+
+    def test_simulate_rejects_bad_shard_count(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--shards", "0"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--shards", "-2"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--shards", "many"])
+
 
 class TestCommands:
     def test_solve_single(self, capsys):
@@ -164,3 +198,21 @@ class TestCommands:
         # A custom results dir keeps everything inside it.
         assert (tmp_path / "BENCH_perf.json").exists()
         assert "lazy gain-eval ratio" in out
+
+    def test_simulate_sharded(self, capsys):
+        code = main(
+            ["simulate", "--seed", "7", "--horizon", "30", "--task-slots", "10",
+             "--initial-workers", "15", "--join-rate", "0.5", "--shards", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sharded streaming report" in out
+        assert "shards=3" in out
+
+    def test_bench_shard_smoke(self, tmp_path, capsys):
+        code = main(["bench-shard", "--smoke", "--results-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert (tmp_path / "shard_suite.json").exists()
+        assert (tmp_path / "BENCH_shard.json").exists()
+        assert "plans identical=True" in out

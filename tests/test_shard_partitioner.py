@@ -1,0 +1,200 @@
+"""Tests for the spatial partitioner and its halo-closure guarantee."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+from repro.shard.partitioner import HALO_AUTO, SpatialPartitioner
+from repro.shard.server import compute_budgets
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+
+
+def _partition(scenario, num_shards, **kwargs):
+    budgets = compute_budgets(scenario.tasks, scenario.pool, scenario.bbox)
+    partitioner = SpatialPartitioner(
+        scenario.bbox, num_shards=num_shards, **kwargs
+    )
+    return partitioner.partition(scenario.tasks, scenario.pool, budgets), budgets
+
+
+class TestValidation:
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ConfigurationError):
+            SpatialPartitioner(BoundingBox.square(10), num_shards=0)
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ConfigurationError):
+            SpatialPartitioner(BoundingBox.square(10), num_shards=2, method="voronoi")
+
+    def test_rejects_bad_halo(self):
+        with pytest.raises(ConfigurationError):
+            SpatialPartitioner(BoundingBox.square(10), num_shards=2, halo="magic")
+        with pytest.raises(ConfigurationError):
+            SpatialPartitioner(BoundingBox.square(10), num_shards=2, halo=-1.0)
+
+    def test_auto_halo_needs_budgets(self, multi_scenario):
+        partitioner = SpatialPartitioner(multi_scenario.bbox, num_shards=2)
+        with pytest.raises(ConfigurationError):
+            partitioner.partition(multi_scenario.tasks, multi_scenario.pool, {})
+
+    def test_kd_has_no_location_router(self):
+        partitioner = SpatialPartitioner(
+            BoundingBox.square(10), num_shards=2, method="kd"
+        )
+        with pytest.raises(ConfigurationError):
+            partitioner.shard_of_location(Point(1, 1))
+
+
+class TestAssignment:
+    def test_every_task_owned_once(self, multi_scenario):
+        for method in ("grid", "kd"):
+            shard_map, _ = _partition(multi_scenario, 4, method=method)
+            assert set(shard_map.shard_of_task) == {
+                t.task_id for t in multi_scenario.tasks
+            }
+            assert all(0 <= s < 4 for s in shard_map.shard_of_task.values())
+            flattened = [tid for tasks in shard_map.shard_tasks for tid in tasks]
+            assert sorted(flattened) == sorted(shard_map.shard_of_task)
+
+    def test_single_shard_owns_everything(self, multi_scenario):
+        shard_map, _ = _partition(multi_scenario, 1)
+        assert set(shard_map.shard_of_task.values()) == {0}
+
+    def test_shard_task_lists_are_canonical(self, multi_scenario):
+        shard_map, _ = _partition(multi_scenario, 4)
+        for tasks in shard_map.shard_tasks:
+            assert tasks == sorted(tasks)
+
+    def test_grid_cells_cover_all_shards(self):
+        partitioner = SpatialPartitioner(
+            BoundingBox.square(100), num_shards=8, cells_per_side=4
+        )
+        owners = {
+            partitioner.shard_of_cell(col, row)
+            for col in range(4)
+            for row in range(4)
+        }
+        assert owners == set(range(8))
+
+    def test_kd_balances_task_counts(self):
+        scenario = build_scenario(
+            ScenarioConfig(num_tasks=16, num_slots=8, num_workers=50, seed=3)
+        )
+        shard_map, _ = _partition(scenario, 4, method="kd")
+        sizes = [len(tasks) for tasks in shard_map.shard_tasks]
+        assert sum(sizes) == 16
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_region_distance_zero_inside(self):
+        partitioner = SpatialPartitioner(
+            BoundingBox.square(100), num_shards=4, cells_per_side=4
+        )
+        p = Point(5.0, 5.0)
+        shard = partitioner.shard_of_location(p)
+        assert partitioner.shard_region_distance(shard, p) == 0.0
+        others = [s for s in range(4) if s != shard]
+        assert any(partitioner.shard_region_distance(s, p) > 0 for s in others)
+
+
+class TestHaloClosure:
+    """The load-bearing property: for any shard count and grid
+    resolution, a task's shard halo contains every worker its solve
+    could ever afford — the feasible worker set is preserved."""
+
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 4, 8])
+    @pytest.mark.parametrize("cells_per_side", [2, 5, 8])
+    def test_affordable_workers_fully_visible(self, num_shards, cells_per_side):
+        scenario = build_scenario(
+            ScenarioConfig(num_tasks=6, num_slots=12, num_workers=120, seed=17)
+        )
+        shard_map, budgets = _partition(
+            scenario, num_shards, cells_per_side=cells_per_side
+        )
+        for task in scenario.tasks:
+            shard = shard_map.shard_of_task[task.task_id]
+            pool = shard_map.shard_pools[shard]
+            halo = {w.worker_id: w for w in pool}
+            budget = budgets[task.task_id]
+            for local in task.slots:
+                gslot = task.global_slot(local)
+                for worker in scenario.pool:
+                    loc = worker.availability.get(gslot)
+                    if loc is None or task.loc.distance_to(loc) > budget:
+                        continue
+                    replica = halo.get(worker.worker_id)
+                    assert replica is not None, (task.task_id, worker.worker_id)
+                    assert replica.availability.get(gslot) == loc
+                    assert replica.reliability == worker.reliability
+
+    @pytest.mark.parametrize("method", ["grid", "kd"])
+    def test_footprint_matches_halo_rule(self, multi_scenario, method):
+        shard_map, budgets = _partition(multi_scenario, 4, method=method)
+        for task in multi_scenario.tasks:
+            footprint = shard_map.footprints[task.task_id]
+            radius = footprint.radius
+            assert radius == pytest.approx(budgets[task.task_id], abs=1e-6)
+            expected = set()
+            for local in task.slots:
+                gslot = task.global_slot(local)
+                for worker in multi_scenario.pool:
+                    loc = worker.availability.get(gslot)
+                    if loc is not None and task.loc.distance_to(loc) <= radius:
+                        expected.add((worker.worker_id, gslot))
+            assert footprint.pairs == expected
+
+    def test_fixed_radius_halos_shrink(self, multi_scenario):
+        wide, _ = _partition(multi_scenario, 2, halo=50.0)
+        narrow, _ = _partition(multi_scenario, 2, halo=5.0)
+        for shard in range(2):
+            wide_pairs = {
+                (w.worker_id, s)
+                for w in wide.shard_pools[shard]
+                for s in w.availability
+            }
+            narrow_pairs = {
+                (w.worker_id, s)
+                for w in narrow.shard_pools[shard]
+                for s in w.availability
+            }
+            assert narrow_pairs <= wide_pairs
+
+    def test_worker_shards_tracks_replication(self, multi_scenario):
+        shard_map, _ = _partition(multi_scenario, 4)
+        for wid, shards in shard_map.worker_shards.items():
+            assert shards == tuple(sorted(shards))
+            for shard in shards:
+                assert any(
+                    w.worker_id == wid for w in shard_map.shard_pools[shard]
+                )
+        stats = shard_map.stats()
+        assert stats["replicated_workers"] == len(shard_map.replicated_worker_ids)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("method", ["grid", "kd"])
+    def test_same_inputs_same_map(self, multi_scenario, method):
+        first, _ = _partition(multi_scenario, 4, method=method)
+        second, _ = _partition(multi_scenario, 4, method=method)
+        assert first.shard_of_task == second.shard_of_task
+        assert first.shard_tasks == second.shard_tasks
+        assert first.worker_shards == second.worker_shards
+        for task_id in first.footprints:
+            assert first.footprints[task_id].pairs == second.footprints[task_id].pairs
+        for pool_a, pool_b in zip(first.shard_pools, second.shard_pools):
+            assert [(w.worker_id, w.availability) for w in pool_a] == [
+                (w.worker_id, w.availability) for w in pool_b
+            ]
+
+    def test_same_seed_same_scenario_same_map(self):
+        maps = []
+        for _ in range(2):
+            scenario = build_scenario(
+                ScenarioConfig(num_tasks=5, num_slots=10, num_workers=80, seed=23)
+            )
+            shard_map, _ = _partition(scenario, 3)
+            maps.append(shard_map)
+        assert maps[0].shard_of_task == maps[1].shard_of_task
+        assert maps[0].stats() == maps[1].stats()

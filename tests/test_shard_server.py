@@ -1,0 +1,255 @@
+"""Tests for the sharded serving coordinator.
+
+The subsystem's contract is *plan identity*: whatever the shard
+count, partition method, solver engine, or kernel backend, the merged
+plan must be byte-identical to the unsharded sequential solve.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.shard.server import (
+    SequentialServingSolver,
+    ShardedTCSCServer,
+    compute_budgets,
+)
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+
+
+@pytest.fixture(scope="module")
+def serving_scenario():
+    """16 tasks over 300 workers — dense enough for real conflicts."""
+    return build_scenario(
+        ScenarioConfig(num_tasks=16, num_slots=24, num_workers=300, seed=13)
+    )
+
+
+@pytest.fixture(scope="module")
+def serving_reference(serving_scenario):
+    return SequentialServingSolver(
+        serving_scenario.pool, serving_scenario.bbox
+    ).assign(serving_scenario.tasks)
+
+
+class TestSequentialReference:
+    def test_serves_every_task(self, serving_scenario, serving_reference):
+        assert set(serving_reference.qualities) == {
+            t.task_id for t in serving_scenario.tasks
+        }
+        assert len(serving_reference.assignment) > 0
+        assert serving_reference.serial_cost > 0
+
+    def test_no_worker_double_booking(self, serving_scenario, serving_reference):
+        by_id = {t.task_id: t for t in serving_scenario.tasks}
+        seen = set()
+        for record in serving_reference.assignment:
+            key = (record.worker_id, by_id[record.task_id].global_slot(record.slot))
+            assert key not in seen
+            seen.add(key)
+
+    def test_budgets_respected(self, serving_scenario, serving_reference):
+        for task in serving_scenario.tasks:
+            spent = sum(
+                r.cost
+                for r in serving_reference.assignment.records_for(task.task_id)
+            )
+            assert spent <= serving_reference.budgets[task.task_id] + 1e-9
+
+    def test_rejects_unknown_engine(self, serving_scenario):
+        with pytest.raises(ConfigurationError):
+            SequentialServingSolver(
+                serving_scenario.pool, serving_scenario.bbox, engine="magic"
+            )
+
+    def test_rejects_partial_budgets(self, serving_scenario):
+        solver = SequentialServingSolver(
+            serving_scenario.pool, serving_scenario.bbox
+        )
+        with pytest.raises(ConfigurationError):
+            solver.assign(serving_scenario.tasks, budgets={0: 1.0})
+
+
+class TestPlanIdentity:
+    @pytest.mark.parametrize("num_shards", [1, 2, 4, 8])
+    def test_identical_to_reference(
+        self, serving_scenario, serving_reference, num_shards
+    ):
+        report = ShardedTCSCServer(
+            serving_scenario.pool, serving_scenario.bbox, num_shards=num_shards
+        ).assign(serving_scenario.tasks)
+        assert report.plan_signature() == serving_reference.plan_signature()
+        assert report.qualities == serving_reference.qualities
+        assert report.total_cost == pytest.approx(serving_reference.total_cost)
+
+    @pytest.mark.parametrize("num_shards", [1, 2, 4, 8])
+    def test_single_task_identity(self, small_scenario, num_shards):
+        reference = SequentialServingSolver(
+            small_scenario.pool, small_scenario.bbox
+        ).assign(small_scenario.tasks)
+        report = ShardedTCSCServer(
+            small_scenario.pool, small_scenario.bbox, num_shards=num_shards
+        ).assign(small_scenario.tasks)
+        assert report.plan_signature() == reference.plan_signature()
+        assert report.conflicts == 0
+        assert report.reconciled_task_ids == ()
+
+    @pytest.mark.parametrize("method", ["grid", "kd"])
+    @pytest.mark.parametrize(
+        "engine,search,backend",
+        [
+            ("greedy", "enumerate", "python"),
+            ("greedy", "lazy", "numpy"),
+            ("indexed", "lazy", "python"),
+        ],
+    )
+    def test_identity_across_variants(
+        self, serving_scenario, method, engine, search, backend
+    ):
+        reference = SequentialServingSolver(
+            serving_scenario.pool, serving_scenario.bbox,
+            engine=engine, search=search, backend=backend,
+        ).assign(serving_scenario.tasks)
+        report = ShardedTCSCServer(
+            serving_scenario.pool, serving_scenario.bbox, num_shards=4,
+            method=method, engine=engine, search=search, backend=backend,
+        ).assign(serving_scenario.tasks)
+        assert report.plan_signature() == reference.plan_signature()
+
+    def test_identity_with_heterogeneous_reliability(self):
+        scenario = build_scenario(
+            ScenarioConfig(
+                num_tasks=8, num_slots=20, num_workers=200, seed=9,
+                reliability_range=(0.6, 1.0),
+            )
+        )
+        reference = SequentialServingSolver(scenario.pool, scenario.bbox).assign(
+            scenario.tasks
+        )
+        for num_shards in (2, 4):
+            report = ShardedTCSCServer(
+                scenario.pool, scenario.bbox, num_shards=num_shards
+            ).assign(scenario.tasks)
+            assert report.plan_signature() == reference.plan_signature()
+
+    def test_identity_with_explicit_budgets(self, serving_scenario):
+        budgets = compute_budgets(
+            serving_scenario.tasks, serving_scenario.pool, serving_scenario.bbox,
+            budget_fraction=0.4,
+        )
+        reference = SequentialServingSolver(
+            serving_scenario.pool, serving_scenario.bbox
+        ).assign(serving_scenario.tasks, budgets=budgets)
+        report = ShardedTCSCServer(
+            serving_scenario.pool, serving_scenario.bbox, num_shards=4
+        ).assign(serving_scenario.tasks, budgets=budgets)
+        assert report.plan_signature() == reference.plan_signature()
+
+
+class TestReconciliation:
+    def test_conflicts_detected_and_resolved(self, serving_scenario):
+        report = ShardedTCSCServer(
+            serving_scenario.pool, serving_scenario.bbox, num_shards=4
+        ).assign(serving_scenario.tasks)
+        # Seed 13 packs tasks densely enough that halo-replicated
+        # workers are contested across shards (regression anchor: the
+        # reconciliation path must actually run in this suite).
+        assert report.conflicts >= 1
+        assert len(report.reconciled_task_ids) >= 1
+        for entry in report.conflict_table.entries:
+            assert len(entry.task_ids) >= 2
+            owners = {
+                report.shard_map.shard_of_task[tid] for tid in entry.task_ids
+            }
+            assert len(owners) >= 2, "conflicts are cross-shard by construction"
+
+    def test_contested_workers_granted_once(self, serving_scenario):
+        report = ShardedTCSCServer(
+            serving_scenario.pool, serving_scenario.bbox, num_shards=4
+        ).assign(serving_scenario.tasks)
+        by_id = {t.task_id: t for t in serving_scenario.tasks}
+        committed: dict[tuple[int, int], list[int]] = {}
+        for record in report.assignment:
+            key = (record.worker_id, by_id[record.task_id].global_slot(record.slot))
+            committed.setdefault(key, []).append(record.task_id)
+        # No double-booking anywhere in the merged plan, and each
+        # contested pair went to at most one of its claimants.
+        assert all(len(owners) == 1 for owners in committed.values())
+        for entry in report.conflict_table.entries:
+            owners = committed.get((entry.worker_id, entry.global_slot), [])
+            assert len(owners) <= 1
+
+    def test_single_shard_is_degenerate(self, serving_scenario, serving_reference):
+        report = ShardedTCSCServer(
+            serving_scenario.pool, serving_scenario.bbox, num_shards=1
+        ).assign(serving_scenario.tasks)
+        assert report.conflicts == 0
+        assert report.reconciled_task_ids == ()
+        assert report.revalidated_task_ids == ()
+        assert report.makespan == pytest.approx(serving_reference.serial_cost)
+
+
+class TestAccounting:
+    @pytest.mark.parametrize("num_shards", [1, 2, 4, 8])
+    def test_serial_cost_is_shard_invariant(
+        self, serving_scenario, serving_reference, num_shards
+    ):
+        report = ShardedTCSCServer(
+            serving_scenario.pool, serving_scenario.bbox, num_shards=num_shards
+        ).assign(serving_scenario.tasks)
+        assert report.serial_cost == pytest.approx(
+            serving_reference.serial_cost, abs=1e-6
+        )
+        assert report.per_task_cost == pytest.approx(
+            serving_reference.per_task_cost
+        )
+
+    def test_makespan_and_messages(self, serving_scenario):
+        report = ShardedTCSCServer(
+            serving_scenario.pool, serving_scenario.bbox, num_shards=4
+        ).assign(serving_scenario.tasks)
+        assert report.makespan > 0
+        assert report.speedup > 0
+        assert 0.0 < report.utilization <= 1.0
+        assert report.messages == report.conflicts + len(report.reconciled_task_ids)
+
+    def test_sharding_reduces_makespan(self):
+        scenario = build_scenario(
+            ScenarioConfig(num_tasks=32, num_slots=24, num_workers=600, seed=5)
+        )
+        single = ShardedTCSCServer(
+            scenario.pool, scenario.bbox, num_shards=1
+        ).assign(scenario.tasks)
+        eight = ShardedTCSCServer(
+            scenario.pool, scenario.bbox, num_shards=8
+        ).assign(scenario.tasks)
+        assert eight.plan_signature() == single.plan_signature()
+        assert eight.makespan < single.makespan
+        assert eight.speedup > 1.5
+
+    def test_shard_stats_cover_all_work(self, serving_scenario):
+        report = ShardedTCSCServer(
+            serving_scenario.pool, serving_scenario.bbox, num_shards=4
+        ).assign(serving_scenario.tasks)
+        assert len(report.shard_stats) == 4
+        stat_tasks = [tid for stat in report.shard_stats for tid in stat.task_ids]
+        assert sorted(stat_tasks) == sorted(
+            t.task_id for t in serving_scenario.tasks
+        )
+        assert sum(stat.virtual_cost for stat in report.shard_stats) > 0
+
+
+class TestDeterminism:
+    def test_repeat_runs_identical(self, serving_scenario):
+        first = ShardedTCSCServer(
+            serving_scenario.pool, serving_scenario.bbox, num_shards=4
+        ).assign(serving_scenario.tasks)
+        second = ShardedTCSCServer(
+            serving_scenario.pool, serving_scenario.bbox, num_shards=4
+        ).assign(serving_scenario.tasks)
+        assert first.plan_signature() == second.plan_signature()
+        assert first.makespan == second.makespan
+        assert first.reconciled_task_ids == second.reconciled_task_ids
+        assert first.revalidated_task_ids == second.revalidated_task_ids
+        assert len(first.conflict_table) == len(second.conflict_table)

@@ -1,0 +1,182 @@
+"""Tests for the sharded streaming mode (event routing + pinning)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+from repro.model.task import Task
+from repro.model.worker import Worker
+from repro.shard.streaming import ShardedStreamingServer
+from repro.stream.events import BudgetRefresh, TaskArrival, WorkerJoin, WorkerLeave
+from repro.stream.online_server import StreamingTCSCServer
+from repro.workloads.streaming import StreamScenarioConfig, build_stream_events
+
+_CFG = StreamScenarioConfig(
+    horizon=40,
+    task_rate=0.2,
+    task_slots=10,
+    initial_workers=20,
+    worker_join_rate=0.5,
+    seed=7,
+)
+
+
+def _trace():
+    return build_stream_events(_CFG)
+
+
+class TestValidation:
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ConfigurationError):
+            ShardedStreamingServer(BoundingBox.square(10), num_shards=0)
+
+    def test_rejects_bad_halo_margin(self):
+        with pytest.raises(ConfigurationError):
+            ShardedStreamingServer(
+                BoundingBox.square(10), num_shards=2, halo_margin="magic"
+            )
+        with pytest.raises(ConfigurationError):
+            ShardedStreamingServer(
+                BoundingBox.square(10), num_shards=2, halo_margin=-1.0
+            )
+
+    def test_run_is_one_shot(self):
+        scenario = _trace()
+        server = ShardedStreamingServer(scenario.bbox, num_shards=2)
+        server.run(scenario.events)
+        with pytest.raises(SchedulingError):
+            server.run([])
+
+
+class TestSingleShardEquivalence:
+    def test_one_shard_matches_plain_server(self):
+        scenario = _trace()
+        plain = StreamingTCSCServer(scenario.bbox, realization_seed=7)
+        plain_metrics = plain.run(scenario.events)
+
+        scenario2 = _trace()
+        sharded = ShardedStreamingServer(
+            scenario2.bbox, num_shards=1, realization_seed=7
+        )
+        merged = sharded.run(scenario2.events)
+        assert (
+            sharded.assignment().plan_signature()
+            == plain.assignment().plan_signature()
+        )
+        assert merged.tasks_arrived == plain_metrics.tasks_arrived
+        assert merged.tasks_completed == plain_metrics.tasks_completed
+        assert merged.promised_quality == plain_metrics.promised_quality
+
+
+class TestRouting:
+    def test_sessions_pinned_to_one_shard(self):
+        scenario = _trace()
+        server = ShardedStreamingServer(scenario.bbox, num_shards=4)
+        server.run(scenario.events)
+        seen: dict[int, int] = {}
+        for shard, shard_server in enumerate(server.servers):
+            for session in shard_server._finished:
+                task_id = session.task.task_id
+                assert task_id not in seen, "task session split across shards"
+                seen[task_id] = shard
+        assert len(seen) > 0
+
+    def test_no_tasks_lost(self):
+        scenario = _trace()
+        server = ShardedStreamingServer(scenario.bbox, num_shards=4)
+        metrics = server.run(scenario.events)
+        assert metrics.tasks_arrived == scenario.task_count
+        assert metrics.dropped_events == 0
+        assert sum(metrics.tasks_routed) == scenario.task_count
+
+    def test_worker_churn_updates_only_owning_shards(self):
+        bbox = BoundingBox.square(100)
+        # A worker in the far corner of shard 0's region, with a tiny
+        # margin: shards that own distant cells must never see it.
+        worker = Worker(worker_id=1, availability={1: Point(1.0, 1.0)})
+        server = ShardedStreamingServer(
+            bbox, num_shards=4, cells_per_side=4, halo_margin=1.0
+        )
+        traces, metrics = server.route(
+            [WorkerJoin(0.0, worker), WorkerLeave(5.0, 1)]
+        )
+        routed = metrics.worker_routes[1]
+        assert len(routed) < 4
+        for shard, trace in enumerate(traces):
+            kinds = [type(e).__name__ for e in trace]
+            if shard in routed:
+                assert kinds == ["WorkerJoin", "WorkerLeave"]
+            else:
+                assert kinds == []
+
+    def test_boundary_worker_replicated(self):
+        bbox = BoundingBox.square(100)
+        server = ShardedStreamingServer(
+            bbox, num_shards=4, cells_per_side=4, halo_margin=30.0
+        )
+        worker = Worker(worker_id=1, availability={1: Point(50.0, 50.0)})
+        _, metrics = server.route([WorkerJoin(0.0, worker)])
+        assert len(metrics.worker_routes[1]) >= 2
+        assert metrics.replicated_workers == 1
+
+    def test_leave_without_join_is_dropped(self):
+        server = ShardedStreamingServer(BoundingBox.square(10), num_shards=2)
+        traces, metrics = server.route([WorkerLeave(1.0, 99)])
+        assert metrics.dropped_events == 1
+        assert all(not trace for trace in traces)
+
+    def test_budget_refresh_split_evenly(self):
+        server = ShardedStreamingServer(BoundingBox.square(10), num_shards=4)
+        traces, _ = server.route([BudgetRefresh(1.0, 8.0)])
+        for trace in traces:
+            assert len(trace) == 1
+            assert isinstance(trace[0], BudgetRefresh)
+            assert trace[0].amount == pytest.approx(2.0)
+
+    def test_task_routed_by_location(self):
+        bbox = BoundingBox.square(100)
+        server = ShardedStreamingServer(bbox, num_shards=4, cells_per_side=4)
+        task = Task(task_id=1, loc=Point(10.0, 10.0), num_slots=4)
+        traces, _ = server.route([TaskArrival(0.0, task)])
+        expected = server.partitioner.shard_of_location(task.loc)
+        for shard, trace in enumerate(traces):
+            assert bool(trace) == (shard == expected)
+
+
+class TestScaling:
+    def test_makespan_accounting(self):
+        scenario = _trace()
+        server = ShardedStreamingServer(scenario.bbox, num_shards=4)
+        metrics = server.run(scenario.events)
+        assert metrics.serial_cost > 0
+        assert 0 < metrics.makespan <= metrics.serial_cost + 1e-9
+        assert metrics.speedup >= 1.0
+
+    def test_deterministic_across_runs(self):
+        results = []
+        for _ in range(2):
+            scenario = _trace()
+            server = ShardedStreamingServer(
+                scenario.bbox, num_shards=4, realization_seed=7
+            )
+            metrics = server.run(scenario.events)
+            results.append(
+                (
+                    server.assignment().plan_signature(),
+                    metrics.makespan,
+                    metrics.tasks_routed,
+                    metrics.promised_quality,
+                )
+            )
+        assert results[0] == results[1]
+
+    def test_report_renders(self):
+        scenario = _trace()
+        server = ShardedStreamingServer(scenario.bbox, num_shards=2)
+        metrics = server.run(scenario.events)
+        text = metrics.report()
+        assert "sharded streaming report" in text
+        assert "makespan" in text

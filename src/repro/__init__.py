@@ -7,10 +7,12 @@ tree-indexed ``Approx*``), multi-task summation-/minimum-quality
 assignment with worker-conflict-aware parallelization, and the
 spatiotemporal (STCC) extension — plus the *streaming* subsystem
 (:mod:`repro.stream`): an event-driven online server with worker
-churn, admission control, and incrementally-maintained indexes — and
-the *sharded serving layer* (:mod:`repro.shard`): halo-partitioned
+churn, admission control, and incrementally-maintained indexes — the
+*sharded serving layer* (:mod:`repro.shard`): halo-partitioned
 multi-shard assignment whose merged plans are byte-identical to the
-single-node solve.
+single-node solve — and the *durability layer* (:mod:`repro.journal`):
+a checksummed write-ahead journal with snapshots whose crash recovery
+is provably exact (byte-identical plans, metrics, and op counters).
 
 Quickstart::
 
@@ -74,10 +76,21 @@ from repro.errors import (
     BudgetExhaustedError,
     ConfigurationError,
     InfeasibleAssignmentError,
+    JournalCorruptionError,
+    JournalError,
+    JournalReplayError,
     SchedulingError,
     TCSCError,
     WorkerUnavailableError,
 )
+from repro.journal.server import (
+    CrashBudget,
+    InjectedCrash,
+    JournaledStreamingServer,
+    RecoveryInfo,
+)
+from repro.journal.sharded import JournaledShardedStreamingServer
+from repro.journal.wal import Journal, WriteAheadLog
 from repro.geo.bbox import BoundingBox
 from repro.geo.point import Point
 from repro.model.assignment import Assignment, AssignmentRecord, Budget
@@ -115,7 +128,7 @@ from repro.workloads.streaming import (
     build_stream_events,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Assignment",
@@ -132,12 +145,20 @@ __all__ = [
     "ConfigurationError",
     "ConflictRecord",
     "CoverResult",
+    "CrashBudget",
     "Distribution",
     "DynamicCostProvider",
     "GreedyStep",
     "GroupLevelParallelSolver",
     "IndexedSingleTaskGreedy",
     "InfeasibleAssignmentError",
+    "InjectedCrash",
+    "Journal",
+    "JournalCorruptionError",
+    "JournalError",
+    "JournalReplayError",
+    "JournaledShardedStreamingServer",
+    "JournaledStreamingServer",
     "LazySpatioTemporalGreedy",
     "MinCostCoverSolver",
     "MinQualityGreedy",
@@ -150,6 +171,7 @@ __all__ = [
     "RandomAssignmentSolver",
     "RealizationOutcome",
     "RandomSummary",
+    "RecoveryInfo",
     "Scenario",
     "ScenarioConfig",
     "SchedulingError",
@@ -186,6 +208,7 @@ __all__ = [
     "VoronoiCell",
     "Worker",
     "WorkerJoin",
+    "WriteAheadLog",
     "WorkerLeave",
     "WorkerPool",
     "WorkerRegistry",

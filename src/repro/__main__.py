@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six subcommands cover the common workflows:
+Seven subcommands cover the common workflows:
 
 * ``solve-single`` — build a synthetic scenario and assign one task
   (policies: approx, approx_star, random).
@@ -20,15 +20,23 @@ Six subcommands cover the common workflows:
   rounds through the halo-partitioned sharded coordinator at shard
   counts 1/2/4/8, asserting byte-identical plans, persisted as
   ``benchmarks/BENCH_shard.json``.
+* ``bench-journal`` — the durability suite: crash/recover at every
+  event boundary through the journaled servers (plain and sharded),
+  hard-asserting byte-identical recovered runs, persisted as
+  ``benchmarks/BENCH_journal.json``.
 
 Every command prints a compact report; ``--seed`` makes runs
-reproducible.  The solve, simulate, and bench-shard commands accept
+reproducible.  The solve, simulate, and bench commands accept
 ``--backend {python,numpy}`` (identical plans, different speed) and
 ``--profile`` to print the top cProfile hotspots of the run — both
 flags are attached through one shared helper so every subcommand
 spells them identically.  ``simulate --shards N`` routes the trace
 over a sharded streaming deployment (``--halo`` sizes the worker
-replication margin).
+replication margin).  ``simulate --journal PATH`` write-ahead-logs
+the run (``--snapshot-every`` paces snapshots); ``--crash-at K``
+injects a kill after K events, and ``--resume`` recovers from the
+journal and finishes the run — byte-identically to an uninterrupted
+one.
 """
 
 from __future__ import annotations
@@ -200,6 +208,26 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--halo", type=_halo_spec, default="auto",
                      help="worker-replication margin for sharded mode: "
                           "'auto' or a radius in domain units")
+    sim.add_argument("--journal", default=None, metavar="PATH",
+                     help="journal directory: write-ahead-log every event "
+                          "and snapshot server state (one journal per shard "
+                          "in sharded mode)")
+    sim.add_argument("--snapshot-every", type=int, default=None, metavar="N",
+                     help="epochs between journal snapshots (default 4; "
+                          "0 = final only; on --resume, default keeps the "
+                          "interrupted run's cadence)")
+    sim.add_argument("--crash-at", type=int, default=None, metavar="K",
+                     help="fault injection: kill the run after K events "
+                          "(requires --journal; recover with --resume)")
+    sim.add_argument("--resume", action="store_true",
+                     help="recover from --journal (latest snapshot + log "
+                          "replay) and finish the interrupted run; the "
+                          "journal itself supplies the server configuration "
+                          "and shard layout")
+    sim.add_argument("--sync", action="store_true",
+                     help="fsync the write-ahead log on every append "
+                          "(durability against machine crashes, not just "
+                          "process kills; slower)")
     _add_solver_flags(sim)
 
     perf = sub.add_parser(
@@ -221,6 +249,17 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument("--results-dir", default=None,
                        help="override benchmarks/results output directory")
     _add_solver_flags(shard)
+
+    journal = sub.add_parser(
+        "bench-journal",
+        help="durability suite (crash/recovery exactness + journal "
+             "overhead) -> benchmarks/BENCH_journal.json",
+    )
+    journal.add_argument("--smoke", action="store_true",
+                         help="smallest scenario only (CI smoke mode)")
+    journal.add_argument("--results-dir", default=None,
+                         help="override benchmarks/results output directory")
+    _add_solver_flags(journal)
     return parser
 
 
@@ -283,6 +322,21 @@ def _cmd_cover(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
+    if args.journal is None and (args.crash_at is not None or args.resume):
+        print("--crash-at/--resume require --journal PATH", file=sys.stderr)
+        return 2
+    if args.journal is not None and not args.resume:
+        from repro.journal.wal import journal_kind
+
+        if journal_kind(args.journal) is not None:
+            # Starting fresh would truncate the log and delete every
+            # snapshot — the only copy of an interrupted run.
+            print(
+                f"journal at {args.journal} already exists; pass --resume to "
+                "recover it, or point --journal at a fresh directory",
+                file=sys.stderr,
+            )
+            return 2
     scenario = build_stream_events(
         StreamScenarioConfig(
             horizon=args.horizon,
@@ -310,21 +364,114 @@ def _cmd_simulate(args) -> int:
     print(f"index_mode={args.index_mode} epoch={args.epoch:g} seed={args.seed}")
     print(f"trace: {scenario.task_count} tasks, {scenario.worker_count} workers "
           f"over {args.horizon} slots")
+    if args.resume:
+        # The trace is regenerated from the workload flags (same seed
+        # => same events); the *server* configuration comes from the
+        # journal itself, so recovery cannot mis-configure the run.
+        return _simulate_resume(args, scenario)
     if args.shards > 1:
         from repro.shard.streaming import ShardedStreamingServer
 
-        sharded = ShardedStreamingServer(
+        if args.journal is not None:
+            from repro.journal import JournaledShardedStreamingServer
+
+            sharded = JournaledShardedStreamingServer(
+                scenario.bbox,
+                journal_root=args.journal,
+                num_shards=args.shards,
+                halo_margin=args.halo,
+                snapshot_every=4 if args.snapshot_every is None else args.snapshot_every,
+                sync=args.sync,
+                crash_after_events=args.crash_at,
+                **server_kwargs,
+            )
+        else:
+            sharded = ShardedStreamingServer(
+                scenario.bbox,
+                num_shards=args.shards,
+                halo_margin=args.halo,
+                **server_kwargs,
+            )
+        print(f"shards={args.shards} halo={args.halo}")
+        return _simulate_run(args, sharded, scenario)
+    if args.journal is not None:
+        from repro.journal import JournaledStreamingServer
+
+        server = JournaledStreamingServer(
             scenario.bbox,
-            num_shards=args.shards,
-            halo_margin=args.halo,
+            journal=args.journal,
+            snapshot_every=4 if args.snapshot_every is None else args.snapshot_every,
+            sync=args.sync,
+            crash_after_events=args.crash_at,
             **server_kwargs,
         )
-        print(f"shards={args.shards} halo={args.halo}")
-        print(sharded.run(scenario.events).report())
-        return 0
-    server = StreamingTCSCServer(scenario.bbox, **server_kwargs)
-    print(server.run(scenario.events).report())
+    else:
+        server = StreamingTCSCServer(scenario.bbox, **server_kwargs)
+    return _simulate_run(args, server, scenario)
+
+
+def _simulate_run(args, server, scenario) -> int:
+    """Drain the trace and print the operator report."""
+    return _simulate_report(args, lambda: server.run(scenario.events))
+
+
+def _simulate_report(args, drive) -> int:
+    """Print ``drive()``'s report, translating an injected crash into
+    operator guidance instead of a traceback."""
+    from repro.journal.server import InjectedCrash
+
+    try:
+        print(drive().report())
+    except InjectedCrash as exc:
+        print(f"crash injected: {exc}")
+        print(f"journal preserved at {args.journal}; rerun the same "
+              f"command with --resume to recover")
     return 0
+
+
+def _simulate_resume(args, scenario) -> int:
+    """Recover from the journal and finish the interrupted run.
+
+    Whether the journal is sharded is read off the journal root itself
+    (``meta.json`` marks a sharded deployment), so resuming never
+    depends on repeating ``--shards``.  ``--crash-at`` stays armed
+    during the resumed run (double-fault testing: crash, recover,
+    crash again); ``--snapshot-every`` overrides the interrupted run's
+    cadence when given.
+    """
+    from repro.journal import JournaledShardedStreamingServer, JournaledStreamingServer
+    from repro.journal.wal import journal_kind
+
+    kind = journal_kind(args.journal)
+    if kind is None:
+        print(
+            f"no journal found at {args.journal} (expected wal.log or a "
+            "sharded meta.json)",
+            file=sys.stderr,
+        )
+        return 2
+    if kind == "sharded":
+        sharded = JournaledShardedStreamingServer.recover(
+            args.journal,
+            sync=args.sync,
+            snapshot_every=args.snapshot_every,
+            crash_after_events=args.crash_at,
+        )
+        for shard, info in enumerate(sharded.recovery):
+            print(f"recovery shard {shard}: snapshot={info.snapshot_loaded} "
+                  f"restored={info.events_restored} replayed={info.events_replayed}")
+        return _simulate_report(args, lambda: sharded.resume(scenario.events))
+    server = JournaledStreamingServer.recover(
+        args.journal,
+        sync=args.sync,
+        snapshot_every=args.snapshot_every,
+        crash_after_events=args.crash_at,
+    )
+    info = server.recovery
+    print(f"recovery: snapshot={info.snapshot_loaded} "
+          f"restored={info.events_restored} replayed={info.events_replayed} "
+          f"records_scanned={info.records_scanned}")
+    return _simulate_report(args, lambda: server.resume_with_trace(scenario.events))
 
 
 def _cmd_bench_perf(args) -> int:
@@ -335,6 +482,14 @@ def _cmd_bench_perf(args) -> int:
 
 def _cmd_bench_shard(args) -> int:
     from repro.bench.shardsuite import run_and_write
+
+    return run_and_write(
+        smoke=args.smoke, results_dir=args.results_dir, backend=args.backend
+    )
+
+
+def _cmd_bench_journal(args) -> int:
+    from repro.bench.journalsuite import run_and_write
 
     return run_and_write(
         smoke=args.smoke, results_dir=args.results_dir, backend=args.backend
@@ -363,6 +518,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "bench-perf": _cmd_bench_perf,
         "bench-shard": _cmd_bench_shard,
+        "bench-journal": _cmd_bench_journal,
     }
     handler = handlers[args.command]
     if getattr(args, "profile", False):

@@ -14,7 +14,9 @@ records next to the results directory; the registry in
 * ``perf*.json`` -> ``BENCH_perf.json`` (solver hot-path backend and
   lazy-search speedups, :mod:`repro.bench.perfsuite`);
 * ``shard*.json`` -> ``BENCH_shard.json`` (shard-count scaling at
-  plan identity, :mod:`repro.bench.shardsuite`).
+  plan identity, :mod:`repro.bench.shardsuite`);
+* ``journal*.json`` -> ``BENCH_journal.json`` (crash-recovery
+  exactness and durability overhead, :mod:`repro.bench.journalsuite`).
 
 ``BENCH_*.json`` files next to the results directory that no
 registered collector produces are *warned about* rather than silently
@@ -32,6 +34,7 @@ from pathlib import Path
 __all__ = [
     "COLLECTORS",
     "collect",
+    "collect_journal",
     "collect_perf",
     "collect_shard",
     "collect_stream",
@@ -94,6 +97,13 @@ def collect_shard(results_dir: Path | str = _DEFAULT_RESULTS) -> dict | None:
     )
 
 
+def collect_journal(results_dir: Path | str = _DEFAULT_RESULTS) -> dict | None:
+    """Merge ``journal*.json`` series (the ``BENCH_journal.json`` record)."""
+    return _collect_json_series(
+        results_dir, "journal*.json", "python -m repro bench-journal"
+    )
+
+
 #: Artifact name -> (series glob, collector).  Every ``BENCH_*.json``
 #: the repo produces must be registered here; ``main`` regenerates
 #: each one and warns about artifacts no collector owns.
@@ -101,6 +111,7 @@ COLLECTORS: dict[str, tuple[str, callable]] = {
     "BENCH_stream.json": ("stream*.json", collect_stream),
     "BENCH_perf.json": ("perf*.json", collect_perf),
     "BENCH_shard.json": ("shard*.json", collect_shard),
+    "BENCH_journal.json": ("journal*.json", collect_journal),
 }
 
 

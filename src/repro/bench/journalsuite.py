@@ -1,0 +1,470 @@
+"""Deterministic durability suite: crash-consistent replay, measured.
+
+``python -m repro bench-journal`` (or ``python -m
+repro.bench.journalsuite``) drives the :mod:`repro.journal` subsystem
+through seed-pinned streaming scenarios and persists
+``benchmarks/results/journal_suite.json``;
+:func:`repro.bench.collect.collect_journal` merges every
+``journal*.json`` series into ``benchmarks/BENCH_journal.json``.
+
+Three measurements per scenario:
+
+* **Exactness** (the acceptance invariant): an uninterrupted journaled
+  run must equal the plain run, and a crash injected at *every* event
+  boundary — for the plain streaming server and the sharded one at
+  shard counts 1/2/4 — must recover to byte-identical
+  ``plan_signature()``, ``StreamMetrics``, and ``OpCounters``.
+* **Journal write overhead**: records and bytes appended per event —
+  deterministic quantities (canonical JSON framing), plus the zero
+  op-count overhead claim (journaling never touches the solver
+  counters, enforced by the metrics-equality gate).
+* **Recovery cost**: input events re-consumed per recovery
+  (snapshot + log-suffix replay), reported as mean/max over the
+  boundary sweep; snapshots must make the mean strictly cheaper than
+  full-trace replay.
+
+Per the determinism policy, every gate is op-count/equality based;
+wall-clock is recorded for humans only.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.bench.report import signature_hash as _signature_hash
+from repro.journal.sharded import JournaledShardedStreamingServer
+from repro.journal.server import InjectedCrash, JournaledStreamingServer
+from repro.shard.streaming import ShardedStreamingServer
+from repro.stream.online_server import StreamingTCSCServer
+from repro.workloads.streaming import StreamScenarioConfig, build_stream_events
+
+__all__ = [
+    "JournalScenario",
+    "SHARD_COUNTS",
+    "SCENARIOS",
+    "SMOKE_SCENARIOS",
+    "run_suite",
+    "run_and_write",
+    "check_payload",
+    "main",
+]
+
+_DEFAULT_RESULTS = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+#: Sharded deployments swept at every event boundary (the acceptance
+#: grid; 1 doubles as the degenerate-sharding cross-check).
+SHARD_COUNTS = (1, 2, 4)
+
+
+@dataclass(frozen=True, slots=True)
+class JournalScenario:
+    """One seed-pinned streaming trace plus its server shape."""
+
+    name: str
+    horizon: int
+    task_rate: float
+    task_slots: int
+    initial_workers: int
+    join_rate: float
+    mean_lifetime: float
+    seed: int
+    epoch_length: float
+    budget_fraction: float
+    snapshot_every: int
+
+
+SCENARIOS = (
+    JournalScenario(
+        "durability_small",
+        horizon=16, task_rate=0.3, task_slots=8, initial_workers=14,
+        join_rate=0.8, mean_lifetime=12.0, seed=9,
+        epoch_length=3.0, budget_fraction=0.6, snapshot_every=2,
+    ),
+    JournalScenario(
+        "durability_medium",
+        horizon=26, task_rate=0.25, task_slots=10, initial_workers=16,
+        join_rate=0.7, mean_lifetime=14.0, seed=17,
+        epoch_length=4.0, budget_fraction=0.5, snapshot_every=3,
+    ),
+)
+
+#: CI smoke mode: the smallest scenario only.
+SMOKE_SCENARIOS = (SCENARIOS[0],)
+
+
+def _build(scenario: JournalScenario):
+    built = build_stream_events(
+        StreamScenarioConfig(
+            horizon=scenario.horizon,
+            task_rate=scenario.task_rate,
+            task_slots=scenario.task_slots,
+            initial_workers=scenario.initial_workers,
+            worker_join_rate=scenario.join_rate,
+            mean_worker_lifetime=scenario.mean_lifetime,
+            seed=scenario.seed,
+        )
+    )
+    kwargs = dict(
+        k=2,
+        epoch_length=scenario.epoch_length,
+        budget_fraction=scenario.budget_fraction,
+        max_active_tasks=4,
+        max_queue_depth=8,
+        realization_seed=scenario.seed,
+    )
+    return built, kwargs
+
+
+def _sweep_plain(scenario, built, kwargs, *, backend, workdir: Path) -> dict:
+    """Crash at every event boundary of the plain streaming server."""
+    events = built.events
+    total = len(events)
+    reference = StreamingTCSCServer(built.bbox, backend=backend, **kwargs)
+    start = time.perf_counter()
+    ref_metrics = reference.run(list(events))
+    wall_clean = time.perf_counter() - start
+    ref_sig = reference.assignment().plan_signature()
+
+    journaled = JournaledStreamingServer(
+        built.bbox,
+        journal=workdir / "uninterrupted",
+        snapshot_every=scenario.snapshot_every,
+        backend=backend,
+        **kwargs,
+    )
+    start = time.perf_counter()
+    jm = journaled.run(list(events))
+    wall_journaled = time.perf_counter() - start
+    journal = journaled.journal
+
+    replayed: list[int] = []
+    snapshot_recoveries = 0
+    identical = 0
+    start = time.perf_counter()
+    for boundary in range(total):
+        jdir = workdir / f"crash-{boundary}"
+        crashed = JournaledStreamingServer(
+            built.bbox,
+            journal=jdir,
+            snapshot_every=scenario.snapshot_every,
+            crash_after_events=boundary,
+            backend=backend,
+            **kwargs,
+        )
+        try:
+            crashed.run(list(events))
+            raise AssertionError(f"crash at boundary {boundary} never fired")
+        except InjectedCrash:
+            pass
+        recovered = JournaledStreamingServer.recover(jdir)
+        metrics = recovered.resume_with_trace(list(events))
+        if (
+            metrics == ref_metrics
+            and recovered.assignment().plan_signature() == ref_sig
+        ):
+            identical += 1
+        replayed.append(recovered.recovery.events_replayed)
+        snapshot_recoveries += recovered.recovery.snapshot_loaded
+    wall_sweep = time.perf_counter() - start
+
+    return {
+        "total_events": total,
+        "plan_length": len(ref_sig),
+        "signature": _signature_hash(ref_sig),
+        "journaled_matches_clean": jm == ref_metrics
+        and journaled.assignment().plan_signature() == ref_sig,
+        "overhead": {
+            "records": journal.wal.records_appended,
+            "bytes": journal.wal.bytes_written,
+            "records_per_event": round(
+                journal.wal.records_appended / max(total, 1), 3
+            ),
+            "snapshots": journal.snapshots_written,
+            "snapshot_bytes": journal.snapshot_bytes,
+        },
+        "recovery": {
+            "boundaries": total,
+            "identical": identical,
+            "snapshot_recoveries": snapshot_recoveries,
+            "mean_events_replayed": round(sum(replayed) / max(total, 1), 3),
+            "max_events_replayed": max(replayed, default=0),
+        },
+        "wall_clean_s": wall_clean,
+        "wall_journaled_s": wall_journaled,
+        "wall_sweep_s": wall_sweep,
+    }
+
+
+def _sweep_sharded(
+    scenario, built, kwargs, *, backend, num_shards: int, workdir: Path
+) -> dict:
+    """Crash at every event boundary of the sharded deployment.
+
+    Boundaries count journaled event consumptions across the shard
+    servers in serial run order (halo fan-out duplicates worker
+    events, so there are more boundaries than trace events); the sweep
+    stops at the first budget the run survives.
+    """
+    events = built.events
+    reference = ShardedStreamingServer(
+        built.bbox, num_shards=num_shards, backend=backend, **kwargs
+    )
+    ref_metrics = reference.run(list(events))
+    ref_sig = reference.assignment().plan_signature()
+    ref_counters = [server.counters for server in reference.servers]
+
+    identical = 0
+    replayed: list[int] = []
+    boundary = 0
+    start = time.perf_counter()
+    while True:
+        jdir = workdir / f"shard{num_shards}-crash-{boundary}"
+        crashed = JournaledShardedStreamingServer(
+            built.bbox,
+            journal_root=jdir,
+            num_shards=num_shards,
+            snapshot_every=scenario.snapshot_every,
+            crash_after_events=boundary,
+            backend=backend,
+            **kwargs,
+        )
+        try:
+            crashed.run(list(events))
+            break  # the run outlived the budget: sweep complete
+        except InjectedCrash:
+            pass
+        recovered = JournaledShardedStreamingServer.recover(jdir)
+        metrics = recovered.resume(list(events))
+        if (
+            metrics.per_shard == ref_metrics.per_shard
+            and metrics.makespan == ref_metrics.makespan
+            and metrics.serial_cost == ref_metrics.serial_cost
+            and recovered.assignment().plan_signature() == ref_sig
+            and [s.counters for s in recovered.servers] == ref_counters
+        ):
+            identical += 1
+        replayed.append(
+            sum(info.events_replayed for info in recovered.recovery)
+        )
+        boundary += 1
+    wall_sweep = time.perf_counter() - start
+
+    return {
+        "boundaries": boundary,
+        "identical": identical,
+        "plan_length": len(ref_sig),
+        "signature": _signature_hash(ref_sig),
+        "mean_events_replayed": round(sum(replayed) / max(boundary, 1), 3),
+        "makespan": ref_metrics.makespan,
+        "speedup": ref_metrics.speedup,
+        "wall_sweep_s": wall_sweep,
+    }
+
+
+def _run_scenario(scenario: JournalScenario, *, backend: str) -> dict:
+    built, kwargs = _build(scenario)
+    with tempfile.TemporaryDirectory(prefix="journalsuite-") as tmp:
+        workdir = Path(tmp)
+        plain = _sweep_plain(
+            scenario, built, kwargs, backend=backend, workdir=workdir
+        )
+        shards = {
+            str(count): _sweep_sharded(
+                scenario, built, kwargs,
+                backend=backend, num_shards=count, workdir=workdir,
+            )
+            for count in SHARD_COUNTS
+        }
+    return {
+        "name": scenario.name,
+        "seed": scenario.seed,
+        "horizon": scenario.horizon,
+        "task_slots": scenario.task_slots,
+        "snapshot_every": scenario.snapshot_every,
+        "plain": plain,
+        "shards": shards,
+    }
+
+
+def run_suite(*, smoke: bool = False, backend: str = "python") -> dict:
+    """Run the suite and return the machine-readable payload."""
+    scenarios = SMOKE_SCENARIOS if smoke else SCENARIOS
+    return {
+        "suite": "journalsuite",
+        "mode": "smoke" if smoke else "full",
+        "backend": backend,
+        "shard_counts": list(SHARD_COUNTS),
+        "scenarios": [_run_scenario(s, backend=backend) for s in scenarios],
+    }
+
+
+def check_payload(payload: dict) -> list[str]:
+    """Deterministic gates; returns a list of failure strings.
+
+    * **Exact replay** — every crash boundary (plain and sharded) must
+      recover byte-identically; the uninterrupted journaled run must
+      match the plain run (which also proves zero op-count journaling
+      overhead, since ``OpCounters`` ride inside the metrics).
+    * **Degenerate sharding** — the one-shard sweep must reproduce the
+      plain server's plan.
+    * **Snapshots pay off** — with snapshots on disk, mean recovery
+      replay must be strictly cheaper than consuming the whole trace.
+
+    Wall-clock is deliberately unchecked (determinism policy).
+    """
+    failures = []
+    for scenario in payload["scenarios"]:
+        name = scenario["name"]
+        plain = scenario["plain"]
+        if not plain["journaled_matches_clean"]:
+            failures.append(f"{name}: journaled run diverged from the plain run")
+        recovery = plain["recovery"]
+        if recovery["identical"] != recovery["boundaries"]:
+            failures.append(
+                f"{name}: {recovery['boundaries'] - recovery['identical']} of "
+                f"{recovery['boundaries']} plain crash boundaries recovered "
+                "non-identically"
+            )
+        if plain["overhead"]["snapshots"] > 0 and not (
+            recovery["mean_events_replayed"] < plain["total_events"]
+        ):
+            failures.append(
+                f"{name}: snapshots written but mean replay "
+                f"({recovery['mean_events_replayed']}) is not cheaper than "
+                f"the full trace ({plain['total_events']})"
+            )
+        for count, row in scenario["shards"].items():
+            if row["identical"] != row["boundaries"]:
+                failures.append(
+                    f"{name}: shards={count}: "
+                    f"{row['boundaries'] - row['identical']} of "
+                    f"{row['boundaries']} boundaries recovered non-identically"
+                )
+        single = scenario["shards"].get("1")
+        if single and single["signature"] != plain["signature"]:
+            failures.append(
+                f"{name}: one-shard sharded plan diverged from the plain plan"
+            )
+    return failures
+
+
+def _write_report_block(payload: dict, results_dir: Path) -> None:
+    """Persist the human-readable durability block for REPORT.md."""
+    from repro.bench import Reporter
+
+    reporter = Reporter(
+        "journal1",
+        "Journal suite: crash/recovery exactness and durability overhead",
+        results_dir=results_dir,
+    )
+    reporter.note(
+        "crash injected at every event boundary; recovered runs byte-identical "
+        "(plan, metrics, op counters); replay cost in events, never wall-clock"
+    )
+    reporter.header(
+        "scenario", "mode", "boundaries", "identical",
+        "rec/event", "mean_replay", "snapshots",
+    )
+    for scenario in payload["scenarios"]:
+        plain = scenario["plain"]
+        reporter.row(
+            scenario["name"], "plain",
+            plain["recovery"]["boundaries"], plain["recovery"]["identical"],
+            plain["overhead"]["records_per_event"],
+            plain["recovery"]["mean_events_replayed"],
+            plain["overhead"]["snapshots"],
+        )
+        for count, row in scenario["shards"].items():
+            reporter.row(
+                scenario["name"], f"shards={count}",
+                row["boundaries"], row["identical"],
+                "-", row["mean_events_replayed"], "-",
+            )
+    reporter.close()
+
+
+def run_and_write(
+    *,
+    smoke: bool = False,
+    results_dir: str | Path | None = None,
+    backend: str = "python",
+) -> int:
+    """Run the suite, persist JSON, refresh BENCH_journal.json.
+
+    The single entry point behind ``python -m repro bench-journal``
+    and ``python -m repro.bench.journalsuite``; returns a process exit
+    code (non-zero when an exactness gate fails).  Layout mirrors the
+    perf/shard suites: the series lands in ``benchmarks/results/``,
+    the merged ``BENCH_journal.json`` next to them in ``benchmarks/``.
+    """
+    if results_dir is None:
+        results_dir = _DEFAULT_RESULTS
+        bench_dir = results_dir.parent
+    else:
+        results_dir = Path(results_dir)
+        bench_dir = results_dir
+    results_dir.mkdir(parents=True, exist_ok=True)
+
+    payload = run_suite(smoke=smoke, backend=backend)
+    out = results_dir / "journal_suite.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    _write_report_block(payload, results_dir)
+
+    from repro.bench.collect import collect_journal
+
+    merged = collect_journal(results_dir)
+    if merged is not None:
+        bench_out = bench_dir / "BENCH_journal.json"
+        bench_out.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {bench_out}")
+
+    for scenario in payload["scenarios"]:
+        plain = scenario["plain"]
+        shard_ident = " ".join(
+            f"s{count}={row['identical']}/{row['boundaries']}"
+            for count, row in scenario["shards"].items()
+        )
+        print(
+            f"{scenario['name']}: events={plain['total_events']} "
+            f"plain={plain['recovery']['identical']}/"
+            f"{plain['recovery']['boundaries']} identical, {shard_ident}; "
+            f"{plain['overhead']['records_per_event']} records/event, "
+            f"mean replay {plain['recovery']['mean_events_replayed']} events"
+        )
+
+    failures = check_payload(payload)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone CLI wrapper around :func:`run_and_write`."""
+    import argparse
+
+    from repro.core.evaluator import EVALUATOR_BACKENDS
+
+    parser = argparse.ArgumentParser(prog="repro.bench.journalsuite")
+    parser.add_argument("--smoke", action="store_true",
+                        help="smallest scenario only (CI smoke mode)")
+    parser.add_argument("--results-dir", default=None,
+                        help="override benchmarks/results output directory")
+    parser.add_argument("--backend", choices=list(EVALUATOR_BACKENDS),
+                        default="python",
+                        help="quality-kernel backend for every run")
+    args = parser.parse_args(argv)
+    return run_and_write(
+        smoke=args.smoke, results_dir=args.results_dir, backend=args.backend
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

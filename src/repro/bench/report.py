@@ -55,3 +55,15 @@ class Reporter:
         path = self.results_dir / f"{self.figure}.txt"
         path.write_text(block + "\n")
         return path
+
+
+def signature_hash(signature) -> str:
+    """Stable 16-hex digest of a plan signature (tuples of ints).
+
+    Shared by the shard and journal suites so their ``signature``
+    fields stay cross-comparable (the one-shard-equals-plain gate
+    compares digests across payload sections).
+    """
+    import hashlib
+
+    return hashlib.sha256(repr(signature).encode()).hexdigest()[:16]

@@ -27,7 +27,6 @@ op-count invariants only; wall-clock is recorded for humans.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import sys
 import time
@@ -35,6 +34,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.bench.perfsuite import SCENARIOS as PERF_SCENARIOS
+from repro.bench.report import signature_hash as _signature_hash
 from repro.shard.server import SequentialServingSolver, ShardedTCSCServer
 from repro.workloads.scenario import ScenarioConfig, build_scenario
 
@@ -81,11 +81,6 @@ SMOKE_SCENARIOS = (
     SCENARIOS[0],
     ShardScenario("scale8", tasks=8, m=16, workers=200, seed=13),
 )
-
-
-def _signature_hash(signature) -> str:
-    """Stable digest of a plan signature (tuples of ints)."""
-    return hashlib.sha256(repr(signature).encode()).hexdigest()[:16]
 
 
 def _run_scenario(scenario: ShardScenario, *, backend: str = "python") -> dict:

@@ -287,6 +287,75 @@ class TreeIndex:
         self._pull_inner(node)
 
     # ------------------------------------------------------------------
+    # State capture (journal snapshots)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Verbatim index state for an exact snapshot.
+
+        A fresh build over the same evaluator/cost state reproduces
+        every aggregate *mathematically*, but the paint tree's float
+        accumulators carry round-off history (paint/unpaint pairs need
+        not cancel bit-for-bit), and recovered runs must evolve their
+        op counters byte-identically to uninterrupted ones — so the
+        journal copies the arrays instead of rebuilding.
+        """
+        return {
+            "ts": self.ts,
+            "m": self.m,
+            "cost": list(self._cost),
+            "rel": list(self._rel),
+            "self_gain": list(self._self_gain),
+            "painted": [
+                None if segs is None else [list(seg) for seg in segs]
+                for segs in self._painted
+            ],
+            "paint": self._paint.to_state(),
+            "agg_self": list(self._agg_self),
+            "agg_cost": list(self._agg_cost),
+            "agg_cand": list(self._agg_cand),
+            "node_count": self.node_count,
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        evaluator: TemporalQualityEvaluator,
+        costs,
+        state: dict,
+        *,
+        counters: OpCounters | None = None,
+    ) -> "TreeIndex":
+        """Reconstruct an index bit-identical to the captured one.
+
+        Bypasses ``__init__`` entirely: nothing is recomputed and no
+        counter is incremented (restoring state is not solver work).
+        ``evaluator`` and ``costs`` must themselves be restored to the
+        capture point.
+        """
+        index = cls.__new__(cls)
+        index.ev = evaluator
+        index.costs = costs
+        index.ts = state["ts"]
+        index.m = state["m"]
+        index.counters = counters if counters is not None else evaluator.counters
+        index._cost = [float(v) for v in state["cost"]]
+        index._rel = [float(v) for v in state["rel"]]
+        index._self_gain = [float(v) for v in state["self_gain"]]
+        # Segment tuples were listified for JSON; the refresh path
+        # compares them against freshly built tuples, so restore the
+        # exact tuple shape.
+        index._painted = [
+            None if segs is None else [(int(lo), int(hi), float(v)) for lo, hi, v in segs]
+            for segs in state["painted"]
+        ]
+        index._paint = RangeAddMaxTree.from_state(state["paint"])
+        index._agg_self = [float(v) for v in state["agg_self"]]
+        index._agg_cost = [float(v) for v in state["agg_cost"]]
+        index._agg_cand = [int(v) for v in state["agg_cand"]]
+        index.node_count = state["node_count"]
+        return index
+
+    # ------------------------------------------------------------------
     # Best-first search
     # ------------------------------------------------------------------
     @property

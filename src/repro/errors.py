@@ -31,3 +31,30 @@ class WorkerUnavailableError(TCSCError):
 
 class SchedulingError(TCSCError):
     """The parallel scheduler reached an inconsistent state."""
+
+
+class JournalError(TCSCError):
+    """Base class for durability-layer (``repro.journal``) failures."""
+
+
+class JournalCorruptionError(JournalError):
+    """A journal file is damaged beyond its tolerated truncated tail.
+
+    Raised for a checksum/JSON failure *before* the final record of a
+    write-ahead log (a torn tail is tolerated and dropped), for
+    non-monotone record sequence numbers (gaps are legal — compaction
+    creates them), for a missing log or ``open`` header, and for
+    unreadable sharded-journal metadata.  Torn *snapshots* do not
+    raise: recovery silently falls back to the next older one and
+    replays a longer suffix.
+    """
+
+
+class JournalReplayError(JournalError):
+    """Crash recovery diverged from the journaled history.
+
+    Replay is exact by construction (the determinism policy), so a
+    replayed run that regenerates a record different from the one in
+    the log means the journal, the code, or the configuration changed
+    between the crash and the recovery.
+    """

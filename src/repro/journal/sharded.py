@@ -1,0 +1,181 @@
+"""Durable sharded streaming: one journal per shard.
+
+A :class:`JournaledShardedStreamingServer` is a
+:class:`~repro.shard.streaming.ShardedStreamingServer` whose per-shard
+servers are :class:`~repro.journal.server.JournaledStreamingServer`
+instances, each owning ``<root>/shard-<i>``; the deployment-level
+routing configuration lands in ``<root>/meta.json`` so recovery needs
+only the journal root (plus the regenerable trace).
+
+Because routing is a pure function of the trace and the partitioner
+(DESIGN.md §6.3), recovery re-routes the full trace and resumes every
+shard against its own journal: shards that finished before the crash
+reload their final snapshot and merely re-realize, the crashed shard
+replays its log suffix, and shards that never started recover to a
+fresh state and consume their whole sub-trace.  The merged metrics,
+op-count makespan, and combined plan are byte-identical to an
+uninterrupted run — the journal bench suite asserts it for shard
+counts 1, 2, and 4 at every event boundary.
+
+Fault injection shares one :class:`~repro.journal.server.CrashBudget`
+across the shard servers, so ``crash_after_events=K`` counts event
+boundaries in the deployment's serial run order.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.errors import JournalCorruptionError, SchedulingError
+from repro.geo.bbox import BoundingBox
+from repro.journal.server import CrashBudget, JournaledStreamingServer
+from repro.shard.streaming import ShardedStreamingServer, ShardedStreamMetrics
+
+__all__ = ["JournaledShardedStreamingServer"]
+
+
+class JournaledShardedStreamingServer(ShardedStreamingServer):
+    """Sharded streaming with per-shard write-ahead journals."""
+
+    def __init__(
+        self,
+        bbox: BoundingBox,
+        *,
+        journal_root: str | Path,
+        num_shards: int,
+        cells_per_side: int | None = None,
+        halo_margin: str | float = "auto",
+        snapshot_every: int = 4,
+        sync: bool = False,
+        crash_after_events: int | CrashBudget | None = None,
+        crash_phase: str = "apply",
+        _resume: bool = False,
+        **server_kwargs,
+    ):
+        # The per-shard factory (called from super().__init__) reads
+        # the journal configuration, so it must land first.
+        self.journal_root = Path(journal_root)
+        self.journal_root.mkdir(parents=True, exist_ok=True)
+        self.snapshot_every = snapshot_every
+        self._sync = sync
+        self._crash = CrashBudget.coerce(crash_after_events, crash_phase)
+        self._resuming = _resume
+        super().__init__(
+            bbox,
+            num_shards=num_shards,
+            cells_per_side=cells_per_side,
+            halo_margin=halo_margin,
+            **server_kwargs,
+        )
+        if not _resume:
+            self._write_meta(
+                {
+                    "bbox": [bbox.min_x, bbox.min_y, bbox.max_x, bbox.max_y],
+                    "num_shards": num_shards,
+                    "cells_per_side": cells_per_side,
+                    # Resolved to a plain radius so recovery cannot
+                    # re-derive it differently.
+                    "halo_margin": self.halo_margin,
+                    "snapshot_every": snapshot_every,
+                    "server_kwargs": server_kwargs,
+                }
+            )
+
+    def _build_servers(self, bbox, num_shards, server_kwargs):
+        """One journaled server per shard — recovered from its own
+        journal when resuming, freshly journaled otherwise."""
+        if self._resuming:
+            return [
+                JournaledStreamingServer.recover(
+                    self.journal_root / f"shard-{shard}",
+                    sync=self._sync,
+                    snapshot_every=self.snapshot_every,
+                    crash_after_events=self._crash,
+                )
+                for shard in range(num_shards)
+            ]
+        return [
+            JournaledStreamingServer(
+                bbox,
+                journal=self.journal_root / f"shard-{shard}",
+                snapshot_every=self.snapshot_every,
+                sync=self._sync,
+                crash_after_events=self._crash,
+                **server_kwargs,
+            )
+            for shard in range(num_shards)
+        ]
+
+    def _write_meta(self, meta: dict) -> None:
+        path = self.journal_root / "meta.json"
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(meta, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(
+        cls,
+        journal_root: str | Path,
+        *,
+        sync: bool = False,
+        snapshot_every: int | None = None,
+        crash_after_events: int | CrashBudget | None = None,
+        crash_phase: str = "apply",
+    ) -> "JournaledShardedStreamingServer":
+        """Rebuild the deployment from its journal root.
+
+        ``snapshot_every=None`` keeps the interrupted run's cadence;
+        ``crash_after_events`` arms fault injection *during the
+        resumed run* (double-fault testing), counting boundaries
+        across shards as usual.
+        """
+        root = Path(journal_root)
+        meta_path = root / "meta.json"
+        try:
+            meta = json.loads(meta_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise JournalCorruptionError(
+                f"{meta_path}: unreadable sharded-journal metadata: {exc}"
+            ) from exc
+        return cls(
+            BoundingBox(*meta["bbox"]),
+            journal_root=root,
+            num_shards=meta["num_shards"],
+            cells_per_side=meta["cells_per_side"],
+            halo_margin=meta["halo_margin"],
+            snapshot_every=meta["snapshot_every"]
+            if snapshot_every is None
+            else snapshot_every,
+            sync=sync,
+            crash_after_events=crash_after_events,
+            crash_phase=crash_phase,
+            _resume=True,
+            **meta["server_kwargs"],
+        )
+
+    def resume(self, events) -> ShardedStreamMetrics:
+        """Re-route the full trace and resume every shard.
+
+        Routing is deterministic, so each recovered shard server skips
+        the pops its journal already accounts for and continues live;
+        the merged metrics match an uninterrupted run exactly.
+        """
+        if self._ran:
+            raise SchedulingError(
+                "JournaledShardedStreamingServer.resume is one-shot; "
+                "recover a fresh instance per attempt"
+            )
+        self._ran = True
+        return self._drain(
+            events, lambda server, trace: server.resume_with_trace(trace)
+        )
+
+    @property
+    def recovery(self):
+        """Per-shard :class:`~repro.journal.server.RecoveryInfo`."""
+        return [server.recovery for server in self.servers]

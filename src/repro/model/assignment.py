@@ -32,6 +32,25 @@ class AssignmentRecord:
         if self.cost < 0:
             raise ConfigurationError(f"negative cost {self.cost}")
 
+    def to_dict(self) -> dict:
+        """JSON-ready representation (exact float round trip)."""
+        return {
+            "task_id": self.task_id,
+            "slot": self.slot,
+            "worker_id": self.worker_id,
+            "cost": self.cost,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AssignmentRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            task_id=payload["task_id"],
+            slot=payload["slot"],
+            worker_id=payload["worker_id"],
+            cost=payload["cost"],
+        )
+
 
 @dataclass(slots=True)
 class Assignment:
@@ -75,6 +94,19 @@ class Assignment:
     def plan_signature(self) -> tuple[tuple[int, int, int], ...]:
         """Hashable summary used by determinism tests: (task, slot, worker)."""
         return tuple((r.task_id, r.slot, r.worker_id) for r in self.records)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation preserving record order."""
+        return {"records": [r.to_dict() for r in self.records]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Assignment":
+        """Inverse of :meth:`to_dict`; ``plan_signature()`` survives
+        the round trip byte-for-byte (order and ids are preserved)."""
+        plan = cls()
+        for record in payload["records"]:
+            plan.add(AssignmentRecord.from_dict(record))
+        return plan
 
 
 class Budget:

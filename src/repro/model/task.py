@@ -70,6 +70,30 @@ class Task:
         """``|tau^(a), tau^(b)|`` — absolute slot-index difference."""
         return abs(slot_a - slot_b)
 
+    # ------------------------------------------------------------------
+    # Serialization (journal snapshots, WAL event records)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready representation; exact under a round trip (floats
+        survive ``json`` bit-for-bit via shortest-repr)."""
+        return {
+            "task_id": self.task_id,
+            "loc": [self.loc.x, self.loc.y],
+            "num_slots": self.num_slots,
+            "start_slot": self.start_slot,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Task":
+        """Inverse of :meth:`to_dict` (revalidates invariants)."""
+        x, y = payload["loc"]
+        return cls(
+            task_id=payload["task_id"],
+            loc=Point(float(x), float(y)),
+            num_slots=payload["num_slots"],
+            start_slot=payload["start_slot"],
+        )
+
 
 @dataclass(slots=True)
 class TaskSet:

@@ -64,6 +64,38 @@ class Worker:
         """Sorted global slots at which the worker is available."""
         return sorted(self.availability)
 
+    # ------------------------------------------------------------------
+    # Serialization (journal snapshots, WAL event records)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready representation.
+
+        Availability is emitted in ascending slot order, so the round
+        trip canonicalizes dict iteration order — every consumer of
+        ``availability`` is order-insensitive, and the workload
+        generators already build it ascending.
+        """
+        return {
+            "worker_id": self.worker_id,
+            "availability": [
+                [slot, self.availability[slot].x, self.availability[slot].y]
+                for slot in sorted(self.availability)
+            ],
+            "reliability": self.reliability,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Worker":
+        """Inverse of :meth:`to_dict` (revalidates invariants)."""
+        return cls(
+            worker_id=payload["worker_id"],
+            availability={
+                slot: Point(float(x), float(y))
+                for slot, x, y in payload["availability"]
+            },
+            reliability=payload["reliability"],
+        )
+
 
 @dataclass(slots=True)
 class WorkerPool:

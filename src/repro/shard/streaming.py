@@ -182,10 +182,14 @@ class ShardedStreamingServer:
                 f"halo_margin must be >= 0, got {halo_margin}"
             )
         self.halo_margin = float(halo_margin)
-        self.servers = [
-            StreamingTCSCServer(bbox, **server_kwargs) for _ in range(num_shards)
-        ]
+        self.servers = self._build_servers(bbox, num_shards, server_kwargs)
         self._ran = False
+
+    def _build_servers(
+        self, bbox: BoundingBox, num_shards: int, server_kwargs: dict
+    ) -> list[StreamingTCSCServer]:
+        """Per-shard server factory (the journal layer overrides it)."""
+        return [StreamingTCSCServer(bbox, **server_kwargs) for _ in range(num_shards)]
 
     # ------------------------------------------------------------------
     # Routing
@@ -245,10 +249,17 @@ class ShardedStreamingServer:
                 "ShardedStreamingServer.run is one-shot; create a new server per trace"
             )
         self._ran = True
+        return self._drain(events, lambda server, trace: server.run(trace))
+
+    def _drain(self, events, drive) -> ShardedStreamMetrics:
+        """Route ``events`` and push each shard's sub-trace through
+        ``drive(server, trace)``, merging metrics and the op-count
+        makespan.  Shared by :meth:`run` and the journal layer's
+        resume path so both report identical scaling numbers."""
         per_shard, metrics = self.route(events)
         items: list[list[WorkItem]] = []
         for shard, (server, trace) in enumerate(zip(self.servers, per_shard)):
-            metrics.per_shard.append(server.run(trace))
+            metrics.per_shard.append(drive(server, trace))
             items.append(
                 [WorkItem(owner=shard, cost=server.counters.virtual_cost())]
             )

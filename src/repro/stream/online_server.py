@@ -166,6 +166,10 @@ class StreamingTCSCServer:
         self._pending: list[TaskArrival] = []
         self._active: list[TaskSession] = []
         self._finished: list[TaskSession] = []
+        #: Metrics survive across :meth:`run` re-entry so a recovered
+        #: server (``repro.journal``) resumes the interrupted record
+        #: instead of starting a fresh one.
+        self._metrics: StreamMetrics | None = None
         self._ran = False
 
     # ------------------------------------------------------------------
@@ -236,14 +240,40 @@ class StreamingTCSCServer:
             )
         self._finished.append(session)
 
-    def _commit(self, consuming: TaskSession, worker_id: int, global_slot: int) -> None:
-        """Consume a worker and broadcast the conflict to competitors."""
+    def _commit(
+        self,
+        consuming: TaskSession,
+        worker_id: int,
+        global_slot: int,
+        local_slot: int,
+        cost: float,
+    ) -> None:
+        """Consume a worker and broadcast the conflict to competitors.
+
+        ``local_slot`` and ``cost`` identify the committed subtask; the
+        base server only needs the worker/slot pair, but the journal
+        subclass logs the full typed commit record before applying it.
+        """
         self.registry.consume(worker_id, global_slot)
         for other in self._active:
             if other is consuming:
                 continue
             if other.note_worker_consumed(worker_id, global_slot):
                 self.counters.conflicts_detected += 1
+
+    # ------------------------------------------------------------------
+    # Journal hooks (no-ops here; see repro.journal.server)
+    # ------------------------------------------------------------------
+    def _consume_event(self, event: Event, metrics: StreamMetrics) -> None:
+        """Apply one drained event (override to log-before-apply)."""
+        self._handle(event, metrics)
+
+    def _on_epoch_end(self, metrics: StreamMetrics, now: float) -> None:
+        """Called after each epoch's assignment rounds (snapshot hook)."""
+
+    def _on_run_complete(self, metrics: StreamMetrics) -> None:
+        """Called once the trace is drained and realized (final
+        snapshot hook)."""
 
     # ------------------------------------------------------------------
     # The loop
@@ -260,7 +290,9 @@ class StreamingTCSCServer:
             )
         self._ran = True
         queue = events if isinstance(events, EventQueue) else EventQueue(events)
-        metrics = StreamMetrics(counters=self.counters)
+        if self._metrics is None:
+            self._metrics = StreamMetrics(counters=self.counters)
+        metrics = self._metrics
         epochs = 0
         while queue or self._pending or self._active:
             epochs += 1
@@ -275,7 +307,7 @@ class StreamingTCSCServer:
                     skip = math.floor(upcoming / self.epoch_length) + 1
                     next_epoch = skip * self.epoch_length
             for event in queue.pop_until(next_epoch):
-                self._handle(event, metrics)
+                self._consume_event(event, metrics)
             now = self.clock.advance_to(next_epoch)
             metrics.epochs += 1
 
@@ -296,11 +328,15 @@ class StreamingTCSCServer:
                 session.step(
                     now,
                     self.pool,
-                    lambda wid, gslot, s=session: self._commit(s, wid, gslot),
+                    lambda wid, gslot, slot, cost, s=session: self._commit(
+                        s, wid, gslot, slot, cost
+                    ),
                 )
             metrics.queue_depth_samples.append((now, len(self._pending)))
+            self._on_epoch_end(metrics, now)
 
         self._realize(metrics)
+        self._on_run_complete(metrics)
         return metrics
 
     # ------------------------------------------------------------------

@@ -249,9 +249,10 @@ class TaskSession:
         """Run greedy assignment for one epoch.
 
         ``pool`` bounds spending globally (``None`` = task budget
-        only); ``on_consume(worker_id, global_slot)`` commits a worker
-        in the registry and notifies competing sessions.  Returns the
-        number of subtasks executed.
+        only); ``on_consume(worker_id, global_slot, local_slot, cost)``
+        commits a worker in the registry and notifies competing
+        sessions (the journal layer also logs it).  Returns the number
+        of subtasks executed.
         """
         if self.exhausted or self.expired:
             return 0
@@ -273,7 +274,9 @@ class TaskSession:
             self.budget.charge(best.cost)
             if pool is not None:
                 pool.charge(best.cost)
-            on_consume(offer.worker_id, self.task.global_slot(best.slot))
+            on_consume(
+                offer.worker_id, self.task.global_slot(best.slot), best.slot, best.cost
+            )
             self.records.append(
                 AssignmentRecord(self.task.task_id, best.slot, offer.worker_id, best.cost)
             )

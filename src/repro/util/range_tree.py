@@ -47,6 +47,26 @@ class RangeAddMaxTree:
         return self.max_in(pos, pos)
 
     # ------------------------------------------------------------------
+    # State capture (journal snapshots)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Verbatim node arrays.
+
+        The accumulators carry float round-off *history* (an add
+        followed by its reversal need not restore the old bits), so an
+        exact snapshot must copy them rather than re-derive them.
+        """
+        return {"n": self.n, "max": list(self._max), "lazy": list(self._lazy)}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RangeAddMaxTree":
+        """Rebuild a tree bit-identical to the captured one."""
+        tree = cls(state["n"])
+        tree._max = [float(v) for v in state["max"]]
+        tree._lazy = [float(v) for v in state["lazy"]]
+        return tree
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _add(self, node: int, l: int, r: int, lo: int, hi: int, value: float) -> None:

@@ -10,6 +10,7 @@ from repro.bench.ascii_plot import bar_chart, line_chart
 from repro.bench.collect import (
     COLLECTORS,
     collect,
+    collect_journal,
     collect_shard,
     collect_stream,
     main,
@@ -118,9 +119,16 @@ class TestCollect:
         assert set(merged["series"]) == {"shard_suite"}
         assert "bench-shard" in merged["generated_by"]
 
+    def test_collect_journal_merges_json_series(self, tmp_path):
+        (tmp_path / "journal_suite.json").write_text('{"suite": "journalsuite"}\n')
+        merged = collect_journal(tmp_path)
+        assert set(merged["series"]) == {"journal_suite"}
+        assert "bench-journal" in merged["generated_by"]
+
     def test_every_registered_artifact_has_a_collector(self):
         assert set(COLLECTORS) == {
             "BENCH_stream.json", "BENCH_perf.json", "BENCH_shard.json",
+            "BENCH_journal.json",
         }
         for pattern, collector in COLLECTORS.values():
             assert pattern.endswith("*.json")

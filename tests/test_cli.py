@@ -216,3 +216,108 @@ class TestCommands:
         assert (tmp_path / "shard_suite.json").exists()
         assert (tmp_path / "BENCH_shard.json").exists()
         assert "plans identical=True" in out
+
+
+class TestJournalCLI:
+    """The durability surface: --journal / --crash-at / --resume."""
+
+    SIM = ["simulate", "--seed", "9", "--horizon", "16", "--task-rate", "0.3",
+           "--task-slots", "8", "--initial-workers", "14", "--join-rate", "0.8",
+           "--mean-lifetime", "12", "--epoch", "3", "--budget-fraction", "0.6",
+           "--max-active", "4", "--queue-depth", "8", "--k", "2"]
+
+    def test_parser_accepts_journal_flags(self):
+        args = build_parser().parse_args(
+            ["simulate", "--journal", "/tmp/j", "--snapshot-every", "2",
+             "--crash-at", "5", "--resume"]
+        )
+        assert args.journal == "/tmp/j"
+        assert args.snapshot_every == 2
+        assert args.crash_at == 5
+        assert args.resume
+
+    def test_crash_flags_require_journal(self, capsys):
+        assert main(["simulate", "--crash-at", "3"]) == 2
+        assert main(["simulate", "--resume"]) == 2
+        assert "--journal" in capsys.readouterr().err
+
+    def test_existing_journal_refused_without_resume(self, tmp_path, capsys):
+        """Re-running without --resume must not wipe the only copy of
+        an interrupted run's log and snapshots."""
+        jdir = str(tmp_path / "j")
+        assert main(self.SIM + ["--journal", jdir, "--crash-at", "5"]) == 0
+        capsys.readouterr()
+        assert main(self.SIM + ["--journal", jdir, "--crash-at", "5"]) == 2
+        assert "--resume" in capsys.readouterr().err
+        # The journal survived and still recovers.
+        assert main(self.SIM + ["--journal", jdir, "--resume"]) == 0
+        assert "streaming report" in capsys.readouterr().out
+
+    @staticmethod
+    def _report_block(out: str) -> str:
+        lines = out.splitlines()
+        start = next(i for i, l in enumerate(lines) if "streaming report" in l)
+        return "\n".join(lines[start:])
+
+    def test_crash_then_resume_matches_clean_run(self, tmp_path, capsys):
+        assert main(self.SIM) == 0
+        clean = self._report_block(capsys.readouterr().out)
+
+        jdir = str(tmp_path / "j")
+        assert main(self.SIM + ["--journal", jdir, "--crash-at", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "crash injected" in out
+        assert "--resume" in out
+
+        assert main(self.SIM + ["--journal", jdir, "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "recovery: snapshot=" in out
+        # Byte-identical operator report: the recovered run is exact.
+        assert self._report_block(out) == clean
+
+    def test_sharded_crash_then_resume_matches_clean_run(self, tmp_path, capsys):
+        sim = self.SIM + ["--shards", "2"]
+        assert main(sim) == 0
+        clean = self._report_block(capsys.readouterr().out)
+
+        jdir = str(tmp_path / "js")
+        assert main(sim + ["--journal", jdir, "--crash-at", "20"]) == 0
+        assert "crash injected" in capsys.readouterr().out
+
+        # Shardedness is read off the journal root: --shards is not
+        # needed (nor consulted) on resume.
+        assert main(self.SIM + ["--journal", jdir, "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "recovery shard 0" in out
+        assert self._report_block(out) == clean
+
+    def test_resume_missing_journal_is_guided(self, tmp_path, capsys):
+        assert main(self.SIM + ["--journal", str(tmp_path / "nope"), "--resume"]) == 2
+        assert "no journal found" in capsys.readouterr().err
+
+    def test_double_fault_crash_during_resume_then_final_resume(self, tmp_path, capsys):
+        """--crash-at stays armed on --resume: crash, recover, crash
+        again mid-recovery, recover again — still byte-identical."""
+        assert main(self.SIM) == 0
+        clean = self._report_block(capsys.readouterr().out)
+        jdir = str(tmp_path / "dbl")
+        assert main(self.SIM + ["--journal", jdir, "--crash-at", "20"]) == 0
+        capsys.readouterr()
+        assert main(self.SIM + ["--journal", jdir, "--resume", "--crash-at", "40"]) == 0
+        assert "crash injected" in capsys.readouterr().out
+        assert main(self.SIM + ["--journal", jdir, "--resume"]) == 0
+        assert self._report_block(capsys.readouterr().out) == clean
+
+    def test_journaled_run_without_crash_matches_clean(self, tmp_path, capsys):
+        assert main(self.SIM) == 0
+        clean = self._report_block(capsys.readouterr().out)
+        assert main(self.SIM + ["--journal", str(tmp_path / "nc")]) == 0
+        assert self._report_block(capsys.readouterr().out) == clean
+
+    def test_bench_journal_smoke(self, tmp_path, capsys):
+        code = main(["bench-journal", "--smoke", "--results-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert (tmp_path / "journal_suite.json").exists()
+        assert (tmp_path / "BENCH_journal.json").exists()
+        assert "identical" in out

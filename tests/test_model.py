@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import json
+import random
+
 import pytest
 
 from repro.errors import BudgetExhaustedError, ConfigurationError, WorkerUnavailableError
@@ -170,3 +173,105 @@ class TestBudget:
         clone.charge(2.0)
         assert budget.spent == pytest.approx(3.0)
         assert clone.spent == pytest.approx(5.0)
+
+
+class TestSerialization:
+    """to_dict/from_dict round trips (the journal's model codec)."""
+
+    def test_task_round_trip_exact(self):
+        task = Task(3, Point(1.25, -0.75), 12, start_slot=5)
+        clone = Task.from_dict(json.loads(json.dumps(task.to_dict())))
+        assert clone == task
+
+    def test_task_from_dict_revalidates(self):
+        payload = Task(1, Point(0, 0), 5).to_dict()
+        payload["num_slots"] = 2
+        with pytest.raises(ConfigurationError):
+            Task.from_dict(payload)
+
+    def test_worker_round_trip_exact(self):
+        worker = Worker(
+            9, {2: Point(0.1, 0.2), 5: Point(3.33, 4.44)}, reliability=0.625
+        )
+        clone = Worker.from_dict(json.loads(json.dumps(worker.to_dict())))
+        assert clone == worker
+        assert clone.availability[5] == Point(3.33, 4.44)
+
+    def test_worker_availability_canonicalized_ascending(self):
+        worker = Worker(1, {7: Point(1, 1), 2: Point(0, 0)})
+        payload = worker.to_dict()
+        assert [entry[0] for entry in payload["availability"]] == [2, 7]
+
+    def test_worker_from_dict_revalidates(self):
+        payload = Worker(1, {1: Point(0, 0)}).to_dict()
+        payload["reliability"] = 1.5
+        with pytest.raises(ConfigurationError):
+            Worker.from_dict(payload)
+
+    def test_record_round_trip_exact(self):
+        record = AssignmentRecord(4, 7, 11, 2.7182818284590455)
+        clone = AssignmentRecord.from_dict(json.loads(json.dumps(record.to_dict())))
+        assert clone == record
+        assert clone.cost == record.cost  # bit-exact, not approx
+
+    def test_assignment_round_trip_preserves_order_and_duplicates_check(self):
+        plan = Assignment()
+        plan.add(AssignmentRecord(1, 5, 10, 2.0))
+        plan.add(AssignmentRecord(1, 2, 10, 1.5))
+        clone = Assignment.from_dict(json.loads(json.dumps(plan.to_dict())))
+        assert clone.plan_signature() == plan.plan_signature()
+        payload = plan.to_dict()
+        payload["records"].append(payload["records"][0])
+        with pytest.raises(ConfigurationError):
+            Assignment.from_dict(payload)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5, 6, 7])
+    def test_property_random_plans_signature_preserved(self, seed):
+        """Property test: for randomized plans, workers, and tasks, a
+        JSON round trip preserves ``plan_signature()`` byte-for-byte
+        and every float bit-for-bit."""
+        rng = random.Random(seed)
+        tasks = [
+            Task(
+                tid,
+                Point(rng.uniform(-50, 50), rng.uniform(-50, 50)),
+                rng.randint(3, 40),
+                start_slot=rng.randint(1, 20),
+            )
+            for tid in range(rng.randint(1, 6))
+        ]
+        workers = [
+            Worker(
+                wid,
+                {
+                    slot: Point(rng.uniform(0, 100), rng.uniform(0, 100))
+                    for slot in rng.sample(range(1, 60), rng.randint(1, 10))
+                },
+                reliability=rng.uniform(0.0, 1.0),
+            )
+            for wid in range(rng.randint(1, 8))
+        ]
+        plan = Assignment()
+        for task in tasks:
+            for slot in rng.sample(list(task.slots), min(3, task.num_slots)):
+                worker = rng.choice(workers)
+                plan.add(
+                    AssignmentRecord(
+                        task.task_id, slot, worker.worker_id, rng.uniform(0, 9)
+                    )
+                )
+
+        blob = json.dumps(
+            {
+                "tasks": [t.to_dict() for t in tasks],
+                "workers": [w.to_dict() for w in workers],
+                "plan": plan.to_dict(),
+            },
+            sort_keys=True,
+        )
+        decoded = json.loads(blob)
+        assert [Task.from_dict(t) for t in decoded["tasks"]] == tasks
+        assert [Worker.from_dict(w) for w in decoded["workers"]] == workers
+        restored = Assignment.from_dict(decoded["plan"])
+        assert restored.plan_signature() == plan.plan_signature()
+        assert [r.cost for r in restored.records] == [r.cost for r in plan.records]

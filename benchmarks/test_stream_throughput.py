@@ -15,8 +15,7 @@ import json
 import time
 
 from repro.bench import Reporter
-from repro.stream.online_server import StreamingTCSCServer
-from repro.workloads.streaming import StreamScenarioConfig, build_stream_events
+from repro.runtime import RunSpec, WorkloadSpec, build_runtime
 
 
 def test_stream1_incremental_vs_rebuild(run_once):
@@ -28,27 +27,29 @@ def test_stream1_incremental_vs_rebuild(run_once):
     )
 
     def work():
-        scenario = build_stream_events(
-            StreamScenarioConfig(
+        base = RunSpec(
+            mode="stream",
+            workload=WorkloadSpec(
                 horizon=90,
                 task_rate=0.2,
                 task_slots=24,
                 initial_workers=35,
-                worker_join_rate=1.0,
-                mean_worker_lifetime=20.0,
+                join_rate=1.0,
+                mean_lifetime=20.0,
                 early_leave_prob=0.4,
                 seed=11,
-            )
+            ),
+            epoch_length=4.0,
         )
+        scenario = build_runtime(base).scenario()
         rows = []
         plans = []
         for mode in ("incremental", "rebuild"):
-            server = StreamingTCSCServer(
-                scenario.bbox, index_mode=mode, epoch_length=4.0
-            )
+            runtime = build_runtime(base.replace(index_mode=mode))
             start = time.perf_counter()
-            metrics = server.run(list(scenario.events))
+            outcome = runtime.run()
             elapsed = time.perf_counter() - start
+            metrics = outcome.metrics
             rows.append(
                 (
                     mode,
@@ -58,7 +59,7 @@ def test_stream1_incremental_vs_rebuild(run_once):
                     metrics.counters.tree_node_updates,
                 )
             )
-            plans.append(server.assignment().plan_signature())
+            plans.append(outcome.plan_signature)
         assert plans[0] == plans[1], "policies must produce identical plans"
         assert len(plans[0]) > 0
         return scenario, rows

@@ -13,6 +13,13 @@ multi-shard assignment whose merged plans are byte-identical to the
 single-node solve — and the *durability layer* (:mod:`repro.journal`):
 a checksummed write-ahead journal with snapshots whose crash recovery
 is provably exact (byte-identical plans, metrics, and op counters).
+The *composable runtime* (:mod:`repro.runtime`) ties them together:
+one declarative :class:`RunSpec` names the workload, solver variant,
+serving mode, sharding, and durability, and
+:func:`~repro.runtime.build_runtime` assembles the stack as layers —
+capability pairings are spec fields, not subclasses, and
+``python -m repro matrix`` proves every composition byte-identical to
+the legacy class it replaced.
 
 Quickstart::
 
@@ -80,14 +87,25 @@ from repro.errors import (
     JournalError,
     JournalReplayError,
     SchedulingError,
+    SpecError,
     TCSCError,
     WorkerUnavailableError,
 )
-from repro.journal.server import (
+from repro.journal.layer import (
     CrashBudget,
     InjectedCrash,
-    JournaledStreamingServer,
+    JournalLayer,
     RecoveryInfo,
+)
+from repro.journal.server import JournaledStreamingServer
+from repro.runtime import (
+    RunOutcome,
+    RunSpec,
+    ServingLayer,
+    SolverVariant,
+    WorkloadSpec,
+    build_runtime,
+    recover_runtime,
 )
 from repro.journal.sharded import JournaledShardedStreamingServer
 from repro.journal.wal import Journal, WriteAheadLog
@@ -128,7 +146,7 @@ from repro.workloads.streaming import (
     build_stream_events,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Assignment",
@@ -156,6 +174,7 @@ __all__ = [
     "Journal",
     "JournalCorruptionError",
     "JournalError",
+    "JournalLayer",
     "JournalReplayError",
     "JournaledShardedStreamingServer",
     "JournaledStreamingServer",
@@ -172,11 +191,15 @@ __all__ = [
     "RealizationOutcome",
     "RandomSummary",
     "RecoveryInfo",
+    "RunOutcome",
+    "RunSpec",
     "Scenario",
     "ScenarioConfig",
     "SchedulingError",
     "SequentialServingSolver",
     "ServerReport",
+    "ServingLayer",
+    "SolverVariant",
     "ShardedReport",
     "ShardedStreamingServer",
     "ShardedTCSCServer",
@@ -206,15 +229,19 @@ __all__ = [
     "TreeIndex",
     "VirtualClock",
     "VoronoiCell",
+    "SpecError",
     "Worker",
     "WorkerJoin",
+    "WorkloadSpec",
     "WriteAheadLog",
     "WorkerLeave",
     "WorkerPool",
     "WorkerRegistry",
     "WorkerUnavailableError",
+    "build_runtime",
     "build_scenario",
     "build_stream_events",
+    "recover_runtime",
     "detect_conflicts",
     "entropy_term",
     "error_ratio",

@@ -1,7 +1,11 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven subcommands cover the common workflows:
+Nine subcommands cover the common workflows:
 
+* ``run`` — execute one declarative :class:`~repro.runtime.RunSpec`
+  (``--spec file.json``), the spec-driven face of the composable
+  runtime: serving mode, solver variant, sharding, and durability are
+  spec fields resolved by :func:`repro.runtime.build_runtime`.
 * ``solve-single`` — build a synthetic scenario and assign one task
   (policies: approx, approx_star, random).
 * ``solve-multi`` — multi-task assignment under a shared budget
@@ -12,7 +16,14 @@ Seven subcommands cover the common workflows:
   arrive/depart over a virtual clock (``--task-rate``,
   ``--burstiness``, ``--join-rate``, ``--mean-lifetime`` shape the
   arrival processes; ``--index-mode`` picks incremental vs
-  rebuild-every-epoch index maintenance).
+  rebuild-every-epoch index maintenance).  Internally one
+  ``RunSpec`` built from the flags.
+* ``matrix`` — the runtime equivalence matrix: sweeps
+  {plain, stream} x shards {1, 2, 4} x journal {off, on} x backend
+  {python, numpy}, hard-asserting that every composed runtime is
+  byte-identical (plan signature, stream metrics, op counters) to its
+  legacy-class counterpart; persisted as
+  ``benchmarks/BENCH_matrix.json``.
 * ``bench-perf`` — the deterministic perf suite: seed-pinned solver
   scenarios comparing kernel backends and candidate-search modes,
   persisted as ``benchmarks/BENCH_perf.json``.
@@ -21,7 +32,7 @@ Seven subcommands cover the common workflows:
   counts 1/2/4/8, asserting byte-identical plans, persisted as
   ``benchmarks/BENCH_shard.json``.
 * ``bench-journal`` — the durability suite: crash/recover at every
-  event boundary through the journaled servers (plain and sharded),
+  event boundary through the journaled runtimes (plain and sharded),
   hard-asserting byte-identical recovered runs, persisted as
   ``benchmarks/BENCH_journal.json``.
 
@@ -42,6 +53,7 @@ one.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.core.cover import MinCostCoverSolver
@@ -49,11 +61,11 @@ from repro.core.evaluator import EVALUATOR_BACKENDS
 from repro.core.quality import max_quality
 from repro.engine.costs import SingleTaskCostTable
 from repro.engine.server import TCSCServer
-from repro.stream.online_server import StreamingTCSCServer
+from repro.errors import SpecError
+from repro.runtime import RunSpec, WorkloadSpec, build_runtime, recover_runtime
 from repro.stream.session import INDEX_MODES
 from repro.workloads.scenario import ScenarioConfig, build_scenario
 from repro.workloads.spatial import Distribution
-from repro.workloads.streaming import StreamScenarioConfig, build_stream_events
 
 __all__ = ["main", "build_parser"]
 
@@ -135,6 +147,28 @@ def build_parser() -> argparse.ArgumentParser:
             help="budget as a fraction of the average full-task cost",
         )
         _add_solver_flags(p)
+
+    run = sub.add_parser(
+        "run",
+        help="execute one declarative RunSpec (the composable runtime)",
+    )
+    run.add_argument("--spec", default=None, metavar="PATH",
+                     help="RunSpec JSON file (defaults apply for every "
+                          "omitted field; omit the flag for the default spec)")
+    run.add_argument("--mode", choices=["plain", "batch", "stream"],
+                     default=None, help="override the spec's serving mode")
+    run.add_argument("--shards", type=_positive_int, default=None,
+                     help="override the spec's shard count")
+    run.add_argument("--journal", default=None, metavar="PATH",
+                     help="override the spec's journal directory")
+    run.add_argument("--seed", type=int, default=None,
+                     help="override the spec's workload seed")
+    run.add_argument("--print-spec", action="store_true",
+                     help="print the effective spec as JSON and exit")
+    run.add_argument("--backend", choices=list(EVALUATOR_BACKENDS),
+                     default=None,
+                     help="override the spec's quality-kernel backend")
+    _add_profile_flag(run)
 
     single = sub.add_parser("solve-single", help="assign one TCSC task")
     common(single)
@@ -260,6 +294,17 @@ def build_parser() -> argparse.ArgumentParser:
     journal.add_argument("--results-dir", default=None,
                          help="override benchmarks/results output directory")
     _add_solver_flags(journal)
+
+    matrix = sub.add_parser(
+        "matrix",
+        help="runtime equivalence matrix (composed vs legacy-class, "
+             "byte-identical) -> benchmarks/BENCH_matrix.json",
+    )
+    matrix.add_argument("--smoke", action="store_true",
+                        help="reduced grid (CI smoke mode)")
+    matrix.add_argument("--results-dir", default=None,
+                        help="override benchmarks/results output directory")
+    _add_profile_flag(matrix)
     return parser
 
 
@@ -321,6 +366,39 @@ def _cmd_cover(args) -> int:
     return 0
 
 
+def _stream_spec(args) -> RunSpec:
+    """One ``RunSpec`` from the ``simulate`` flag set — the single
+    place the streaming CLI's knobs meet the runtime's fields."""
+    return RunSpec(
+        mode="stream",
+        workload=WorkloadSpec(
+            seed=args.seed,
+            distribution=args.distribution,
+            horizon=args.horizon,
+            task_rate=args.task_rate,
+            burstiness=args.burstiness,
+            task_slots=args.task_slots,
+            initial_workers=args.initial_workers,
+            join_rate=args.join_rate,
+            mean_lifetime=args.mean_lifetime,
+            early_leave_prob=args.early_leave_prob,
+        ),
+        backend=args.backend,
+        k=args.k,
+        epoch_length=args.epoch,
+        index_mode=args.index_mode,
+        budget_fraction=args.budget_fraction,
+        max_active_tasks=args.max_active,
+        max_queue_depth=args.queue_depth,
+        shards=args.shards,
+        halo=args.halo,
+        journal=args.journal,
+        snapshot_every=4 if args.snapshot_every is None else args.snapshot_every,
+        sync=args.sync and args.journal is not None,
+        crash_after_events=None if args.resume else args.crash_at,
+    ).validate()
+
+
 def _cmd_simulate(args) -> int:
     if args.journal is None and (args.crash_at is not None or args.resume):
         print("--crash-at/--resume require --journal PATH", file=sys.stderr)
@@ -337,30 +415,13 @@ def _cmd_simulate(args) -> int:
                 file=sys.stderr,
             )
             return 2
-    scenario = build_stream_events(
-        StreamScenarioConfig(
-            horizon=args.horizon,
-            task_rate=args.task_rate,
-            burstiness=args.burstiness,
-            task_slots=args.task_slots,
-            initial_workers=args.initial_workers,
-            worker_join_rate=args.join_rate,
-            mean_worker_lifetime=args.mean_lifetime,
-            early_leave_prob=args.early_leave_prob,
-            distribution=Distribution(args.distribution),
-            seed=args.seed,
-        )
-    )
-    server_kwargs = dict(
-        k=args.k,
-        epoch_length=args.epoch,
-        index_mode=args.index_mode,
-        budget_fraction=args.budget_fraction,
-        max_active_tasks=args.max_active,
-        max_queue_depth=args.queue_depth,
-        realization_seed=args.seed,
-        backend=args.backend,
-    )
+    try:
+        spec = _stream_spec(args)
+    except SpecError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    runtime = build_runtime(spec)
+    scenario = runtime.scenario()  # built lazily; never touches the journal
     print(f"index_mode={args.index_mode} epoch={args.epoch:g} seed={args.seed}")
     print(f"trace: {scenario.task_count} tasks, {scenario.worker_count} workers "
           f"over {args.horizon} slots")
@@ -370,62 +431,24 @@ def _cmd_simulate(args) -> int:
         # journal itself, so recovery cannot mis-configure the run.
         return _simulate_resume(args, scenario)
     if args.shards > 1:
-        from repro.shard.streaming import ShardedStreamingServer
-
-        if args.journal is not None:
-            from repro.journal import JournaledShardedStreamingServer
-
-            sharded = JournaledShardedStreamingServer(
-                scenario.bbox,
-                journal_root=args.journal,
-                num_shards=args.shards,
-                halo_margin=args.halo,
-                snapshot_every=4 if args.snapshot_every is None else args.snapshot_every,
-                sync=args.sync,
-                crash_after_events=args.crash_at,
-                **server_kwargs,
-            )
-        else:
-            sharded = ShardedStreamingServer(
-                scenario.bbox,
-                num_shards=args.shards,
-                halo_margin=args.halo,
-                **server_kwargs,
-            )
         print(f"shards={args.shards} halo={args.halo}")
-        return _simulate_run(args, sharded, scenario)
-    if args.journal is not None:
-        from repro.journal import JournaledStreamingServer
-
-        server = JournaledStreamingServer(
-            scenario.bbox,
-            journal=args.journal,
-            snapshot_every=4 if args.snapshot_every is None else args.snapshot_every,
-            sync=args.sync,
-            crash_after_events=args.crash_at,
-            **server_kwargs,
-        )
-    else:
-        server = StreamingTCSCServer(scenario.bbox, **server_kwargs)
-    return _simulate_run(args, server, scenario)
+    return _simulate_report(
+        lambda: runtime.run().report_text,
+        journal=spec.journal,
+        recover_hint="rerun the same command with --resume to recover",
+    )
 
 
-def _simulate_run(args, server, scenario) -> int:
-    """Drain the trace and print the operator report."""
-    return _simulate_report(args, lambda: server.run(scenario.events))
-
-
-def _simulate_report(args, drive) -> int:
+def _simulate_report(drive, *, journal, recover_hint) -> int:
     """Print ``drive()``'s report, translating an injected crash into
     operator guidance instead of a traceback."""
-    from repro.journal.server import InjectedCrash
+    from repro.journal.layer import InjectedCrash
 
     try:
-        print(drive().report())
+        print(drive())
     except InjectedCrash as exc:
         print(f"crash injected: {exc}")
-        print(f"journal preserved at {args.journal}; rerun the same "
-              f"command with --resume to recover")
+        print(f"journal preserved at {journal}; {recover_hint}")
     return 0
 
 
@@ -439,39 +462,88 @@ def _simulate_resume(args, scenario) -> int:
     crash again); ``--snapshot-every`` overrides the interrupted run's
     cadence when given.
     """
-    from repro.journal import JournaledShardedStreamingServer, JournaledStreamingServer
-    from repro.journal.wal import journal_kind
-
-    kind = journal_kind(args.journal)
-    if kind is None:
-        print(
-            f"no journal found at {args.journal} (expected wal.log or a "
-            "sharded meta.json)",
-            file=sys.stderr,
-        )
-        return 2
-    if kind == "sharded":
-        sharded = JournaledShardedStreamingServer.recover(
+    try:
+        recovered = recover_runtime(
             args.journal,
             sync=args.sync,
             snapshot_every=args.snapshot_every,
             crash_after_events=args.crash_at,
         )
-        for shard, info in enumerate(sharded.recovery):
+    except SpecError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if recovered.kind == "sharded":
+        for shard, info in enumerate(recovered.recovery):
             print(f"recovery shard {shard}: snapshot={info.snapshot_loaded} "
                   f"restored={info.events_restored} replayed={info.events_replayed}")
-        return _simulate_report(args, lambda: sharded.resume(scenario.events))
-    server = JournaledStreamingServer.recover(
-        args.journal,
-        sync=args.sync,
-        snapshot_every=args.snapshot_every,
-        crash_after_events=args.crash_at,
+    else:
+        info = recovered.recovery
+        print(f"recovery: snapshot={info.snapshot_loaded} "
+              f"restored={info.events_restored} replayed={info.events_replayed} "
+              f"records_scanned={info.records_scanned}")
+    return _simulate_report(
+        lambda: recovered.resume(scenario.events).report(),
+        journal=args.journal,
+        recover_hint="rerun the same command to recover again",
     )
-    info = server.recovery
-    print(f"recovery: snapshot={info.snapshot_loaded} "
-          f"restored={info.events_restored} replayed={info.events_replayed} "
-          f"records_scanned={info.records_scanned}")
-    return _simulate_report(args, lambda: server.resume_with_trace(scenario.events))
+
+
+def _cmd_run(args) -> int:
+    """Execute one declarative RunSpec (``--spec file.json``)."""
+    from repro.bench.report import signature_hash
+
+    try:
+        spec = RunSpec() if args.spec is None else RunSpec.from_json(args.spec)
+        overrides = {
+            name: getattr(args, name)
+            for name in ("mode", "backend", "shards", "journal")
+            if getattr(args, name) is not None
+        }
+        if args.seed is not None:
+            overrides["workload"] = WorkloadSpec.from_dict(
+                {**spec.workload.to_dict(), "seed": args.seed}
+            )
+        if overrides:
+            spec = spec.replace(**overrides)
+        spec.validate()
+    except SpecError as exc:
+        print(f"invalid spec: {exc}", file=sys.stderr)
+        return 2
+    if args.print_spec:
+        print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+        return 0
+    if spec.journal is not None:
+        from repro.journal.wal import journal_kind
+
+        if journal_kind(spec.journal) is not None:
+            # Same guard as simulate: starting fresh would wipe the
+            # only copy of an interrupted run.
+            print(
+                f"journal at {spec.journal} already exists; recover it with "
+                "`simulate --resume`, or point the spec at a fresh directory",
+                file=sys.stderr,
+            )
+            return 2
+    runtime = build_runtime(spec)
+    if spec.mode == "stream":
+        scenario = runtime.scenario()
+        print(f"trace: {scenario.task_count} tasks, {scenario.worker_count} "
+              f"workers over {spec.workload.horizon} slots")
+
+    def drive():
+        outcome = runtime.run()
+        return (
+            f"{outcome.report_text}\n"
+            f"plan      {signature_hash(outcome.plan_signature)} "
+            f"({len(outcome.plan_signature)} records)"
+        )
+
+    return _simulate_report(
+        drive,
+        journal=spec.journal,
+        recover_hint="recover it with `simulate --journal PATH --resume` "
+                     "using the spec's workload parameters",
+    )
 
 
 def _cmd_bench_perf(args) -> int:
@@ -496,6 +568,12 @@ def _cmd_bench_journal(args) -> int:
     )
 
 
+def _cmd_matrix(args) -> int:
+    from repro.bench.matrixsuite import run_and_write
+
+    return run_and_write(smoke=args.smoke, results_dir=args.results_dir)
+
+
 def _run_profiled(handler, args) -> int:
     """Run a command under cProfile and print the top-15 hotspots."""
     import cProfile
@@ -512,10 +590,12 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     handlers = {
+        "run": _cmd_run,
         "solve-single": _cmd_solve_single,
         "solve-multi": _cmd_solve_multi,
         "cover": _cmd_cover,
         "simulate": _cmd_simulate,
+        "matrix": _cmd_matrix,
         "bench-perf": _cmd_bench_perf,
         "bench-shard": _cmd_bench_shard,
         "bench-journal": _cmd_bench_journal,

@@ -16,7 +16,9 @@ records next to the results directory; the registry in
 * ``shard*.json`` -> ``BENCH_shard.json`` (shard-count scaling at
   plan identity, :mod:`repro.bench.shardsuite`);
 * ``journal*.json`` -> ``BENCH_journal.json`` (crash-recovery
-  exactness and durability overhead, :mod:`repro.bench.journalsuite`).
+  exactness and durability overhead, :mod:`repro.bench.journalsuite`);
+* ``matrix*.json`` -> ``BENCH_matrix.json`` (composed-vs-legacy
+  runtime equivalence, :mod:`repro.bench.matrixsuite`).
 
 ``BENCH_*.json`` files next to the results directory that no
 registered collector produces are *warned about* rather than silently
@@ -35,6 +37,7 @@ __all__ = [
     "COLLECTORS",
     "collect",
     "collect_journal",
+    "collect_matrix",
     "collect_perf",
     "collect_shard",
     "collect_stream",
@@ -104,6 +107,13 @@ def collect_journal(results_dir: Path | str = _DEFAULT_RESULTS) -> dict | None:
     )
 
 
+def collect_matrix(results_dir: Path | str = _DEFAULT_RESULTS) -> dict | None:
+    """Merge ``matrix*.json`` series (the ``BENCH_matrix.json`` record)."""
+    return _collect_json_series(
+        results_dir, "matrix*.json", "python -m repro matrix"
+    )
+
+
 #: Artifact name -> (series glob, collector).  Every ``BENCH_*.json``
 #: the repo produces must be registered here; ``main`` regenerates
 #: each one and warns about artifacts no collector owns.
@@ -112,6 +122,7 @@ COLLECTORS: dict[str, tuple[str, callable]] = {
     "BENCH_perf.json": ("perf*.json", collect_perf),
     "BENCH_shard.json": ("shard*.json", collect_shard),
     "BENCH_journal.json": ("journal*.json", collect_journal),
+    "BENCH_matrix.json": ("matrix*.json", collect_matrix),
 }
 
 

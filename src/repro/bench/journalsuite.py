@@ -37,11 +37,14 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.bench.report import signature_hash as _signature_hash
-from repro.journal.sharded import JournaledShardedStreamingServer
-from repro.journal.server import InjectedCrash, JournaledStreamingServer
-from repro.shard.streaming import ShardedStreamingServer
-from repro.stream.online_server import StreamingTCSCServer
-from repro.workloads.streaming import StreamScenarioConfig, build_stream_events
+from repro.journal.layer import InjectedCrash, journal_layer
+from repro.runtime import (
+    RunSpec,
+    StreamRuntime,
+    WorkloadSpec,
+    build_runtime,
+    recover_runtime,
+)
 
 __all__ = [
     "JournalScenario",
@@ -97,50 +100,51 @@ SCENARIOS = (
 SMOKE_SCENARIOS = (SCENARIOS[0],)
 
 
-def _build(scenario: JournalScenario):
-    built = build_stream_events(
-        StreamScenarioConfig(
+def _base_spec(scenario: JournalScenario, backend: str) -> RunSpec:
+    """The scenario's streaming spec — every server in the sweep is a
+    ``spec.replace(...)`` of this one, built by the runtime factory."""
+    return RunSpec(
+        mode="stream",
+        workload=WorkloadSpec(
             horizon=scenario.horizon,
             task_rate=scenario.task_rate,
             task_slots=scenario.task_slots,
             initial_workers=scenario.initial_workers,
-            worker_join_rate=scenario.join_rate,
-            mean_worker_lifetime=scenario.mean_lifetime,
+            join_rate=scenario.join_rate,
+            mean_lifetime=scenario.mean_lifetime,
             seed=scenario.seed,
-        )
-    )
-    kwargs = dict(
+        ),
+        backend=backend,
         k=2,
         epoch_length=scenario.epoch_length,
         budget_fraction=scenario.budget_fraction,
         max_active_tasks=4,
         max_queue_depth=8,
-        realization_seed=scenario.seed,
-    )
-    return built, kwargs
-
-
-def _sweep_plain(scenario, built, kwargs, *, backend, workdir: Path) -> dict:
-    """Crash at every event boundary of the plain streaming server."""
-    events = built.events
-    total = len(events)
-    reference = StreamingTCSCServer(built.bbox, backend=backend, **kwargs)
-    start = time.perf_counter()
-    ref_metrics = reference.run(list(events))
-    wall_clean = time.perf_counter() - start
-    ref_sig = reference.assignment().plan_signature()
-
-    journaled = JournaledStreamingServer(
-        built.bbox,
-        journal=workdir / "uninterrupted",
         snapshot_every=scenario.snapshot_every,
-        backend=backend,
-        **kwargs,
     )
+
+
+def _sweep_plain(base: RunSpec, scenario, *, workdir: Path) -> dict:
+    """Crash at every event boundary of the plain streaming runtime.
+
+    ``scenario`` is the pre-built trace every runtime in the sweep
+    reuses (the boundary loop would otherwise regenerate it per run).
+    """
+    events = list(scenario.events)
+    total = len(events)
     start = time.perf_counter()
-    jm = journaled.run(list(events))
+    ref = StreamRuntime(base, scenario=scenario).run()
+    wall_clean = time.perf_counter() - start
+    ref_metrics = ref.metrics
+    ref_sig = ref.plan_signature
+
+    start = time.perf_counter()
+    journaled = StreamRuntime(
+        base.replace(journal=str(workdir / "uninterrupted")),
+        scenario=scenario,
+    ).run()
     wall_journaled = time.perf_counter() - start
-    journal = journaled.journal
+    journal = journal_layer(journaled.server).journal
 
     replayed: list[int] = []
     snapshot_recoveries = 0
@@ -148,21 +152,17 @@ def _sweep_plain(scenario, built, kwargs, *, backend, workdir: Path) -> dict:
     start = time.perf_counter()
     for boundary in range(total):
         jdir = workdir / f"crash-{boundary}"
-        crashed = JournaledStreamingServer(
-            built.bbox,
-            journal=jdir,
-            snapshot_every=scenario.snapshot_every,
-            crash_after_events=boundary,
-            backend=backend,
-            **kwargs,
+        crashed = StreamRuntime(
+            base.replace(journal=str(jdir), crash_after_events=boundary),
+            scenario=scenario,
         )
         try:
-            crashed.run(list(events))
+            crashed.run()
             raise AssertionError(f"crash at boundary {boundary} never fired")
         except InjectedCrash:
             pass
-        recovered = JournaledStreamingServer.recover(jdir)
-        metrics = recovered.resume_with_trace(list(events))
+        recovered = recover_runtime(jdir)
+        metrics = recovered.resume(list(events))
         if (
             metrics == ref_metrics
             and recovered.assignment().plan_signature() == ref_sig
@@ -176,8 +176,8 @@ def _sweep_plain(scenario, built, kwargs, *, backend, workdir: Path) -> dict:
         "total_events": total,
         "plan_length": len(ref_sig),
         "signature": _signature_hash(ref_sig),
-        "journaled_matches_clean": jm == ref_metrics
-        and journaled.assignment().plan_signature() == ref_sig,
+        "journaled_matches_clean": journaled.metrics == ref_metrics
+        and journaled.plan_signature == ref_sig,
         "overhead": {
             "records": journal.wal.records_appended,
             "bytes": journal.wal.bytes_written,
@@ -201,7 +201,7 @@ def _sweep_plain(scenario, built, kwargs, *, backend, workdir: Path) -> dict:
 
 
 def _sweep_sharded(
-    scenario, built, kwargs, *, backend, num_shards: int, workdir: Path
+    base: RunSpec, scenario, *, num_shards: int, workdir: Path
 ) -> dict:
     """Crash at every event boundary of the sharded deployment.
 
@@ -210,13 +210,14 @@ def _sweep_sharded(
     events, so there are more boundaries than trace events); the sweep
     stops at the first budget the run survives.
     """
-    events = built.events
-    reference = ShardedStreamingServer(
-        built.bbox, num_shards=num_shards, backend=backend, **kwargs
-    )
-    ref_metrics = reference.run(list(events))
-    ref_sig = reference.assignment().plan_signature()
-    ref_counters = [server.counters for server in reference.servers]
+    events = list(scenario.events)
+    sharded = base.replace(shards=num_shards)
+    # force_sharded: the one-shard row measures the degenerate sharded
+    # deployment (coordinator + per-shard journal), not the plain core.
+    ref = StreamRuntime(sharded, force_sharded=True, scenario=scenario).run()
+    ref_metrics = ref.metrics
+    ref_sig = ref.plan_signature
+    ref_counters = list(ref.counters)
 
     identical = 0
     replayed: list[int] = []
@@ -224,28 +225,24 @@ def _sweep_sharded(
     start = time.perf_counter()
     while True:
         jdir = workdir / f"shard{num_shards}-crash-{boundary}"
-        crashed = JournaledShardedStreamingServer(
-            built.bbox,
-            journal_root=jdir,
-            num_shards=num_shards,
-            snapshot_every=scenario.snapshot_every,
-            crash_after_events=boundary,
-            backend=backend,
-            **kwargs,
+        crashed = StreamRuntime(
+            sharded.replace(journal=str(jdir), crash_after_events=boundary),
+            force_sharded=True,
+            scenario=scenario,
         )
         try:
-            crashed.run(list(events))
+            crashed.run()
             break  # the run outlived the budget: sweep complete
         except InjectedCrash:
             pass
-        recovered = JournaledShardedStreamingServer.recover(jdir)
+        recovered = recover_runtime(jdir)
         metrics = recovered.resume(list(events))
         if (
             metrics.per_shard == ref_metrics.per_shard
             and metrics.makespan == ref_metrics.makespan
             and metrics.serial_cost == ref_metrics.serial_cost
             and recovered.assignment().plan_signature() == ref_sig
-            and [s.counters for s in recovered.servers] == ref_counters
+            and [s.counters for s in recovered.server.servers] == ref_counters
         ):
             identical += 1
         replayed.append(
@@ -267,16 +264,14 @@ def _sweep_sharded(
 
 
 def _run_scenario(scenario: JournalScenario, *, backend: str) -> dict:
-    built, kwargs = _build(scenario)
+    base = _base_spec(scenario, backend)
+    trace = build_runtime(base).scenario()
     with tempfile.TemporaryDirectory(prefix="journalsuite-") as tmp:
         workdir = Path(tmp)
-        plain = _sweep_plain(
-            scenario, built, kwargs, backend=backend, workdir=workdir
-        )
+        plain = _sweep_plain(base, trace, workdir=workdir)
         shards = {
             str(count): _sweep_sharded(
-                scenario, built, kwargs,
-                backend=backend, num_shards=count, workdir=workdir,
+                base, trace, num_shards=count, workdir=workdir
             )
             for count in SHARD_COUNTS
         }

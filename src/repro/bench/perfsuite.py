@@ -29,15 +29,16 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.core.greedy import IndexedSingleTaskGreedy, SingleTaskGreedy
 from repro.core.instrumentation import OpCounters
 from repro.engine.costs import SingleTaskCostTable
+from repro.runtime import SolverVariant, build_single_task_solver
 from repro.workloads.scenario import ScenarioConfig, build_scenario
 
 __all__ = [
     "PerfScenario",
     "SCENARIOS",
     "SMOKE_SCENARIOS",
+    "VARIANTS",
     "run_suite",
     "run_and_write",
     "check_payload",
@@ -78,32 +79,21 @@ SCENARIOS = (
 SMOKE_SCENARIOS = SCENARIOS[:1]
 
 
-def _variants(task, costs, budget):
-    """Solver variants benchmarked on every scenario, name -> factory."""
-    return {
-        # The seed hot path: scalar kernels, every candidate re-scored
-        # per greedy round (strategy="local" — the seed's faster
-        # configuration, so speedups are conservative).
-        "python-enumerate": lambda c: SingleTaskGreedy(
-            task, costs, budget=budget, strategy="local", counters=c
-        ),
-        "python-lazy": lambda c: SingleTaskGreedy(
-            task, costs, budget=budget, strategy="local", search="lazy", counters=c
-        ),
-        "numpy-enumerate": lambda c: SingleTaskGreedy(
-            task, costs, budget=budget, strategy="local", backend="numpy", counters=c
-        ),
-        "numpy-lazy": lambda c: SingleTaskGreedy(
-            task, costs, budget=budget, strategy="local", search="lazy",
-            backend="numpy", counters=c,
-        ),
-        "indexed-python": lambda c: IndexedSingleTaskGreedy(
-            task, costs, budget=budget, counters=c
-        ),
-        "indexed-numpy": lambda c: IndexedSingleTaskGreedy(
-            task, costs, budget=budget, backend="numpy", counters=c
-        ),
-    }
+#: Solver variants benchmarked on every scenario, as the runtime's
+#: shared :class:`~repro.runtime.SolverVariant` triples — the same
+#: resolution the serving solvers use, so the suite cannot drift from
+#: the production kwarg threading.  The seed hot path
+#: (``python-enumerate``) uses scalar kernels with every candidate
+#: re-scored per greedy round (the seed's faster ``strategy="local"``
+#: configuration, so speedups are conservative).
+VARIANTS = {
+    "python-enumerate": SolverVariant(),
+    "python-lazy": SolverVariant(search="lazy"),
+    "numpy-enumerate": SolverVariant(backend="numpy"),
+    "numpy-lazy": SolverVariant(backend="numpy", search="lazy"),
+    "indexed-python": SolverVariant(use_index=True),
+    "indexed-numpy": SolverVariant(backend="numpy", use_index=True),
+}
 
 
 def _run_scenario(scenario: PerfScenario) -> dict:
@@ -119,9 +109,11 @@ def _run_scenario(scenario: PerfScenario) -> dict:
     costs = SingleTaskCostTable(task, built.fresh_registry())
     variants: dict[str, dict] = {}
     signatures = {}
-    for name, factory in _variants(task, costs, built.budget).items():
+    for name, variant in VARIANTS.items():
         counters = OpCounters()
-        solver = factory(counters)
+        solver = build_single_task_solver(
+            variant, task, costs, budget=built.budget, counters=counters
+        )
         start = time.perf_counter()
         result = solver.solve()
         elapsed = time.perf_counter() - start

@@ -35,7 +35,7 @@ from pathlib import Path
 
 from repro.bench.perfsuite import SCENARIOS as PERF_SCENARIOS
 from repro.bench.report import signature_hash as _signature_hash
-from repro.shard.server import SequentialServingSolver, ShardedTCSCServer
+from repro.runtime import RunSpec, build_serving_solver
 from repro.workloads.scenario import ScenarioConfig, build_scenario
 
 __all__ = [
@@ -92,17 +92,22 @@ def _run_scenario(scenario: ShardScenario, *, backend: str = "python") -> dict:
             seed=scenario.seed,
         )
     )
+    # Both arms resolve through the runtime's shared spec -> solver
+    # path: shards=1 is the sequential reference, shard rows force the
+    # coordinator (the degenerate one-shard row measures exactly it).
+    spec = RunSpec(mode="plain", backend=backend)
     start = time.perf_counter()
-    reference = SequentialServingSolver(
-        built.pool, built.bbox, backend=backend
-    ).assign(built.tasks)
+    reference = build_serving_solver(spec, built.pool, built.bbox).assign(
+        built.tasks
+    )
     reference_wall = time.perf_counter() - start
     reference_sig = reference.plan_signature()
 
     shard_rows: dict[str, dict] = {}
     for num_shards in SHARD_COUNTS:
-        server = ShardedTCSCServer(
-            built.pool, built.bbox, num_shards=num_shards, backend=backend
+        server = build_serving_solver(
+            spec.replace(shards=num_shards), built.pool, built.bbox,
+            force_sharded=True,
         )
         start = time.perf_counter()
         report = server.assign(built.tasks)

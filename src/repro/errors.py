@@ -17,6 +17,18 @@ class ConfigurationError(TCSCError, ValueError):
     """A parameter is out of its documented range (e.g. ``k < 1``)."""
 
 
+class SpecError(ConfigurationError):
+    """A :class:`~repro.runtime.RunSpec` is internally inconsistent.
+
+    Raised for unknown field names or values and for capability
+    combinations the runtime cannot compose yet (e.g. journaling a
+    non-streaming run, sharding a batch run).  Distinct from plain
+    :class:`ConfigurationError` so spec-driven callers (the ``--spec``
+    CLI path, the matrix runner) can show the offending *spec* rather
+    than a mid-construction server parameter.
+    """
+
+
 class InfeasibleAssignmentError(TCSCError):
     """No feasible assignment exists (e.g. no worker covers any slot)."""
 

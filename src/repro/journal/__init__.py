@@ -27,13 +27,22 @@ Three pieces:
   streaming deployment with one journal per shard.
 """
 
-from repro.journal.server import (
+from repro.journal.layer import (
     CrashBudget,
     InjectedCrash,
-    JournaledStreamingServer,
+    JournalLayer,
     RecoveryInfo,
+    journal_layer,
+    journaled_server,
+    recover_server,
 )
-from repro.journal.sharded import JournaledShardedStreamingServer
+from repro.journal.server import JournaledStreamingServer
+from repro.journal.sharded import (
+    JournaledShardedStreamingServer,
+    recover_sharded_server,
+    resume_sharded,
+    sharded_journaled_server,
+)
 from repro.journal.snapshot import restore_server_state, server_state
 from repro.journal.wal import Journal, WriteAheadLog, decode_event, encode_event
 
@@ -41,12 +50,19 @@ __all__ = [
     "CrashBudget",
     "InjectedCrash",
     "Journal",
+    "JournalLayer",
     "JournaledShardedStreamingServer",
     "JournaledStreamingServer",
     "RecoveryInfo",
     "WriteAheadLog",
     "decode_event",
     "encode_event",
+    "journal_layer",
+    "journaled_server",
+    "recover_sharded_server",
+    "recover_server",
     "restore_server_state",
+    "resume_sharded",
     "server_state",
+    "sharded_journaled_server",
 ]

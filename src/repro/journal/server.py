@@ -1,47 +1,37 @@
-"""The journaled streaming server: log-before-apply, snapshot, recover.
+"""Legacy spelling of durable streaming: a shim over the journal layer.
 
-:class:`JournaledStreamingServer` wraps every state transition of
-:class:`~repro.stream.online_server.StreamingTCSCServer` in a typed
-write-ahead record — input events before they are applied, slot
-commits before the worker is consumed, pool charges, finalizations,
-and epoch markers — and persists a full
-:mod:`~repro.journal.snapshot` every ``snapshot_every`` epochs.
+PR 4 shipped durability as the :class:`JournaledStreamingServer`
+subclass; PR 5 moved the implementation into
+:class:`~repro.journal.layer.JournalLayer`, attached through the
+generic serving seam (:mod:`repro.runtime.layers`).  This module keeps
+the old class name working — byte-identically, as the regression tests
+assert — as a *thin deprecation shim*: construction wires a journal
+layer onto the plain streaming core and every journal-specific method
+delegates to it.  New code should compose the same stack through
+:func:`repro.runtime.build_runtime` (``RunSpec(mode="stream",
+journal=...)``) or the helpers in :mod:`repro.journal.layer`.
 
-Recovery (:meth:`JournaledStreamingServer.recover`) is *redo-based*:
-load the newest intact snapshot, then re-consume the log's event
-suffix through the ordinary run loop.  Determinism (DESIGN.md §7)
-makes the redo exact — the partial work of the crash epoch is simply
-recomputed bit-for-bit.  While the replay cursor is non-empty the
-server does not re-append records; instead each record it *would*
-write is verified against the journaled one, so any divergence
-(edited log, changed code or configuration) surfaces as a
-:class:`~repro.errors.JournalReplayError` instead of silently forking
-history.  Once the cursor drains, appending resumes seamlessly and the
-run continues into un-journaled territory.
-
-Fault injection: ``crash_after_events=K`` raises
-:class:`InjectedCrash` at the K-th event boundary —
-``crash_phase="apply"`` crashes with K events fully applied,
-``"append"`` crashes with the K-th event journaled but never applied
-(the torn write recovery must tolerate).  A shared
-:class:`CrashBudget` lets the sharded harness count boundaries across
-shard servers.
+``CrashBudget``, ``InjectedCrash``, and ``RecoveryInfo`` are
+re-exported here for import-path compatibility.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass
 from pathlib import Path
 
-from repro.errors import ConfigurationError, JournalReplayError, TCSCError
 from repro.geo.bbox import BoundingBox
-from repro.journal.snapshot import restore_server_state, server_state
-from repro.journal.wal import Journal, decode_event, encode_event
-from repro.stream.events import Event, EventQueue
+from repro.journal.layer import (
+    CrashBudget,
+    InjectedCrash,
+    JournalLayer,
+    RecoveryInfo,
+    journal_layer,
+    stream_server_config,
+)
+from repro.journal.wal import Journal
+from repro.runtime.layers import warn_deprecated
 from repro.stream.metrics import StreamMetrics
 from repro.stream.online_server import StreamingTCSCServer
-from repro.stream.session import TaskSession
 
 __all__ = [
     "CrashBudget",
@@ -51,59 +41,8 @@ __all__ = [
 ]
 
 
-class InjectedCrash(TCSCError):
-    """The fault-injection harness killed the run (not a real failure)."""
-
-
-class CrashBudget:
-    """Countdown of event boundaries until an injected crash.
-
-    ``phase="apply"`` crashes after ``after`` events are logged *and*
-    applied; ``"append"`` crashes right after the ``after``-th event's
-    record hits the log, before it is applied.  One budget may be
-    shared by several servers (the sharded harness), in which case the
-    boundaries are counted across all of them in their serial run
-    order.
-    """
-
-    __slots__ = ("after", "phase", "seen")
-
-    def __init__(self, after: int, phase: str = "apply"):
-        if after < 0:
-            raise ConfigurationError(f"crash budget must be >= 0, got {after}")
-        if phase not in ("apply", "append"):
-            raise ConfigurationError(f"unknown crash phase {phase!r}")
-        self.after = after
-        self.phase = phase
-        self.seen = 0
-
-    @classmethod
-    def coerce(
-        cls, value: "int | CrashBudget | None", phase: str
-    ) -> "CrashBudget | None":
-        """Normalize the ``crash_after_events`` constructor argument."""
-        if value is None or isinstance(value, CrashBudget):
-            return value
-        return cls(value, phase)
-
-
-@dataclass(frozen=True, slots=True)
-class RecoveryInfo:
-    """What one :meth:`JournaledStreamingServer.recover` call did."""
-
-    snapshot_loaded: bool
-    #: Input events subsumed by the snapshot (not replayed).
-    events_restored: int
-    #: Input events re-consumed from the log suffix.
-    events_replayed: int
-    #: Total log records scanned (checksummed) during recovery.
-    records_scanned: int
-    #: Whether a torn tail was chopped off the log.
-    wal_truncated: bool
-
-
 class JournaledStreamingServer(StreamingTCSCServer):
-    """A streaming server whose every transition is journaled.
+    """Deprecated: a streaming core with a pre-attached journal layer.
 
     Parameters (on top of the base server's):
         journal: journal directory path, or a prepared
@@ -113,7 +52,7 @@ class JournaledStreamingServer(StreamingTCSCServer):
             run completes).
         sync: fsync the log on every append.
         crash_after_events / crash_phase: fault injection — see
-            :class:`CrashBudget`.
+            :class:`~repro.journal.layer.CrashBudget`.
     """
 
     def __init__(
@@ -126,120 +65,70 @@ class JournaledStreamingServer(StreamingTCSCServer):
         crash_after_events: int | CrashBudget | None = None,
         crash_phase: str = "apply",
         _resume: bool = False,
+        _layer: JournalLayer | None = None,
         **server_kwargs,
     ):
-        super().__init__(bbox, **server_kwargs)
-        if snapshot_every < 0:
-            raise ConfigurationError(
-                f"snapshot_every must be >= 0, got {snapshot_every}"
+        warn_deprecated(
+            "JournaledStreamingServer",
+            "build_runtime(RunSpec(mode='stream', journal=...)) or "
+            "repro.journal.layer.journaled_server(...)",
+        )
+        if _layer is None:
+            _layer = JournalLayer(
+                journal,
+                snapshot_every=snapshot_every,
+                sync=sync,
+                crash_after_events=crash_after_events,
+                crash_phase=crash_phase,
             )
-        self.journal = journal if isinstance(journal, Journal) else Journal(journal, sync=sync)
-        self.snapshot_every = snapshot_every
-        self._crash = CrashBudget.coerce(crash_after_events, crash_phase)
-        # The constructor kwargs verbatim: recovery rebuilds the server
-        # from these, so new base-server knobs need no bookkeeping here
-        # (unspecified ones default identically on both runs).
-        self._config = {
-            "bbox": [bbox.min_x, bbox.min_y, bbox.max_x, bbox.max_y],
-            "snapshot_every": snapshot_every,
-            "server_kwargs": dict(server_kwargs),
-        }
-        self._events_consumed = 0
-        self._replay: deque[dict] = deque()
-        self._replay_events: list[Event] = []
-        self._wal_events: list[Event] = []
-        self.recovery: RecoveryInfo | None = None
+        super().__init__(bbox, layers=(_layer,), **server_kwargs)
         if not _resume:
-            self.journal.create(self._config)
-
-    # ------------------------------------------------------------------
-    # Record emission: append, or verify while replaying
-    # ------------------------------------------------------------------
-    def _emit(self, record_type: str, **payload) -> None:
-        if self._replay:
-            expected = self._replay.popleft()
-            actual = self.journal.make_record(record_type, **payload)
-            if actual != expected:
-                raise JournalReplayError(
-                    f"replay diverged from the journal at seq "
-                    f"{expected.get('seq')}: regenerated {actual!r} but the "
-                    f"log holds {expected!r}"
-                )
-            return
-        self.journal.append(record_type, **payload)
-
-    # ------------------------------------------------------------------
-    # Journaled transitions
-    # ------------------------------------------------------------------
-    def _consume_event(self, event: Event, metrics: StreamMetrics) -> None:
-        crash = self._crash
-        if crash is not None and crash.phase == "apply" and crash.seen >= crash.after:
-            raise InjectedCrash(
-                f"injected crash: {crash.seen} events applied (boundary "
-                f"{crash.after})"
+            _layer.open(
+                stream_server_config(bbox, _layer.snapshot_every, server_kwargs)
             )
-        self._emit("event", event=encode_event(event))
-        if crash is not None:
-            crash.seen += 1
-            if crash.phase == "append" and crash.seen >= crash.after:
-                raise InjectedCrash(
-                    f"injected crash: event {crash.seen} journaled but not applied"
-                )
-        super()._consume_event(event, metrics)
-        self._events_consumed += 1
 
-    def _commit(
-        self,
-        consuming: TaskSession,
-        worker_id: int,
-        global_slot: int,
-        local_slot: int,
-        cost: float,
-    ) -> None:
-        self._emit(
-            "commit",
-            task_id=consuming.task.task_id,
-            slot=local_slot,
-            worker_id=worker_id,
-            gslot=global_slot,
-            cost=cost,
-        )
-        if self.pool is not None:
-            # The session already drew the charge; this is the audit
-            # record replay cross-checks.
-            self._emit("charge", amount=cost, remaining=self.pool.remaining)
-        super()._commit(consuming, worker_id, global_slot, local_slot, cost)
+    # ------------------------------------------------------------------
+    # Delegation to the journal layer
+    # ------------------------------------------------------------------
+    @property
+    def _journal_layer(self) -> JournalLayer:
+        return journal_layer(self)
 
-    def _finalize(self, session: TaskSession, metrics: StreamMetrics) -> None:
-        self._emit(
-            "finalize",
-            task_id=session.task.task_id,
-            quality=session.quality,
-            spent=session.budget.spent,
-        )
-        super()._finalize(session, metrics)
+    @property
+    def journal(self) -> Journal:
+        return self._journal_layer.journal
 
-    def _on_epoch_end(self, metrics: StreamMetrics, now: float) -> None:
-        self._emit("epoch", epoch=metrics.epochs, now=now)
-        if self._replay:
-            # Pre-crash epochs: their snapshots are already on disk.
-            return
-        if self.snapshot_every and metrics.epochs % self.snapshot_every == 0:
-            self._write_snapshot(final=False)
+    @property
+    def snapshot_every(self) -> int:
+        return self._journal_layer.snapshot_every
 
-    def _on_run_complete(self, metrics: StreamMetrics) -> None:
-        if self._replay:
-            raise JournalReplayError(
-                f"replay finished with {len(self._replay)} journaled records "
-                "never regenerated — the resumed run ended early"
-            )
-        self._write_snapshot(final=True)
+    @property
+    def recovery(self) -> RecoveryInfo | None:
+        return self._journal_layer.recovery
 
-    def _write_snapshot(self, *, final: bool) -> None:
-        state = server_state(self)
-        state["events_consumed"] = self._events_consumed
-        state["final"] = final
-        self.journal.write_snapshot(state)
+    @property
+    def replayed_event_count(self) -> int:
+        return self._journal_layer.replayed_event_count
+
+    @property
+    def _replay(self):
+        return self._journal_layer._replay
+
+    @property
+    def _crash(self) -> CrashBudget | None:
+        return self._journal_layer._crash
+
+    @_crash.setter
+    def _crash(self, budget: CrashBudget | None) -> None:
+        self._journal_layer._crash = budget
+
+    def resume(self, remaining_events) -> StreamMetrics:
+        """Continue a recovered run past the journaled suffix."""
+        return self._journal_layer.resume(remaining_events)
+
+    def resume_with_trace(self, events) -> StreamMetrics:
+        """Resume, deriving the live remainder from the full trace."""
+        return self._journal_layer.resume_with_trace(events)
 
     # ------------------------------------------------------------------
     # Recovery
@@ -258,116 +147,23 @@ class JournaledStreamingServer(StreamingTCSCServer):
 
         Loads the newest intact snapshot (if any), arms the replay
         cursor with every log record past it, and returns a server
-        ready to :meth:`resume`.  The journal's ``open`` header
-        supplies the configuration, so recovery needs nothing but the
-        directory; ``snapshot_every=None`` keeps the interrupted run's
-        cadence.
+        ready to :meth:`resume`; ``snapshot_every=None`` keeps the
+        interrupted run's cadence.
         """
-        journal = journal if isinstance(journal, Journal) else Journal(journal, sync=sync)
-        records, truncated = journal.open_for_resume()
-        config = records[0]["config"]
-        server = cls(
-            BoundingBox(*config["bbox"]),
-            journal=journal,
-            snapshot_every=config["snapshot_every"]
-            if snapshot_every is None
-            else snapshot_every,
+        layer, config = JournalLayer.begin_recovery(
+            journal,
             sync=sync,
+            snapshot_every=snapshot_every,
             crash_after_events=crash_after_events,
             crash_phase=crash_phase,
+        )
+        server = cls(
+            BoundingBox(*config["bbox"]),
+            journal=layer.journal,
+            sync=sync,
             _resume=True,
+            _layer=layer,
             **config["server_kwargs"],
         )
-        snapshot = journal.latest_snapshot()
-        if snapshot is not None:
-            restore_server_state(server, snapshot["state"])
-            server._events_consumed = snapshot["state"]["events_consumed"]
-            cursor = [r for r in records[1:] if r["seq"] > snapshot["wal_seq"]]
-        else:
-            cursor = records[1:]
-        # Regenerated records must reproduce the journaled sequence
-        # numbers during replay verification.  With an empty cursor the
-        # log's own tail may sit *below* the snapshot's wal_seq (a
-        # compacted log holds just the open header): new appends must
-        # still advance past everything the snapshot covers, or a later
-        # recovery would filter them out of its replay cursor.
-        if cursor:
-            journal.next_seq = cursor[0]["seq"]
-        else:
-            covered = -1 if snapshot is None else snapshot["wal_seq"]
-            journal.next_seq = max(records[-1]["seq"], covered) + 1
-        server._replay = deque(cursor)
-        server._replay_events = [
-            decode_event(r["event"]) for r in cursor if r["type"] == "event"
-        ]
-        # Every event still in the log (a superset of the cursor's when
-        # a snapshot exists but the log was not compacted): the trace
-        # cross-check in resume_with_trace validates against these.
-        server._wal_events = [
-            decode_event(r["event"]) for r in records[1:] if r["type"] == "event"
-        ]
-        server.recovery = RecoveryInfo(
-            snapshot_loaded=snapshot is not None,
-            events_restored=server._events_consumed,
-            events_replayed=len(server._replay_events),
-            records_scanned=len(records),
-            wal_truncated=truncated,
-        )
+        layer.finish_recovery()
         return server
-
-    @property
-    def replayed_event_count(self) -> int:
-        """Input events the journal accounts for (snapshot + suffix):
-        exactly how many pops of the original trace to skip on resume."""
-        return self._events_consumed + len(self._replay_events)
-
-    def resume(self, remaining_events) -> StreamMetrics:
-        """Continue a recovered run.
-
-        ``remaining_events`` are the trace events *beyond*
-        :attr:`replayed_event_count`; the journaled suffix is replayed
-        first, then the run proceeds live.
-        """
-        return self.run(list(self._replay_events) + list(remaining_events))
-
-    def resume_with_trace(self, events) -> StreamMetrics:
-        """:meth:`resume`, deriving the remainder from the full trace.
-
-        The first :attr:`replayed_event_count` queue pops of ``events``
-        are already covered by the journal (the queue's deterministic
-        total order makes "first N pops" well-defined); everything
-        after them is the live remainder.  The skipped pops are
-        cross-checked against the events the log still holds, so a
-        trace regenerated from *different* workload parameters raises
-        :class:`~repro.errors.JournalReplayError` instead of silently
-        splicing two histories together.
-        """
-        queue = events if isinstance(events, EventQueue) else EventQueue(events)
-        skipped: list[Event] = []
-        for _ in range(self.replayed_event_count):
-            event = queue.pop()
-            if event is None:
-                raise JournalReplayError(
-                    f"the supplied trace holds fewer events than the journal "
-                    f"accounts for ({self.replayed_event_count}) — resumed "
-                    "with different workload parameters?"
-                )
-            skipped.append(event)
-        # Compaction may have dropped the oldest events; verify the
-        # overlap that survives (everything, in the common case).
-        logged = self._wal_events
-        overlap = min(len(skipped), len(logged))
-        for trace_event, logged_event in zip(skipped[-overlap:], logged[-overlap:]):
-            if encode_event(trace_event) != encode_event(logged_event):
-                raise JournalReplayError(
-                    f"the supplied trace diverges from the journaled events "
-                    f"(first mismatch at t={trace_event.time:g}) — resumed "
-                    "with different workload parameters?"
-                )
-        remaining = []
-        while True:
-            event = queue.pop()
-            if event is None:
-                break
-            remaining.append(event)
-        return self.resume(remaining)

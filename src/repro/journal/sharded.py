@@ -1,11 +1,12 @@
-"""Durable sharded streaming: one journal per shard.
+"""Durable sharded streaming: one journal layer per shard.
 
-A :class:`JournaledShardedStreamingServer` is a
-:class:`~repro.shard.streaming.ShardedStreamingServer` whose per-shard
-servers are :class:`~repro.journal.server.JournaledStreamingServer`
-instances, each owning ``<root>/shard-<i>``; the deployment-level
-routing configuration lands in ``<root>/meta.json`` so recovery needs
-only the journal root (plus the regenerable trace).
+PR 4 paired durability with sharding through a dedicated subclass;
+after the PR-5 refactor the pairing is pure composition: a
+:class:`~repro.shard.streaming.ShardedStreamingServer` whose
+``server_factory`` attaches a :class:`~repro.journal.layer.JournalLayer`
+to each shard's core, each owning ``<root>/shard-<i>``, with the
+deployment-level routing configuration in ``<root>/meta.json`` so
+recovery needs only the journal root (plus the regenerable trace).
 
 Because routing is a pure function of the trace and the partitioner
 (DESIGN.md §6.3), recovery re-routes the full trace and resumes every
@@ -17,9 +18,15 @@ op-count makespan, and combined plan are byte-identical to an
 uninterrupted run — the journal bench suite asserts it for shard
 counts 1, 2, and 4 at every event boundary.
 
-Fault injection shares one :class:`~repro.journal.server.CrashBudget`
-across the shard servers, so ``crash_after_events=K`` counts event
+Fault injection shares one :class:`~repro.journal.layer.CrashBudget`
+across the shard layers, so ``crash_after_events=K`` counts event
 boundaries in the deployment's serial run order.
+
+Module functions (:func:`sharded_journaled_server`,
+:func:`recover_sharded_server`, :func:`resume_sharded`) are what
+:func:`repro.runtime.build_runtime` composes;
+:class:`JournaledShardedStreamingServer` survives as a thin
+deprecation shim over them.
 """
 
 from __future__ import annotations
@@ -30,14 +37,191 @@ from pathlib import Path
 
 from repro.errors import JournalCorruptionError, SchedulingError
 from repro.geo.bbox import BoundingBox
-from repro.journal.server import CrashBudget, JournaledStreamingServer
+from repro.journal.layer import (
+    CrashBudget,
+    journal_layer,
+    journaled_server,
+    recover_server,
+)
+from repro.runtime.layers import warn_deprecated
 from repro.shard.streaming import ShardedStreamingServer, ShardedStreamMetrics
 
-__all__ = ["JournaledShardedStreamingServer"]
+__all__ = [
+    "JournaledShardedStreamingServer",
+    "read_sharded_meta",
+    "recover_sharded_server",
+    "resume_sharded",
+    "sharded_journaled_server",
+]
 
 
+# ----------------------------------------------------------------------
+# Deployment metadata (<root>/meta.json)
+# ----------------------------------------------------------------------
+def _write_sharded_meta(root: Path, meta: dict) -> None:
+    path = root / "meta.json"
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(meta, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+def read_sharded_meta(journal_root: str | Path) -> dict:
+    """The deployment's routing configuration (typed failure)."""
+    meta_path = Path(journal_root) / "meta.json"
+    try:
+        return json.loads(meta_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise JournalCorruptionError(
+            f"{meta_path}: unreadable sharded-journal metadata: {exc}"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# Per-shard composition
+# ----------------------------------------------------------------------
+def _shard_factory(
+    root: Path,
+    *,
+    snapshot_every: int,
+    sync: bool,
+    crash_budget: CrashBudget | None,
+    resuming: bool,
+):
+    """A ``server_factory`` that journals every shard core.
+
+    Fresh deployments build core + layer and write each shard's open
+    header; resuming ones recover each core from its own journal
+    (``snapshot_every`` then overrides the interrupted cadence).
+    """
+
+    def factory(shard: int, bbox, server_kwargs: dict):
+        path = root / f"shard-{shard}"
+        if resuming:
+            return recover_server(
+                path,
+                sync=sync,
+                snapshot_every=snapshot_every,
+                crash_after_events=crash_budget,
+            )
+        return journaled_server(
+            bbox,
+            journal=path,
+            snapshot_every=snapshot_every,
+            sync=sync,
+            crash_after_events=crash_budget,
+            **server_kwargs,
+        )
+
+    return factory
+
+
+def sharded_journaled_server(
+    bbox: BoundingBox,
+    *,
+    journal_root: str | Path,
+    num_shards: int,
+    cells_per_side: int | None = None,
+    halo_margin: str | float = "auto",
+    snapshot_every: int = 4,
+    sync: bool = False,
+    crash_after_events: int | CrashBudget | None = None,
+    crash_phase: str = "apply",
+    **server_kwargs,
+) -> ShardedStreamingServer:
+    """A fresh sharded deployment with one journal layer per shard."""
+    root = Path(journal_root)
+    root.mkdir(parents=True, exist_ok=True)
+    crash = CrashBudget.coerce(crash_after_events, crash_phase)
+    server = ShardedStreamingServer(
+        bbox,
+        num_shards=num_shards,
+        cells_per_side=cells_per_side,
+        halo_margin=halo_margin,
+        server_factory=_shard_factory(
+            root,
+            snapshot_every=snapshot_every,
+            sync=sync,
+            crash_budget=crash,
+            resuming=False,
+        ),
+        **server_kwargs,
+    )
+    _write_sharded_meta(
+        root,
+        {
+            "bbox": [bbox.min_x, bbox.min_y, bbox.max_x, bbox.max_y],
+            "num_shards": num_shards,
+            "cells_per_side": cells_per_side,
+            # Resolved to a plain radius so recovery cannot re-derive
+            # it differently.
+            "halo_margin": server.halo_margin,
+            "snapshot_every": snapshot_every,
+            "server_kwargs": dict(server_kwargs),
+        },
+    )
+    return server
+
+
+def recover_sharded_server(
+    journal_root: str | Path,
+    *,
+    sync: bool = False,
+    snapshot_every: int | None = None,
+    crash_after_events: int | CrashBudget | None = None,
+    crash_phase: str = "apply",
+) -> ShardedStreamingServer:
+    """Rebuild the deployment from its journal root.
+
+    ``snapshot_every=None`` keeps the interrupted run's cadence;
+    ``crash_after_events`` arms fault injection *during the resumed
+    run* (double-fault testing), counting boundaries across shards as
+    usual.  Drive the result with :func:`resume_sharded`.
+    """
+    root = Path(journal_root)
+    meta = read_sharded_meta(root)
+    crash = CrashBudget.coerce(crash_after_events, crash_phase)
+    cadence = meta["snapshot_every"] if snapshot_every is None else snapshot_every
+    return ShardedStreamingServer(
+        BoundingBox(*meta["bbox"]),
+        num_shards=meta["num_shards"],
+        cells_per_side=meta["cells_per_side"],
+        halo_margin=meta["halo_margin"],
+        server_factory=_shard_factory(
+            root,
+            snapshot_every=cadence,
+            sync=sync,
+            crash_budget=crash,
+            resuming=True,
+        ),
+        **meta["server_kwargs"],
+    )
+
+
+def resume_sharded(
+    server: ShardedStreamingServer, events
+) -> ShardedStreamMetrics:
+    """Re-route the full trace and resume every recovered shard.
+
+    Routing is deterministic, so each shard's journal layer skips the
+    pops its log already accounts for and continues live; the merged
+    metrics match an uninterrupted run exactly.
+    """
+    if server._ran:
+        raise SchedulingError(
+            "a recovered sharded deployment resumes once; recover a "
+            "fresh instance per attempt"
+        )
+    server._ran = True
+    return server._drain(
+        events, lambda shard, trace: journal_layer(shard).resume_with_trace(trace)
+    )
+
+
+# ----------------------------------------------------------------------
+# The legacy spelling (thin deprecation shim)
+# ----------------------------------------------------------------------
 class JournaledShardedStreamingServer(ShardedStreamingServer):
-    """Sharded streaming with per-shard write-ahead journals."""
+    """Deprecated: sharded streaming with per-shard journal layers."""
 
     def __init__(
         self,
@@ -54,69 +238,43 @@ class JournaledShardedStreamingServer(ShardedStreamingServer):
         _resume: bool = False,
         **server_kwargs,
     ):
-        # The per-shard factory (called from super().__init__) reads
-        # the journal configuration, so it must land first.
+        warn_deprecated(
+            "JournaledShardedStreamingServer",
+            "build_runtime(RunSpec(mode='stream', shards=N, journal=...)) "
+            "or repro.journal.sharded.sharded_journaled_server(...)",
+        )
         self.journal_root = Path(journal_root)
         self.journal_root.mkdir(parents=True, exist_ok=True)
         self.snapshot_every = snapshot_every
         self._sync = sync
         self._crash = CrashBudget.coerce(crash_after_events, crash_phase)
-        self._resuming = _resume
         super().__init__(
             bbox,
             num_shards=num_shards,
             cells_per_side=cells_per_side,
             halo_margin=halo_margin,
+            server_factory=_shard_factory(
+                self.journal_root,
+                snapshot_every=snapshot_every,
+                sync=sync,
+                crash_budget=self._crash,
+                resuming=_resume,
+            ),
             **server_kwargs,
         )
         if not _resume:
-            self._write_meta(
+            _write_sharded_meta(
+                self.journal_root,
                 {
                     "bbox": [bbox.min_x, bbox.min_y, bbox.max_x, bbox.max_y],
                     "num_shards": num_shards,
                     "cells_per_side": cells_per_side,
-                    # Resolved to a plain radius so recovery cannot
-                    # re-derive it differently.
                     "halo_margin": self.halo_margin,
                     "snapshot_every": snapshot_every,
-                    "server_kwargs": server_kwargs,
-                }
+                    "server_kwargs": dict(server_kwargs),
+                },
             )
 
-    def _build_servers(self, bbox, num_shards, server_kwargs):
-        """One journaled server per shard — recovered from its own
-        journal when resuming, freshly journaled otherwise."""
-        if self._resuming:
-            return [
-                JournaledStreamingServer.recover(
-                    self.journal_root / f"shard-{shard}",
-                    sync=self._sync,
-                    snapshot_every=self.snapshot_every,
-                    crash_after_events=self._crash,
-                )
-                for shard in range(num_shards)
-            ]
-        return [
-            JournaledStreamingServer(
-                bbox,
-                journal=self.journal_root / f"shard-{shard}",
-                snapshot_every=self.snapshot_every,
-                sync=self._sync,
-                crash_after_events=self._crash,
-                **server_kwargs,
-            )
-            for shard in range(num_shards)
-        ]
-
-    def _write_meta(self, meta: dict) -> None:
-        path = self.journal_root / "meta.json"
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(meta, indent=2, sort_keys=True) + "\n")
-        os.replace(tmp, path)
-
-    # ------------------------------------------------------------------
-    # Recovery
-    # ------------------------------------------------------------------
     @classmethod
     def recover(
         cls,
@@ -127,24 +285,12 @@ class JournaledShardedStreamingServer(ShardedStreamingServer):
         crash_after_events: int | CrashBudget | None = None,
         crash_phase: str = "apply",
     ) -> "JournaledShardedStreamingServer":
-        """Rebuild the deployment from its journal root.
-
-        ``snapshot_every=None`` keeps the interrupted run's cadence;
-        ``crash_after_events`` arms fault injection *during the
-        resumed run* (double-fault testing), counting boundaries
-        across shards as usual.
-        """
-        root = Path(journal_root)
-        meta_path = root / "meta.json"
-        try:
-            meta = json.loads(meta_path.read_text())
-        except (OSError, json.JSONDecodeError) as exc:
-            raise JournalCorruptionError(
-                f"{meta_path}: unreadable sharded-journal metadata: {exc}"
-            ) from exc
+        """Rebuild the deployment from its journal root (see
+        :func:`recover_sharded_server`)."""
+        meta = read_sharded_meta(journal_root)
         return cls(
             BoundingBox(*meta["bbox"]),
-            journal_root=root,
+            journal_root=journal_root,
             num_shards=meta["num_shards"],
             cells_per_side=meta["cells_per_side"],
             halo_margin=meta["halo_margin"],
@@ -159,23 +305,10 @@ class JournaledShardedStreamingServer(ShardedStreamingServer):
         )
 
     def resume(self, events) -> ShardedStreamMetrics:
-        """Re-route the full trace and resume every shard.
-
-        Routing is deterministic, so each recovered shard server skips
-        the pops its journal already accounts for and continues live;
-        the merged metrics match an uninterrupted run exactly.
-        """
-        if self._ran:
-            raise SchedulingError(
-                "JournaledShardedStreamingServer.resume is one-shot; "
-                "recover a fresh instance per attempt"
-            )
-        self._ran = True
-        return self._drain(
-            events, lambda server, trace: server.resume_with_trace(trace)
-        )
+        """Re-route the full trace and resume every shard."""
+        return resume_sharded(self, events)
 
     @property
     def recovery(self):
-        """Per-shard :class:`~repro.journal.server.RecoveryInfo`."""
-        return [server.recovery for server in self.servers]
+        """Per-shard :class:`~repro.journal.layer.RecoveryInfo`."""
+        return [journal_layer(server).recovery for server in self.servers]

@@ -1,0 +1,477 @@
+"""`build_runtime`: from one :class:`RunSpec` to a composed stack.
+
+The factory resolves a validated spec into the serving stack the
+eight-class lattice used to enumerate by hand:
+
+* ``mode="plain"`` — one canonical-order serving round:
+  :class:`~repro.shard.server.SequentialServingSolver` (one shard) or
+  the halo-partitioned
+  :class:`~repro.shard.server.ShardedTCSCServer` (``shards > 1``),
+  plan-identical by the PR-3 reconciliation proof.
+* ``mode="batch"`` — multi-round arrival processing over one
+  persistent registry (:class:`~repro.engine.batches.BatchTCSCServer`).
+* ``mode="stream"`` — the event-driven online core
+  (:class:`~repro.stream.online_server.StreamingTCSCServer`), wrapped
+  by the sharded router for ``shards > 1`` and extended with a
+  per-core :class:`~repro.journal.layer.JournalLayer` when a
+  ``journal`` path is named — capability pairings are spec fields
+  resolved here, not subclasses.
+
+Every runtime handle exposes ``run() -> RunOutcome`` with the three
+identity artifacts the equivalence matrix gates on:
+``plan_signature``, ``metrics`` (stream modes), and ``counters``.
+:func:`recover_runtime` is the durability entry point: it rebuilds a
+crashed stack from its journal directory alone.
+
+:func:`build_single_task_solver` is the shared solver-variant
+constructor (backend x search x index) that the serving solvers and
+the perf suite both build on — the PR-2 kwargs are threaded in
+exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.greedy import IndexedSingleTaskGreedy, SingleTaskGreedy
+from repro.core.instrumentation import OpCounters
+from repro.errors import SpecError
+from repro.runtime.spec import RunSpec, SolverVariant
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+from repro.workloads.spatial import Distribution
+from repro.workloads.streaming import StreamScenarioConfig, build_stream_events
+
+__all__ = [
+    "RunOutcome",
+    "Runtime",
+    "PlainRuntime",
+    "BatchRuntime",
+    "StreamRuntime",
+    "RecoveredRuntime",
+    "build_runtime",
+    "build_serving_solver",
+    "build_single_task_solver",
+    "recover_runtime",
+]
+
+
+# ----------------------------------------------------------------------
+# The shared solver-variant constructor (PR-2 kwargs, one copy)
+# ----------------------------------------------------------------------
+def build_single_task_solver(
+    variant: SolverVariant,
+    task,
+    costs,
+    *,
+    budget: float,
+    k: int = 3,
+    ts: int = 4,
+    counters: OpCounters | None = None,
+):
+    """One single-task solver from a :class:`SolverVariant`.
+
+    ``use_index`` selects the tree-indexed ``Approx*`` solver
+    (``search`` does not apply there — validation rejects the combo);
+    otherwise the local-strategy greedy with the chosen candidate
+    search.  All variants are plan-identical by construction.
+    """
+    if variant.use_index:
+        return IndexedSingleTaskGreedy(
+            task, costs, k=k, budget=budget, ts=ts,
+            backend=variant.backend, counters=counters,
+        )
+    return SingleTaskGreedy(
+        task, costs, k=k, budget=budget, strategy="local",
+        search=variant.search, backend=variant.backend, counters=counters,
+    )
+
+
+# ----------------------------------------------------------------------
+# Outcomes
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class RunOutcome:
+    """What one spec-driven run produced.
+
+    ``plan_signature`` / ``metrics`` / ``counters`` are the byte-
+    identity artifacts the equivalence matrix gates on; ``counters``
+    is one :class:`~repro.core.instrumentation.OpCounters` for
+    single-core stacks and a tuple (one per shard) for sharded stream
+    runs.  ``report_text`` is the operator-facing summary the CLI
+    prints.
+    """
+
+    spec: RunSpec
+    plan_signature: tuple
+    counters: object
+    metrics: object | None
+    qualities: dict | None
+    report_text: str
+    server: object
+
+
+# ----------------------------------------------------------------------
+# Runtime handles
+# ----------------------------------------------------------------------
+class Runtime:
+    """Base handle: a validated spec plus a lazily built workload."""
+
+    def __init__(self, spec: RunSpec):
+        self.spec = spec.validate()
+
+    def run(self) -> RunOutcome:
+        raise NotImplementedError
+
+
+def build_serving_solver(spec: RunSpec, pool, bbox, *, force_sharded=False):
+    """The plain-mode serving solver a spec resolves to.
+
+    ``shards == 1`` builds the sequential reference; more shards build
+    the halo-partitioned coordinator.  ``force_sharded=True`` builds
+    the coordinator even at one shard — the shard suite's degenerate-
+    sharding row measures exactly that case.  Exposed so suites that
+    sweep shard counts over one pre-built scenario share this
+    resolution instead of re-threading the solver kwargs.
+    """
+    # Imported here: repro.shard imports the runtime's shared solver
+    # builder at module level.
+    from repro.shard.server import SequentialServingSolver, ShardedTCSCServer
+
+    common = dict(
+        k=spec.k, ts=spec.ts,
+        engine="indexed" if spec.use_index else "greedy",
+        search=spec.search, backend=spec.backend,
+    )
+    if spec.shards == 1 and not force_sharded:
+        return SequentialServingSolver(pool, bbox, **common)
+    return ShardedTCSCServer(
+        pool, bbox, num_shards=spec.shards, halo=spec.halo,
+        cells_per_side=spec.cells_per_side, **common,
+    )
+
+
+class PlainRuntime(Runtime):
+    """One canonical-order serving round (sequential or sharded)."""
+
+    def _build_solver(self, scenario):
+        return build_serving_solver(self.spec, scenario.pool, scenario.bbox)
+
+    def run(self) -> RunOutcome:
+        spec = self.spec
+        w = spec.workload
+        scenario = build_scenario(
+            ScenarioConfig(
+                num_tasks=w.tasks, num_slots=w.slots, num_workers=w.workers,
+                distribution=Distribution(w.distribution), seed=w.seed,
+                k=spec.k, budget_fraction=spec.budget_fraction,
+            )
+        )
+        solver = self._build_solver(scenario)
+        report = solver.assign(
+            scenario.tasks, budget_fraction=spec.budget_fraction
+        )
+        lines = [
+            "serving report",
+            "--------------",
+            f"mode=plain shards={spec.shards} backend={spec.backend} "
+            f"search={spec.search} use_index={spec.use_index}",
+            f"tasks     {w.tasks} assigned={len(report.assignment)} subtasks "
+            f"cost={report.total_cost:.3f}",
+            f"quality   qsum={sum(report.qualities.values()):.4f}",
+            f"op-cost   serial={report.serial_cost:.0f}",
+        ]
+        if spec.shards > 1:
+            lines.append(
+                f"scaling   makespan={report.makespan:.0f} "
+                f"speedup={report.speedup:.2f}x conflicts={report.conflicts} "
+                f"reconciled={len(report.reconciled_task_ids)}"
+            )
+        return RunOutcome(
+            spec=spec,
+            plan_signature=report.plan_signature(),
+            counters=report.counters,
+            metrics=None,
+            qualities=dict(report.qualities),
+            report_text="\n".join(lines),
+            server=solver,
+        )
+
+
+class BatchRuntime(Runtime):
+    """Arrival rounds over one persistent registry."""
+
+    def run(self) -> RunOutcome:
+        from repro.engine.batches import BatchTCSCServer
+        from repro.model.assignment import Assignment
+        from repro.model.task import TaskSet
+
+        spec = self.spec
+        w = spec.workload
+        scenario = build_scenario(
+            ScenarioConfig(
+                num_tasks=w.tasks, num_slots=w.slots, num_workers=w.workers,
+                distribution=Distribution(w.distribution), seed=w.seed,
+                k=spec.k, budget_fraction=spec.budget_fraction,
+            )
+        )
+        server = BatchTCSCServer(
+            scenario.pool, scenario.bbox,
+            k=spec.k, ts=spec.ts, backend=spec.backend,
+        )
+        ordered = sorted(scenario.tasks, key=lambda t: t.task_id)
+        per_round = -(-len(ordered) // w.rounds)  # ceil
+        combined = Assignment()
+        counters = OpCounters()
+        qualities: dict[int, float] = {}
+        for start in range(0, len(ordered), per_round):
+            batch = ordered[start:start + per_round]
+            report = server.process_batch(
+                TaskSet(batch), scenario.budget * len(batch)
+            )
+            qualities.update(report.result.qualities)
+            counters.merge(report.result.counters)
+            for record in report.result.assignment:
+                combined.add(record)
+        lines = [
+            "batch report",
+            "------------",
+            f"mode=batch rounds={server.rounds} backend={spec.backend}",
+            f"tasks     {w.tasks} assigned={len(combined)} subtasks "
+            f"spent={server.total_spent:.3f}",
+            f"quality   qsum={sum(qualities.values()):.4f}",
+        ]
+        return RunOutcome(
+            spec=spec,
+            plan_signature=combined.plan_signature(),
+            counters=counters,
+            metrics=None,
+            qualities=qualities,
+            report_text="\n".join(lines),
+            server=server,
+        )
+
+
+class StreamRuntime(Runtime):
+    """The event-driven online stack, composed per the spec.
+
+    ``force_sharded=True`` builds the sharded router even at one
+    shard (the degenerate-sharding rows of the bench suites measure
+    exactly that coordinator); :func:`build_runtime` never forces it.
+    ``scenario`` seeds a pre-built trace so a suite sweeping many
+    runtimes over one workload skips the per-runtime regeneration —
+    it must have been built from the spec's workload fields.
+    """
+
+    def __init__(
+        self, spec: RunSpec, *, force_sharded: bool = False, scenario=None
+    ):
+        super().__init__(spec)
+        self._scenario = scenario
+        self._server = None
+        self._sharded = force_sharded or spec.shards > 1
+
+    def scenario(self):
+        """The built (seed-pinned, cached) event trace."""
+        if self._scenario is None:
+            w = self.spec.workload
+            self._scenario = build_stream_events(
+                StreamScenarioConfig(
+                    horizon=w.horizon,
+                    task_rate=w.task_rate,
+                    burstiness=w.burstiness,
+                    task_slots=w.task_slots,
+                    initial_workers=w.initial_workers,
+                    worker_join_rate=w.join_rate,
+                    mean_worker_lifetime=w.mean_lifetime,
+                    early_leave_prob=w.early_leave_prob,
+                    distribution=Distribution(w.distribution),
+                    seed=w.seed,
+                )
+            )
+        return self._scenario
+
+    def _core_kwargs(self) -> dict:
+        spec = self.spec
+        return dict(
+            k=spec.k,
+            ts=spec.ts,
+            epoch_length=spec.epoch_length,
+            index_mode=spec.index_mode,
+            budget_fraction=spec.budget_fraction,
+            max_active_tasks=spec.max_active_tasks,
+            max_queue_depth=spec.max_queue_depth,
+            pool_budget=spec.pool_budget,
+            realization_seed=spec.workload.seed,
+            backend=spec.backend,
+        )
+
+    @property
+    def server(self):
+        """The composed serving stack (built once, lazily)."""
+        if self._server is None:
+            self._server = self._build_server()
+        return self._server
+
+    def _build_server(self):
+        from repro.shard.streaming import ShardedStreamingServer
+        from repro.stream.online_server import StreamingTCSCServer
+
+        spec = self.spec
+        bbox = self.scenario().bbox
+        kwargs = self._core_kwargs()
+        if spec.journal is not None:
+            from repro.journal.layer import journaled_server
+            from repro.journal.sharded import sharded_journaled_server
+
+            durability = dict(
+                snapshot_every=spec.snapshot_every,
+                sync=spec.sync,
+                crash_after_events=spec.crash_after_events,
+                crash_phase=spec.crash_phase,
+            )
+            if not self._sharded:
+                return journaled_server(
+                    bbox, journal=spec.journal, **durability, **kwargs
+                )
+            return sharded_journaled_server(
+                bbox,
+                journal_root=spec.journal,
+                num_shards=spec.shards,
+                cells_per_side=spec.cells_per_side,
+                halo_margin=spec.halo,
+                **durability,
+                **kwargs,
+            )
+        if not self._sharded:
+            return StreamingTCSCServer(bbox, **kwargs)
+        return ShardedStreamingServer(
+            bbox,
+            num_shards=spec.shards,
+            cells_per_side=spec.cells_per_side,
+            halo_margin=spec.halo,
+            **kwargs,
+        )
+
+    def _outcome(self, metrics) -> RunOutcome:
+        server = self.server
+        if self._sharded:
+            counters = tuple(shard.counters for shard in server.servers)
+        else:
+            counters = server.counters
+        return RunOutcome(
+            spec=self.spec,
+            plan_signature=server.assignment().plan_signature(),
+            counters=counters,
+            metrics=metrics,
+            qualities=dict(metrics.promised_quality),
+            report_text=metrics.report(),
+            server=server,
+        )
+
+    def run(self) -> RunOutcome:
+        """Drain the trace; crash injection propagates
+        :class:`~repro.journal.layer.InjectedCrash`."""
+        metrics = self.server.run(list(self.scenario().events))
+        return self._outcome(metrics)
+
+
+_MODES = {
+    "plain": PlainRuntime,
+    "batch": BatchRuntime,
+    "stream": StreamRuntime,
+}
+
+
+def build_runtime(spec: RunSpec) -> Runtime:
+    """Validate ``spec`` and return its composed runtime handle."""
+    if not isinstance(spec, RunSpec):
+        raise SpecError(
+            f"build_runtime expects a RunSpec, got {type(spec).__name__}"
+        )
+    spec.validate()
+    return _MODES[spec.mode](spec)
+
+
+# ----------------------------------------------------------------------
+# Durability re-entry
+# ----------------------------------------------------------------------
+class RecoveredRuntime:
+    """Handle over a journal-recovered serving stack.
+
+    ``kind`` is ``"plain"`` or ``"sharded"``, read off the journal
+    directory itself, so recovery never depends on the caller
+    repeating the original sharding flags.
+    """
+
+    def __init__(self, server, kind: str):
+        self.server = server
+        self.kind = kind
+
+    @property
+    def recovery(self):
+        """Per-core :class:`~repro.journal.layer.RecoveryInfo`
+        (a list with one entry per shard for sharded deployments)."""
+        from repro.journal.layer import journal_layer
+
+        if self.kind == "sharded":
+            return [journal_layer(s).recovery for s in self.server.servers]
+        return journal_layer(self.server).recovery
+
+    def resume(self, events):
+        """Finish the interrupted run against the full original trace;
+        returns the stream metrics (byte-identical to an uninterrupted
+        run)."""
+        from repro.journal.layer import journal_layer
+        from repro.journal.sharded import resume_sharded
+
+        if self.kind == "sharded":
+            return resume_sharded(self.server, events)
+        return journal_layer(self.server).resume_with_trace(events)
+
+    def assignment(self):
+        """The recovered deployment's merged plan."""
+        return self.server.assignment()
+
+
+def recover_runtime(
+    journal: str | Path,
+    *,
+    sync: bool = False,
+    snapshot_every: int | None = None,
+    crash_after_events: int | None = None,
+    crash_phase: str = "apply",
+) -> RecoveredRuntime:
+    """Rebuild a crashed stack from its journal directory alone.
+
+    Whether the journal is sharded is read off the directory
+    (``meta.json`` marks a sharded deployment).  Raises
+    :class:`~repro.errors.SpecError` when no journal exists there.
+    """
+    from repro.journal.layer import recover_server
+    from repro.journal.sharded import recover_sharded_server
+    from repro.journal.wal import journal_kind
+
+    kind = journal_kind(journal)
+    if kind is None:
+        raise SpecError(
+            f"no journal found at {journal} (expected wal.log or a "
+            "sharded meta.json)"
+        )
+    if kind == "sharded":
+        server = recover_sharded_server(
+            journal,
+            sync=sync,
+            snapshot_every=snapshot_every,
+            crash_after_events=crash_after_events,
+            crash_phase=crash_phase,
+        )
+        return RecoveredRuntime(server, "sharded")
+    server = recover_server(
+        journal,
+        sync=sync,
+        snapshot_every=snapshot_every,
+        crash_after_events=crash_after_events,
+        crash_phase=crash_phase,
+    )
+    return RecoveredRuntime(server, "plain")

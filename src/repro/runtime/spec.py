@@ -1,0 +1,312 @@
+"""`RunSpec`: one declarative description of a full serving run.
+
+A :class:`RunSpec` names everything the serving lattice used to
+hand-thread through eight constructors: the workload shape
+(:class:`WorkloadSpec`), the solver variant (``backend`` / ``search``
+/ ``use_index``), the serving mode (``plain | batch | stream``),
+sharding (``shards`` / ``halo``), and durability (``journal`` /
+``snapshot_every`` / crash injection).  Specs are plain data:
+``to_dict``/``from_dict`` round-trip exactly (a seeded property
+test), JSON files load via :meth:`RunSpec.from_json`, and invalid
+capability combinations fail *at validation time* with a typed
+:class:`~repro.errors.SpecError` instead of deep inside a
+constructor.
+
+The companion factory, :func:`repro.runtime.build_runtime`, turns a
+validated spec into a composed serving stack.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields, replace
+from pathlib import Path
+
+from repro.errors import SpecError
+
+__all__ = [
+    "SERVING_MODES",
+    "SEARCH_MODES",
+    "SolverVariant",
+    "WorkloadSpec",
+    "RunSpec",
+]
+
+SERVING_MODES = ("plain", "batch", "stream")
+SEARCH_MODES = ("enumerate", "lazy")
+_BACKENDS = ("python", "numpy")
+_INDEX_MODES = ("incremental", "rebuild")
+_CRASH_PHASES = ("apply", "append")
+_DISTRIBUTIONS = ("uniform", "gaussian", "zipfian")
+
+
+def _check_dict_keys(cls, data: dict) -> None:
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise SpecError(
+            f"{cls.__name__} does not accept field(s) {unknown}; "
+            f"known fields: {sorted(known)}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class SolverVariant:
+    """The PR-2 solver-variant triple, as one value.
+
+    Every place that used to hand-thread ``backend`` / ``search`` /
+    ``use_index`` (serving solvers, the perf suite's variant table,
+    the CLI) now passes one of these to
+    :func:`repro.runtime.factory.build_single_task_solver`.
+    """
+
+    backend: str = "python"
+    search: str = "enumerate"
+    use_index: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadSpec:
+    """The scenario generator's knobs, one namespace for every mode.
+
+    ``plain``/``batch`` runs read the one-shot fields (``tasks`` /
+    ``slots`` / ``workers``); ``stream`` runs read the trace fields
+    (``horizon`` onward).  ``seed`` and ``distribution`` apply to
+    both.  Defaults mirror the paper-pinned defaults of
+    :class:`~repro.workloads.scenario.ScenarioConfig` and
+    :class:`~repro.workloads.streaming.StreamScenarioConfig`.
+    """
+
+    seed: int = 7
+    distribution: str = "uniform"
+    # One-shot scenarios (plain / batch).
+    tasks: int = 1
+    slots: int = 100
+    workers: int = 500
+    #: Arrival rounds for ``batch`` mode (tasks split canonically).
+    rounds: int = 1
+    # Event traces (stream).
+    horizon: int = 100
+    task_rate: float = 0.15
+    burstiness: float = 0.0
+    task_slots: int = 24
+    initial_workers: int = 40
+    join_rate: float = 1.0
+    mean_lifetime: float = 25.0
+    early_leave_prob: float = 0.3
+
+    def validate(self) -> None:
+        if self.distribution not in _DISTRIBUTIONS:
+            raise SpecError(
+                f"unknown distribution {self.distribution!r}; "
+                f"choose one of {_DISTRIBUTIONS}"
+            )
+        for name, minimum in (
+            ("tasks", 1), ("slots", 3), ("workers", 1), ("rounds", 1),
+            ("horizon", 1), ("task_slots", 3), ("initial_workers", 0),
+        ):
+            if getattr(self, name) < minimum:
+                raise SpecError(f"workload.{name} must be >= {minimum}, "
+                                f"got {getattr(self, name)}")
+        if self.rounds > self.tasks:
+            raise SpecError(
+                f"workload.rounds ({self.rounds}) exceeds workload.tasks "
+                f"({self.tasks}); every batch round needs at least one task"
+            )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadSpec":
+        _check_dict_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True, slots=True)
+class RunSpec:
+    """One declarative serving run; see the module docstring."""
+
+    mode: str = "plain"
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    # Solver variant (the PR-2 knobs).
+    backend: str = "python"
+    search: str = "lazy"
+    use_index: bool = False
+    k: int = 3
+    ts: int = 4
+    budget_fraction: float = 0.25
+    # Sharding (the PR-3 knobs).
+    shards: int = 1
+    halo: str | float = "auto"
+    cells_per_side: int | None = None
+    # Stream serving (the PR-1 knobs; stream mode only).
+    epoch_length: float = 5.0
+    index_mode: str = "incremental"
+    max_active_tasks: int = 8
+    max_queue_depth: int = 16
+    pool_budget: float | None = None
+    # Durability (the PR-4 knobs; require a journal, which requires
+    # stream mode).
+    journal: str | None = None
+    snapshot_every: int = 4
+    sync: bool = False
+    crash_after_events: int | None = None
+    crash_phase: str = "apply"
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> "RunSpec":
+        """Raise :class:`~repro.errors.SpecError` on any bad field or
+        uncomposable capability pairing; returns ``self`` for chaining."""
+        if self.mode not in SERVING_MODES:
+            raise SpecError(
+                f"unknown mode {self.mode!r}; choose one of {SERVING_MODES}"
+            )
+        if self.backend not in _BACKENDS:
+            raise SpecError(
+                f"unknown backend {self.backend!r}; choose one of {_BACKENDS}"
+            )
+        if self.search not in SEARCH_MODES:
+            raise SpecError(
+                f"unknown search {self.search!r}; choose one of {SEARCH_MODES}"
+            )
+        if self.index_mode not in _INDEX_MODES:
+            raise SpecError(
+                f"unknown index_mode {self.index_mode!r}; "
+                f"choose one of {_INDEX_MODES}"
+            )
+        if self.crash_phase not in _CRASH_PHASES:
+            raise SpecError(
+                f"unknown crash_phase {self.crash_phase!r}; "
+                f"choose one of {_CRASH_PHASES}"
+            )
+        if self.use_index and self.search != "enumerate":
+            raise SpecError(
+                "use_index=True selects the tree-indexed solver, which has "
+                f"no candidate-search knob; leave search='enumerate' "
+                f"(got search={self.search!r})"
+            )
+        if self.k < 1:
+            raise SpecError(f"k must be >= 1, got {self.k}")
+        if self.ts < 2:
+            raise SpecError(f"ts must be >= 2, got {self.ts}")
+        if not 0.0 < self.budget_fraction <= 1.0:
+            raise SpecError(
+                f"budget_fraction must be in (0, 1], got {self.budget_fraction}"
+            )
+        if self.shards < 1:
+            raise SpecError(f"shards must be >= 1, got {self.shards}")
+        if isinstance(self.halo, str):
+            if self.halo != "auto":
+                raise SpecError(
+                    f"halo must be 'auto' or a radius >= 0, got {self.halo!r}"
+                )
+        elif self.halo < 0:
+            raise SpecError(f"halo radius must be >= 0, got {self.halo}")
+        if self.epoch_length <= 0:
+            raise SpecError(f"epoch_length must be > 0, got {self.epoch_length}")
+        if self.max_active_tasks < 1:
+            raise SpecError(
+                f"max_active_tasks must be >= 1, got {self.max_active_tasks}"
+            )
+        if self.max_queue_depth < 0:
+            raise SpecError(
+                f"max_queue_depth must be >= 0, got {self.max_queue_depth}"
+            )
+        if self.snapshot_every < 0:
+            raise SpecError(
+                f"snapshot_every must be >= 0, got {self.snapshot_every}"
+            )
+        # Capability pairings the runtime cannot compose (yet): these
+        # are *spec* errors so the matrix runner and the --spec CLI can
+        # report them as typed rejections rather than crashes.
+        if self.mode == "batch" and self.shards > 1:
+            raise SpecError(
+                "sharding composes with plain and stream serving only; "
+                "batch x shard is not a supported pairing yet (got "
+                f"mode='batch', shards={self.shards})"
+            )
+        if self.journal is not None and self.mode != "stream":
+            raise SpecError(
+                "journal durability wraps the streaming core; it requires "
+                f"mode='stream' (got mode={self.mode!r})"
+            )
+        if self.journal is None:
+            if self.crash_after_events is not None:
+                raise SpecError(
+                    "crash_after_events injects faults into the journal "
+                    "layer; it requires a journal path"
+                )
+            if self.sync:
+                raise SpecError(
+                    "sync fsyncs the write-ahead log; it requires a "
+                    "journal path"
+                )
+        if self.crash_after_events is not None and self.crash_after_events < 0:
+            raise SpecError(
+                f"crash_after_events must be >= 0, got {self.crash_after_events}"
+            )
+        self.workload.validate()
+        return self
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-JSON dict (``workload`` nested); exactly inverted by
+        :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        """Build and validate a spec from :meth:`to_dict` output.
+
+        Unknown fields raise :class:`~repro.errors.SpecError` — a
+        typo'd spec file must not silently run with defaults.
+        """
+        if not isinstance(data, dict):
+            raise SpecError(f"a RunSpec must be a JSON object, got {type(data).__name__}")
+        _check_dict_keys(cls, data)
+        data = dict(data)
+        workload = data.pop("workload", None)
+        if workload is not None:
+            if isinstance(workload, dict):
+                workload = WorkloadSpec.from_dict(workload)
+            elif not isinstance(workload, WorkloadSpec):
+                raise SpecError(
+                    f"workload must be an object, got {type(workload).__name__}"
+                )
+            data["workload"] = workload
+        spec = cls(**data)
+        return spec.validate()
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "RunSpec":
+        """Load and validate a spec from a JSON file (``--spec``)."""
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except OSError as exc:
+            raise SpecError(f"cannot read spec file {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"{path} is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def to_json(self, path: str | Path) -> None:
+        """Persist the spec as pretty-printed JSON."""
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+
+    def replace(self, **changes) -> "RunSpec":
+        """A copy with ``changes`` applied (sweep/grid convenience)."""
+        return replace(self, **changes)
+
+    @property
+    def solver_variant(self) -> SolverVariant:
+        """The spec's solver-variant triple."""
+        return SolverVariant(
+            backend=self.backend, search=self.search, use_index=self.use_index
+        )

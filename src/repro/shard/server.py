@@ -41,7 +41,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.greedy import IndexedSingleTaskGreedy, SingleTaskGreedy, SolverResult
+from repro.core.greedy import SolverResult
 from repro.core.instrumentation import OpCounters
 from repro.engine.costs import SingleTaskCostTable
 from repro.engine.registry import WorkerRegistry
@@ -52,6 +52,8 @@ from repro.model.task import Task, TaskSet
 from repro.model.worker import WorkerPool
 from repro.multi.tables import ConflictingTable
 from repro.parallel.simcluster import SimCluster, WorkItem
+from repro.runtime.factory import build_single_task_solver
+from repro.runtime.spec import SolverVariant
 from repro.shard.partitioner import HALO_AUTO, ShardMap, SpatialPartitioner
 
 __all__ = [
@@ -184,6 +186,9 @@ class _ServingBase:
         self.engine = engine
         self.search = search
         self.backend = backend
+        self.variant = SolverVariant(
+            backend=backend, search=search, use_index=(engine == "indexed")
+        )
 
     def _solve_task(
         self,
@@ -199,16 +204,10 @@ class _ServingBase:
         offers, which is what reconciliation validates against.
         """
         costs = SingleTaskCostTable(task, registry, counters=counters)
-        if self.engine == "indexed":
-            solver = IndexedSingleTaskGreedy(
-                task, costs, k=self.k, budget=budget, ts=self.ts,
-                backend=self.backend, counters=counters,
-            )
-        else:
-            solver = SingleTaskGreedy(
-                task, costs, k=self.k, budget=budget, strategy="local",
-                search=self.search, backend=self.backend, counters=counters,
-            )
+        solver = build_single_task_solver(
+            self.variant, task, costs,
+            budget=budget, k=self.k, ts=self.ts, counters=counters,
+        )
         return solver.solve(), costs
 
     def _budgets(

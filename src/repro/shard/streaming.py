@@ -152,6 +152,13 @@ class ShardedStreamingServer:
     diagonal), or a non-negative radius in domain units.  All other
     keyword arguments are forwarded to every per-shard
     :class:`~repro.stream.online_server.StreamingTCSCServer`.
+
+    ``server_factory`` is the composition seam: a callable
+    ``(shard, bbox, server_kwargs) -> StreamingTCSCServer`` that
+    builds each shard's core — the journal runtime passes a factory
+    that attaches a per-shard
+    :class:`~repro.journal.layer.JournalLayer`, so durability x
+    sharding needs no subclass.  ``None`` builds plain cores.
     """
 
     def __init__(
@@ -161,6 +168,7 @@ class ShardedStreamingServer:
         num_shards: int,
         cells_per_side: int | None = None,
         halo_margin: str | float = "auto",
+        server_factory=None,
         **server_kwargs,
     ):
         if num_shards < 1:
@@ -182,13 +190,19 @@ class ShardedStreamingServer:
                 f"halo_margin must be >= 0, got {halo_margin}"
             )
         self.halo_margin = float(halo_margin)
+        self._server_factory = server_factory
         self.servers = self._build_servers(bbox, num_shards, server_kwargs)
         self._ran = False
 
     def _build_servers(
         self, bbox: BoundingBox, num_shards: int, server_kwargs: dict
     ) -> list[StreamingTCSCServer]:
-        """Per-shard server factory (the journal layer overrides it)."""
+        """One core per shard, through the factory seam when given."""
+        if self._server_factory is not None:
+            return [
+                self._server_factory(shard, bbox, dict(server_kwargs))
+                for shard in range(num_shards)
+            ]
         return [StreamingTCSCServer(bbox, **server_kwargs) for _ in range(num_shards)]
 
     # ------------------------------------------------------------------

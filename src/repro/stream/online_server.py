@@ -110,6 +110,11 @@ class StreamingTCSCServer:
         backend: quality-kernel implementation for every session's
             evaluator (``"python"`` scalar oracle or ``"numpy"``
             vectorized); identical assignments on either.
+        layers: ordered :class:`~repro.runtime.layers.ServingLayer`
+            capabilities dispatched at every hook point (the journal
+            layer rides here); layers observe and persist but never
+            perturb solver state, so a layered run is byte-identical
+            to a bare one.
     """
 
     def __init__(
@@ -128,6 +133,7 @@ class StreamingTCSCServer:
         realization_seed: int = 0,
         backend: str = "python",
         counters: OpCounters | None = None,
+        layers=(),
     ):
         if index_mode not in INDEX_MODES:
             raise ConfigurationError(
@@ -171,6 +177,9 @@ class StreamingTCSCServer:
         #: instead of starting a fresh one.
         self._metrics: StreamMetrics | None = None
         self._ran = False
+        self.layers = tuple(layers)
+        for layer in self.layers:
+            layer.bind(self)
 
     # ------------------------------------------------------------------
     # Event handling
@@ -227,6 +236,8 @@ class StreamingTCSCServer:
         return session
 
     def _finalize(self, session: TaskSession, metrics: StreamMetrics) -> None:
+        for layer in self.layers:
+            layer.before_finalize(session, metrics)
         task_id = session.task.task_id
         metrics.tasks_completed += 1
         metrics.promised_quality[task_id] = session.quality
@@ -252,8 +263,10 @@ class StreamingTCSCServer:
 
         ``local_slot`` and ``cost`` identify the committed subtask; the
         base server only needs the worker/slot pair, but the journal
-        subclass logs the full typed commit record before applying it.
+        layer logs the full typed commit record before it is applied.
         """
+        for layer in self.layers:
+            layer.before_commit(consuming, worker_id, global_slot, local_slot, cost)
         self.registry.consume(worker_id, global_slot)
         for other in self._active:
             if other is consuming:
@@ -262,18 +275,32 @@ class StreamingTCSCServer:
                 self.counters.conflicts_detected += 1
 
     # ------------------------------------------------------------------
-    # Journal hooks (no-ops here; see repro.journal.server)
+    # The layer seam (repro.runtime.layers; the journal layer lives in
+    # repro.journal.layer)
     # ------------------------------------------------------------------
     def _consume_event(self, event: Event, metrics: StreamMetrics) -> None:
-        """Apply one drained event (override to log-before-apply)."""
+        """Apply one drained event through the layer seam.
+
+        ``before_event`` runs first (log-before-apply; fault injection
+        may raise here, leaving the event unapplied), then the event is
+        applied, then ``after_event`` observes the applied state.
+        """
+        for layer in self.layers:
+            layer.before_event(event, metrics)
         self._handle(event, metrics)
+        for layer in self.layers:
+            layer.after_event(event, metrics)
 
     def _on_epoch_end(self, metrics: StreamMetrics, now: float) -> None:
-        """Called after each epoch's assignment rounds (snapshot hook)."""
+        """Called after each epoch's assignment rounds (snapshot seam)."""
+        for layer in self.layers:
+            layer.on_epoch_end(metrics, now)
 
     def _on_run_complete(self, metrics: StreamMetrics) -> None:
         """Called once the trace is drained and realized (final
-        snapshot hook)."""
+        snapshot seam)."""
+        for layer in self.layers:
+            layer.on_run_complete(metrics)
 
     # ------------------------------------------------------------------
     # The loop

@@ -128,7 +128,7 @@ class TestCollect:
     def test_every_registered_artifact_has_a_collector(self):
         assert set(COLLECTORS) == {
             "BENCH_stream.json", "BENCH_perf.json", "BENCH_shard.json",
-            "BENCH_journal.json",
+            "BENCH_journal.json", "BENCH_matrix.json",
         }
         for pattern, collector in COLLECTORS.values():
             assert pattern.endswith("*.json")

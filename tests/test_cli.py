@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.__main__ import build_parser, main
+from repro.runtime import RunSpec, WorkloadSpec
 
 
 class TestParser:
@@ -88,6 +91,25 @@ class TestParser:
             build_parser().parse_args(["simulate", "--shards", "-2"])
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--shards", "many"])
+
+    def test_run_options(self):
+        args = build_parser().parse_args(["run"])
+        assert args.spec is None
+        assert args.mode is None
+        assert args.print_spec is False
+        args = build_parser().parse_args(
+            ["run", "--spec", "s.json", "--mode", "stream", "--shards", "2",
+             "--backend", "numpy", "--print-spec"]
+        )
+        assert (args.spec, args.mode, args.shards, args.backend) == (
+            "s.json", "stream", 2, "numpy"
+        )
+        assert args.print_spec
+
+    def test_matrix_options(self):
+        args = build_parser().parse_args(["matrix", "--smoke"])
+        assert args.smoke is True
+        assert args.results_dir is None
 
 
 class TestCommands:
@@ -216,6 +238,76 @@ class TestCommands:
         assert (tmp_path / "shard_suite.json").exists()
         assert (tmp_path / "BENCH_shard.json").exists()
         assert "plans identical=True" in out
+
+
+class TestRunCommand:
+    """The spec-driven face of the composable runtime."""
+
+    def test_default_spec_runs_plain(self, capsys):
+        code = main(["run"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serving report" in out
+        assert "plan" in out
+
+    def test_print_spec_emits_json(self, capsys):
+        code = main(["run", "--print-spec", "--mode", "stream", "--shards", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        spec = json.loads(out)
+        assert spec["mode"] == "stream"
+        assert spec["shards"] == 3
+
+    def test_spec_file_round_trips_through_the_cli(self, tmp_path, capsys):
+        spec = RunSpec(
+            mode="stream",
+            shards=2,
+            workload=WorkloadSpec(horizon=20, task_slots=8,
+                                  initial_workers=12, join_rate=0.5, seed=5),
+        )
+        path = tmp_path / "spec.json"
+        spec.to_json(path)
+        code = main(["run", "--spec", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sharded streaming report" in out
+
+    def test_flag_overrides_spec_file(self, tmp_path, capsys):
+        RunSpec(mode="plain").to_json(tmp_path / "spec.json")
+        code = main(["run", "--spec", str(tmp_path / "spec.json"),
+                     "--mode", "stream", "--print-spec"])
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["mode"] == "stream"
+
+    def test_invalid_combo_is_a_typed_cli_error(self, capsys):
+        code = main(["run", "--mode", "plain", "--journal", "/tmp/nope"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "invalid spec" in err
+        assert "mode='stream'" in err
+
+    def test_unknown_spec_field_is_a_typed_cli_error(self, tmp_path, capsys):
+        path = tmp_path / "typo.json"
+        path.write_text('{"shard_count": 4}')
+        code = main(["run", "--spec", str(path)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "shard_count" in err
+
+    def test_matrix_smoke(self, tmp_path, capsys):
+        code = main(["matrix", "--smoke", "--results-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert (tmp_path / "matrix_suite.json").exists()
+        assert (tmp_path / "BENCH_matrix.json").exists()
+        assert "byte-identical to the legacy path" in out
+        payload = json.loads((tmp_path / "matrix_suite.json").read_text())
+        valid = [c for c in payload["cells"] if c["valid"]]
+        assert valid and all(
+            c["plan_identical"] and c["counters_identical"] for c in valid
+        )
+        rejected = [c for c in payload["cells"] if not c["valid"]]
+        assert rejected and all(c["error"] == "SpecError" for c in rejected)
 
 
 class TestJournalCLI:

@@ -1,0 +1,230 @@
+"""The composable runtime: factory composition vs the legacy lattice.
+
+Two contracts under test.  First, the layer seam itself: layers
+observe every hook in order and never perturb a run (byte-identical
+plan, metrics, and counters with or without a no-op layer).  Second,
+the deprecation shims: the legacy class spellings must keep producing
+exactly what the factory-built composition produces on a seeded
+scenario — plan signature and ``OpCounters`` included — while warning
+exactly once.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.errors import SpecError
+from repro.journal.layer import journal_layer
+from repro.journal.sharded import JournaledShardedStreamingServer
+from repro.journal.server import JournaledStreamingServer
+from repro.runtime import (
+    RunSpec,
+    ServingLayer,
+    StreamRuntime,
+    WorkloadSpec,
+    build_runtime,
+    recover_runtime,
+    reset_deprecation_warnings,
+)
+from repro.stream.online_server import StreamingTCSCServer
+
+STREAM_WORKLOAD = WorkloadSpec(
+    horizon=16, task_rate=0.3, task_slots=8, initial_workers=14,
+    join_rate=0.8, mean_lifetime=12.0, seed=9,
+)
+
+STREAM_SPEC = RunSpec(
+    mode="stream", workload=STREAM_WORKLOAD, k=2,
+    epoch_length=3.0, budget_fraction=0.6,
+    max_active_tasks=4, max_queue_depth=8, snapshot_every=2,
+)
+
+
+def _legacy_kwargs(spec: RunSpec) -> dict:
+    return dict(
+        k=spec.k, epoch_length=spec.epoch_length,
+        budget_fraction=spec.budget_fraction,
+        max_active_tasks=spec.max_active_tasks,
+        max_queue_depth=spec.max_queue_depth,
+        realization_seed=spec.workload.seed, backend=spec.backend,
+    )
+
+
+class RecordingLayer(ServingLayer):
+    """A no-op layer that logs which hooks fired, in order."""
+
+    def __init__(self):
+        self.calls: list[str] = []
+        self.server = None
+
+    def bind(self, server):
+        self.server = server
+        self.calls.append("bind")
+
+    def before_event(self, event, metrics):
+        self.calls.append("before_event")
+
+    def after_event(self, event, metrics):
+        self.calls.append("after_event")
+
+    def before_commit(self, session, worker_id, gslot, slot, cost):
+        self.calls.append("before_commit")
+
+    def before_finalize(self, session, metrics):
+        self.calls.append("before_finalize")
+
+    def on_epoch_end(self, metrics, now):
+        self.calls.append("on_epoch_end")
+
+    def on_run_complete(self, metrics):
+        self.calls.append("on_run_complete")
+
+
+class TestLayerSeam:
+    def test_noop_layer_observes_without_perturbing(self):
+        scenario = build_runtime(STREAM_SPEC).scenario()
+        bare = StreamingTCSCServer(scenario.bbox, **_legacy_kwargs(STREAM_SPEC))
+        bare_metrics = bare.run(list(scenario.events))
+
+        probe = RecordingLayer()
+        layered = StreamingTCSCServer(
+            scenario.bbox, layers=(probe,), **_legacy_kwargs(STREAM_SPEC)
+        )
+        layered_metrics = layered.run(list(scenario.events))
+
+        # Observation is complete...
+        assert probe.server is layered
+        assert probe.calls[0] == "bind"
+        assert probe.calls[-1] == "on_run_complete"
+        assert probe.calls.count("before_event") == len(scenario.events)
+        assert probe.calls.count("after_event") == len(scenario.events)
+        assert probe.calls.count("on_epoch_end") == layered_metrics.epochs
+        assert probe.calls.count("before_commit") == len(layered.assignment())
+        assert probe.calls.count("before_finalize") > 0
+        # ...and free: byte-identical run.
+        assert layered_metrics == bare_metrics
+        assert layered.assignment().plan_signature() == bare.assignment().plan_signature()
+        assert layered_metrics.counters == bare_metrics.counters
+
+    def test_before_event_precedes_application(self):
+        """The seam's log-before-apply ordering: before_event for event
+        N fires before after_event for event N, pairwise."""
+        probe = RecordingLayer()
+        scenario = build_runtime(STREAM_SPEC).scenario()
+        server = StreamingTCSCServer(
+            scenario.bbox, layers=(probe,), **_legacy_kwargs(STREAM_SPEC)
+        )
+        server.run(list(scenario.events))
+        events_only = [c for c in probe.calls if c.endswith("_event")]
+        assert events_only == ["before_event", "after_event"] * len(scenario.events)
+
+
+class TestFactoryModes:
+    def test_plain_shards_are_plan_identical(self):
+        base = RunSpec(
+            mode="plain",
+            workload=WorkloadSpec(tasks=6, slots=12, workers=150, seed=13),
+        )
+        reference = build_runtime(base).run()
+        assert len(reference.plan_signature) > 0
+        for shards in (2, 4):
+            outcome = build_runtime(base.replace(shards=shards)).run()
+            assert outcome.plan_signature == reference.plan_signature
+            assert outcome.qualities == reference.qualities
+
+    def test_batch_mode_rounds_partition_the_taskset(self):
+        base = RunSpec(
+            mode="batch",
+            workload=WorkloadSpec(tasks=6, slots=12, workers=150, seed=13,
+                                  rounds=3),
+        )
+        outcome = build_runtime(base).run()
+        assert outcome.server.rounds == 3
+        assert len(outcome.plan_signature) > 0
+        assert len(outcome.qualities) == 6  # every task served exactly once
+
+    def test_stream_shards_one_matches_plain_streaming(self):
+        plain = build_runtime(STREAM_SPEC).run()
+        forced = StreamRuntime(STREAM_SPEC, force_sharded=True).run()
+        assert forced.metrics.per_shard[0].promised_quality == (
+            plain.metrics.promised_quality
+        )
+        assert forced.plan_signature == plain.plan_signature
+
+    def test_build_runtime_rejects_non_spec(self):
+        with pytest.raises(SpecError):
+            build_runtime({"mode": "plain"})
+
+    def test_recover_runtime_missing_journal_raises_typed(self, tmp_path):
+        with pytest.raises(SpecError):
+            recover_runtime(tmp_path / "nothing-here")
+
+
+class TestDeprecationShims:
+    """Satellite: legacy constructors keep working, warn once, and are
+    byte-identical to the factory composition."""
+
+    def test_plain_journal_shim_matches_factory(self, tmp_path):
+        spec = STREAM_SPEC.replace(journal=str(tmp_path / "factory"))
+        factory = build_runtime(spec).run()
+
+        scenario = build_runtime(STREAM_SPEC).scenario()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shim = JournaledStreamingServer(
+                scenario.bbox,
+                journal=tmp_path / "shim",
+                snapshot_every=spec.snapshot_every,
+                **_legacy_kwargs(spec),
+            )
+        shim_metrics = shim.run(list(scenario.events))
+
+        assert shim_metrics == factory.metrics
+        assert shim.assignment().plan_signature() == factory.plan_signature
+        assert shim_metrics.counters == factory.counters
+        # Both spellings drive the same layer implementation.
+        assert journal_layer(shim).journal.wal.records_appended == (
+            journal_layer(factory.server).journal.wal.records_appended
+        )
+
+    def test_sharded_journal_shim_matches_factory(self, tmp_path):
+        spec = STREAM_SPEC.replace(
+            shards=2, journal=str(tmp_path / "factory-sharded")
+        )
+        factory = build_runtime(spec).run()
+
+        scenario = build_runtime(STREAM_SPEC).scenario()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shim = JournaledShardedStreamingServer(
+                scenario.bbox,
+                journal_root=tmp_path / "shim-sharded",
+                num_shards=2,
+                snapshot_every=spec.snapshot_every,
+                **_legacy_kwargs(spec),
+            )
+        shim_metrics = shim.run(list(scenario.events))
+
+        assert shim_metrics.per_shard == factory.metrics.per_shard
+        assert shim_metrics.makespan == factory.metrics.makespan
+        assert shim.assignment().plan_signature() == factory.plan_signature
+        assert [s.counters for s in shim.servers] == list(factory.counters)
+
+    def test_shims_warn_exactly_once_per_process(self, tmp_path):
+        reset_deprecation_warnings()
+        scenario = build_runtime(STREAM_SPEC).scenario()
+        with pytest.warns(DeprecationWarning, match="JournaledStreamingServer"):
+            JournaledStreamingServer(
+                scenario.bbox, journal=tmp_path / "w1",
+                **_legacy_kwargs(STREAM_SPEC),
+            )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            # Second construction: the shim must stay silent.
+            JournaledStreamingServer(
+                scenario.bbox, journal=tmp_path / "w2",
+                **_legacy_kwargs(STREAM_SPEC),
+            )
+        reset_deprecation_warnings()

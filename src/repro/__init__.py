@@ -19,7 +19,12 @@ serving mode, sharding, and durability, and
 :func:`~repro.runtime.build_runtime` assembles the stack as layers —
 capability pairings are spec fields, not subclasses, and
 ``python -m repro matrix`` proves every composition byte-identical to
-the legacy class it replaced.
+the legacy class it replaced.  The *observability subsystem*
+(:mod:`repro.obs`) rides the same layer seam: structured
+deterministic trace records, a metrics registry with exact log2
+percentiles, and phase-attributed profiling — provably free
+(``python -m repro bench-obs`` gates telemetry-off byte-identity and
+zero op-count overhead).
 
 Quickstart::
 
@@ -109,6 +114,14 @@ from repro.runtime import (
 )
 from repro.journal.sharded import JournaledShardedStreamingServer
 from repro.journal.wal import Journal, WriteAheadLog
+from repro.obs import (
+    LogHistogram,
+    MetricsRegistry,
+    PhaseProfiler,
+    Telemetry,
+    TelemetryLayer,
+    TraceRecorder,
+)
 from repro.geo.bbox import BoundingBox
 from repro.geo.point import Point
 from repro.model.assignment import Assignment, AssignmentRecord, Budget
@@ -146,7 +159,7 @@ from repro.workloads.streaming import (
     build_stream_events,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Assignment",
@@ -179,11 +192,14 @@ __all__ = [
     "JournaledShardedStreamingServer",
     "JournaledStreamingServer",
     "LazySpatioTemporalGreedy",
+    "LogHistogram",
+    "MetricsRegistry",
     "MinCostCoverSolver",
     "MinQualityGreedy",
     "MultiSolverResult",
     "MultiStep",
     "OpCounters",
+    "PhaseProfiler",
     "OptimalSolver",
     "OrderKVoronoi",
     "Point",
@@ -224,7 +240,10 @@ __all__ = [
     "TaskLevelParallelSolver",
     "TaskSession",
     "TaskSet",
+    "Telemetry",
+    "TelemetryLayer",
     "TemporalQualityEvaluator",
+    "TraceRecorder",
     "ThreadedTaskLevelSolver",
     "TreeIndex",
     "VirtualClock",

@@ -168,6 +168,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--backend", choices=list(EVALUATOR_BACKENDS),
                      default=None,
                      help="override the spec's quality-kernel backend")
+    run.add_argument("--telemetry", action="store_true",
+                     help="attach the observability layer (span tracing, "
+                          "metrics, phase profiling) and print its report")
+    run.add_argument("--trace-out", default=None, metavar="PATH",
+                     help="write the structured JSONL trace here "
+                          "(implies --telemetry; inspect with trace-report)")
     _add_profile_flag(run)
 
     single = sub.add_parser("solve-single", help="assign one TCSC task")
@@ -262,6 +268,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="fsync the write-ahead log on every append "
                           "(durability against machine crashes, not just "
                           "process kills; slower)")
+    sim.add_argument("--telemetry", action="store_true",
+                     help="attach the observability layer (span tracing, "
+                          "metrics, phase profiling) and print its report")
+    sim.add_argument("--trace-out", default=None, metavar="PATH",
+                     help="write the structured JSONL trace here "
+                          "(implies --telemetry; inspect with trace-report)")
     _add_solver_flags(sim)
 
     perf = sub.add_parser(
@@ -305,6 +317,25 @@ def build_parser() -> argparse.ArgumentParser:
     matrix.add_argument("--results-dir", default=None,
                         help="override benchmarks/results output directory")
     _add_profile_flag(matrix)
+
+    trace_report = sub.add_parser(
+        "trace-report",
+        help="summarize a telemetry trace (phase timings, latency "
+             "histograms) from its JSONL file alone",
+    )
+    trace_report.add_argument("trace", metavar="PATH",
+                              help="trace file written by --trace-out")
+
+    obs = sub.add_parser(
+        "bench-obs",
+        help="observability suite (telemetry-off identity + zero "
+             "op-count overhead + trace determinism) -> "
+             "benchmarks/BENCH_obs.json",
+    )
+    obs.add_argument("--smoke", action="store_true",
+                     help="smallest scenarios only (CI smoke mode)")
+    obs.add_argument("--results-dir", default=None,
+                     help="override benchmarks/results output directory")
     return parser
 
 
@@ -396,6 +427,8 @@ def _stream_spec(args) -> RunSpec:
         snapshot_every=4 if args.snapshot_every is None else args.snapshot_every,
         sync=args.sync and args.journal is not None,
         crash_after_events=None if args.resume else args.crash_at,
+        telemetry=args.telemetry or args.trace_out is not None,
+        trace_out=args.trace_out,
     ).validate()
 
 
@@ -426,14 +459,24 @@ def _cmd_simulate(args) -> int:
     print(f"trace: {scenario.task_count} tasks, {scenario.worker_count} workers "
           f"over {args.horizon} slots")
     if args.resume:
+        if spec.telemetry:
+            print("note: telemetry is not composed onto recovered runs; "
+                  "the resumed drain runs bare", file=sys.stderr)
         # The trace is regenerated from the workload flags (same seed
         # => same events); the *server* configuration comes from the
         # journal itself, so recovery cannot mis-configure the run.
         return _simulate_resume(args, scenario)
     if args.shards > 1:
         print(f"shards={args.shards} halo={args.halo}")
+
+    def drive():
+        outcome = runtime.run()
+        if outcome.telemetry is None:
+            return outcome.report_text
+        return f"{outcome.report_text}\n{outcome.telemetry.report()}"
+
     return _simulate_report(
-        lambda: runtime.run().report_text,
+        drive,
         journal=spec.journal,
         recover_hint="rerun the same command with --resume to recover",
     )
@@ -499,6 +542,10 @@ def _cmd_run(args) -> int:
             for name in ("mode", "backend", "shards", "journal")
             if getattr(args, name) is not None
         }
+        if args.telemetry or args.trace_out is not None:
+            overrides["telemetry"] = True
+        if args.trace_out is not None:
+            overrides["trace_out"] = args.trace_out
         if args.seed is not None:
             overrides["workload"] = WorkloadSpec.from_dict(
                 {**spec.workload.to_dict(), "seed": args.seed}
@@ -532,11 +579,14 @@ def _cmd_run(args) -> int:
 
     def drive():
         outcome = runtime.run()
-        return (
+        text = (
             f"{outcome.report_text}\n"
             f"plan      {signature_hash(outcome.plan_signature)} "
             f"({len(outcome.plan_signature)} records)"
         )
+        if outcome.telemetry is not None:
+            text += f"\n{outcome.telemetry.report()}"
+        return text
 
     return _simulate_report(
         drive,
@@ -574,16 +624,29 @@ def _cmd_matrix(args) -> int:
     return run_and_write(smoke=args.smoke, results_dir=args.results_dir)
 
 
-def _run_profiled(handler, args) -> int:
-    """Run a command under cProfile and print the top-15 hotspots."""
-    import cProfile
-    import pstats
+def _cmd_bench_obs(args) -> int:
+    from repro.bench.obssuite import run_and_write
 
-    profiler = cProfile.Profile()
-    code = profiler.runcall(handler, args)
-    stats = pstats.Stats(profiler, stream=sys.stdout)
-    stats.sort_stats("cumulative").print_stats(15)
-    return code
+    return run_and_write(smoke=args.smoke, results_dir=args.results_dir)
+
+
+def _cmd_trace_report(args) -> int:
+    from repro.errors import TCSCError
+    from repro.obs.report import render_trace_report
+
+    try:
+        print(render_trace_report(args.trace))
+    except (TCSCError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return 0
+
+
+def _run_profiled(handler, args) -> int:
+    """Deprecated spelling: delegate to :func:`repro.obs.profile.run_profiled`."""
+    from repro.obs.profile import run_profiled
+
+    return run_profiled(handler, args)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -599,6 +662,8 @@ def main(argv: list[str] | None = None) -> int:
         "bench-perf": _cmd_bench_perf,
         "bench-shard": _cmd_bench_shard,
         "bench-journal": _cmd_bench_journal,
+        "bench-obs": _cmd_bench_obs,
+        "trace-report": _cmd_trace_report,
     }
     handler = handlers[args.command]
     if getattr(args, "profile", False):

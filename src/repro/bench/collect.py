@@ -18,12 +18,17 @@ records next to the results directory; the registry in
 * ``journal*.json`` -> ``BENCH_journal.json`` (crash-recovery
   exactness and durability overhead, :mod:`repro.bench.journalsuite`);
 * ``matrix*.json`` -> ``BENCH_matrix.json`` (composed-vs-legacy
-  runtime equivalence, :mod:`repro.bench.matrixsuite`).
+  runtime equivalence, :mod:`repro.bench.matrixsuite`);
+* ``obs*.json`` -> ``BENCH_obs.json`` (telemetry-off identity, zero
+  op-count overhead, trace determinism, :mod:`repro.bench.obssuite`).
 
 ``BENCH_*.json`` files next to the results directory that no
 registered collector produces are *warned about* rather than silently
 skipped — a stale or hand-dropped artifact would otherwise rot
-unnoticed while looking authoritative.
+unnoticed while looking authoritative.  Each offending filename warns
+once per process (suites re-enter :func:`main` after every run, and a
+repeated warning for the same file reads as several distinct
+problems); :func:`reset_unrecognized_warnings` re-arms them.
 """
 
 from __future__ import annotations
@@ -38,9 +43,11 @@ __all__ = [
     "collect",
     "collect_journal",
     "collect_matrix",
+    "collect_obs",
     "collect_perf",
     "collect_shard",
     "collect_stream",
+    "reset_unrecognized_warnings",
     "unrecognized_artifacts",
     "main",
 ]
@@ -114,6 +121,13 @@ def collect_matrix(results_dir: Path | str = _DEFAULT_RESULTS) -> dict | None:
     )
 
 
+def collect_obs(results_dir: Path | str = _DEFAULT_RESULTS) -> dict | None:
+    """Merge ``obs*.json`` series (the ``BENCH_obs.json`` record)."""
+    return _collect_json_series(
+        results_dir, "obs*.json", "python -m repro bench-obs"
+    )
+
+
 #: Artifact name -> (series glob, collector).  Every ``BENCH_*.json``
 #: the repo produces must be registered here; ``main`` regenerates
 #: each one and warns about artifacts no collector owns.
@@ -123,6 +137,7 @@ COLLECTORS: dict[str, tuple[str, callable]] = {
     "BENCH_shard.json": ("shard*.json", collect_shard),
     "BENCH_journal.json": ("journal*.json", collect_journal),
     "BENCH_matrix.json": ("matrix*.json", collect_matrix),
+    "BENCH_obs.json": ("obs*.json", collect_obs),
 }
 
 
@@ -134,6 +149,15 @@ def unrecognized_artifacts(bench_dir: Path | str) -> list[str]:
         for path in bench_dir.glob("BENCH_*.json")
         if path.name not in COLLECTORS
     )
+
+
+#: Unrecognized artifact names already warned about this process.
+_warned_unrecognized: set[str] = set()
+
+
+def reset_unrecognized_warnings() -> None:
+    """Forget which artifacts warned (tests assert the once-semantics)."""
+    _warned_unrecognized.clear()
 
 
 def _artifact_section(bench_dir: Path) -> str:
@@ -203,6 +227,9 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
     for name in unrecognized_artifacts(bench_dir):
+        if name in _warned_unrecognized:
+            continue
+        _warned_unrecognized.add(name)
         print(
             f"warning: {bench_dir / name} matches no registered collector "
             "(stale or hand-dropped benchmark artifact?)",

@@ -12,7 +12,7 @@ simulator charges virtual time proportional to them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 __all__ = ["OpCounters"]
 
@@ -78,22 +78,24 @@ class OpCounters:
         clone.merge(self)
         return clone
 
+    def diff(self, earlier: "OpCounters") -> "OpCounters":
+        """Field-wise ``self - earlier``: the delta between two
+        snapshots (what the phase profiler attributes to a span)."""
+        return OpCounters(
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+            }
+        )
+
     def delta_since(self, earlier: "OpCounters") -> "OpCounters":
         """Counts accumulated since ``earlier`` (a prior snapshot)."""
-        diff = OpCounters(
-            knn_queries=self.knn_queries - earlier.knn_queries,
-            slot_evaluations=self.slot_evaluations - earlier.slot_evaluations,
-            gain_evaluations=self.gain_evaluations - earlier.gain_evaluations,
-            worker_cost_lookups=self.worker_cost_lookups - earlier.worker_cost_lookups,
-            tree_node_visits=self.tree_node_visits - earlier.tree_node_visits,
-            tree_node_updates=self.tree_node_updates - earlier.tree_node_updates,
-            candidates_pruned=self.candidates_pruned - earlier.candidates_pruned,
-            candidates_total=self.candidates_total - earlier.candidates_total,
-            conflicts_detected=self.conflicts_detected - earlier.conflicts_detected,
-            iterations=self.iterations - earlier.iterations,
-            index_full_builds=self.index_full_builds - earlier.index_full_builds,
-            index_incremental_refreshes=(
-                self.index_incremental_refreshes - earlier.index_incremental_refreshes
-            ),
-        )
-        return diff
+        return self.diff(earlier)
+
+    def to_dict(self, *, nonzero_only: bool = False) -> dict:
+        """Plain-dict view in field order; ``nonzero_only`` drops zero
+        counts (compact trace-record payloads)."""
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        if nonzero_only:
+            return {name: count for name, count in data.items() if count}
+        return data

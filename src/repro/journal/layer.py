@@ -404,10 +404,16 @@ class JournalLayer(ServingLayer):
 # Construction helpers (what the factory and the shims build on)
 # ----------------------------------------------------------------------
 def journal_layer(server) -> JournalLayer:
-    """The journal layer attached to ``server`` (typed lookup)."""
+    """The journal layer attached to ``server`` (typed lookup).
+
+    Sees through one wrapper level (``.inner``): telemetry dresses the
+    journal layer in a :class:`~repro.obs.profile.ProfiledLayer` to
+    attribute its hook cost, and the layer keeps working by name.
+    """
     for layer in getattr(server, "layers", ()):
-        if isinstance(layer, JournalLayer):
-            return layer
+        inner = getattr(layer, "inner", layer)
+        if isinstance(inner, JournalLayer):
+            return inner
     raise ConfigurationError(
         f"{type(server).__name__} has no JournalLayer attached"
     )
@@ -422,9 +428,18 @@ def journaled_server(
     crash_after_events: int | CrashBudget | None = None,
     crash_phase: str = "apply",
     server_cls=StreamingTCSCServer,
+    wrap_layer=None,
+    extra_layers=(),
     **server_kwargs,
 ) -> StreamingTCSCServer:
-    """A fresh streaming core with a bound journal layer."""
+    """A fresh streaming core with a bound journal layer.
+
+    ``wrap_layer`` dresses the journal layer before attachment (the
+    telemetry runtime wraps it in a profiling layer); ``extra_layers``
+    attach *after* it, preserving log-before-apply ordering.  Neither
+    is persisted: the journal header records only ``server_kwargs``, so
+    a recovered run composes its own observability.
+    """
     layer = JournalLayer(
         journal,
         snapshot_every=snapshot_every,
@@ -432,7 +447,8 @@ def journaled_server(
         crash_after_events=crash_after_events,
         crash_phase=crash_phase,
     )
-    server = server_cls(bbox, layers=(layer,), **server_kwargs)
+    attached = layer if wrap_layer is None else wrap_layer(layer)
+    server = server_cls(bbox, layers=(attached, *extra_layers), **server_kwargs)
     layer.open(stream_server_config(bbox, snapshot_every, server_kwargs))
     return server
 

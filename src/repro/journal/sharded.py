@@ -86,12 +86,16 @@ def _shard_factory(
     sync: bool,
     crash_budget: CrashBudget | None,
     resuming: bool,
+    telemetry=None,
 ):
     """A ``server_factory`` that journals every shard core.
 
     Fresh deployments build core + layer and write each shard's open
     header; resuming ones recover each core from its own journal
-    (``snapshot_every`` then overrides the interrupted cadence).
+    (``snapshot_every`` then overrides the interrupted cadence).  A
+    :class:`~repro.obs.layer.Telemetry` bundle composes per-shard
+    observability onto fresh cores (never persisted — a recovered run
+    attaches its own).
     """
 
     def factory(shard: int, bbox, server_kwargs: dict):
@@ -109,6 +113,8 @@ def _shard_factory(
             snapshot_every=snapshot_every,
             sync=sync,
             crash_after_events=crash_budget,
+            wrap_layer=None if telemetry is None else telemetry.journal_wrap(shard),
+            extra_layers=() if telemetry is None else telemetry.layers(shard),
             **server_kwargs,
         )
 
@@ -126,9 +132,15 @@ def sharded_journaled_server(
     sync: bool = False,
     crash_after_events: int | CrashBudget | None = None,
     crash_phase: str = "apply",
+    telemetry=None,
     **server_kwargs,
 ) -> ShardedStreamingServer:
-    """A fresh sharded deployment with one journal layer per shard."""
+    """A fresh sharded deployment with one journal layer per shard.
+
+    ``telemetry`` composes per-shard observability onto each core; it
+    is deliberately absent from ``meta.json`` — observability is a
+    per-run choice, not part of the durable configuration.
+    """
     root = Path(journal_root)
     root.mkdir(parents=True, exist_ok=True)
     crash = CrashBudget.coerce(crash_after_events, crash_phase)
@@ -143,6 +155,7 @@ def sharded_journaled_server(
             sync=sync,
             crash_budget=crash,
             resuming=False,
+            telemetry=telemetry,
         ),
         **server_kwargs,
     )

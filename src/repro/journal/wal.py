@@ -53,7 +53,15 @@ from repro.stream.events import (
 from repro.model.task import Task
 from repro.model.worker import Worker
 
-__all__ = ["encode_event", "decode_event", "journal_kind", "WriteAheadLog", "Journal"]
+__all__ = [
+    "encode_event",
+    "decode_event",
+    "frame_record",
+    "journal_kind",
+    "unframe_record",
+    "WriteAheadLog",
+    "Journal",
+]
 
 _SNAPSHOT_PREFIX = "snapshot-"
 _SNAPSHOT_SUFFIX = ".json"
@@ -144,6 +152,13 @@ def _unframe(line: bytes) -> dict | None:
     except json.JSONDecodeError:
         return None
     return payload if isinstance(payload, dict) else None
+
+
+#: Public spellings of the framing pair: the canonical-JSON line
+#: format is shared verbatim by the telemetry trace (repro.obs.trace),
+#: so a trace line and a WAL line verify with the same code.
+frame_record = _frame
+unframe_record = _unframe
 
 
 class WriteAheadLog:

@@ -1,0 +1,154 @@
+"""Offline trace analysis: ``python -m repro trace-report FILE``.
+
+Re-derives an operator summary from a trace file alone — no live
+server, no results JSON.  The report answers three questions:
+
+* *where did the time go?* — the per-phase wall/op-cost table from the
+  run's ``phases`` records, plus an ascii bar chart of wall ms;
+* *how fast were tasks served?* — assignment latency (virtual slots
+  from arrival to first committed subtask) rebuilt from ``finalize``
+  records into a :class:`~repro.obs.metrics.LogHistogram`, so the
+  p50/p95/p99 shown here are exact and deterministic;
+* *what did the run look like?* — record tally, event-apply wall
+  percentiles, queue-depth summary from ``epoch`` records.
+"""
+
+from __future__ import annotations
+
+from repro.bench.ascii_plot import bar_chart
+from repro.obs.metrics import LogHistogram
+from repro.obs.trace import read_trace
+
+__all__ = ["render_trace_report", "summarize"]
+
+
+def _merge_phases(records: list[dict]) -> dict[str, dict]:
+    """Fold every ``phases`` record (one per shard scope) into one
+    table: {phase: {calls, op_cost, wall_s}}."""
+    merged: dict[str, dict] = {}
+    for record in records:
+        if record["type"] != "phases":
+            continue
+        walls = record.get("timing", {}).get("wall_s", {})
+        for name, stat in record["phases"].items():
+            row = merged.setdefault(
+                name, {"calls": 0, "op_cost": 0.0, "wall_s": 0.0}
+            )
+            row["calls"] += stat["calls"]
+            row["op_cost"] += stat["op_cost"]
+            row["wall_s"] += walls.get(name, 0.0)
+    return dict(sorted(merged.items()))
+
+
+def summarize(records: list[dict]) -> dict:
+    """Structured digest of a record list (the report's data model)."""
+    counts: dict[str, int] = {}
+    latency = LogHistogram("latency_slots")
+    event_wall = LogHistogram("event_apply_ms", timing=True)
+    queue_depth = LogHistogram("queue_depth")
+    starved = 0
+    for record in records:
+        counts[record["type"]] = counts.get(record["type"], 0) + 1
+        if record["type"] == "finalize":
+            if record.get("latency") is None:
+                starved += 1
+            else:
+                latency.observe(record["latency"])
+        elif record["type"] == "event":
+            wall = record.get("timing", {}).get("wall_s")
+            if wall is not None:
+                event_wall.observe(wall * 1000.0)
+        elif record["type"] == "epoch":
+            queue_depth.observe(record["queue_depth"])
+    return {
+        "counts": dict(sorted(counts.items())),
+        "phases": _merge_phases(records),
+        "latency": latency,
+        "starved": starved,
+        "event_wall": event_wall,
+        "queue_depth": queue_depth,
+    }
+
+
+def _histogram_chart(histogram: LogHistogram, *, title: str) -> str | None:
+    """Bar chart of a histogram's bucket counts (None when empty)."""
+    labels, values = [], []
+    if histogram.zero_count:
+        labels.append("0")
+        values.append(float(histogram.zero_count))
+    for bucket in sorted(histogram.buckets):
+        labels.append(f"<= {2.0 ** (bucket + 1):g}")
+        values.append(float(histogram.buckets[bucket]))
+    if not labels or max(values) <= 0:
+        return None
+    return bar_chart(labels, values, title=title)
+
+
+def _percentile_line(histogram: LogHistogram, unit: str) -> str:
+    return (
+        f"p50<={histogram.percentile(50):g}{unit} "
+        f"p95<={histogram.percentile(95):g}{unit} "
+        f"p99<={histogram.percentile(99):g}{unit} "
+        f"(n={histogram.count})"
+    )
+
+
+def render_trace_report(path) -> str:
+    """The full ``trace-report`` text for one trace file."""
+    records = read_trace(path)
+    digest = summarize(records)
+    lines = [
+        f"trace report: {path}",
+        f"records   {len(records)}",
+        "types     "
+        + " ".join(f"{name}={n}" for name, n in digest["counts"].items()),
+        "",
+    ]
+
+    phases = digest["phases"]
+    if phases:
+        lines.append("phase breakdown")
+        for name, row in phases.items():
+            lines.append(
+                f"  {name:<13} calls={row['calls']:<6} "
+                f"wall={row['wall_s'] * 1000.0:9.2f}ms "
+                f"op_cost={row['op_cost']:.0f}"
+            )
+        walls = [row["wall_s"] * 1000.0 for row in phases.values()]
+        if max(walls) > 0:
+            lines.append(
+                bar_chart(list(phases), walls, title="phase wall time (ms)")
+            )
+        lines.append("")
+
+    latency = digest["latency"]
+    if latency.count:
+        lines.append("assignment latency (virtual slots, arrival -> first commit)")
+        lines.append("  " + _percentile_line(latency, ""))
+        if digest["starved"]:
+            lines.append(f"  starved tasks: {digest['starved']}")
+        chart = _histogram_chart(latency, title="latency histogram (tasks per bucket)")
+        if chart is not None:
+            lines.append(chart)
+        lines.append("")
+    elif digest["starved"]:
+        lines.append(f"assignment latency: all {digest['starved']} finalized tasks starved")
+        lines.append("")
+
+    event_wall = digest["event_wall"]
+    if event_wall.count:
+        lines.append("event apply wall (ms, log2 bucket upper bounds)")
+        lines.append("  " + _percentile_line(event_wall, "ms"))
+        lines.append("")
+
+    queue_depth = digest["queue_depth"]
+    if queue_depth.count:
+        lines.append("queue depth at epoch end")
+        lines.append("  " + _percentile_line(queue_depth, ""))
+        chart = _histogram_chart(queue_depth, title="queue depth histogram (epochs per bucket)")
+        if chart is not None:
+            lines.append(chart)
+
+    while lines and not lines[-1]:
+        lines.pop()
+    return "\n".join(lines)

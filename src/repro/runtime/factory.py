@@ -109,6 +109,10 @@ class RunOutcome:
     qualities: dict | None
     report_text: str
     server: object
+    #: The run's :class:`~repro.obs.layer.Telemetry` bundle (``None``
+    #: unless ``spec.telemetry``); its trace/metrics/phase state is
+    #: finished and ready to report.
+    telemetry: object | None = None
 
 
 # ----------------------------------------------------------------------
@@ -168,9 +172,18 @@ class PlainRuntime(Runtime):
             )
         )
         solver = self._build_solver(scenario)
+        telemetry = None
+        if spec.telemetry:
+            from repro.obs.layer import Telemetry
+
+            telemetry = Telemetry(trace_path=spec.trace_out, spec=spec.to_dict())
         report = solver.assign(
-            scenario.tasks, budget_fraction=spec.budget_fraction
+            scenario.tasks,
+            budget_fraction=spec.budget_fraction,
+            profiler=None if telemetry is None else telemetry.profiler(),
         )
+        if telemetry is not None:
+            telemetry.finish()
         lines = [
             "serving report",
             "--------------",
@@ -195,6 +208,7 @@ class PlainRuntime(Runtime):
             qualities=dict(report.qualities),
             report_text="\n".join(lines),
             server=solver,
+            telemetry=telemetry,
         )
 
 
@@ -269,6 +283,7 @@ class StreamRuntime(Runtime):
         super().__init__(spec)
         self._scenario = scenario
         self._server = None
+        self._telemetry = None
         self._sharded = force_sharded or spec.shards > 1
 
     def scenario(self):
@@ -320,6 +335,16 @@ class StreamRuntime(Runtime):
         spec = self.spec
         bbox = self.scenario().bbox
         kwargs = self._core_kwargs()
+        telemetry = None
+        if spec.telemetry:
+            from repro.obs.layer import Telemetry
+
+            telemetry = Telemetry(
+                trace_path=spec.trace_out,
+                shards=spec.shards if self._sharded else 1,
+                spec=spec.to_dict(),
+            )
+            self._telemetry = telemetry
         if spec.journal is not None:
             from repro.journal.layer import journaled_server
             from repro.journal.sharded import sharded_journaled_server
@@ -332,7 +357,16 @@ class StreamRuntime(Runtime):
             )
             if not self._sharded:
                 return journaled_server(
-                    bbox, journal=spec.journal, **durability, **kwargs
+                    bbox,
+                    journal=spec.journal,
+                    wrap_layer=(
+                        None if telemetry is None else telemetry.journal_wrap(0)
+                    ),
+                    extra_layers=(
+                        () if telemetry is None else telemetry.layers(0)
+                    ),
+                    **durability,
+                    **kwargs,
                 )
             return sharded_journaled_server(
                 bbox,
@@ -340,16 +374,34 @@ class StreamRuntime(Runtime):
                 num_shards=spec.shards,
                 cells_per_side=spec.cells_per_side,
                 halo_margin=spec.halo,
+                telemetry=telemetry,
                 **durability,
                 **kwargs,
             )
         if not self._sharded:
-            return StreamingTCSCServer(bbox, **kwargs)
+            return StreamingTCSCServer(
+                bbox,
+                layers=() if telemetry is None else telemetry.layers(0),
+                **kwargs,
+            )
+        if telemetry is None:
+            return ShardedStreamingServer(
+                bbox,
+                num_shards=spec.shards,
+                cells_per_side=spec.cells_per_side,
+                halo_margin=spec.halo,
+                **kwargs,
+            )
         return ShardedStreamingServer(
             bbox,
             num_shards=spec.shards,
             cells_per_side=spec.cells_per_side,
             halo_margin=spec.halo,
+            server_factory=lambda shard, shard_bbox, shard_kwargs: (
+                StreamingTCSCServer(
+                    shard_bbox, layers=telemetry.layers(shard), **shard_kwargs
+                )
+            ),
             **kwargs,
         )
 
@@ -367,12 +419,17 @@ class StreamRuntime(Runtime):
             qualities=dict(metrics.promised_quality),
             report_text=metrics.report(),
             server=server,
+            telemetry=self._telemetry,
         )
 
     def run(self) -> RunOutcome:
         """Drain the trace; crash injection propagates
-        :class:`~repro.journal.layer.InjectedCrash`."""
+        :class:`~repro.journal.layer.InjectedCrash` (the write-through
+        trace file keeps its flushed prefix — ``finish()`` only runs on
+        completed drains)."""
         metrics = self.server.run(list(self.scenario().events))
+        if self._telemetry is not None:
+            self._telemetry.finish()
         return self._outcome(metrics)
 
 

@@ -153,6 +153,10 @@ class RunSpec:
     sync: bool = False
     crash_after_events: int | None = None
     crash_phase: str = "apply"
+    # Observability (the PR-6 knobs): span tracing, metrics, and phase
+    # profiling composed as layers (``repro.obs``).
+    telemetry: bool = False
+    trace_out: str | None = None
 
     # ------------------------------------------------------------------
     # Validation
@@ -247,6 +251,17 @@ class RunSpec:
         if self.crash_after_events is not None and self.crash_after_events < 0:
             raise SpecError(
                 f"crash_after_events must be >= 0, got {self.crash_after_events}"
+            )
+        if self.trace_out is not None and not self.telemetry:
+            raise SpecError(
+                "trace_out names the telemetry trace file; it requires "
+                "telemetry=True"
+            )
+        if self.telemetry and self.mode == "batch":
+            raise SpecError(
+                "telemetry observes the plain serving round or the "
+                "streaming layer seam; batch x telemetry is not a "
+                "supported pairing yet (got mode='batch')"
             )
         self.workload.validate()
         return self

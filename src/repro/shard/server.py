@@ -239,8 +239,14 @@ class SequentialServingSolver(_ServingBase):
         *,
         budget_fraction: float = 0.25,
         budgets: dict[int, float] | None = None,
+        profiler=None,
     ) -> ServingReport:
-        """Serve every task in canonical order against one registry."""
+        """Serve every task in canonical order against one registry.
+
+        ``profiler`` (a :class:`~repro.obs.profile.PhaseProfiler`)
+        attributes each per-task solve to a ``solve`` span; spans only
+        read the counters, so the report is identical either way.
+        """
         budgets = self._budgets(tasks, budgets, budget_fraction)
         registry = WorkerRegistry(self.pool, self.bbox)
         counters = OpCounters()
@@ -249,7 +255,18 @@ class SequentialServingSolver(_ServingBase):
         per_task_cost: dict[int, float] = {}
         for task in self._canonical(tasks):
             before = counters.snapshot()
-            result, _ = self._solve_task(task, registry, budgets[task.task_id], counters)
+            if profiler is None:
+                result, _ = self._solve_task(
+                    task, registry, budgets[task.task_id], counters
+                )
+            else:
+                with profiler.phase(
+                    "solve", counters=counters, task_id=task.task_id
+                ) as span:
+                    result, _ = self._solve_task(
+                        task, registry, budgets[task.task_id], counters
+                    )
+                    span["quality"] = result.quality
             per_task_cost[task.task_id] = counters.delta_since(before).virtual_cost()
             qualities[task.task_id] = result.quality
             for record in result.assignment:
@@ -354,8 +371,15 @@ class ShardedTCSCServer(_ServingBase):
         *,
         budget_fraction: float = 0.25,
         budgets: dict[int, float] | None = None,
+        profiler=None,
     ) -> ShardedReport:
-        """Run one sharded serving round over the task batch."""
+        """Run one sharded serving round over the task batch.
+
+        ``profiler`` attributes phase-1 optimistic solves to ``solve``
+        spans (stamped with their shard) and phase-3 revalidations and
+        re-solves to ``reconcile`` spans; the free fast path stays
+        unspanned — it does no counted work.
+        """
         budgets = self._budgets(tasks, budgets, budget_fraction)
         shard_map = self.partitioner.partition(tasks, self.pool, budgets)
 
@@ -380,9 +404,19 @@ class ShardedTCSCServer(_ServingBase):
                 task = tasks.by_id(task_id)
                 prefix_claims[task_id] = frozenset(claimed)
                 before = shard_counters.snapshot()
-                result, costs = self._solve_task(
-                    task, registry, budgets[task_id], shard_counters
-                )
+                if profiler is None:
+                    result, costs = self._solve_task(
+                        task, registry, budgets[task_id], shard_counters
+                    )
+                else:
+                    with profiler.phase(
+                        "solve", counters=shard_counters,
+                        shard=shard, task_id=task_id,
+                    ) as span:
+                        result, costs = self._solve_task(
+                            task, registry, budgets[task_id], shard_counters
+                        )
+                        span["quality"] = result.quality
                 cost = shard_counters.delta_since(before).virtual_cost()
                 optimistic[task_id] = result
                 opt_offers[task_id] = costs
@@ -446,23 +480,38 @@ class ShardedTCSCServer(_ServingBase):
             footprint = shard_map.footprints[task_id].pairs
             seen = prefix_claims[task_id] & footprint
             truth = final_claims & footprint
+
+            def _reconcile_one():
+                """Revalidate or re-solve; same calls either way the
+                profiler is attached, so counters stay identical."""
+                if self._offers_unchanged(
+                    task, budgets[task_id], opt_offers[task_id],
+                    final_registry, recon_counters,
+                ):
+                    return optimistic[task_id], opt_cost[task_id], "revalidate"
+                before = recon_counters.snapshot()
+                solved, _ = self._solve_task(
+                    task, final_registry, budgets[task_id], recon_counters
+                )
+                solved_cost = recon_counters.delta_since(before).virtual_cost()
+                return solved, solved_cost, "re-solve"
+
             if seen == truth:
                 result = optimistic[task_id]
                 cost = opt_cost[task_id]
-            elif self._offers_unchanged(
-                task, budgets[task_id], opt_offers[task_id],
-                final_registry, recon_counters,
-            ):
-                result = optimistic[task_id]
-                cost = opt_cost[task_id]
-                revalidated.append(task_id)
             else:
-                before = recon_counters.snapshot()
-                result, _ = self._solve_task(
-                    task, final_registry, budgets[task_id], recon_counters
-                )
-                cost = recon_counters.delta_since(before).virtual_cost()
-                reconciled.append(task_id)
+                if profiler is None:
+                    result, cost, action = _reconcile_one()
+                else:
+                    with profiler.phase(
+                        "reconcile", counters=recon_counters, task_id=task_id
+                    ) as span:
+                        result, cost, action = _reconcile_one()
+                        span["action"] = action
+                if action == "revalidate":
+                    revalidated.append(task_id)
+                else:
+                    reconciled.append(task_id)
             per_task_cost[task_id] = cost
             qualities[task_id] = result.quality
             for record in result.assignment:

@@ -177,6 +177,10 @@ class StreamingTCSCServer:
         #: instead of starting a fresh one.
         self._metrics: StreamMetrics | None = None
         self._ran = False
+        #: A :class:`~repro.obs.profile.PhaseProfiler` attached by a
+        #: telemetry layer at bind time; when set, the step loop
+        #: attributes index repair and the greedy solve to phases.
+        self.profiler = None
         self.layers = tuple(layers)
         for layer in self.layers:
             layer.bind(self)
@@ -351,14 +355,29 @@ class StreamingTCSCServer:
             while self._pending and len(self._active) < self.max_active_tasks:
                 self._admit(self._pending.pop(0), metrics)
 
+            prof = self.profiler
             for session in list(self._active):
-                session.step(
-                    now,
-                    self.pool,
+                callback = (
                     lambda wid, gslot, slot, cost, s=session: self._commit(
                         s, wid, gslot, slot, cost
-                    ),
+                    )
                 )
+                if prof is None:
+                    session.step(now, self.pool, callback)
+                else:
+                    # Same work, phase-attributed: index repair happens
+                    # in prepare_index (exactly where step would run
+                    # it), the greedy solve in step itself.
+                    with prof.phase(
+                        "index-repair", emit=False,
+                    ):
+                        index = session.prepare_index()
+                    with prof.phase(
+                        "solve", task_id=session.task.task_id, now=now
+                    ) as span:
+                        span["executed"] = session.step(
+                            now, self.pool, callback, index=index
+                        )
             metrics.queue_depth_samples.append((now, len(self._pending)))
             self._on_epoch_end(metrics, now)
 

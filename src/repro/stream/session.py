@@ -245,18 +245,33 @@ class TaskSession:
             self._dirty.clear()
         return self._index
 
-    def step(self, now: float, pool, on_consume) -> int:
+    def prepare_index(self) -> TreeIndex | None:
+        """Repair (or rebuild) the session's tree index for this epoch.
+
+        Split out of :meth:`step` so a profiling caller can attribute
+        index-repair cost separately from the greedy solve; the result
+        is passed back via ``step(..., index=...)``.  ``None`` when the
+        session cannot run (exhausted/expired) — ``step`` then returns
+        0 without touching the index, matching the unprofiled path.
+        """
+        if self.exhausted or self.expired:
+            return None
+        return self._ensure_index()
+
+    def step(self, now: float, pool, on_consume, *, index: TreeIndex | None = None) -> int:
         """Run greedy assignment for one epoch.
 
         ``pool`` bounds spending globally (``None`` = task budget
         only); ``on_consume(worker_id, global_slot, local_slot, cost)``
         commits a worker in the registry and notifies competing
-        sessions (the journal layer also logs it).  Returns the number
-        of subtasks executed.
+        sessions (the journal layer also logs it).  ``index`` accepts a
+        :meth:`prepare_index` result (the index is repaired here when
+        not supplied).  Returns the number of subtasks executed.
         """
         if self.exhausted or self.expired:
             return 0
-        index = self._ensure_index()
+        if index is None:
+            index = self._ensure_index()
         executed = 0
         while True:
             remaining = self.budget.remaining

@@ -11,9 +11,11 @@ from repro.bench.collect import (
     COLLECTORS,
     collect,
     collect_journal,
+    collect_obs,
     collect_shard,
     collect_stream,
     main,
+    reset_unrecognized_warnings,
     unrecognized_artifacts,
 )
 from repro.errors import ConfigurationError
@@ -125,10 +127,16 @@ class TestCollect:
         assert set(merged["series"]) == {"journal_suite"}
         assert "bench-journal" in merged["generated_by"]
 
+    def test_collect_obs_merges_json_series(self, tmp_path):
+        (tmp_path / "obs_suite.json").write_text('{"suite": "obssuite"}\n')
+        merged = collect_obs(tmp_path)
+        assert set(merged["series"]) == {"obs_suite"}
+        assert "bench-obs" in merged["generated_by"]
+
     def test_every_registered_artifact_has_a_collector(self):
         assert set(COLLECTORS) == {
             "BENCH_stream.json", "BENCH_perf.json", "BENCH_shard.json",
-            "BENCH_journal.json", "BENCH_matrix.json",
+            "BENCH_journal.json", "BENCH_matrix.json", "BENCH_obs.json",
         }
         for pattern, collector in COLLECTORS.values():
             assert pattern.endswith("*.json")
@@ -152,6 +160,7 @@ class TestCollect:
         assert "stale" in err
 
     def test_main_warns_on_unrecognized_artifact(self, tmp_path, capsys):
+        reset_unrecognized_warnings()
         results = tmp_path / "results"
         results.mkdir()
         (results / "fig6a.txt").write_text("# fig6a: early\nrow\n")
@@ -160,6 +169,25 @@ class TestCollect:
         err = capsys.readouterr().err
         assert "BENCH_mystery.json" in err
         assert "no registered collector" in err
+        reset_unrecognized_warnings()
+
+    def test_unrecognized_warning_fires_once_per_process(self, tmp_path, capsys):
+        """Suites re-enter main() after every run; the same stale
+        artifact must not warn again and again."""
+        reset_unrecognized_warnings()
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig6a.txt").write_text("# fig6a: early\nrow\n")
+        (tmp_path / "BENCH_mystery.json").write_text("{}\n")
+        assert main([str(results)]) == 0
+        assert main([str(results)]) == 0
+        err = capsys.readouterr().err
+        assert err.count("BENCH_mystery.json") == 1
+        # Re-arming restores the warning (a fresh process would warn).
+        reset_unrecognized_warnings()
+        assert main([str(results)]) == 0
+        assert "BENCH_mystery.json" in capsys.readouterr().err
+        reset_unrecognized_warnings()
 
     def test_report_ingests_bench_artifacts(self, tmp_path):
         results = tmp_path / "results"

@@ -34,6 +34,35 @@ class TestOpCounters:
         assert delta.gain_evaluations == 1
         assert snap.knn_queries == 2  # snapshot unaffected
 
+    def test_diff_is_field_wise_subtraction(self):
+        counters = OpCounters(knn_queries=5, gain_evaluations=2)
+        snap = counters.snapshot()
+        counters.knn_queries += 4
+        counters.tree_node_visits += 9
+        delta = counters.diff(snap)
+        assert delta.knn_queries == 4
+        assert delta.tree_node_visits == 9
+        assert delta.gain_evaluations == 0
+        # diff is the primitive delta_since delegates to.
+        assert repr(delta) == repr(counters.delta_since(snap))
+
+    def test_diff_leaves_operands_untouched(self):
+        counters = OpCounters(knn_queries=3)
+        snap = counters.snapshot()
+        counters.knn_queries += 2
+        counters.diff(snap)
+        assert counters.knn_queries == 5
+        assert snap.knn_queries == 3
+
+    def test_to_dict_nonzero_only(self):
+        counters = OpCounters(knn_queries=2)
+        full = counters.to_dict()
+        sparse = counters.to_dict(nonzero_only=True)
+        assert full["knn_queries"] == 2
+        assert 0 in full.values()  # zero fields present in the full view
+        assert sparse == {"knn_queries": 2}
+        assert OpCounters().to_dict(nonzero_only=True) == {}
+
     def test_pruning_ratio(self):
         counters = OpCounters(candidates_total=100, candidates_pruned=80)
         assert counters.pruning_ratio == pytest.approx(0.8)

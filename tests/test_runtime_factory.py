@@ -162,6 +162,35 @@ class TestFactoryModes:
             recover_runtime(tmp_path / "nothing-here")
 
 
+class TestTelemetrySeam:
+    """Telemetry rides the same layer seam: attaching it must not
+    change a single byte of the run it observes."""
+
+    def test_stream_telemetry_off_identity(self):
+        bare = build_runtime(STREAM_SPEC).run()
+        telemetered = build_runtime(STREAM_SPEC.replace(telemetry=True)).run()
+        assert bare.telemetry is None
+        assert telemetered.telemetry is not None
+        assert telemetered.plan_signature == bare.plan_signature
+        assert telemetered.metrics == bare.metrics
+        assert repr(telemetered.counters) == repr(bare.counters)
+
+    def test_sharded_journaled_telemetry_off_identity(self, tmp_path):
+        base = STREAM_SPEC.replace(shards=2)
+        bare = build_runtime(
+            base.replace(journal=str(tmp_path / "bare"))
+        ).run()
+        telemetered = build_runtime(
+            base.replace(journal=str(tmp_path / "obs"), telemetry=True)
+        ).run()
+        assert telemetered.plan_signature == bare.plan_signature
+        assert telemetered.metrics.per_shard == bare.metrics.per_shard
+        assert repr(telemetered.counters) == repr(bare.counters)
+        # The profiler saw the journal layer's hooks while the run
+        # stayed identical: attribution without perturbation.
+        assert "journal" in telemetered.telemetry.profiler(0).stats
+
+
 class TestDeprecationShims:
     """Satellite: legacy constructors keep working, warn once, and are
     byte-identical to the factory composition."""

@@ -42,6 +42,11 @@ def valid_specs(draw) -> RunSpec:
         crash = draw(st.one_of(st.none(), st.integers(0, 50)))
         crash_phase = draw(st.sampled_from(["apply", "append"]))
         sync = draw(st.booleans())
+    telemetry = mode != "batch" and draw(st.booleans())
+    trace_out = (
+        draw(st.one_of(st.none(), st.just("traces/run.jsonl")))
+        if telemetry else None
+    )
     tasks = draw(st.integers(1, 6))
     workload = WorkloadSpec(
         seed=draw(st.integers(0, 10_000)),
@@ -88,6 +93,8 @@ def valid_specs(draw) -> RunSpec:
         sync=sync,
         crash_after_events=crash,
         crash_phase=crash_phase,
+        telemetry=telemetry,
+        trace_out=trace_out,
     ).validate()
 
 
@@ -162,6 +169,8 @@ class TestRejection:
             dict(mode="batch", shards=2),
             dict(crash_after_events=3),          # crash without journal
             dict(sync=True),                     # sync without journal
+            dict(trace_out="t.jsonl"),           # trace without telemetry
+            dict(mode="batch", telemetry=True),
             dict(use_index=True, search="lazy"),
             dict(
                 mode="stream", journal="/tmp/j", crash_after_events=-1

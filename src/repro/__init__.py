@@ -24,7 +24,14 @@ the legacy class it replaced.  The *observability subsystem*
 deterministic trace records, a metrics registry with exact log2
 percentiles, and phase-attributed profiling — provably free
 (``python -m repro bench-obs`` gates telemetry-off byte-identity and
-zero op-count overhead).
+zero op-count overhead).  The *degradation subsystem*
+(:mod:`repro.degrade`) makes overload a first-class mode: certified
+bounded-candidate and quality-floor approximation, an SLO-aware
+exact → top-c → floor → shed ladder with deterministic hysteresis,
+and a fault-injection harness (flash crowds, region outages,
+op-budget slowdowns) — ``python -m repro bench-degrade`` gates
+approx-off byte-identity, per-task certificate soundness, and
+degrading-beats-shedding useful work.
 
 Quickstart::
 
@@ -122,6 +129,16 @@ from repro.obs import (
     TelemetryLayer,
     TraceRecorder,
 )
+from repro.degrade import (
+    ChaosLayer,
+    DegradationController,
+    DegradationLayer,
+    DegradeDirective,
+    InjectionSpec,
+    apply_injections,
+    gain_envelope_bound,
+    load_injections,
+)
 from repro.geo.bbox import BoundingBox
 from repro.geo.point import Point
 from repro.model.assignment import Assignment, AssignmentRecord, Budget
@@ -159,7 +176,7 @@ from repro.workloads.streaming import (
     build_stream_events,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "Assignment",
@@ -173,10 +190,14 @@ __all__ = [
     "BudgetPool",
     "BudgetRefresh",
     "EventQueue",
+    "ChaosLayer",
     "ConfigurationError",
     "ConflictRecord",
     "CoverResult",
     "CrashBudget",
+    "DegradationController",
+    "DegradationLayer",
+    "DegradeDirective",
     "Distribution",
     "DynamicCostProvider",
     "GreedyStep",
@@ -184,6 +205,7 @@ __all__ = [
     "IndexedSingleTaskGreedy",
     "InfeasibleAssignmentError",
     "InjectedCrash",
+    "InjectionSpec",
     "Journal",
     "JournalCorruptionError",
     "JournalError",
@@ -257,6 +279,7 @@ __all__ = [
     "WorkerPool",
     "WorkerRegistry",
     "WorkerUnavailableError",
+    "apply_injections",
     "build_runtime",
     "build_scenario",
     "build_stream_events",
@@ -266,7 +289,9 @@ __all__ = [
     "error_ratio",
     "expected_realized_quality",
     "finishing_probability",
+    "gain_envelope_bound",
     "generate_points",
+    "load_injections",
     "idw_series",
     "independent_groups",
     "max_quality",

@@ -35,6 +35,11 @@ Nine subcommands cover the common workflows:
   event boundary through the journaled runtimes (plain and sharded),
   hard-asserting byte-identical recovered runs, persisted as
   ``benchmarks/BENCH_journal.json``.
+* ``bench-degrade`` — the graceful-degradation suite: approx-off
+  byte-identity, certificate soundness (measured quality ratio >=
+  the certified ratio for every approximate plan), and
+  overload-useful-work gates under fault injection, persisted as
+  ``benchmarks/BENCH_degrade.json``.
 
 Every command prints a compact report; ``--seed`` makes runs
 reproducible.  The solve, simulate, and bench commands accept
@@ -47,7 +52,12 @@ replication margin).  ``simulate --journal PATH`` write-ahead-logs
 the run (``--snapshot-every`` paces snapshots); ``--crash-at K``
 injects a kill after K events, and ``--resume`` recovers from the
 journal and finishes the run — byte-identically to an uninterrupted
-one.
+one.  ``simulate --approx {top_c,floor,auto}`` trades plan quality
+for work under a certified quality ratio (``--top-c`` / ``--floor``
+size the degradation; ``auto`` switches modes at runtime from queue
+depth and the telemetry p99).  ``simulate --inject PLAN.json``
+replays a fault-injection plan (worker-region outages, flash crowds,
+op-budget slowdowns) against the trace.
 """
 
 from __future__ import annotations
@@ -61,7 +71,7 @@ from repro.core.evaluator import EVALUATOR_BACKENDS
 from repro.core.quality import max_quality
 from repro.engine.costs import SingleTaskCostTable
 from repro.engine.server import TCSCServer
-from repro.errors import SpecError
+from repro.errors import ConfigurationError, SpecError
 from repro.runtime import RunSpec, WorkloadSpec, build_runtime, recover_runtime
 from repro.stream.session import INDEX_MODES
 from repro.workloads.scenario import ScenarioConfig, build_scenario
@@ -268,6 +278,30 @@ def build_parser() -> argparse.ArgumentParser:
                      help="fsync the write-ahead log on every append "
                           "(durability against machine crashes, not just "
                           "process kills; slower)")
+    sim.add_argument("--approx", choices=["off", "top_c", "floor", "auto"],
+                     default="off",
+                     help="certified-approximation mode: top_c bounds the "
+                          "candidate search, floor terminates low-gain "
+                          "greedy steps early, auto switches exact -> "
+                          "top_c -> floor -> shed at runtime from load "
+                          "(requires --telemetry); every degraded plan "
+                          "carries a certified quality ratio")
+    sim.add_argument("--top-c", dest="top_c", type=_positive_int,
+                     default=None, metavar="C",
+                     help="candidate-search width for --approx top_c/auto")
+    sim.add_argument("--floor", type=float, default=None, metavar="F",
+                     help="quality floor in (0, 1] for --approx floor/auto: "
+                          "stop a plan when marginal gain drops below F x "
+                          "the first committed gain")
+    sim.add_argument("--slo-p99", dest="slo_p99", type=float, default=None,
+                     help="latency SLO (virtual slots) for --approx auto: "
+                          "escalate degradation when the p99 assignment "
+                          "latency exceeds this")
+    sim.add_argument("--inject", default=None, metavar="PATH",
+                     help="fault-injection plan (JSON): worker-region "
+                          "outages, flash crowds, per-shard op-budget "
+                          "slowdowns, applied deterministically to the "
+                          "trace (incompatible with --resume)")
     sim.add_argument("--telemetry", action="store_true",
                      help="attach the observability layer (span tracing, "
                           "metrics, phase profiling) and print its report")
@@ -336,6 +370,17 @@ def build_parser() -> argparse.ArgumentParser:
                      help="smallest scenarios only (CI smoke mode)")
     obs.add_argument("--results-dir", default=None,
                      help="override benchmarks/results output directory")
+
+    degrade = sub.add_parser(
+        "bench-degrade",
+        help="graceful-degradation suite (approx-off identity + "
+             "certificate soundness + overload useful work) -> "
+             "benchmarks/BENCH_degrade.json",
+    )
+    degrade.add_argument("--smoke", action="store_true",
+                         help="smallest scenarios only (CI smoke mode)")
+    degrade.add_argument("--results-dir", default=None,
+                         help="override benchmarks/results output directory")
     return parser
 
 
@@ -429,6 +474,10 @@ def _stream_spec(args) -> RunSpec:
         crash_after_events=None if args.resume else args.crash_at,
         telemetry=args.telemetry or args.trace_out is not None,
         trace_out=args.trace_out,
+        approx=args.approx,
+        approx_top_c=args.top_c,
+        approx_floor=args.floor,
+        slo_p99=args.slo_p99,
     ).validate()
 
 
@@ -448,6 +497,20 @@ def _cmd_simulate(args) -> int:
                 file=sys.stderr,
             )
             return 2
+    if args.inject is not None and args.resume:
+        # A resumed run replays the journaled trace; re-injecting
+        # faults would desync it from the interrupted run.
+        print("--inject is incompatible with --resume", file=sys.stderr)
+        return 2
+    injections = ()
+    if args.inject is not None:
+        from repro.degrade.chaos import load_injections
+
+        try:
+            injections = load_injections(args.inject)
+        except (ConfigurationError, OSError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     try:
         spec = _stream_spec(args)
     except SpecError as exc:
@@ -455,9 +518,35 @@ def _cmd_simulate(args) -> int:
         return 2
     runtime = build_runtime(spec)
     scenario = runtime.scenario()  # built lazily; never touches the journal
+    if injections:
+        from repro.degrade.chaos import apply_injections
+        from repro.runtime.factory import StreamRuntime
+
+        try:
+            scenario = apply_injections(scenario, injections)
+            runtime = StreamRuntime(spec, scenario=scenario, chaos=injections)
+            runtime.server  # resolve pairing errors before printing
+        except SpecError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        kinds = ",".join(i.kind for i in injections)
+        print(f"inject: {len(injections)} injections ({kinds})")
     print(f"index_mode={args.index_mode} epoch={args.epoch:g} seed={args.seed}")
     print(f"trace: {scenario.task_count} tasks, {scenario.worker_count} workers "
           f"over {args.horizon} slots")
+    if (
+        args.crash_at is not None
+        and not args.resume
+        and args.crash_at >= len(scenario.events)
+    ):
+        # Past the last event boundary nothing is left to interrupt;
+        # warn instead of silently completing an un-crashed "crash" run.
+        print(
+            f"warning: --crash-at {args.crash_at} is at or beyond the "
+            f"trace's last event boundary ({len(scenario.events)} events); "
+            "the run will complete without crashing",
+            file=sys.stderr,
+        )
     if args.resume:
         if spec.telemetry:
             print("note: telemetry is not composed onto recovered runs; "
@@ -630,6 +719,12 @@ def _cmd_bench_obs(args) -> int:
     return run_and_write(smoke=args.smoke, results_dir=args.results_dir)
 
 
+def _cmd_bench_degrade(args) -> int:
+    from repro.bench.degradesuite import run_and_write
+
+    return run_and_write(smoke=args.smoke, results_dir=args.results_dir)
+
+
 def _cmd_trace_report(args) -> int:
     from repro.errors import TCSCError
     from repro.obs.report import render_trace_report
@@ -663,6 +758,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench-shard": _cmd_bench_shard,
         "bench-journal": _cmd_bench_journal,
         "bench-obs": _cmd_bench_obs,
+        "bench-degrade": _cmd_bench_degrade,
         "trace-report": _cmd_trace_report,
     }
     handler = handlers[args.command]

@@ -20,7 +20,10 @@ records next to the results directory; the registry in
 * ``matrix*.json`` -> ``BENCH_matrix.json`` (composed-vs-legacy
   runtime equivalence, :mod:`repro.bench.matrixsuite`);
 * ``obs*.json`` -> ``BENCH_obs.json`` (telemetry-off identity, zero
-  op-count overhead, trace determinism, :mod:`repro.bench.obssuite`).
+  op-count overhead, trace determinism, :mod:`repro.bench.obssuite`);
+* ``degrade*.json`` -> ``BENCH_degrade.json`` (approx-off identity,
+  certificate soundness, overload useful work,
+  :mod:`repro.bench.degradesuite`).
 
 ``BENCH_*.json`` files next to the results directory that no
 registered collector produces are *warned about* rather than silently
@@ -41,6 +44,7 @@ from pathlib import Path
 __all__ = [
     "COLLECTORS",
     "collect",
+    "collect_degrade",
     "collect_journal",
     "collect_matrix",
     "collect_obs",
@@ -128,6 +132,13 @@ def collect_obs(results_dir: Path | str = _DEFAULT_RESULTS) -> dict | None:
     )
 
 
+def collect_degrade(results_dir: Path | str = _DEFAULT_RESULTS) -> dict | None:
+    """Merge ``degrade*.json`` series (the ``BENCH_degrade.json`` record)."""
+    return _collect_json_series(
+        results_dir, "degrade*.json", "python -m repro bench-degrade"
+    )
+
+
 #: Artifact name -> (series glob, collector).  Every ``BENCH_*.json``
 #: the repo produces must be registered here; ``main`` regenerates
 #: each one and warns about artifacts no collector owns.
@@ -138,6 +149,7 @@ COLLECTORS: dict[str, tuple[str, callable]] = {
     "BENCH_journal.json": ("journal*.json", collect_journal),
     "BENCH_matrix.json": ("matrix*.json", collect_matrix),
     "BENCH_obs.json": ("obs*.json", collect_obs),
+    "BENCH_degrade.json": ("degrade*.json", collect_degrade),
 }
 
 

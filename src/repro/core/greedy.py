@@ -69,6 +69,10 @@ class SolverResult:
     spent: float
     counters: OpCounters
     steps: list[GreedyStep] = field(default_factory=list)
+    #: Certified lower bound on ``quality / OPT`` (``repro.degrade``):
+    #: 1.0 for exact solves; degraded solves report the ratio against
+    #: the gain-envelope upper bound on any feasible plan.
+    certificate: float = 1.0
 
     @property
     def executed_slots(self) -> list[int]:
@@ -146,6 +150,13 @@ class _GreedyBase:
         self.budget_limit = float(budget)
         self.backend = backend
         self.counters = counters if counters is not None else OpCounters()
+        # Degradation state (exact solvers leave all three untouched):
+        # a marginal-gain floor relative to the first committed gain, a
+        # bounded candidate set, and the final-state evaluator kept for
+        # certificate computation.
+        self.gain_floor: float | None = None
+        self._allowed: set[int] | None = None
+        self._last_ev: TemporalQualityEvaluator | None = None
 
     # -- line 3: the best single affordable subtask --------------------
     def _best_single(self) -> tuple[int, float] | None:
@@ -154,6 +165,8 @@ class _GreedyBase:
         best: tuple[float, int] | None = None
         tables: dict[float, list[float]] = {}
         for slot in self.task.slots:
+            if self._allowed is not None and slot not in self._allowed:
+                continue
             cost = self.costs.cost(slot)
             if cost is None or cost > self.budget_limit + 1e-12:
                 continue
@@ -180,34 +193,54 @@ class _GreedyBase:
             assignment = Assignment()
             assignment.add(AssignmentRecord(self.task.task_id, slot, offer.worker_id, offer.cost))
             heur = quality / max(offer.cost, COST_EPSILON)
-            return SolverResult(
+            result = SolverResult(
                 assignment=assignment,
                 quality=quality,
                 spent=offer.cost,
                 counters=self.counters,
                 steps=[GreedyStep(slot, quality, offer.cost, heur)],
             )
-        return stream
+        else:
+            result = stream
+        certificate = self._certify(result)
+        if certificate is not None:
+            result.certificate = certificate
+        return result
 
     def _solve_stream(self) -> SolverResult:
         ev = TemporalQualityEvaluator(
             self.task.num_slots, self.k, counters=self.counters, backend=self.backend
         )
+        self._last_ev = ev
         budget = Budget(self.budget_limit)
         assignment = Assignment()
         steps: list[GreedyStep] = []
+        first_gain: float | None = None
         self._prepare(ev)
         while True:
             best = self._find_best(ev, budget.remaining)
             if best is None:
                 break
             slot, gain, cost, heuristic = best
+            if (
+                self.gain_floor is not None
+                and first_gain is not None
+                and gain < self.gain_floor * first_gain
+            ):
+                # Quality-floor early termination: marginal gains are
+                # non-increasing under the approx premises, so nothing
+                # later can clear the floor either.  Relative to the
+                # first committed gain, so the floor never blocks the
+                # opening step.
+                break
             window = ev.affected_window(slot)
             ev.execute(slot, self.costs.reliability(slot))
             budget.charge(cost)
             offer = self.costs.offer(slot)
             assignment.add(AssignmentRecord(self.task.task_id, slot, offer.worker_id, cost))
             steps.append(GreedyStep(slot, gain, cost, heuristic))
+            if first_gain is None:
+                first_gain = gain
             self.counters.iterations += 1
             self._after_execute(window)
         return SolverResult(
@@ -217,6 +250,10 @@ class _GreedyBase:
             counters=self.counters,
             steps=steps,
         )
+
+    def _certify(self, result: SolverResult) -> float | None:
+        """Certified quality ratio, or ``None`` for exact solves."""
+        return None
 
     # -- hooks implemented by the variants ------------------------------
     def _prepare(self, ev: TemporalQualityEvaluator) -> None:
@@ -270,6 +307,8 @@ class SingleTaskGreedy(_GreedyBase):
         search="enumerate",
         backend="python",
         counters=None,
+        top_c=None,
+        gain_floor=None,
     ):
         super().__init__(
             task, costs, k=k, budget=budget, backend=backend, counters=counters
@@ -278,10 +317,58 @@ class SingleTaskGreedy(_GreedyBase):
             raise ConfigurationError(f"unknown strategy {strategy!r}")
         if search not in ("enumerate", "lazy"):
             raise ConfigurationError(f"unknown search {search!r}")
+        if top_c is not None and top_c < 1:
+            raise ConfigurationError(f"top_c must be >= 1, got {top_c}")
+        if gain_floor is not None and not 0.0 < gain_floor <= 1.0:
+            raise ConfigurationError(
+                f"gain_floor must be in (0, 1], got {gain_floor}"
+            )
         self.strategy = strategy
         self.search = search
         self._ev: TemporalQualityEvaluator | None = None
         self._heap: LazyMaxHeap | None = None
+        # Degradation modes (``repro.degrade``) are only *certifiable*
+        # under the same premises as CELF lazy search: static costs and
+        # unit reliabilities keep marginal gains exact and
+        # non-increasing at any later state, which both the envelope
+        # bound and the floor's early-exit argument rely on.  If either
+        # premise fails, fall back to the exact solver (the
+        # heterogeneous-reliability fallback rule from DESIGN §5) —
+        # correctness over speed, certificate 1.0.
+        self.degraded = False
+        if top_c is not None or gain_floor is not None:
+            certifiable = getattr(self.costs, "static_costs", False) and all(
+                self.costs.reliability(slot) == 1.0
+                for slot in self.task.slots
+                if self.costs.cost(slot) is not None
+            )
+            if certifiable:
+                self.degraded = True
+                self.gain_floor = gain_floor
+                if top_c is not None:
+                    self._allowed = self._rank_top_c(top_c)
+
+    def _rank_top_c(self, c: int) -> set[int]:
+        """The ``c`` assignable slots with the best single-slot quality.
+
+        Ranked by the cached :func:`single_slot_quality_table` (value
+        descending, ties to the smaller slot) — the same table line 3
+        already consults, so the ranking costs nothing new.
+        """
+        m = self.task.num_slots
+        tables: dict[float, list[float]] = {}
+        ranked: list[tuple[float, int]] = []
+        for slot in self.task.slots:
+            if self.costs.cost(slot) is None:
+                continue
+            lam = self.costs.reliability(slot)
+            table = tables.get(lam)
+            if table is None:
+                table = single_slot_quality_table(m, self.k, lam)
+                tables[lam] = table
+            ranked.append((-table[slot], slot))
+        ranked.sort()
+        return {slot for _, slot in ranked[:c]}
 
     def _prepare(self, ev):
         self._ev = ev
@@ -314,6 +401,8 @@ class SingleTaskGreedy(_GreedyBase):
         best: tuple[int, float, float, float] | None = None
         candidates = 0
         for slot in self.task.slots:
+            if self._allowed is not None and slot not in self._allowed:
+                continue
             if ev.is_executed(slot):
                 continue
             cost = self.costs.cost(slot)
@@ -339,6 +428,8 @@ class SingleTaskGreedy(_GreedyBase):
         if heap is None:
             heap = self._heap = LazyMaxHeap()
             for slot in self.task.slots:
+                if self._allowed is not None and slot not in self._allowed:
+                    continue
                 cost = self.costs.cost(slot)
                 if cost is not None:
                     # Infinite bound forces one exact scoring pass on
@@ -388,6 +479,37 @@ class SingleTaskGreedy(_GreedyBase):
             heap.push(heuristic, slot, cost)
         self.counters.candidates_pruned += max(candidates - evaluated, 0)
         return best
+
+    def _certify(self, result):
+        """``Q(approx) / Q_bound`` from the final gain envelope.
+
+        Submodularity gives ``f(T) <= f(S) + sum gain(e|S)`` over
+        ``T \\ S`` for the degraded final set ``S`` and *any* feasible
+        ``T``; the sum is bounded by the fractional knapsack over every
+        still-assignable slot's exact marginal gain at ``S`` (allowed
+        or not — competing plans are unrestricted), charged against the
+        full budget.  ``Q_bound >= OPT`` covers the best-single branch
+        too, so the ratio certifies whichever branch :meth:`solve`
+        returned.
+        """
+        if not self.degraded:
+            return None
+        from repro.degrade.certify import gain_envelope_bound
+
+        ev = self._last_ev
+        gains_costs: list[tuple[float, float]] = []
+        for slot in self.task.slots:
+            if ev.is_executed(slot):
+                continue
+            cost = self.costs.cost(slot)
+            if cost is None:
+                continue
+            gain = ev.gain_if_executed(slot, self.costs.reliability(slot))
+            gains_costs.append((gain, cost))
+        bound = ev.quality + gain_envelope_bound(gains_costs, self.budget_limit)
+        if bound <= 0.0:
+            return 1.0
+        return min(1.0, result.quality / bound)
 
     def _after_execute(self, window):
         pass

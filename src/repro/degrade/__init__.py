@@ -1,0 +1,44 @@
+"""Graceful degradation under overload (PR 7).
+
+Three pieces turn "exact plan or dropped task" into a ladder:
+
+* :mod:`repro.degrade.certify` — the gain-envelope quality bound that
+  turns a degraded greedy plan into a *certified* one;
+* :mod:`repro.degrade.policy` — the deterministic-hysteresis mode
+  ladder (exact → top-c → top-c+floor → shed) and its serving layer;
+* :mod:`repro.degrade.chaos` — deterministic fault injection (flash
+  crowds, region outages, op-budget slowdowns) so degradation is
+  testable and benchmarkable.
+
+Everything is spec-driven (``RunSpec.approx`` and friends) and
+composed by :func:`repro.runtime.build_runtime`; ``approx="off"``
+leaves every runtime byte-identical to the exact solvers.
+"""
+
+from repro.degrade.certify import gain_envelope_bound
+from repro.degrade.chaos import (
+    INJECTION_KINDS,
+    ChaosLayer,
+    InjectionSpec,
+    apply_injections,
+    load_injections,
+)
+from repro.degrade.policy import (
+    LEVEL_NAMES,
+    DegradationController,
+    DegradationLayer,
+    DegradeDirective,
+)
+
+__all__ = [
+    "gain_envelope_bound",
+    "INJECTION_KINDS",
+    "ChaosLayer",
+    "InjectionSpec",
+    "apply_injections",
+    "load_injections",
+    "LEVEL_NAMES",
+    "DegradationController",
+    "DegradationLayer",
+    "DegradeDirective",
+]

@@ -1,0 +1,68 @@
+"""Certified quality bounds for degraded greedy plans.
+
+For a monotone submodular quality function ``f`` and any feasible
+assignment ``T`` under a knapsack budget, submodularity gives
+
+    f(T) <= f(S) + sum_{e in T \\ S} gain(e | S)
+
+for every set ``S`` — in particular for the greedy solver's *final*
+set.  The right-hand sum over any feasible ``T`` is itself bounded by
+the fractional-knapsack relaxation over the still-assignable slots'
+marginal gains at ``S``, which is what :func:`gain_envelope_bound`
+computes.  Adding ``f(S)`` yields an upper bound ``Q_bound >= OPT``,
+so ``quality / Q_bound`` is a *certified* lower bound on the quality
+ratio ``Q(approx) / Q(exact)`` — no exact solve required.
+
+The bound is only sound when marginal gains are exact at the final
+state, which holds under the same premises as CELF lazy search
+(static costs, unit reliabilities); callers fall back to the exact
+solver when the premises fail (the heterogeneous-reliability fallback
+rule from DESIGN §5).
+
+This module is deliberately standalone (no ``repro.core`` imports) so
+the solver can import it lazily without a cycle.
+"""
+
+from __future__ import annotations
+
+__all__ = ["gain_envelope_bound"]
+
+_EPS = 1e-12
+
+
+def gain_envelope_bound(
+    gains_costs: list[tuple[float, float]], capacity: float
+) -> float:
+    """Fractional-knapsack upper bound on achievable residual gain.
+
+    ``gains_costs`` holds ``(gain, cost)`` pairs for every
+    still-assignable slot evaluated at the solver's final state;
+    ``capacity`` is the budget available to a competing plan.  Items
+    are taken greedily by gain density with the boundary item taken
+    fractionally — the classic LP relaxation, an upper bound on any
+    integral selection.
+
+    Non-positive gains contribute nothing (monotone ``f``); zero-cost
+    items with positive gain are taken in full.
+    """
+    if capacity <= 0.0:
+        return 0.0
+    remaining = capacity
+    bound = 0.0
+    ranked = sorted(
+        ((gain, cost) for gain, cost in gains_costs if gain > 0.0),
+        key=lambda item: (-(item[0] / max(item[1], _EPS)), item[1]),
+    )
+    for gain, cost in ranked:
+        if cost <= 0.0:
+            bound += gain
+            continue
+        if cost <= remaining:
+            bound += gain
+            remaining -= cost
+            if remaining <= 0.0:
+                break
+        else:
+            bound += gain * (remaining / cost)
+            break
+    return bound

@@ -1,0 +1,216 @@
+"""SLO-aware degradation: the mode ladder and its serving layer.
+
+Under overload the runtime should not choose between "exact plan" and
+"dropped task" — the ladder in between is
+
+    level 0  exact          (the seed greedy, certificate 1.0)
+    level 1  top-c          (bounded-candidate search, certified)
+    level 2  top-c + floor  (also stop at the marginal-gain floor)
+    level 3  shed           (reject *new* arrivals; active sessions
+                             keep being served at level 2)
+
+:class:`DegradationController` walks the ladder with deterministic
+hysteresis driven by *virtual* load signals only — pending-queue depth
+and (optionally) the exact p99 of the ``latency_slots`` histogram from
+the PR-6 :class:`~repro.obs.metrics.MetricsRegistry` — never wall
+clock, so a degraded run is a reproducible function of its spec and
+scenario.  Escalation and de-escalation move one level per epoch:
+escalate when the queue reaches ``queue_high`` (or p99 exceeds the
+SLO), de-escalate only once it falls back to ``queue_low`` (and p99 is
+back under the SLO), so the controller cannot flap between adjacent
+levels on a boundary queue depth.
+
+:class:`DegradationLayer` attaches the controller to the PR-5 layer
+seam: it evaluates the policy at each epoch end (the only hook where
+the queue depth is settled) and emits every transition as a ``degrade``
+trace record plus ``degrade/*`` metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.runtime.layers import ServingLayer
+
+__all__ = [
+    "LEVEL_NAMES",
+    "DegradeDirective",
+    "DegradationController",
+    "DegradationLayer",
+]
+
+LEVEL_NAMES = ("exact", "top_c", "top_c+floor", "shed")
+
+
+@dataclass(frozen=True, slots=True)
+class DegradeDirective:
+    """What one epoch's sessions should do (read by the step loop)."""
+
+    level: int = 0
+    top_c: int | None = None
+    floor: float | None = None
+    shed: bool = False
+
+    @property
+    def name(self) -> str:
+        return LEVEL_NAMES[self.level]
+
+
+class DegradationController:
+    """The deterministic hysteresis policy over the mode ladder."""
+
+    def __init__(
+        self,
+        *,
+        top_c: int,
+        floor: float,
+        queue_high: int,
+        queue_low: int,
+        slo_p99: float | None = None,
+    ):
+        if top_c < 1:
+            raise ConfigurationError(f"top_c must be >= 1, got {top_c}")
+        if not 0.0 < floor <= 1.0:
+            raise ConfigurationError(f"floor must be in (0, 1], got {floor}")
+        if not 0 <= queue_low < queue_high:
+            raise ConfigurationError(
+                f"hysteresis needs 0 <= queue_low < queue_high, "
+                f"got low={queue_low} high={queue_high}"
+            )
+        self.top_c = top_c
+        self.floor = floor
+        self.queue_high = queue_high
+        self.queue_low = queue_low
+        self.slo_p99 = slo_p99
+        self.level = 0
+        self.pinned = False
+        #: ``(epoch_index, old_level, new_level, queue_depth, p99)``
+        #: per transition, in order — the layer mirrors these into the
+        #: trace; kept here too so unlayered callers can assert policy.
+        self.transitions: list[tuple[int, int, int, int, float | None]] = []
+        self._epochs_seen = 0
+
+    # -- construction helpers -------------------------------------------
+    @classmethod
+    def fixed(
+        cls, *, top_c: int | None = None, floor: float | None = None
+    ) -> "DegradationController":
+        """A controller pinned to one static directive (``approx=
+        'top_c'`` / ``'floor'``): :meth:`observe` never moves it."""
+        controller = cls(
+            top_c=top_c if top_c is not None else 1,
+            floor=floor if floor is not None else 1.0,
+            queue_high=1,
+            queue_low=0,
+        )
+        controller.pinned = True
+        controller._fixed_directive = DegradeDirective(
+            level=2 if (top_c is not None and floor is not None)
+            else (1 if top_c is not None else 2),
+            top_c=top_c,
+            floor=floor,
+        )
+        return controller
+
+    # -- the policy ------------------------------------------------------
+    @property
+    def shedding(self) -> bool:
+        """New arrivals are being rejected outright."""
+        return not self.pinned and self.level == len(LEVEL_NAMES) - 1
+
+    def directive(self) -> DegradeDirective:
+        """The directive sessions should follow right now."""
+        if self.pinned:
+            return self._fixed_directive
+        if self.level == 0:
+            return DegradeDirective(level=0)
+        if self.level == 1:
+            return DegradeDirective(level=1, top_c=self.top_c)
+        # Levels 2 and 3 both serve active sessions at top-c + floor;
+        # level 3 additionally sheds new arrivals (the server checks
+        # ``shedding`` at admission).
+        return DegradeDirective(
+            level=self.level,
+            top_c=self.top_c,
+            floor=self.floor,
+            shed=self.level == 3,
+        )
+
+    def observe(
+        self, queue_depth: int, p99: float | None = None
+    ) -> tuple[int, int] | None:
+        """Feed one epoch's load signals; returns ``(old, new)`` on a
+        level transition, ``None`` otherwise."""
+        self._epochs_seen += 1
+        if self.pinned:
+            return None
+        overloaded = queue_depth >= self.queue_high
+        calm = queue_depth <= self.queue_low
+        if self.slo_p99 is not None and p99 is not None:
+            overloaded = overloaded or p99 > self.slo_p99
+            calm = calm and p99 <= self.slo_p99
+        old = self.level
+        if overloaded and self.level < len(LEVEL_NAMES) - 1:
+            self.level += 1
+        elif calm and self.level > 0:
+            self.level -= 1
+        if self.level == old:
+            return None
+        self.transitions.append(
+            (self._epochs_seen, old, self.level, queue_depth, p99)
+        )
+        return (old, self.level)
+
+
+class DegradationLayer(ServingLayer):
+    """Attach a controller to a streaming core via the layer seam.
+
+    ``bind`` hands the server its controller (the step loop and the
+    admission path read directives from ``server.degradation``); each
+    ``on_epoch_end`` feeds the policy the settled queue depth plus the
+    exact p99 of the telemetry ``latency_slots`` histogram when one
+    exists, and mirrors any transition into the trace and the
+    ``degrade/*`` metrics.  Policy evaluation reads load state only —
+    it never touches sessions, solver state, or op counters.
+    """
+
+    def __init__(self, controller, *, recorder=None, registry=None):
+        self.controller = controller
+        self.recorder = recorder
+        self.registry = registry
+        self._server = None
+
+    def bind(self, server) -> None:
+        self._server = server
+        server.degradation = self.controller
+
+    def _p99(self) -> float | None:
+        if self.registry is None or "latency_slots" not in self.registry:
+            return None
+        histogram = self.registry.histogram("latency_slots")
+        if histogram.count == 0:
+            return None
+        return histogram.percentile(99)
+
+    def on_epoch_end(self, metrics, now) -> None:
+        depth = len(self._server._pending)
+        p99 = self._p99()
+        change = self.controller.observe(depth, p99)
+        if self.registry is not None:
+            self.registry.gauge("degrade/level").set(self.controller.level)
+        if change is None:
+            return
+        old, new = change
+        if self.registry is not None:
+            self.registry.counter("degrade/transitions").inc()
+        if self.recorder is not None:
+            self.recorder.record(
+                "degrade",
+                epoch=metrics.epochs,
+                now=now,
+                from_level=LEVEL_NAMES[old],
+                to_level=LEVEL_NAMES[new],
+                queue_depth=depth,
+                p99=p99,
+            )

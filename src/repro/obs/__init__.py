@@ -34,7 +34,13 @@ grid.
 
 from repro.obs.layer import Telemetry, TelemetryLayer
 from repro.obs.metrics import Counter, Gauge, LogHistogram, MetricsRegistry
-from repro.obs.profile import PhaseProfiler, PhaseStat, ProfiledLayer, run_profiled
+from repro.obs.profile import (
+    PhaseProfiler,
+    PhaseStat,
+    ProfiledLayer,
+    reset_profile_note,
+    run_profiled,
+)
 from repro.obs.trace import (
     TraceRecorder,
     mask_timing,
@@ -56,5 +62,6 @@ __all__ = [
     "mask_timing",
     "masked_trace_bytes",
     "read_trace",
+    "reset_profile_note",
     "run_profiled",
 ]

@@ -95,7 +95,18 @@ class LogHistogram:
         self.count = 0
 
     def observe(self, value: float) -> None:
-        """File one observation."""
+        """File one observation.
+
+        Non-finite values are rejected with a typed
+        :class:`~repro.errors.ConfigurationError` *before* any state
+        changes: ``nan``/``inf`` have no log2 bucket, and silently
+        counting them would skew every later percentile.
+        """
+        if not math.isfinite(value):
+            raise ConfigurationError(
+                f"histogram {self.name!r} cannot observe non-finite "
+                f"value {value!r}"
+            )
         self.count += 1
         if value <= 0:
             self.zero_count += 1

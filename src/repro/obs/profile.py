@@ -34,7 +34,13 @@ from dataclasses import dataclass, field
 from repro.core.instrumentation import OpCounters
 from repro.runtime.layers import ServingLayer
 
-__all__ = ["PhaseProfiler", "PhaseStat", "ProfiledLayer", "run_profiled"]
+__all__ = [
+    "PhaseProfiler",
+    "PhaseStat",
+    "ProfiledLayer",
+    "reset_profile_note",
+    "run_profiled",
+]
 
 
 @dataclass(slots=True)
@@ -188,21 +194,38 @@ class ProfiledLayer(ServingLayer):
             self.inner.on_run_complete(metrics)
 
 
+#: Whether the ``--profile`` deprecation note already printed this
+#: process.  Suites re-enter the CLI handler many times per run; one
+#: note per invocation would drown their stderr in repeats of the
+#: same fact.
+_profile_note_printed = False
+
+
+def reset_profile_note() -> None:
+    """Re-arm the once-per-process deprecation note (for tests)."""
+    global _profile_note_printed
+    _profile_note_printed = False
+
+
 def run_profiled(handler, args) -> int:
     """Run a CLI handler under cProfile; print the top-15 hotspots.
 
     The legacy ``--profile`` output format (deprecated): raw cProfile
     rows on stdout, unchanged for scripts that scrape them, plus a
-    one-line pointer at the phase-attributed replacement on stderr.
+    one-line pointer at the phase-attributed replacement on stderr —
+    printed exactly once per process, however many handlers run.
     """
     import cProfile
     import pstats
 
-    print(
-        "note: --profile prints raw cProfile output (deprecated); "
-        "--telemetry / trace-report give phase-attributed timings",
-        file=sys.stderr,
-    )
+    global _profile_note_printed
+    if not _profile_note_printed:
+        _profile_note_printed = True
+        print(
+            "note: --profile prints raw cProfile output (deprecated); "
+            "--telemetry / trace-report give phase-attributed timings",
+            file=sys.stderr,
+        )
     profiler = cProfile.Profile()
     code = profiler.runcall(handler, args)
     stats = pstats.Stats(profiler, stream=sys.stdout)

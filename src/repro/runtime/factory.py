@@ -74,9 +74,17 @@ def build_single_task_solver(
     ``use_index`` selects the tree-indexed ``Approx*`` solver
     (``search`` does not apply there — validation rejects the combo);
     otherwise the local-strategy greedy with the chosen candidate
-    search.  All variants are plan-identical by construction.
+    search.  Exact variants are plan-identical by construction; the
+    degradation knobs (``top_c`` / ``floor``) trade quality for work
+    and carry a certified quality ratio instead.
     """
     if variant.use_index:
+        if variant.top_c is not None or variant.floor is not None:
+            raise SpecError(
+                "the tree-indexed solver has no bounded-candidate or "
+                "floor knob; approx x use_index is not a supported "
+                "pairing yet"
+            )
         return IndexedSingleTaskGreedy(
             task, costs, k=k, budget=budget, ts=ts,
             backend=variant.backend, counters=counters,
@@ -84,6 +92,7 @@ def build_single_task_solver(
     return SingleTaskGreedy(
         task, costs, k=k, budget=budget, strategy="local",
         search=variant.search, backend=variant.backend, counters=counters,
+        top_c=variant.top_c, gain_floor=variant.floor,
     )
 
 
@@ -113,6 +122,10 @@ class RunOutcome:
     #: unless ``spec.telemetry``); its trace/metrics/phase state is
     #: finished and ready to report.
     telemetry: object | None = None
+    #: task_id -> certified quality ratio (``None`` unless the spec
+    #: named an approximate mode; exact runs carry no certificates so
+    #: the outcome stays structurally identical with ``approx="off"``).
+    certificates: dict | None = None
 
 
 # ----------------------------------------------------------------------
@@ -142,13 +155,20 @@ def build_serving_solver(spec: RunSpec, pool, bbox, *, force_sharded=False):
     # builder at module level.
     from repro.shard.server import SequentialServingSolver, ShardedTCSCServer
 
+    variant = spec.solver_variant
     common = dict(
         k=spec.k, ts=spec.ts,
         engine="indexed" if spec.use_index else "greedy",
         search=spec.search, backend=spec.backend,
+        top_c=variant.top_c, floor=variant.floor,
     )
     if spec.shards == 1 and not force_sharded:
         return SequentialServingSolver(pool, bbox, **common)
+    # The coordinator has no degradation knobs; validate() already
+    # rejects approx x shards, so both are None here — drop them
+    # rather than threading dead kwargs through the shard stack.
+    common.pop("top_c")
+    common.pop("floor")
     return ShardedTCSCServer(
         pool, bbox, num_shards=spec.shards, halo=spec.halo,
         cells_per_side=spec.cells_per_side, **common,
@@ -200,6 +220,16 @@ class PlainRuntime(Runtime):
                 f"speedup={report.speedup:.2f}x conflicts={report.conflicts} "
                 f"reconciled={len(report.reconciled_task_ids)}"
             )
+        certificates = None
+        if spec.approx != "off":
+            certificates = dict(report.certificates)
+            if certificates:
+                values = certificates.values()
+                lines.append(
+                    f"certify   n={len(certificates)} "
+                    f"min={min(values):.3f} "
+                    f"mean={sum(values) / len(values):.3f}"
+                )
         return RunOutcome(
             spec=spec,
             plan_signature=report.plan_signature(),
@@ -209,6 +239,7 @@ class PlainRuntime(Runtime):
             report_text="\n".join(lines),
             server=solver,
             telemetry=telemetry,
+            certificates=certificates,
         )
 
 
@@ -275,16 +306,28 @@ class StreamRuntime(Runtime):
     ``scenario`` seeds a pre-built trace so a suite sweeping many
     runtimes over one workload skips the per-runtime regeneration —
     it must have been built from the spec's workload fields.
+    ``chaos`` is the run's fault-injection plan (a sequence of
+    :class:`~repro.degrade.chaos.InjectionSpec`): trace-level
+    injections must already be applied to ``scenario`` by the caller
+    (:func:`~repro.degrade.chaos.apply_injections`); ``slowdown``
+    injections are resolved here into per-core
+    :class:`~repro.degrade.chaos.ChaosLayer` op budgets.
     """
 
     def __init__(
-        self, spec: RunSpec, *, force_sharded: bool = False, scenario=None
+        self,
+        spec: RunSpec,
+        *,
+        force_sharded: bool = False,
+        scenario=None,
+        chaos=(),
     ):
         super().__init__(spec)
         self._scenario = scenario
         self._server = None
         self._telemetry = None
         self._sharded = force_sharded or spec.shards > 1
+        self._chaos = tuple(chaos)
 
     def scenario(self):
         """The built (seed-pinned, cached) event trace."""
@@ -328,6 +371,53 @@ class StreamRuntime(Runtime):
             self._server = self._build_server()
         return self._server
 
+    def _chaos_layers(self, shard: int) -> tuple:
+        """Op-budget throttle layers targeting ``shard``.
+
+        An injection with ``shard=None`` lands on shard 0 (the only
+        core of an unsharded stack).
+        """
+        from repro.degrade.chaos import ChaosLayer
+
+        return tuple(
+            ChaosLayer(injection.op_budget)
+            for injection in self._chaos
+            if injection.kind == "slowdown"
+            and (injection.shard if injection.shard is not None else 0) == shard
+        )
+
+    def _degrade_layers(self, telemetry) -> tuple:
+        """The degradation controller layer the spec asks for.
+
+        Static modes (``top_c`` / ``floor``) pin the ladder at a fixed
+        directive; ``auto`` runs the hysteresis controller against the
+        telemetry registry's latency histogram (validation guarantees
+        telemetry is on for ``auto``).
+        """
+        from repro.degrade.policy import DegradationController, DegradationLayer
+
+        spec = self.spec
+        if spec.approx == "auto":
+            controller = DegradationController(
+                top_c=spec.approx_top_c,
+                floor=spec.approx_floor,
+                queue_high=spec.degrade_queue_high,
+                queue_low=spec.degrade_queue_low,
+                slo_p99=spec.slo_p99,
+            )
+        else:
+            controller = DegradationController.fixed(
+                top_c=spec.approx_top_c if spec.approx == "top_c" else None,
+                floor=spec.approx_floor if spec.approx == "floor" else None,
+            )
+        return (
+            DegradationLayer(
+                controller,
+                recorder=None if telemetry is None else telemetry.recorder,
+                registry=None if telemetry is None else telemetry.registry,
+            ),
+        )
+
     def _build_server(self):
         from repro.shard.streaming import ShardedStreamingServer
         from repro.stream.online_server import StreamingTCSCServer
@@ -335,6 +425,7 @@ class StreamRuntime(Runtime):
         spec = self.spec
         bbox = self.scenario().bbox
         kwargs = self._core_kwargs()
+        has_slowdown = any(i.kind == "slowdown" for i in self._chaos)
         telemetry = None
         if spec.telemetry:
             from repro.obs.layer import Telemetry
@@ -349,6 +440,12 @@ class StreamRuntime(Runtime):
             from repro.journal.layer import journaled_server
             from repro.journal.sharded import sharded_journaled_server
 
+            if has_slowdown:
+                raise SpecError(
+                    "slowdown injection x journal is not a supported "
+                    "pairing yet (op-budget throttling would desync the "
+                    "replayed plan from the journaled one)"
+                )
             durability = dict(
                 snapshot_every=spec.snapshot_every,
                 sync=spec.sync,
@@ -379,12 +476,21 @@ class StreamRuntime(Runtime):
                 **kwargs,
             )
         if not self._sharded:
+            layers = () if telemetry is None else telemetry.layers(0)
+            if spec.approx != "off":
+                kwargs["certify"] = True
+                layers = layers + self._degrade_layers(telemetry)
             return StreamingTCSCServer(
                 bbox,
-                layers=() if telemetry is None else telemetry.layers(0),
+                layers=layers + self._chaos_layers(0),
                 **kwargs,
             )
-        if telemetry is None:
+        if spec.approx != "off":
+            raise SpecError(
+                "approx x sharded streaming is not a supported pairing "
+                "yet (the degradation ladder assumes one admission queue)"
+            )
+        if telemetry is None and not has_slowdown:
             return ShardedStreamingServer(
                 bbox,
                 num_shards=spec.shards,
@@ -392,16 +498,21 @@ class StreamRuntime(Runtime):
                 halo_margin=spec.halo,
                 **kwargs,
             )
+
+        def shard_server(shard, shard_bbox, shard_kwargs):
+            layers = () if telemetry is None else telemetry.layers(shard)
+            return StreamingTCSCServer(
+                shard_bbox,
+                layers=layers + self._chaos_layers(shard),
+                **shard_kwargs,
+            )
+
         return ShardedStreamingServer(
             bbox,
             num_shards=spec.shards,
             cells_per_side=spec.cells_per_side,
             halo_margin=spec.halo,
-            server_factory=lambda shard, shard_bbox, shard_kwargs: (
-                StreamingTCSCServer(
-                    shard_bbox, layers=telemetry.layers(shard), **shard_kwargs
-                )
-            ),
+            server_factory=shard_server,
             **kwargs,
         )
 
@@ -420,6 +531,11 @@ class StreamRuntime(Runtime):
             report_text=metrics.report(),
             server=server,
             telemetry=self._telemetry,
+            certificates=(
+                dict(metrics.quality_certificates)
+                if self.spec.approx != "off"
+                else None
+            ),
         )
 
     def run(self) -> RunOutcome:

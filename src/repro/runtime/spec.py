@@ -27,6 +27,7 @@ from repro.errors import SpecError
 __all__ = [
     "SERVING_MODES",
     "SEARCH_MODES",
+    "APPROX_MODES",
     "SolverVariant",
     "WorkloadSpec",
     "RunSpec",
@@ -34,6 +35,7 @@ __all__ = [
 
 SERVING_MODES = ("plain", "batch", "stream")
 SEARCH_MODES = ("enumerate", "lazy")
+APPROX_MODES = ("off", "top_c", "floor", "auto")
 _BACKENDS = ("python", "numpy")
 _INDEX_MODES = ("incremental", "rebuild")
 _CRASH_PHASES = ("apply", "append")
@@ -63,6 +65,15 @@ class SolverVariant:
     backend: str = "python"
     search: str = "enumerate"
     use_index: bool = False
+    #: Bounded-candidate search: consider only the top-``top_c`` offers
+    #: per task, ranked by the cached single-slot quality table
+    #: (``None`` = exact).  The solver reports a certified quality
+    #: ratio derived from the final gain envelope (``repro.degrade``).
+    top_c: int | None = None
+    #: Quality-floor early termination: stop the greedy loop once the
+    #: marginal gain drops below ``floor`` times the first committed
+    #: gain (``None`` = run to budget exhaustion).
+    floor: float | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -157,6 +168,25 @@ class RunSpec:
     # profiling composed as layers (``repro.obs``).
     telemetry: bool = False
     trace_out: str | None = None
+    # Graceful degradation (the PR-7 knobs; ``repro.degrade``):
+    # ``approx`` selects the degradation mode — ``"off"`` (exact,
+    # byte-identical to the seed solvers), ``"top_c"`` (bounded-
+    # candidate search over the ``approx_top_c`` best-ranked slots),
+    # ``"floor"`` (quality-floor early termination at ``approx_floor``
+    # of the first committed gain), or ``"auto"`` (SLO-aware mode
+    # ladder exact -> top-c -> floor -> shed driven by queue depth /
+    # p99 latency with deterministic hysteresis; stream + telemetry
+    # only).  Every approximate plan carries a certified quality ratio.
+    approx: str = "off"
+    approx_top_c: int | None = None
+    approx_floor: float | None = None
+    #: Hysteresis thresholds for ``approx="auto"``: escalate one level
+    #: when the pending queue reaches ``degrade_queue_high`` (or p99
+    #: assignment latency exceeds ``slo_p99`` virtual slots, when set);
+    #: de-escalate once it falls back to ``degrade_queue_low``.
+    degrade_queue_high: int = 6
+    degrade_queue_low: int = 2
+    slo_p99: float | None = None
 
     # ------------------------------------------------------------------
     # Validation
@@ -263,6 +293,104 @@ class RunSpec:
                 "streaming layer seam; batch x telemetry is not a "
                 "supported pairing yet (got mode='batch')"
             )
+        # Degradation (the PR-7 knobs).
+        if self.approx not in APPROX_MODES:
+            raise SpecError(
+                f"unknown approx {self.approx!r}; choose one of {APPROX_MODES}"
+            )
+        if self.approx != "off":
+            if self.mode == "batch":
+                raise SpecError(
+                    "approximate modes degrade the single-task greedy "
+                    "solvers; approx x batch is not a supported pairing "
+                    f"yet (got mode='batch', approx={self.approx!r})"
+                )
+            if self.shards > 1:
+                raise SpecError(
+                    "per-request certificates are tracked by the "
+                    "single-shard runtime; approx x shard is not a "
+                    f"supported pairing yet (got shards={self.shards}, "
+                    f"approx={self.approx!r})"
+                )
+            if self.journal is not None:
+                raise SpecError(
+                    "journal replay verifies exact plans; approx x journal "
+                    f"is not a supported pairing yet (got approx="
+                    f"{self.approx!r})"
+                )
+            if self.use_index:
+                raise SpecError(
+                    "the tree-indexed solver has no bounded-candidate or "
+                    "floor knob; approx x use_index is not a supported "
+                    f"pairing yet (got approx={self.approx!r})"
+                )
+        if self.approx in ("top_c", "auto") and self.approx_top_c is None:
+            raise SpecError(
+                f"approx={self.approx!r} needs approx_top_c (the number of "
+                "top-ranked candidate slots to keep)"
+            )
+        if self.approx in ("floor", "auto") and self.approx_floor is None:
+            raise SpecError(
+                f"approx={self.approx!r} needs approx_floor (the marginal-"
+                "gain floor as a fraction of the first committed gain)"
+            )
+        if self.approx_top_c is not None:
+            if self.approx not in ("top_c", "auto"):
+                raise SpecError(
+                    "approx_top_c configures the bounded-candidate search; "
+                    f"it requires approx='top_c' or 'auto' (got approx="
+                    f"{self.approx!r})"
+                )
+            if self.approx_top_c < 1:
+                raise SpecError(
+                    f"approx_top_c must be >= 1, got {self.approx_top_c}"
+                )
+        if self.approx_floor is not None:
+            if self.approx not in ("floor", "auto"):
+                raise SpecError(
+                    "approx_floor configures quality-floor early "
+                    "termination; it requires approx='floor' or 'auto' "
+                    f"(got approx={self.approx!r})"
+                )
+            if not 0.0 < self.approx_floor <= 1.0:
+                raise SpecError(
+                    f"approx_floor must be in (0, 1], got {self.approx_floor}"
+                )
+        if self.approx == "auto":
+            if self.mode != "stream":
+                raise SpecError(
+                    "approx='auto' switches modes from streaming load "
+                    f"signals; it requires mode='stream' (got mode="
+                    f"{self.mode!r})"
+                )
+            if not self.telemetry:
+                raise SpecError(
+                    "approx='auto' reads queue depth and p99 latency from "
+                    "the telemetry MetricsRegistry; it requires "
+                    "telemetry=True"
+                )
+        if self.degrade_queue_high < 1:
+            raise SpecError(
+                f"degrade_queue_high must be >= 1, got {self.degrade_queue_high}"
+            )
+        if self.degrade_queue_low < 0:
+            raise SpecError(
+                f"degrade_queue_low must be >= 0, got {self.degrade_queue_low}"
+            )
+        if self.degrade_queue_low >= self.degrade_queue_high:
+            raise SpecError(
+                "hysteresis needs degrade_queue_low < degrade_queue_high, "
+                f"got low={self.degrade_queue_low} high="
+                f"{self.degrade_queue_high}"
+            )
+        if self.slo_p99 is not None:
+            if self.approx != "auto":
+                raise SpecError(
+                    "slo_p99 drives the SLO-aware mode ladder; it requires "
+                    f"approx='auto' (got approx={self.approx!r})"
+                )
+            if self.slo_p99 <= 0:
+                raise SpecError(f"slo_p99 must be > 0, got {self.slo_p99}")
         self.workload.validate()
         return self
 
@@ -321,7 +449,15 @@ class RunSpec:
 
     @property
     def solver_variant(self) -> SolverVariant:
-        """The spec's solver-variant triple."""
+        """The spec's solver-variant triple.
+
+        Static degradation modes project into the variant; ``auto``
+        starts exact and switches at runtime, so it projects as exact.
+        """
         return SolverVariant(
-            backend=self.backend, search=self.search, use_index=self.use_index
+            backend=self.backend,
+            search=self.search,
+            use_index=self.use_index,
+            top_c=self.approx_top_c if self.approx == "top_c" else None,
+            floor=self.approx_floor if self.approx == "floor" else None,
         )

@@ -114,6 +114,9 @@ class ServingReport:
     counters: OpCounters
     #: Canonical-order per-task op cost (the serial cost breakdown).
     per_task_cost: dict[int, float] = field(default_factory=dict)
+    #: task_id -> certified quality ratio (``repro.degrade``); all 1.0
+    #: unless an approximate solver variant ran.
+    certificates: dict[int, float] = field(default_factory=dict)
 
     @property
     def total_cost(self) -> float:
@@ -174,6 +177,8 @@ class _ServingBase:
         engine: str = "greedy",
         search: str = "lazy",
         backend: str = "python",
+        top_c: int | None = None,
+        floor: float | None = None,
     ):
         if engine not in _ENGINES:
             raise ConfigurationError(
@@ -187,7 +192,11 @@ class _ServingBase:
         self.search = search
         self.backend = backend
         self.variant = SolverVariant(
-            backend=backend, search=search, use_index=(engine == "indexed")
+            backend=backend,
+            search=search,
+            use_index=(engine == "indexed"),
+            top_c=top_c,
+            floor=floor,
         )
 
     def _solve_task(
@@ -253,6 +262,7 @@ class SequentialServingSolver(_ServingBase):
         assignment = Assignment()
         qualities: dict[int, float] = {}
         per_task_cost: dict[int, float] = {}
+        certificates: dict[int, float] = {}
         for task in self._canonical(tasks):
             before = counters.snapshot()
             if profiler is None:
@@ -269,6 +279,7 @@ class SequentialServingSolver(_ServingBase):
                     span["quality"] = result.quality
             per_task_cost[task.task_id] = counters.delta_since(before).virtual_cost()
             qualities[task.task_id] = result.quality
+            certificates[task.task_id] = result.certificate
             for record in result.assignment:
                 registry.consume(record.worker_id, task.global_slot(record.slot))
                 assignment.add(record)
@@ -278,6 +289,7 @@ class SequentialServingSolver(_ServingBase):
             budgets=budgets,
             counters=counters,
             per_task_cost=per_task_cost,
+            certificates=certificates,
         )
 
 
@@ -472,6 +484,7 @@ class ShardedTCSCServer(_ServingBase):
         assignment = Assignment()
         qualities: dict[int, float] = {}
         per_task_cost: dict[int, float] = {}
+        certificates: dict[int, float] = {}
         reconciled: list[int] = []
         revalidated: list[int] = []
         recon_counters = OpCounters()
@@ -514,6 +527,7 @@ class ShardedTCSCServer(_ServingBase):
                     reconciled.append(task_id)
             per_task_cost[task_id] = cost
             qualities[task_id] = result.quality
+            certificates[task_id] = result.certificate
             for record in result.assignment:
                 gslot = task.global_slot(record.slot)
                 final_registry.consume(record.worker_id, gslot)
@@ -539,6 +553,7 @@ class ShardedTCSCServer(_ServingBase):
             budgets=budgets,
             counters=counters,
             per_task_cost=per_task_cost,
+            certificates=certificates,
             shard_map=shard_map,
             conflict_table=conflict_table,
             reconciled_task_ids=tuple(reconciled),

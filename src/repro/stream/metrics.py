@@ -49,6 +49,13 @@ class StreamMetrics:
     tasks_completed: int = 0
     #: Tasks that finished their window without a single execution.
     tasks_starved: int = 0
+    #: Arrivals rejected by the degradation ladder's shed level
+    #: (``repro.degrade``; always 0 with ``approx="off"``, keeping the
+    #: report byte-identical to the exact runtime).
+    tasks_shed: int = 0
+    #: task_id -> certified quality ratio of a degraded session's plan
+    #: (empty unless an approximate mode ran).
+    quality_certificates: dict[int, float] = field(default_factory=dict)
     workers_joined: int = 0
     workers_left: int = 0
     budget_spent: float = 0.0
@@ -146,4 +153,15 @@ class StreamMetrics:
             f"incremental_refreshes={self.counters.index_incremental_refreshes} "
             f"tree_node_updates={self.counters.tree_node_updates}",
         ]
+        # Degradation lines render only when degradation actually
+        # happened, so an approx="off" report stays byte-identical.
+        if self.tasks_shed:
+            lines.append(f"degrade   shed={self.tasks_shed}")
+        if self.quality_certificates:
+            certificates = self.quality_certificates.values()
+            lines.append(
+                f"certify   n={len(self.quality_certificates)} "
+                f"min={min(certificates):.3f} "
+                f"mean={sum(certificates) / len(certificates):.3f}"
+            )
         return "\n".join(lines)

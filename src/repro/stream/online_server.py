@@ -134,6 +134,7 @@ class StreamingTCSCServer:
         backend: str = "python",
         counters: OpCounters | None = None,
         layers=(),
+        certify: bool = False,
     ):
         if index_mode not in INDEX_MODES:
             raise ConfigurationError(
@@ -181,6 +182,19 @@ class StreamingTCSCServer:
         #: telemetry layer at bind time; when set, the step loop
         #: attributes index repair and the greedy solve to phases.
         self.profiler = None
+        #: Certificate tracking (``repro.degrade``): sessions probe and
+        #: report certified quality ratios.  Only set when an
+        #: approximate mode is configured — tracking perturbs
+        #: OpCounters, which ``approx="off"`` identity forbids.
+        self.certify = certify
+        #: A :class:`~repro.degrade.policy.DegradationController`
+        #: attached by a DegradationLayer at bind time (or directly);
+        #: admission and the step loop read its directives.
+        self.degradation = None
+        #: Per-epoch op-count cap in ``OpCounters.virtual_cost`` units,
+        #: set by an injected slowdown (``repro.degrade.chaos``);
+        #: ``None`` = unthrottled.
+        self.op_epoch_budget = None
         self.layers = tuple(layers)
         for layer in self.layers:
             layer.bind(self)
@@ -204,7 +218,13 @@ class StreamingTCSCServer:
                 session.note_worker_leave(worker)
         elif isinstance(event, TaskArrival):
             metrics.tasks_arrived += 1
-            if len(self._pending) >= self.max_queue_depth:
+            degradation = self.degradation
+            if degradation is not None and degradation.shedding:
+                # Shed level: the ladder's last resort still rejects
+                # new arrivals; active sessions keep being served.
+                metrics.tasks_rejected += 1
+                metrics.tasks_shed += 1
+            elif len(self._pending) >= self.max_queue_depth:
                 metrics.tasks_rejected += 1
             else:
                 self._pending.append(event)
@@ -229,6 +249,7 @@ class StreamingTCSCServer:
             rebuild_threshold=self.rebuild_threshold,
             backend=self.backend,
             counters=self.counters,
+            certify=self.certify,
         )
         session.on_epoch(self.clock.now)
         amount = arrival.budget
@@ -245,6 +266,8 @@ class StreamingTCSCServer:
         task_id = session.task.task_id
         metrics.tasks_completed += 1
         metrics.promised_quality[task_id] = session.quality
+        if self.certify:
+            metrics.quality_certificates[task_id] = session.certificate()
         metrics.coverage_cells[task_id] = len(session.voronoi.cells)
         metrics.budget_spent += session.budget.spent
         if session.first_assign_time is None:
@@ -355,28 +378,49 @@ class StreamingTCSCServer:
             while self._pending and len(self._active) < self.max_active_tasks:
                 self._admit(self._pending.pop(0), metrics)
 
+            degradation = self.degradation
+            directive = None if degradation is None else degradation.directive()
+            if directive is not None and directive.level == 0:
+                directive = None
+            op_budget = self.op_epoch_budget
+            op_start = (
+                self.counters.virtual_cost() if op_budget is not None else 0.0
+            )
             prof = self.profiler
             for session in list(self._active):
+                if (
+                    op_budget is not None
+                    and self.counters.virtual_cost() - op_start > op_budget
+                ):
+                    # Injected slowdown: this epoch's op budget is
+                    # spent; remaining sessions wait for the next
+                    # epoch.  Op counts, never wall clock, so the
+                    # throttled run stays deterministic.
+                    break
                 callback = (
                     lambda wid, gslot, slot, cost, s=session: self._commit(
                         s, wid, gslot, slot, cost
                     )
                 )
                 if prof is None:
-                    session.step(now, self.pool, callback)
+                    session.step(now, self.pool, callback, directive=directive)
                 else:
                     # Same work, phase-attributed: index repair happens
                     # in prepare_index (exactly where step would run
-                    # it), the greedy solve in step itself.
+                    # it), the greedy solve in step itself.  A top-c
+                    # directive bypasses the index entirely, so nothing
+                    # is repaired for it.
+                    skip_index = directive is not None and directive.top_c is not None
                     with prof.phase(
                         "index-repair", emit=False,
                     ):
-                        index = session.prepare_index()
+                        index = None if skip_index else session.prepare_index()
                     with prof.phase(
                         "solve", task_id=session.task.task_id, now=now
                     ) as span:
                         span["executed"] = session.step(
-                            now, self.pool, callback, index=index
+                            now, self.pool, callback, index=index,
+                            directive=directive,
                         )
             metrics.queue_depth_samples.append((now, len(self._pending)))
             self._on_epoch_end(metrics, now)

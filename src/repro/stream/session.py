@@ -111,6 +111,7 @@ class TaskSession:
         rebuild_threshold: float = 0.8,
         backend: str = "python",
         counters: OpCounters | None = None,
+        certify: bool = False,
     ):
         if index_mode not in INDEX_MODES:
             raise ConfigurationError(
@@ -141,6 +142,13 @@ class TaskSession:
         self._index: TreeIndex | None = None
         self._dirty: set[int] = set()
         self._dirty_limit = max(1, int(rebuild_threshold * task.num_slots))
+        # Certificate state (``repro.degrade``); ``certify`` is only
+        # set when an approximate mode is configured, because tracking
+        # probes offers and gains through the counted providers — with
+        # ``approx="off"`` the session stays byte-identical to the
+        # exact runtime, OpCounters included.
+        self._min_cost_seen: dict[int, float] | None = {} if certify else None
+        self._first_gain: float | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -258,7 +266,15 @@ class TaskSession:
             return None
         return self._ensure_index()
 
-    def step(self, now: float, pool, on_consume, *, index: TreeIndex | None = None) -> int:
+    def step(
+        self,
+        now: float,
+        pool,
+        on_consume,
+        *,
+        index: TreeIndex | None = None,
+        directive=None,
+    ) -> int:
         """Run greedy assignment for one epoch.
 
         ``pool`` bounds spending globally (``None`` = task budget
@@ -266,12 +282,23 @@ class TaskSession:
         commits a worker in the registry and notifies competing
         sessions (the journal layer also logs it).  ``index`` accepts a
         :meth:`prepare_index` result (the index is repaired here when
-        not supplied).  Returns the number of subtasks executed.
+        not supplied).  ``directive`` (a
+        :class:`~repro.degrade.policy.DegradeDirective`) selects a
+        degraded search: ``top_c`` bypasses the tree index entirely and
+        enumerates only the best-ranked candidate slots, ``floor``
+        stops once marginal gain drops below the floor fraction of the
+        session's first committed gain.  Returns the number of subtasks
+        executed.
         """
         if self.exhausted or self.expired:
             return 0
+        if self._min_cost_seen is not None:
+            self._track_offer_costs()
+        if directive is not None and directive.top_c is not None:
+            return self._step_degraded(now, pool, on_consume, directive)
         if index is None:
             index = self._ensure_index()
+        floor = None if directive is None else directive.floor
         executed = 0
         while True:
             remaining = self.budget.remaining
@@ -281,6 +308,12 @@ class TaskSession:
                 break
             best = index.find_best(remaining)
             if best is None:
+                break
+            if (
+                floor is not None
+                and self._first_gain is not None
+                and best.gain < floor * self._first_gain
+            ):
                 break
             offer = self.costs.offer(best.slot)
             window = self.ev.affected_window(best.slot)
@@ -297,7 +330,134 @@ class TaskSession:
             )
             if self.first_assign_time is None:
                 self.first_assign_time = now
+            if self._first_gain is None:
+                self._first_gain = best.gain
             self.counters.iterations += 1
             index.refresh_range(*window)
             executed += 1
         return executed
+
+    # ------------------------------------------------------------------
+    # Degraded assignment and certificates (``repro.degrade``)
+    # ------------------------------------------------------------------
+    def _track_offer_costs(self) -> None:
+        """Record the cheapest cost each slot was ever offered at.
+
+        The certificate's competing plan may buy any slot at the best
+        price *this session ever saw* — tracked at every step entry so
+        masked (expired) slots keep their historical floor.
+        """
+        seen = self._min_cost_seen
+        for slot in self.task.slots:
+            if self.ev.is_executed(slot):
+                continue
+            cost = self.costs.cost(slot)
+            if cost is None:
+                continue
+            prior = seen.get(slot)
+            if prior is None or cost < prior:
+                seen[slot] = cost
+
+    def _step_degraded(self, now: float, pool, on_consume, directive) -> int:
+        """Bounded-candidate assignment: no tree index, top-c only.
+
+        Candidates are the ``top_c`` assignable slots ranked by the
+        cached single-slot quality table (the same ranking line 3 of
+        Algorithm 1 consults); gains are evaluated directly on the
+        session evaluator.  The tree index is neither repaired nor
+        consulted — every executed window lands in ``_dirty`` so a
+        later exact epoch repairs it first.
+        """
+        from repro.core.greedy import single_slot_quality_table
+        from repro.core.tree_index import COST_EPSILON
+
+        executed = 0
+        m = self.task.num_slots
+        while True:
+            remaining = self.budget.remaining
+            if pool is not None:
+                remaining = min(remaining, pool.remaining)
+            if remaining < 1e-12:
+                break
+            tables: dict[float, list[float]] = {}
+            ranked: list[tuple[float, int, float, float]] = []
+            for slot in self.task.slots:
+                if self.ev.is_executed(slot):
+                    continue
+                cost = self.costs.cost(slot)
+                if cost is None:
+                    continue
+                lam = self.costs.reliability(slot)
+                table = tables.get(lam)
+                if table is None:
+                    table = single_slot_quality_table(m, self.k, lam)
+                    tables[lam] = table
+                ranked.append((-table[slot], slot, cost, lam))
+            ranked.sort(key=lambda item: (item[0], item[1]))
+            best: tuple[int, float, float, float] | None = None
+            for _, slot, cost, lam in ranked[: directive.top_c]:
+                if cost > remaining + 1e-12:
+                    continue
+                gain = self.ev.gain_if_executed(slot, lam)
+                if gain <= 0.0:
+                    continue
+                heuristic = gain / max(cost, COST_EPSILON)
+                if best is None or heuristic > best[3] or (
+                    heuristic == best[3] and slot < best[0]
+                ):
+                    best = (slot, gain, cost, heuristic)
+            if best is None:
+                break
+            slot, gain, cost, _ = best
+            if (
+                directive.floor is not None
+                and self._first_gain is not None
+                and gain < directive.floor * self._first_gain
+            ):
+                break
+            offer = self.costs.offer(slot)
+            window = self.ev.affected_window(slot)
+            self.ev.execute(slot, self.costs.reliability(slot))
+            self.voronoi.insert_site(slot)
+            self.budget.charge(cost)
+            if pool is not None:
+                pool.charge(cost)
+            on_consume(offer.worker_id, self.task.global_slot(slot), slot, cost)
+            self.records.append(
+                AssignmentRecord(self.task.task_id, slot, offer.worker_id, cost)
+            )
+            if self.first_assign_time is None:
+                self.first_assign_time = now
+            if self._first_gain is None:
+                self._first_gain = gain
+            self.counters.iterations += 1
+            self._dirty.update(range(window[0], window[1] + 1))
+            executed += 1
+        return executed
+
+    def certificate(self) -> float:
+        """Certified quality ratio against the session's offer stream.
+
+        The gain-envelope bound of :mod:`repro.degrade.certify`
+        evaluated at the session's final state: any competing plan over
+        the offers this session observed — each unexecuted slot charged
+        at the cheapest cost it was ever offered at, with the session's
+        full budget to spend — cannot beat
+        ``quality + gain_envelope_bound(...)``.  Returns 1.0 when
+        certificate tracking was off.
+        """
+        if self._min_cost_seen is None:
+            return 1.0
+        from repro.degrade.certify import gain_envelope_bound
+
+        gains_costs: list[tuple[float, float]] = []
+        for slot, cost in self._min_cost_seen.items():
+            if self.ev.is_executed(slot):
+                continue
+            gain = self.ev.gain_if_executed(slot, self.costs.reliability(slot))
+            gains_costs.append((gain, cost))
+        capacity = self.budget.spent + self.budget.remaining
+        bound = self.ev.quality + gain_envelope_bound(gains_costs, capacity)
+        if bound <= 0.0:
+            return 1.0
+        return min(1.0, self.ev.quality / bound)

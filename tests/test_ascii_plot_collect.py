@@ -10,6 +10,7 @@ from repro.bench.ascii_plot import bar_chart, line_chart
 from repro.bench.collect import (
     COLLECTORS,
     collect,
+    collect_degrade,
     collect_journal,
     collect_obs,
     collect_shard,
@@ -133,10 +134,19 @@ class TestCollect:
         assert set(merged["series"]) == {"obs_suite"}
         assert "bench-obs" in merged["generated_by"]
 
+    def test_collect_degrade_merges_json_series(self, tmp_path):
+        (tmp_path / "degrade_suite.json").write_text(
+            '{"suite": "degradesuite"}\n'
+        )
+        merged = collect_degrade(tmp_path)
+        assert set(merged["series"]) == {"degrade_suite"}
+        assert "bench-degrade" in merged["generated_by"]
+
     def test_every_registered_artifact_has_a_collector(self):
         assert set(COLLECTORS) == {
             "BENCH_stream.json", "BENCH_perf.json", "BENCH_shard.json",
             "BENCH_journal.json", "BENCH_matrix.json", "BENCH_obs.json",
+            "BENCH_degrade.json",
         }
         for pattern, collector in COLLECTORS.values():
             assert pattern.endswith("*.json")

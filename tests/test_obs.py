@@ -107,6 +107,63 @@ class TestLogHistogram:
         assert h.percentile(100) >= max(values)
         assert h.percentile(q) <= h.percentile(100)
 
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.floats(0.0, 1e9, allow_nan=False), max_size=8),
+        st.sampled_from([
+            float("nan"), float("inf"), float("-inf"), -float("nan"),
+        ]),
+    )
+    def test_non_finite_rejected_without_state_change(self, prefix, bad):
+        """nan/inf raise typed ConfigurationError *before* any state
+        mutates: count, buckets, and the zero bucket are exactly what
+        they were, so later percentiles stay exact."""
+        h = LogHistogram("x")
+        for value in prefix:
+            h.observe(value)
+        before = (h.count, h.zero_count, dict(h.buckets))
+        with pytest.raises(ConfigurationError):
+            h.observe(bad)
+        assert (h.count, h.zero_count, dict(h.buckets)) == before
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(-1e9, 0.0, allow_nan=False))
+    def test_any_nonpositive_lands_in_zero_bucket(self, value):
+        h = LogHistogram("x")
+        h.observe(value)
+        assert h.zero_count == 1
+        assert h.buckets == {}
+        assert h.percentile(99) == 0.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.floats(1e-6, 1e9, allow_nan=False),
+           st.floats(0.0, 100.0, allow_nan=False))
+    def test_single_observation_every_percentile_is_its_edge(self, v, q):
+        """n=1: nearest rank is always rank 1, so every percentile —
+        including q=0 — answers the one observation's bucket edge."""
+        import math
+        h = LogHistogram("x")
+        h.observe(v)
+        assert h.percentile(q) == 2.0 ** (math.floor(math.log2(v)) + 1)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.floats(1e-6, 1e9, allow_nan=False),
+           st.floats(1e-6, 1e9, allow_nan=False))
+    def test_two_observations_nearest_rank_split(self, a, b):
+        """n=2: ceil(q/100 * 2) puts q <= 50 on rank 1 (the lower
+        bucket edge) and q > 50 on rank 2 (the upper one); q=0 clamps
+        to rank 1."""
+        import math
+        lo, hi = sorted([a, b])
+        edge = lambda v: 2.0 ** (math.floor(math.log2(v)) + 1)
+        h = LogHistogram("x")
+        h.observe(a)
+        h.observe(b)
+        assert h.percentile(0) == edge(lo)
+        assert h.percentile(50) == edge(lo)
+        assert h.percentile(50.0001) == edge(hi)
+        assert h.percentile(100) == edge(hi)
+
 
 class TestCountersAndRegistry:
     def test_counter_monotone(self):
@@ -331,6 +388,38 @@ class TestProfiledLayer:
         assert layer.inner is inner
 
 
+class TestProfileDeprecationNote:
+    """The --profile stderr pointer fires exactly once per process."""
+
+    NOTE = "note: --profile prints raw cProfile output (deprecated)"
+
+    def test_note_prints_once_across_invocations(self, capsys):
+        from repro.obs import reset_profile_note, run_profiled
+
+        reset_profile_note()
+        assert run_profiled(lambda args: 0, None) == 0
+        assert run_profiled(lambda args: 0, None) == 0
+        captured = capsys.readouterr()
+        assert captured.err.count(self.NOTE) == 1
+        # The scrapeable cProfile rows still print for every run.
+        assert captured.out.count("function calls") == 2
+
+    def test_reset_rearms_the_note(self, capsys):
+        from repro.obs import reset_profile_note, run_profiled
+
+        reset_profile_note()
+        run_profiled(lambda args: 0, None)
+        reset_profile_note()
+        run_profiled(lambda args: 0, None)
+        assert capsys.readouterr().err.count(self.NOTE) == 2
+
+    def test_handler_return_code_passes_through(self, capsys):
+        from repro.obs import reset_profile_note, run_profiled
+
+        reset_profile_note()
+        assert run_profiled(lambda args: 3, None) == 3
+
+
 class TestTelemetryEndToEnd:
     def test_stream_run_attaches_telemetry(self):
         outcome = build_runtime(STREAM_SPEC.replace(telemetry=True)).run()
@@ -481,6 +570,9 @@ class TestCLI:
     def test_profile_flag_points_at_telemetry(self, capsys):
         """Satellite 1: the legacy --profile shim stays scrapable on
         stdout and advertises the replacement on stderr."""
+        from repro.obs import reset_profile_note
+
+        reset_profile_note()  # the note is once-per-process
         code = main(["solve-single", "--slots", "20", "--workers", "50",
                      "--profile"])
         assert code == 0

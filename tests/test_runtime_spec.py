@@ -47,6 +47,28 @@ def valid_specs(draw) -> RunSpec:
         draw(st.one_of(st.none(), st.just("traces/run.jsonl")))
         if telemetry else None
     )
+    # Degradation modes compose with the un-indexed, single-shard,
+    # journal-free solvers only; "auto" additionally needs the stream
+    # telemetry signals.
+    approx = "off"
+    approx_top_c = None
+    approx_floor = None
+    slo_p99 = None
+    if mode != "batch" and shards == 1 and journal is None and not use_index:
+        choices = ["off", "top_c", "floor"]
+        if mode == "stream" and telemetry:
+            choices.append("auto")
+        approx = draw(st.sampled_from(choices))
+    if approx in ("top_c", "auto"):
+        approx_top_c = draw(st.integers(1, 8))
+    if approx in ("floor", "auto"):
+        approx_floor = draw(st.floats(0.01, 1.0, allow_nan=False))
+    if approx == "auto":
+        slo_p99 = draw(
+            st.one_of(st.none(), st.floats(0.5, 50.0, allow_nan=False))
+        )
+    queue_low = draw(st.integers(0, 5))
+    queue_high = draw(st.integers(queue_low + 1, 12))
     tasks = draw(st.integers(1, 6))
     workload = WorkloadSpec(
         seed=draw(st.integers(0, 10_000)),
@@ -95,6 +117,12 @@ def valid_specs(draw) -> RunSpec:
         crash_phase=crash_phase,
         telemetry=telemetry,
         trace_out=trace_out,
+        approx=approx,
+        approx_top_c=approx_top_c,
+        approx_floor=approx_floor,
+        degrade_queue_high=queue_high,
+        degrade_queue_low=queue_low,
+        slo_p99=slo_p99,
     ).validate()
 
 
@@ -175,6 +203,38 @@ class TestRejection:
             dict(
                 mode="stream", journal="/tmp/j", crash_after_events=-1
             ),
+            # Degradation (the PR-7 knobs).
+            dict(approx="magic"),
+            dict(approx="top_c"),                # mode without its knob
+            dict(approx="floor"),
+            dict(approx="top_c", approx_top_c=0),
+            dict(approx="floor", approx_floor=0.0),
+            dict(approx="floor", approx_floor=1.5),
+            dict(approx_top_c=3),                # knob without its mode
+            dict(approx_floor=0.5),
+            dict(mode="batch", approx="top_c", approx_top_c=3),
+            dict(mode="stream", shards=2, approx="top_c", approx_top_c=3),
+            dict(
+                mode="stream", journal="/tmp/j",
+                approx="floor", approx_floor=0.5,
+            ),
+            dict(use_index=True, approx="top_c", approx_top_c=3),
+            dict(                                # auto without telemetry
+                mode="stream", approx="auto",
+                approx_top_c=3, approx_floor=0.5,
+            ),
+            dict(                                # auto outside stream
+                mode="plain", telemetry=True, approx="auto",
+                approx_top_c=3, approx_floor=0.5,
+            ),
+            dict(slo_p99=10.0),                  # SLO without the ladder
+            dict(
+                mode="stream", telemetry=True, approx="auto",
+                approx_top_c=3, approx_floor=0.5, slo_p99=0.0,
+            ),
+            dict(degrade_queue_high=0),
+            dict(degrade_queue_low=-1),
+            dict(degrade_queue_low=6, degrade_queue_high=6),  # inverted
         ],
     )
     def test_invalid_spec_raises_typed(self, changes):

@@ -64,6 +64,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 
 from repro.core.cover import MinCostCoverSolver
@@ -258,6 +259,21 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--halo", type=_halo_spec, default="auto",
                      help="worker-replication margin for sharded mode: "
                           "'auto' or a radius in domain units")
+    sim.add_argument("--elastic", action="store_true",
+                     help="elastic sharding: load-triggered shard "
+                          "split/merge/migration between executors, "
+                          "plan-identical to the static placement "
+                          "(requires --shards >= 2)")
+    sim.add_argument("--migrate-at", dest="migrate_at", type=int,
+                     default=None, metavar="EPOCH",
+                     help="script one shard migration at the EPOCH-th "
+                          "epoch boundary (hottest shard -> coldest "
+                          "other executor; implies elastic mode)")
+    sim.add_argument("--hotspot-drift", dest="hotspot_drift", type=float,
+                     default=0.0, metavar="D",
+                     help="arrival preset: late arrivals relocate onto one "
+                          "spatial hotspot with probability D * t/horizon "
+                          "(the elastic skew input; 0 disables)")
     sim.add_argument("--journal", default=None, metavar="PATH",
                      help="journal directory: write-ahead-log every event "
                           "and snapshot server state (one journal per shard "
@@ -381,6 +397,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="smallest scenarios only (CI smoke mode)")
     degrade.add_argument("--results-dir", default=None,
                          help="override benchmarks/results output directory")
+
+    elastic = sub.add_parser(
+        "bench-elastic",
+        help="elasticity suite (migrate-at-every-boundary exactness + "
+             "skew rebalancing gain + elastic-off identity) -> "
+             "benchmarks/BENCH_elastic.json",
+    )
+    elastic.add_argument("--smoke", action="store_true",
+                         help="executors=2 arms only (CI smoke mode)")
+    elastic.add_argument("--results-dir", default=None,
+                         help="override benchmarks/results output directory")
     return parser
 
 
@@ -458,6 +485,7 @@ def _stream_spec(args) -> RunSpec:
             join_rate=args.join_rate,
             mean_lifetime=args.mean_lifetime,
             early_leave_prob=args.early_leave_prob,
+            hotspot_drift=args.hotspot_drift,
         ),
         backend=args.backend,
         k=args.k,
@@ -468,6 +496,11 @@ def _stream_spec(args) -> RunSpec:
         max_queue_depth=args.queue_depth,
         shards=args.shards,
         halo=args.halo,
+        elastic=(
+            "fixed" if args.migrate_at is not None
+            else ("auto" if args.elastic else "off")
+        ),
+        migrate_at=args.migrate_at,
         journal=args.journal,
         snapshot_every=4 if args.snapshot_every is None else args.snapshot_every,
         sync=args.sync and args.journal is not None,
@@ -539,14 +572,17 @@ def _cmd_simulate(args) -> int:
         and not args.resume
         and args.crash_at >= len(scenario.events)
     ):
-        # Past the last event boundary nothing is left to interrupt;
-        # warn instead of silently completing an un-crashed "crash" run.
-        print(
-            f"warning: --crash-at {args.crash_at} is at or beyond the "
-            f"trace's last event boundary ({len(scenario.events)} events); "
+        _warn_past_trace_end(
+            "--crash-at", args.crash_at, len(scenario.events), "event",
             "the run will complete without crashing",
-            file=sys.stderr,
         )
+    if args.migrate_at is not None and scenario.events:
+        trace_epochs = math.ceil(scenario.events[-1].time / args.epoch)
+        if args.migrate_at >= trace_epochs:
+            _warn_past_trace_end(
+                "--migrate-at", args.migrate_at, trace_epochs, "epoch",
+                "the migration may never fire",
+            )
     if args.resume:
         if spec.telemetry:
             print("note: telemetry is not composed onto recovered runs; "
@@ -557,9 +593,22 @@ def _cmd_simulate(args) -> int:
         return _simulate_resume(args, scenario)
     if args.shards > 1:
         print(f"shards={args.shards} halo={args.halo}")
+    if spec.elastic != "off":
+        line = f"elastic={spec.elastic}"
+        if spec.migrate_at is not None:
+            line += f" migrate_at={spec.migrate_at}"
+        print(line)
 
     def drive():
         outcome = runtime.run()
+        if spec.elastic == "fixed" and outcome.server.controller.unfired():
+            # The settle loop ended before the scripted boundary —
+            # the sibling condition to a past-end --crash-at.
+            print(
+                f"warning: --migrate-at {spec.migrate_at} never fired "
+                "(the trace settled before that epoch boundary)",
+                file=sys.stderr,
+            )
         if outcome.telemetry is None:
             return outcome.report_text
         return f"{outcome.report_text}\n{outcome.telemetry.report()}"
@@ -568,6 +617,21 @@ def _cmd_simulate(args) -> int:
         drive,
         journal=spec.journal,
         recover_hint="rerun the same command with --resume to recover",
+    )
+
+
+def _warn_past_trace_end(flag, value, boundary_count, unit, consequence) -> None:
+    """Warn that a scheduled-boundary flag points past the trace end.
+
+    Shared by ``--crash-at`` (event boundaries) and ``--migrate-at``
+    (epoch boundaries): past the end nothing is left to interrupt or
+    migrate, so the run proceeds normally — warn instead of silently
+    completing a run whose trigger can never fire.
+    """
+    print(
+        f"warning: {flag} {value} is at or beyond the trace's last "
+        f"{unit} boundary ({boundary_count} {unit}s); {consequence}",
+        file=sys.stderr,
     )
 
 
@@ -725,6 +789,12 @@ def _cmd_bench_degrade(args) -> int:
     return run_and_write(smoke=args.smoke, results_dir=args.results_dir)
 
 
+def _cmd_bench_elastic(args) -> int:
+    from repro.bench.elasticsuite import run_and_write
+
+    return run_and_write(smoke=args.smoke, results_dir=args.results_dir)
+
+
 def _cmd_trace_report(args) -> int:
     from repro.errors import TCSCError
     from repro.obs.report import render_trace_report
@@ -759,6 +829,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench-journal": _cmd_bench_journal,
         "bench-obs": _cmd_bench_obs,
         "bench-degrade": _cmd_bench_degrade,
+        "bench-elastic": _cmd_bench_elastic,
         "trace-report": _cmd_trace_report,
     }
     handler = handlers[args.command]

@@ -23,7 +23,10 @@ records next to the results directory; the registry in
   op-count overhead, trace determinism, :mod:`repro.bench.obssuite`);
 * ``degrade*.json`` -> ``BENCH_degrade.json`` (approx-off identity,
   certificate soundness, overload useful work,
-  :mod:`repro.bench.degradesuite`).
+  :mod:`repro.bench.degradesuite`);
+* ``elastic*.json`` -> ``BENCH_elastic.json`` (migrate-at-every-
+  boundary exactness, skewed-arrival rebalancing gain, elastic-off
+  identity, :mod:`repro.bench.elasticsuite`).
 
 ``BENCH_*.json`` files next to the results directory that no
 registered collector produces are *warned about* rather than silently
@@ -45,6 +48,7 @@ __all__ = [
     "COLLECTORS",
     "collect",
     "collect_degrade",
+    "collect_elastic",
     "collect_journal",
     "collect_matrix",
     "collect_obs",
@@ -139,6 +143,13 @@ def collect_degrade(results_dir: Path | str = _DEFAULT_RESULTS) -> dict | None:
     )
 
 
+def collect_elastic(results_dir: Path | str = _DEFAULT_RESULTS) -> dict | None:
+    """Merge ``elastic*.json`` series (the ``BENCH_elastic.json`` record)."""
+    return _collect_json_series(
+        results_dir, "elastic*.json", "python -m repro bench-elastic"
+    )
+
+
 #: Artifact name -> (series glob, collector).  Every ``BENCH_*.json``
 #: the repo produces must be registered here; ``main`` regenerates
 #: each one and warns about artifacts no collector owns.
@@ -150,6 +161,7 @@ COLLECTORS: dict[str, tuple[str, callable]] = {
     "BENCH_matrix.json": ("matrix*.json", collect_matrix),
     "BENCH_obs.json": ("obs*.json", collect_obs),
     "BENCH_degrade.json": ("degrade*.json", collect_degrade),
+    "BENCH_elastic.json": ("elastic*.json", collect_elastic),
 }
 
 

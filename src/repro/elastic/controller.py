@@ -1,0 +1,305 @@
+"""Load-triggered split/merge/migrate policy for elastic sharding.
+
+The controller is the :class:`~repro.degrade.policy.DegradationController`
+idiom applied to placement: deterministic virtual signals in,
+hysteresis between a high and a low watermark, one rebalancing
+decision per settled boundary, and a scripted ``.fixed()`` mode so
+tests and the exactness sweep can force a migration at an exact
+boundary.  Signals are per-logical-shard settled queue depth and the
+op-cost delta of the last epoch — op counts and queue lengths, never
+wall clock, per the repo's determinism policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ElasticAction", "ElasticController"]
+
+
+@dataclass(frozen=True, slots=True)
+class ElasticAction:
+    """One placement decision the server should apply."""
+
+    kind: str  # "migrate" | "split" | "merge"
+    shard: int | None = None
+    source: int | None = None
+    dest: int | None = None
+
+
+def _executor_loads(signals, shard_map):
+    """Aggregate per-shard ``(queue_depth, cost_delta)`` signals into
+    ``executor -> (queue_sum, cost_sum)``."""
+    loads = {executor: [0, 0.0] for executor in shard_map.executors}
+    for shard, (queue_depth, cost_delta) in signals.items():
+        executor = shard_map.executor_of(shard)
+        loads[executor][0] += queue_depth
+        loads[executor][1] += cost_delta
+    return {executor: tuple(load) for executor, load in loads.items()}
+
+
+class ElasticController:
+    """Deterministic hysteresis over the placement map."""
+
+    def __init__(
+        self,
+        *,
+        queue_high: int = 8,
+        queue_low: int = 2,
+        cooldown: int = 2,
+        max_executors: int | None = None,
+    ):
+        if not 0 <= queue_low < queue_high:
+            raise ConfigurationError(
+                f"hysteresis needs 0 <= queue_low < queue_high, "
+                f"got low={queue_low} high={queue_high}"
+            )
+        if cooldown < 0:
+            raise ConfigurationError(f"cooldown must be >= 0, got {cooldown}")
+        self.queue_high = queue_high
+        self.queue_low = queue_low
+        self.cooldown = cooldown
+        self.max_executors = max_executors
+        #: Cost-rebalance trigger: migrate when the hot executor's
+        #: smoothed op cost exceeds this multiple of the fair share.
+        self.cost_imbalance = 1.5
+        #: Per-shard exponentially smoothed op-cost (deterministic:
+        #: ``ema = ema/2 + delta`` each tick) — single-tick spikes
+        #: otherwise read as persistent hotspots.
+        self._cost_ema: dict[int, float] = {}
+        self.pinned = False
+        #: ``(tick, now, kind, shard, source, dest)`` per decision, in
+        #: order — the elastic server mirrors these into migration
+        #: records; kept here too so unlayered callers can assert
+        #: policy directly.
+        self.transitions: list[tuple] = []
+        self._plan: list[tuple] = []
+        self._last_action_tick: int | None = None
+
+    @classmethod
+    def fixed(cls, plan) -> "ElasticController":
+        """A scripted controller: apply exactly the given moves.
+
+        ``plan`` is an iterable of ``(time, shard, dest)`` entries; an
+        entry fires at the first settled boundary at or after its
+        time.  ``shard=None`` resolves to the hottest logical shard at
+        fire time, ``dest=None`` to the coldest other executor — the
+        ``--migrate-at`` spelling.  An empty plan never migrates
+        (the static-placement reference arm).
+        """
+        controller = cls(queue_high=1, queue_low=0, cooldown=0)
+        controller.pinned = True
+        controller._plan = sorted(
+            ((float(time), shard, dest) for time, shard, dest in plan),
+            key=lambda entry: entry[0],
+        )
+        return controller
+
+    def unfired(self) -> list[tuple]:
+        """Scripted entries that never reached their boundary."""
+        return list(self._plan)
+
+    # -- signal resolution ----------------------------------------------
+    @staticmethod
+    def _hottest_shard(signals, shard_map, executor=None):
+        """Highest-load shard (optionally restricted to one executor);
+        ties break toward the lowest shard id."""
+        candidates = [
+            shard
+            for shard in sorted(signals)
+            if executor is None or shard_map.executor_of(shard) == executor
+        ]
+        if not candidates:
+            return None
+        return max(
+            candidates,
+            key=lambda shard: (signals[shard][0], signals[shard][1], -shard),
+        )
+
+    @staticmethod
+    def _coldest_executor(loads, exclude):
+        """Lowest-load executor other than ``exclude``; ties break
+        toward the lowest executor id."""
+        candidates = [executor for executor in sorted(loads) if executor != exclude]
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda executor: (loads[executor][0], loads[executor][1], executor),
+        )
+
+    @staticmethod
+    def _best_move(signals, shard_map, hot, cold, loads):
+        """The heaviest shard whose move from ``hot`` to ``cold``
+        strictly lowers the pairwise max load; ``None`` if no move
+        helps.  Queue depth decides, op-cost delta tie-breaks, then
+        the lowest shard id."""
+        hot_queue, hot_cost = loads[hot]
+        cold_queue, cold_cost = loads[cold]
+        best = None
+        best_key = None
+        for shard in shard_map.shards_on(hot):
+            queue_depth, cost_delta = signals[shard]
+            if queue_depth == 0 and cost_delta == 0.0:
+                continue
+            moved_max_queue = max(hot_queue - queue_depth, cold_queue + queue_depth)
+            moved_max_cost = max(hot_cost - cost_delta, cold_cost + cost_delta)
+            if moved_max_queue > hot_queue or (
+                moved_max_queue == hot_queue and moved_max_cost >= hot_cost
+            ):
+                continue
+            key = (queue_depth, cost_delta, -shard)
+            if best_key is None or key > best_key:
+                best = shard
+                best_key = key
+        return best
+
+    # -- the policy ------------------------------------------------------
+    def decide(self, tick, now, signals, shard_map) -> list[ElasticAction]:
+        """Feed one settled boundary's signals; returns the placement
+        actions to apply (possibly empty)."""
+        if self.pinned:
+            return self._decide_scripted(tick, now, signals, shard_map)
+        return self._decide_auto(tick, now, signals, shard_map)
+
+    def _decide_scripted(self, tick, now, signals, shard_map):
+        actions = []
+        while self._plan and self._plan[0][0] <= now:
+            _, shard, dest = self._plan.pop(0)
+            loads = _executor_loads(signals, shard_map)
+            if shard is None:
+                shard = self._hottest_shard(signals, shard_map)
+            if shard is None:
+                continue
+            source = shard_map.executor_of(shard)
+            if dest is None:
+                dest = self._coldest_executor(loads, exclude=source)
+            if dest is None or dest == source:
+                continue
+            actions.append(
+                ElasticAction("migrate", shard=shard, source=source, dest=dest)
+            )
+            self.transitions.append((tick, now, "migrate", shard, source, dest))
+        return actions
+
+    def _decide_auto(self, tick, now, signals, shard_map):
+        for shard, (_, cost_delta) in signals.items():
+            self._cost_ema[shard] = (
+                self._cost_ema.get(shard, 0.0) / 2.0 + cost_delta
+            )
+        if (
+            self._last_action_tick is not None
+            and tick - self._last_action_tick <= self.cooldown
+        ):
+            return []
+        signals = {
+            shard: (queue_depth, self._cost_ema[shard])
+            for shard, (queue_depth, _) in signals.items()
+        }
+        loads = _executor_loads(signals, shard_map)
+        hot = max(
+            sorted(loads),
+            key=lambda executor: (loads[executor][0], loads[executor][1], -executor),
+        )
+        hot_queue, _ = loads[hot]
+        cold = self._coldest_executor(loads, exclude=hot)
+
+        # Split: everyone is hot, so rebalancing inside the current
+        # executor set cannot help — grow it (bounded by the logical
+        # shard count: an executor with no shard to host is useless).
+        cap = self.max_executors or shard_map.num_shards
+        every_hot = all(load[0] >= self.queue_high for load in loads.values())
+        if (
+            every_hot
+            and len(shard_map.executors) < cap
+            and len(shard_map.shards_on(hot)) >= 2
+        ):
+            shard = self._hottest_shard(signals, shard_map, executor=hot)
+            self._last_action_tick = tick
+            self.transitions.append((tick, now, "split", shard, hot, None))
+            return [ElasticAction("split", shard=shard, source=hot)]
+
+        # Migrate: classic hysteresis — a hot executor sheds load onto
+        # a calm one.  Gain-guarded: only a move that strictly lowers
+        # the pairwise max queue is taken, so a hotspot whose queue
+        # *is* the whole executor never ping-pongs between executors
+        # (its queue would travel with it and the max would not drop).
+        if (
+            cold is not None
+            and hot_queue >= self.queue_high
+            and loads[cold][0] <= self.queue_low
+        ):
+            shard = self._best_move(signals, shard_map, hot, cold, loads)
+            if shard is not None:
+                self._last_action_tick = tick
+                self.transitions.append((tick, now, "migrate", shard, hot, cold))
+                return [
+                    ElasticAction("migrate", shard=shard, source=hot, dest=cold)
+                ]
+
+        # Cost rebalance: even without queue backlog, a persistently
+        # skewed op-cost profile (hot sessions re-step every epoch)
+        # caps the modeled makespan.  When the hot executor's last-tick
+        # cost exceeds its fair share by ``cost_imbalance``, shed the
+        # best gain-guarded shard to the cost-coldest executor.
+        total_cost = sum(load[1] for load in loads.values())
+        fair_share = total_cost / max(len(loads), 1)
+        hot_by_cost = max(
+            sorted(loads),
+            key=lambda executor: (loads[executor][1], loads[executor][0], -executor),
+        )
+        if fair_share > 0.0 and loads[hot_by_cost][1] >= self.cost_imbalance * fair_share:
+            cost_loads = {
+                executor: (load[1], load[0]) for executor, load in loads.items()
+            }
+            cold_by_cost = self._coldest_executor(cost_loads, exclude=hot_by_cost)
+            if cold_by_cost is not None:
+                cost_signals = {
+                    shard: (cost_delta, queue_depth)
+                    for shard, (queue_depth, cost_delta) in signals.items()
+                }
+                shard = self._best_move(
+                    cost_signals, shard_map, hot_by_cost, cold_by_cost, cost_loads
+                )
+                if shard is not None:
+                    self._last_action_tick = tick
+                    self.transitions.append(
+                        (tick, now, "migrate", shard, hot_by_cost, cold_by_cost)
+                    )
+                    return [
+                        ElasticAction(
+                            "migrate",
+                            shard=shard,
+                            source=hot_by_cost,
+                            dest=cold_by_cost,
+                        )
+                    ]
+
+        # Merge: the whole system is calm and a previous split is
+        # still paying for an executor — fold the emptiest split-off
+        # executor back (never below the initial executor count).
+        every_calm = all(load[0] <= self.queue_low for load in loads.values())
+        if every_calm and len(shard_map.executors) > shard_map.initial_executors:
+            source = max(
+                sorted(loads),
+                key=lambda executor: (
+                    -loads[executor][0],
+                    -loads[executor][1],
+                    executor,
+                ),
+            )
+            dest = self._coldest_executor(
+                {
+                    executor: load
+                    for executor, load in loads.items()
+                    if executor != source
+                },
+                exclude=None,
+            )
+            if dest is not None:
+                self._last_action_tick = tick
+                self.transitions.append((tick, now, "merge", None, source, dest))
+                return [ElasticAction("merge", source=source, dest=dest)]
+        return []

@@ -1,0 +1,135 @@
+"""Per-shard migration log: snapshot + verified record suffix.
+
+Live migration ships a logical shard to a fresh core as *snapshot +
+catch-up replay*: restore the last settled snapshot (the PR-4 exact
+codec, :mod:`repro.journal.snapshot`), then re-run the record suffix
+accumulated since.  :class:`ShardLog` holds that pair;
+:class:`MigrationLogLayer` maintains it through the PR-5 layer seam
+in two modes:
+
+* **append** (normal serving) — every hook fires a JSON-native record
+  into the suffix, log-before-apply like
+  :class:`~repro.journal.layer.JournalLayer`;
+* **replay** (catch-up on the receiving core) — the same hooks
+  *verify* the records the catch-up regenerates against the shipped
+  suffix instead of re-appending them.  Any mismatch — wrong record,
+  too few, too many — raises
+  :class:`~repro.errors.JournalReplayError`, the same divergence
+  semantics crash recovery uses.  A migration therefore cannot
+  silently hand over a core that would have computed something else.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import JournalReplayError
+from repro.journal.snapshot import server_state
+from repro.journal.wal import encode_event
+from repro.runtime.layers import ServingLayer
+
+__all__ = ["MigrationLogLayer", "ShardLog"]
+
+
+class ShardLog:
+    """The migratable state of one logical shard.
+
+    ``snapshot`` is the JSON-round-tripped
+    :func:`~repro.journal.snapshot.server_state` at the last settled
+    boundary the shard checkpointed; ``suffix`` is every record the
+    layer observed since.  Together they are exactly what a receiving
+    executor needs to rebuild the core bit-for-bit.
+    """
+
+    def __init__(self, shard: int):
+        self.shard = shard
+        self.snapshot: dict | None = None
+        self.snapshot_clock = 0.0
+        self.suffix: list[list] = []
+        self.snapshots_taken = 0
+        self.records_logged = 0
+
+    def take_snapshot(self, server) -> None:
+        """Checkpoint ``server`` and reset the suffix.
+
+        The JSON round trip is deliberate: it proves the snapshot is
+        wire-shippable and pins float identity to ``repr`` exactly as
+        the on-disk journal does.
+        """
+        self.snapshot = json.loads(json.dumps(server_state(server)))
+        self.snapshot_clock = server.clock.now
+        self.suffix = []
+        self.snapshots_taken += 1
+
+
+class MigrationLogLayer(ServingLayer):
+    """Append records in service, verify them during catch-up."""
+
+    def __init__(self, log: ShardLog):
+        self.log = log
+        self._server = None
+        #: Expected records while in replay mode; ``None`` = append.
+        self._replay: list[list] | None = None
+        self._cursor = 0
+
+    def bind(self, server) -> None:
+        self._server = server
+
+    # -- mode switches ---------------------------------------------------
+    def begin_replay(self, records: list[list]) -> None:
+        """Enter verify mode against a shipped suffix."""
+        self._replay = list(records)
+        self._cursor = 0
+
+    def end_replay(self) -> None:
+        """Leave verify mode; the whole suffix must have been consumed."""
+        if self._replay is None:
+            return
+        if self._cursor != len(self._replay):
+            raise JournalReplayError(
+                f"migration catch-up of shard {self.log.shard} consumed "
+                f"{self._cursor} of {len(self._replay)} suffix records"
+            )
+        self._replay = None
+        self._cursor = 0
+
+    @property
+    def replaying(self) -> bool:
+        return self._replay is not None
+
+    # -- the one record pipe --------------------------------------------
+    def _emit(self, record: list) -> None:
+        record = json.loads(json.dumps(record))
+        if self._replay is not None:
+            if self._cursor >= len(self._replay):
+                raise JournalReplayError(
+                    f"migration catch-up of shard {self.log.shard} generated "
+                    f"more records than the shipped suffix "
+                    f"({len(self._replay)}); first extra: {record!r}"
+                )
+            expected = self._replay[self._cursor]
+            if expected != record:
+                raise JournalReplayError(
+                    f"migration catch-up of shard {self.log.shard} diverged "
+                    f"at record {self._cursor}: expected {expected!r}, "
+                    f"regenerated {record!r}"
+                )
+            self._cursor += 1
+            return
+        self.log.suffix.append(record)
+        self.log.records_logged += 1
+
+    # -- hook points (mirror the journal layer's log-before-apply) ------
+    def before_event(self, event, metrics) -> None:
+        self._emit(["event", encode_event(event)])
+
+    def before_commit(self, session, worker_id, gslot, slot, cost) -> None:
+        self._emit(
+            ["commit", [session.task.task_id, worker_id, gslot, slot, cost]]
+        )
+
+    def before_finalize(self, session, metrics) -> None:
+        self._emit(["finalize", [session.task.task_id]])
+
+    def on_epoch_end(self, metrics, now) -> None:
+        self._emit(["epoch", [metrics.epochs, now]])

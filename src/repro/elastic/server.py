@@ -1,0 +1,391 @@
+"""The elastic sharded streaming server: live re-hosting of shards.
+
+The static :class:`~repro.shard.streaming.ShardedStreamingServer`
+pins one serving core per shard forever; a hotspot shard then caps
+cluster throughput no matter how many cold shards exist.  This module
+separates the two concerns:
+
+* **Logical shards** — a fixed fine spatial partition
+  (``num_executors * partitions_per_executor`` grid shards routed
+  exactly like the static server, halos included).  Each logical
+  shard owns one :class:`~repro.stream.online_server.StreamingTCSCServer`
+  core for its whole life, so *what* is computed never depends on
+  placement.
+* **Physical executors** — where each core currently runs, tracked by
+  the epoch-versioned :class:`~repro.elastic.shardmap.ElasticShardMap`.
+  Split/merge/migrate only edit this map (and re-host cores), which
+  is why every elastic run's plans, per-shard metrics, and op
+  counters are byte-identical to the never-migrated run — the gate
+  ``repro.bench.elasticsuite`` sweeps at every boundary.
+
+Migration protocol (DESIGN §12): each core carries a
+:class:`~repro.elastic.log.MigrationLogLayer` maintaining snapshot +
+record suffix.  To migrate, the driver rebuilds the core from the
+snapshot (PR-4 exact codec), replays the suffix in *verify* mode
+(:class:`~repro.errors.JournalReplayError` on any divergence), checks
+full :func:`~repro.journal.snapshot.server_state` equality against
+the live core, and only then flips ownership in the map — snapshot,
+verified catch-up, atomic flip.
+
+All cores advance in lockstep over the shared epoch grid; per-tick op
+cost accrues to each core's *current* executor, and the modeled
+makespan is the sum over ticks of the maximum per-executor accrual —
+the :class:`~repro.parallel.simcluster.SimCluster` barrier idiom
+applied per epoch, so rebalancing shows up as makespan without ever
+touching wall clock.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.elastic.controller import ElasticAction, ElasticController
+from repro.elastic.log import MigrationLogLayer, ShardLog
+from repro.elastic.shardmap import ElasticShardMap
+from repro.errors import ConfigurationError, JournalReplayError, SchedulingError
+from repro.journal.snapshot import restore_server_state, server_state
+from repro.journal.wal import decode_event
+from repro.shard.streaming import ShardedStreamingServer, ShardedStreamMetrics
+from repro.stream.events import EventQueue
+from repro.stream.online_server import StreamingTCSCServer
+
+__all__ = [
+    "ElasticStreamMetrics",
+    "ElasticStreamingServer",
+    "MigrationRecord",
+]
+
+#: Logical shards per executor when the caller does not say otherwise.
+#: Over-partitioning is what gives the controller freedom: with one
+#: logical shard per executor a migration can only swap hotspots
+#: around, never spread them.
+DEFAULT_PARTITIONS = 4
+
+
+@dataclass(frozen=True, slots=True)
+class MigrationRecord:
+    """One applied placement change, with its verification receipt."""
+
+    time: float
+    shard: int
+    source: int
+    dest: int
+    map_version: int
+    #: Suffix records re-verified during catch-up (the replay cost).
+    records_replayed: int
+    #: Events among them (the shipped sub-trace length).
+    events_replayed: int
+    kind: str = "migrate"
+
+
+@dataclass(slots=True)
+class ElasticStreamMetrics(ShardedStreamMetrics):
+    """The sharded metrics plus the placement story."""
+
+    migrations: list[MigrationRecord] = field(default_factory=list)
+    #: Settled boundary time per lockstep tick, in order.
+    boundary_times: list[float] = field(default_factory=list)
+    splits: int = 0
+    merges: int = 0
+    #: Nominal (initial) and final executor counts.
+    num_executors: int = 0
+    final_executors: int = 0
+    map_version: int = 0
+    #: Total op cost accrued per executor id over the whole run.
+    executor_costs: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def balance(self) -> float:
+        """Makespan over the perfectly balanced ideal (1.0 = ideal)."""
+        if self.num_executors <= 0 or self.serial_cost <= 0.0:
+            return 1.0
+        return self.makespan / (self.serial_cost / self.num_executors)
+
+    def report(self) -> str:
+        # Explicit base call: the zero-arg ``super()`` cell does not
+        # survive the ``slots=True`` dataclass class rebuild.
+        lines = [
+            ShardedStreamMetrics.report(self),
+            f"elastic   executors={self.num_executors}->{self.final_executors} "
+            f"migrations={len(self.migrations)} splits={self.splits} "
+            f"merges={self.merges} map_version={self.map_version}",
+            f"balance   {self.balance:.2f}x ideal over "
+            f"{len(self.boundary_times)} lockstep ticks",
+        ]
+        for record in self.migrations:
+            lines.append(
+                f"  t={record.time:g} {record.kind} shard {record.shard}: "
+                f"executor {record.source} -> {record.dest} "
+                f"(replayed {record.records_replayed} records, "
+                f"{record.events_replayed} events, v{record.map_version})"
+            )
+        return "\n".join(lines)
+
+
+class ElasticStreamingServer(ShardedStreamingServer):
+    """Sharded streaming with live split/merge/migration.
+
+    Routing (task ownership, worker halos, refresh splitting) is the
+    parent's, applied over ``num_executors * partitions_per_executor``
+    logical shards.  ``controller`` decides placement changes at every
+    settled boundary (defaults to an auto hysteresis
+    :class:`~repro.elastic.controller.ElasticController`);
+    ``snapshot_every`` bounds the catch-up suffix a migration must
+    replay.  ``layer_factory(shard) -> layers`` attaches extra layers
+    (telemetry) per logical core; the migration log layer is always
+    installed first and survives re-hosting.
+    """
+
+    def __init__(
+        self,
+        bbox,
+        *,
+        num_executors: int,
+        partitions_per_executor: int = DEFAULT_PARTITIONS,
+        cells_per_side: int | None = None,
+        halo_margin: str | float = "auto",
+        controller: ElasticController | None = None,
+        snapshot_every: int = 4,
+        layer_factory=None,
+        **server_kwargs,
+    ):
+        if num_executors < 1:
+            raise ConfigurationError(
+                f"num_executors must be >= 1, got {num_executors}"
+            )
+        if partitions_per_executor < 1:
+            raise ConfigurationError(
+                f"partitions_per_executor must be >= 1, "
+                f"got {partitions_per_executor}"
+            )
+        if snapshot_every < 1:
+            raise ConfigurationError(
+                f"snapshot_every must be >= 1, got {snapshot_every}"
+            )
+        self.num_executors = num_executors
+        self.snapshot_every = snapshot_every
+        num_logical = num_executors * partitions_per_executor
+        self._logs = [ShardLog(shard) for shard in range(num_logical)]
+        self._extra_layers: dict[int, tuple] = {}
+        self._layer_factory = layer_factory
+        self._core_kwargs: dict = {}
+        super().__init__(
+            bbox,
+            num_shards=num_logical,
+            cells_per_side=cells_per_side,
+            halo_margin=halo_margin,
+            server_factory=self._make_core,
+            **server_kwargs,
+        )
+        self.shard_map = ElasticShardMap(num_logical, num_executors)
+        self.controller = (
+            controller if controller is not None else ElasticController()
+        )
+        self._epochs_since_snapshot = [0] * num_logical
+
+    def _make_core(self, shard, bbox, server_kwargs):
+        """The factory seam: every logical core gets its migration log
+        layer first, then any caller-supplied layers."""
+        self._core_kwargs = dict(server_kwargs)
+        extras = (
+            tuple(self._layer_factory(shard))
+            if self._layer_factory is not None
+            else ()
+        )
+        self._extra_layers[shard] = extras
+        log_layer = MigrationLogLayer(self._logs[shard])
+        return StreamingTCSCServer(
+            bbox, layers=(log_layer,) + extras, **server_kwargs
+        )
+
+    # ------------------------------------------------------------------
+    # The lockstep drive
+    # ------------------------------------------------------------------
+    def run(self, events) -> ElasticStreamMetrics:
+        """Route the trace, drive every core in lockstep, and apply the
+        controller's placement decisions at each settled boundary."""
+        if self._ran:
+            raise SchedulingError(
+                "ElasticStreamingServer.run is one-shot; "
+                "create a new server per trace"
+            )
+        self._ran = True
+        per_shard, routed = self.route(events)
+        metrics = ElasticStreamMetrics(
+            worker_routes=routed.worker_routes,
+            tasks_routed=routed.tasks_routed,
+            dropped_events=routed.dropped_events,
+            num_executors=self.num_executors,
+        )
+        for shard, trace in enumerate(per_shard):
+            self.servers[shard].begin(trace)
+            self._logs[shard].take_snapshot(self.servers[shard])
+
+        executor_costs: dict[int, float] = {
+            executor: 0.0 for executor in self.shard_map.executors
+        }
+        tick = 0
+        while True:
+            live = [
+                shard
+                for shard in range(self.num_shards)
+                if self.servers[shard].pending_work()
+            ]
+            if not live:
+                break
+            boundary = min(
+                self.servers[shard].next_boundary() for shard in live
+            )
+            tick += 1
+            tick_costs: dict[int, float] = {}
+            tick_deltas: dict[int, float] = {}
+            for shard in live:
+                core = self.servers[shard]
+                if core.next_boundary() != boundary:
+                    continue
+                before = core.counters.virtual_cost()
+                core.step_epoch()
+                delta = core.counters.virtual_cost() - before
+                tick_deltas[shard] = delta
+                executor = self.shard_map.executor_of(shard)
+                tick_costs[executor] = tick_costs.get(executor, 0.0) + delta
+                self._epochs_since_snapshot[shard] += 1
+                if self._epochs_since_snapshot[shard] >= self.snapshot_every:
+                    self._logs[shard].take_snapshot(core)
+                    self._epochs_since_snapshot[shard] = 0
+            metrics.boundary_times.append(boundary)
+            metrics.makespan += max(tick_costs.values(), default=0.0)
+            for executor, cost in tick_costs.items():
+                executor_costs[executor] = (
+                    executor_costs.get(executor, 0.0) + cost
+                )
+            signals = {
+                shard: (
+                    len(self.servers[shard]._pending),
+                    tick_deltas.get(shard, 0.0),
+                )
+                for shard in range(self.num_shards)
+            }
+            for action in self.controller.decide(
+                tick, boundary, signals, self.shard_map
+            ):
+                self._apply(action, metrics, boundary)
+
+        # Realization accrues to whichever executor owns each core at
+        # the end, behind the same per-tick barrier.
+        final_costs: dict[int, float] = {}
+        for shard in range(self.num_shards):
+            core = self.servers[shard]
+            before = core.counters.virtual_cost()
+            metrics.per_shard.append(core.finish())
+            delta = core.counters.virtual_cost() - before
+            executor = self.shard_map.executor_of(shard)
+            final_costs[executor] = final_costs.get(executor, 0.0) + delta
+            executor_costs[executor] = executor_costs.get(executor, 0.0) + delta
+        metrics.makespan += max(final_costs.values(), default=0.0)
+        metrics.serial_cost = sum(
+            core.counters.virtual_cost() for core in self.servers
+        )
+        metrics.executor_costs = {
+            executor: executor_costs.get(executor, 0.0)
+            for executor in sorted(executor_costs)
+        }
+        metrics.final_executors = len(self.shard_map.executors)
+        metrics.map_version = self.shard_map.version
+        return metrics
+
+    # ------------------------------------------------------------------
+    # Applying placement decisions
+    # ------------------------------------------------------------------
+    def _apply(
+        self, action: ElasticAction, metrics: ElasticStreamMetrics, now: float
+    ) -> None:
+        if action.kind == "split":
+            dest = self.shard_map.add_executor()
+            metrics.splits += 1
+            self._migrate(action.shard, dest, metrics, now, kind="split")
+        elif action.kind == "merge":
+            for shard in self.shard_map.shards_on(action.source):
+                self._migrate(shard, action.dest, metrics, now, kind="merge")
+            self.shard_map.remove_executor(action.source)
+            metrics.merges += 1
+        elif action.kind == "migrate":
+            self._migrate(action.shard, action.dest, metrics, now)
+        else:
+            raise ConfigurationError(
+                f"unknown elastic action kind {action.kind!r}"
+            )
+
+    def _migrate(
+        self,
+        shard: int,
+        dest: int,
+        metrics: ElasticStreamMetrics,
+        now: float,
+        kind: str = "migrate",
+    ) -> None:
+        """Snapshot-ship one logical shard's core to ``dest``.
+
+        Rebuild from the last snapshot, catch up by verified replay of
+        the record suffix, prove full state equality against the live
+        core, then atomically flip ownership.  Raises
+        :class:`~repro.errors.JournalReplayError` if the rebuilt core
+        would have computed anything else — a failed verification
+        leaves the placement map untouched.
+        """
+        old = self.servers[shard]
+        log = self._logs[shard]
+        suffix_events = [
+            decode_event(payload)
+            for record_kind, payload in log.suffix
+            if record_kind == "event"
+        ]
+        remainder = []
+        while True:
+            event = old._queue.pop()
+            if event is None:
+                break
+            remainder.append(event)
+
+        replay_layer = MigrationLogLayer(log)
+        replay_layer.begin_replay(log.suffix)
+        fresh = StreamingTCSCServer(
+            self.bbox, layers=(replay_layer,), **dict(self._core_kwargs)
+        )
+        restore_server_state(fresh, json.loads(json.dumps(log.snapshot)))
+        fresh.begin(EventQueue(suffix_events + remainder))
+        target = old.clock.now
+        while fresh.pending_work() and fresh.clock.now < target:
+            fresh.step_epoch()
+        replay_layer.end_replay()
+        if server_state(fresh) != server_state(old):
+            raise JournalReplayError(
+                f"elastic migration of shard {shard} diverged: the rebuilt "
+                f"core's state does not match the live core at t={now:g}"
+            )
+
+        # Verified: flip ownership atomically (single-version bump) and
+        # re-attach the caller's layers to the re-hosted core.
+        records_replayed = len(log.suffix)
+        extras = self._extra_layers.get(shard, ())
+        fresh.layers = tuple(fresh.layers) + extras
+        for layer in extras:
+            layer.bind(fresh)
+        source = self.shard_map.executor_of(shard)
+        self.servers[shard] = fresh
+        version = self.shard_map.migrate(shard, dest)
+        log.take_snapshot(fresh)
+        self._epochs_since_snapshot[shard] = 0
+        metrics.migrations.append(
+            MigrationRecord(
+                time=now,
+                shard=shard,
+                source=source,
+                dest=dest,
+                map_version=version,
+                records_replayed=records_replayed,
+                events_replayed=len(suffix_events),
+                kind=kind,
+            )
+        )

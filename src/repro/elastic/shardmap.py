@@ -1,0 +1,137 @@
+"""Epoch-versioned placement map for elastic sharding.
+
+The static partitioner (:mod:`repro.shard.partitioner`) fixes *what*
+each shard owns in space; elasticity changes *where* each shard runs.
+:class:`ElasticShardMap` tracks that second mapping — logical shard ->
+physical executor — under three operations:
+
+* ``migrate(shard, dest)`` — re-host one logical shard;
+* ``add_executor()`` — grow the executor set (a *split*: freed by a
+  follow-up migration onto the new executor);
+* ``remove_executor(x)`` — shrink it (a *merge*: legal only once the
+  executor hosts nothing).
+
+Every mutation bumps ``version`` exactly once and appends to
+``history``, so a reader holding a version token can tell whether any
+placement it cached is stale — the epoch-versioned-ShardMap protocol
+from DESIGN §12.  The map never holds a partial state: each logical
+shard maps to exactly one live executor before and after every
+operation (the ownership-totality invariant the elastic property
+tests sweep).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ElasticShardMap"]
+
+
+class ElasticShardMap:
+    """Logical-shard -> executor placement with a version counter.
+
+    The initial placement is contiguous blocks: with ``num_shards``
+    logical shards over ``num_executors`` executors, shard ``s``
+    starts on executor ``s // (num_shards // num_executors)`` — the
+    same geometry the static sharded server has when the two counts
+    coincide.
+    """
+
+    def __init__(self, num_shards: int, num_executors: int):
+        if num_executors < 1:
+            raise ConfigurationError(
+                f"num_executors must be >= 1, got {num_executors}"
+            )
+        if num_shards < num_executors or num_shards % num_executors != 0:
+            raise ConfigurationError(
+                f"num_shards must be a positive multiple of num_executors, "
+                f"got {num_shards} over {num_executors}"
+            )
+        self.num_shards = num_shards
+        self.initial_executors = num_executors
+        self.version = 0
+        #: ``(version, action, *details)`` per mutation, in order.
+        self.history: list[tuple] = []
+        block = num_shards // num_executors
+        self._placement = {s: s // block for s in range(num_shards)}
+        self._live = set(range(num_executors))
+        self._next_executor = num_executors
+
+    # -- reads -----------------------------------------------------------
+    @property
+    def executors(self) -> tuple[int, ...]:
+        """Live executor ids, ascending."""
+        return tuple(sorted(self._live))
+
+    def executor_of(self, shard: int) -> int:
+        """The executor currently hosting ``shard``."""
+        return self._placement[shard]
+
+    def shards_on(self, executor: int) -> tuple[int, ...]:
+        """Logical shards hosted by ``executor``, ascending."""
+        if executor not in self._live:
+            raise ConfigurationError(f"executor {executor} is not live")
+        return tuple(
+            s for s in range(self.num_shards) if self._placement[s] == executor
+        )
+
+    # -- mutations (each bumps ``version`` exactly once) -----------------
+    def migrate(self, shard: int, dest: int) -> int:
+        """Atomically re-home ``shard`` onto ``dest``; returns the new
+        map version."""
+        if shard not in self._placement:
+            raise ConfigurationError(f"unknown logical shard {shard}")
+        if dest not in self._live:
+            raise ConfigurationError(f"executor {dest} is not live")
+        source = self._placement[shard]
+        if source == dest:
+            raise ConfigurationError(
+                f"shard {shard} already lives on executor {dest}"
+            )
+        self._placement[shard] = dest
+        self.version += 1
+        self.history.append((self.version, "migrate", shard, source, dest))
+        return self.version
+
+    def add_executor(self) -> int:
+        """Grow the executor set; returns the new executor's id.
+
+        Executor ids are monotone (never reused) so a placement
+        history stays unambiguous across split/merge cycles.
+        """
+        executor = self._next_executor
+        self._next_executor += 1
+        self._live.add(executor)
+        self.version += 1
+        self.history.append((self.version, "split", executor))
+        return executor
+
+    def remove_executor(self, executor: int) -> int:
+        """Retire an empty executor; returns the new map version."""
+        if executor not in self._live:
+            raise ConfigurationError(f"executor {executor} is not live")
+        hosted = self.shards_on(executor)
+        if hosted:
+            raise ConfigurationError(
+                f"executor {executor} still hosts shards {list(hosted)}"
+            )
+        if len(self._live) == 1:
+            raise ConfigurationError("cannot retire the last executor")
+        self._live.remove(executor)
+        self.version += 1
+        self.history.append((self.version, "merge", executor))
+        return self.version
+
+    # -- reporting -------------------------------------------------------
+    def stats(self) -> dict:
+        """Deterministic placement summary (for reports and gauges)."""
+        return {
+            "version": self.version,
+            "num_shards": self.num_shards,
+            "executors": list(self.executors),
+            "shards_per_executor": {
+                executor: len(self.shards_on(executor))
+                for executor in self.executors
+            },
+            "mutations": len(self.history),
+        }

@@ -298,6 +298,21 @@ class Telemetry:
         profiler = self._profilers[shard]
         return lambda layer: ProfiledLayer(layer, profiler, phase="journal")
 
+    def record_shard_stats(self, stats: dict) -> None:
+        """Publish a partition-shape summary (the stable dict of
+        :meth:`~repro.shard.streaming.ShardedStreamMetrics.shard_stats`
+        or :meth:`~repro.shard.partitioner.ShardMap.stats`) as
+        per-shard gauges plus one ``shard-stats`` trace record."""
+        for shard, owned in enumerate(stats.get("tasks_per_shard", ())):
+            self.registry.gauge(f"shard/{shard}/owned_tasks").set(owned)
+        for shard, halo in enumerate(stats.get("halo_workers_per_shard", ())):
+            self.registry.gauge(f"shard/{shard}/halo_workers").set(halo)
+        if "halo_replication_factor" in stats:
+            self.registry.gauge("shard/replication_factor").set(
+                stats["halo_replication_factor"]
+            )
+        self.recorder.record("shard-stats", **stats)
+
     # -- lifecycle ------------------------------------------------------
     def finish(self) -> None:
         """Emit the per-scope phase summaries and the record tally,

@@ -344,6 +344,7 @@ class StreamRuntime(Runtime):
                     mean_worker_lifetime=w.mean_lifetime,
                     early_leave_prob=w.early_leave_prob,
                     distribution=Distribution(w.distribution),
+                    hotspot_drift=w.hotspot_drift,
                     seed=w.seed,
                 )
             )
@@ -430,9 +431,17 @@ class StreamRuntime(Runtime):
         if spec.telemetry:
             from repro.obs.layer import Telemetry
 
+            if spec.elastic != "off":
+                from repro.elastic import DEFAULT_PARTITIONS
+
+                # Elastic stacks run one core per *logical* shard;
+                # telemetry scopes follow the cores, not the executors.
+                scope_count = spec.shards * DEFAULT_PARTITIONS
+            else:
+                scope_count = spec.shards if self._sharded else 1
             telemetry = Telemetry(
                 trace_path=spec.trace_out,
-                shards=spec.shards if self._sharded else 1,
+                shards=scope_count,
                 spec=spec.to_dict(),
             )
             self._telemetry = telemetry
@@ -490,6 +499,39 @@ class StreamRuntime(Runtime):
                 "approx x sharded streaming is not a supported pairing "
                 "yet (the degradation ladder assumes one admission queue)"
             )
+        if spec.elastic != "off":
+            from repro.elastic import ElasticController, ElasticStreamingServer
+
+            if has_slowdown:
+                raise SpecError(
+                    "slowdown injection x elastic is not a supported "
+                    "pairing yet (an op-budget throttle pinned to one "
+                    "core would break migration's state-identity gate)"
+                )
+            if spec.elastic == "fixed":
+                # ``--migrate-at K`` scripts one migration at the K-th
+                # epoch boundary; shard/dest resolve to hottest/coldest
+                # at fire time.
+                controller = ElasticController.fixed(
+                    [(spec.migrate_at * spec.epoch_length, None, None)]
+                )
+            else:
+                controller = ElasticController(
+                    queue_high=spec.migrate_queue_high,
+                    queue_low=spec.migrate_queue_low,
+                )
+            layer_factory = None
+            if telemetry is not None:
+                layer_factory = lambda shard: telemetry.layers(shard)
+            return ElasticStreamingServer(
+                bbox,
+                num_executors=spec.shards,
+                cells_per_side=spec.cells_per_side,
+                halo_margin=spec.halo,
+                controller=controller,
+                layer_factory=layer_factory,
+                **kwargs,
+            )
         if telemetry is None and not has_slowdown:
             return ShardedStreamingServer(
                 bbox,
@@ -545,6 +587,11 @@ class StreamRuntime(Runtime):
         completed drains)."""
         metrics = self.server.run(list(self.scenario().events))
         if self._telemetry is not None:
+            if hasattr(metrics, "shard_stats"):
+                # Publish the partition shape (ownership counts, halo
+                # replication factor) as shard/<i>/* gauges before the
+                # trace closes.
+                self._telemetry.record_shard_stats(metrics.shard_stats())
             self._telemetry.finish()
         return self._outcome(metrics)
 

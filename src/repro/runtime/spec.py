@@ -28,12 +28,14 @@ __all__ = [
     "SERVING_MODES",
     "SEARCH_MODES",
     "APPROX_MODES",
+    "ELASTIC_MODES",
     "SolverVariant",
     "WorkloadSpec",
     "RunSpec",
 ]
 
 SERVING_MODES = ("plain", "batch", "stream")
+ELASTIC_MODES = ("off", "auto", "fixed")
 SEARCH_MODES = ("enumerate", "lazy")
 APPROX_MODES = ("off", "top_c", "floor", "auto")
 _BACKENDS = ("python", "numpy")
@@ -105,6 +107,11 @@ class WorkloadSpec:
     join_rate: float = 1.0
     mean_lifetime: float = 25.0
     early_leave_prob: float = 0.3
+    #: Hotspot-drift arrival preset (stream mode): arrivals relocate
+    #: onto one POI hotspot with probability growing linearly to this
+    #: value over the horizon — the deterministic skew input the
+    #: elastic suite rebalances against.  0 disables the preset.
+    hotspot_drift: float = 0.0
 
     def validate(self) -> None:
         if self.distribution not in _DISTRIBUTIONS:
@@ -123,6 +130,11 @@ class WorkloadSpec:
             raise SpecError(
                 f"workload.rounds ({self.rounds}) exceeds workload.tasks "
                 f"({self.tasks}); every batch round needs at least one task"
+            )
+        if not 0.0 <= self.hotspot_drift <= 1.0:
+            raise SpecError(
+                f"workload.hotspot_drift must be in [0, 1], "
+                f"got {self.hotspot_drift}"
             )
 
     def to_dict(self) -> dict:
@@ -187,6 +199,21 @@ class RunSpec:
     degrade_queue_high: int = 6
     degrade_queue_low: int = 2
     slo_p99: float | None = None
+    # Elastic sharding (the PR-8 knobs; ``repro.elastic``): live shard
+    # migration over the snapshot codec.  ``elastic`` selects the
+    # placement policy — ``"off"`` (static placement, byte-identical
+    # to the plain sharded server), ``"auto"`` (hysteresis controller
+    # over deterministic queue-depth and op-cost signals), or
+    # ``"fixed"`` (one scripted migration at epoch boundary
+    # ``migrate_at`` — the exactness-sweep and ``--migrate-at``
+    # spelling).  Requires stream mode with shards >= 2.
+    elastic: str = "off"
+    migrate_at: int | None = None
+    #: Hysteresis thresholds for ``elastic="auto"``: shed a shard off
+    #: an executor whose settled queue reaches ``migrate_queue_high``
+    #: onto one at or below ``migrate_queue_low``.
+    migrate_queue_high: int = 8
+    migrate_queue_low: int = 2
 
     # ------------------------------------------------------------------
     # Validation
@@ -391,6 +418,61 @@ class RunSpec:
                 )
             if self.slo_p99 <= 0:
                 raise SpecError(f"slo_p99 must be > 0, got {self.slo_p99}")
+        # Elastic sharding (the PR-8 knobs).
+        if self.elastic not in ELASTIC_MODES:
+            raise SpecError(
+                f"unknown elastic {self.elastic!r}; "
+                f"choose one of {ELASTIC_MODES}"
+            )
+        if self.elastic != "off":
+            if self.mode != "stream":
+                raise SpecError(
+                    "elastic sharding rebalances the streaming router; "
+                    "elastic x plain/batch is not a supported pairing yet "
+                    f"(got mode={self.mode!r}, elastic={self.elastic!r})"
+                )
+            if self.shards < 2:
+                raise SpecError(
+                    "elastic sharding migrates shards between executors; "
+                    f"it requires shards >= 2 (got shards={self.shards}, "
+                    f"elastic={self.elastic!r})"
+                )
+            if self.journal is not None:
+                raise SpecError(
+                    "the migration log and the write-ahead journal both "
+                    "claim the layer seam's record stream; elastic x "
+                    f"journal is not a supported pairing yet (got elastic="
+                    f"{self.elastic!r})"
+                )
+        if self.elastic == "fixed" and self.migrate_at is None:
+            raise SpecError(
+                "elastic='fixed' needs migrate_at (the epoch boundary of "
+                "the scripted migration)"
+            )
+        if self.migrate_at is not None:
+            if self.elastic != "fixed":
+                raise SpecError(
+                    "migrate_at schedules the scripted migration; it "
+                    f"requires elastic='fixed' (got elastic={self.elastic!r})"
+                )
+            if self.migrate_at < 0:
+                raise SpecError(
+                    f"migrate_at must be >= 0, got {self.migrate_at}"
+                )
+        if self.migrate_queue_high < 1:
+            raise SpecError(
+                f"migrate_queue_high must be >= 1, got {self.migrate_queue_high}"
+            )
+        if self.migrate_queue_low < 0:
+            raise SpecError(
+                f"migrate_queue_low must be >= 0, got {self.migrate_queue_low}"
+            )
+        if self.migrate_queue_low >= self.migrate_queue_high:
+            raise SpecError(
+                "hysteresis needs migrate_queue_low < migrate_queue_high, "
+                f"got low={self.migrate_queue_low} high="
+                f"{self.migrate_queue_high}"
+            )
         self.workload.validate()
         return self
 

@@ -98,6 +98,8 @@ class ShardMap:
         halo_pairs = sum(
             sum(len(w.availability) for w in pool) for pool in self.shard_pools
         )
+        halo_entries = sum(len(pool) for pool in self.shard_pools)
+        distinct_workers = len(self.worker_shards)
         return {
             "num_shards": self.num_shards,
             "method": self.method,
@@ -105,6 +107,11 @@ class ShardMap:
             "tasks_per_shard": [len(tasks) for tasks in self.shard_tasks],
             "halo_workers_per_shard": [len(pool) for pool in self.shard_pools],
             "replicated_workers": len(self.replicated_worker_ids),
+            # Mean shard copies per worker: 1.0 = no replication at
+            # all; the halo's memory overhead factor.
+            "halo_replication_factor": (
+                halo_entries / distinct_workers if distinct_workers else 0.0
+            ),
             "footprint_pairs": pair_total,
             "halo_pairs": halo_pairs,
         }

@@ -121,6 +121,26 @@ class ShardedStreamMetrics:
             merged.update(metrics.realized_quality)
         return merged
 
+    def shard_stats(self) -> dict:
+        """Deterministic per-shard ownership summary (stable keys,
+        JSON-serializable) — the streaming sibling of
+        :meth:`~repro.shard.partitioner.ShardMap.stats`."""
+        halo_entries = sum(len(shards) for shards in self.worker_routes.values())
+        distinct_workers = len(self.worker_routes)
+        return {
+            "num_shards": len(self.per_shard),
+            "tasks_per_shard": list(self.tasks_routed),
+            "halo_workers_per_shard": [
+                sum(1 for shards in self.worker_routes.values() if s in shards)
+                for s in range(len(self.per_shard))
+            ],
+            "replicated_workers": self.replicated_workers,
+            # Mean shard copies per worker (1.0 = no halo replication).
+            "halo_replication_factor": (
+                halo_entries / distinct_workers if distinct_workers else 0.0
+            ),
+        }
+
     def report(self) -> str:
         """Operator-facing summary of the sharded run."""
         lines = [

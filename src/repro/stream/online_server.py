@@ -178,6 +178,10 @@ class StreamingTCSCServer:
         #: instead of starting a fresh one.
         self._metrics: StreamMetrics | None = None
         self._ran = False
+        #: The live trace between :meth:`begin` and :meth:`finish`;
+        #: drained epoch by epoch via :meth:`step_epoch`.
+        self._queue: EventQueue | None = None
+        self._epochs_stepped = 0
         #: A :class:`~repro.obs.profile.PhaseProfiler` attached by a
         #: telemetry layer at bind time; when set, the step loop
         #: attributes index repair and the greedy solve to phases.
@@ -336,95 +340,145 @@ class StreamingTCSCServer:
         """Drain an event trace to completion and return the metrics.
 
         One-shot: the server accumulates registry, clock, and session
-        state; create a fresh server per trace.
+        state; create a fresh server per trace.  Recomposed from the
+        stepping API (:meth:`begin` / :meth:`pending_work` /
+        :meth:`step_epoch` / :meth:`finish`) so external drivers — the
+        elastic lockstep loop in :mod:`repro.elastic` — can interleave
+        epochs across many cores without changing what any single core
+        computes.
+        """
+        self.begin(events)
+        while self.pending_work():
+            self.step_epoch()
+        return self.finish()
+
+    def begin(self, events) -> StreamMetrics:
+        """Arm the server with a trace; epochs then advance via
+        :meth:`step_epoch`.
+
+        One-shot like :meth:`run` (they share the ``_ran`` latch).
+        Returns the live metrics object.
         """
         if self._ran:
             raise SchedulingError(
                 "StreamingTCSCServer.run is one-shot; create a new server per trace"
             )
         self._ran = True
-        queue = events if isinstance(events, EventQueue) else EventQueue(events)
+        self._queue = events if isinstance(events, EventQueue) else EventQueue(events)
         if self._metrics is None:
             self._metrics = StreamMetrics(counters=self.counters)
+        self._epochs_stepped = 0
+        return self._metrics
+
+    def pending_work(self) -> bool:
+        """True while the trace, admission queue, or active sessions
+        still have work — the :meth:`run` loop condition."""
+        return bool(self._queue or self._pending or self._active)
+
+    def next_boundary(self) -> float:
+        """The virtual time the next :meth:`step_epoch` will settle at.
+
+        Side-effect free.  Replicates the idle fast-forward: with no
+        active or pending sessions the next boundary jumps to the epoch
+        containing the next queued event instead of spinning through
+        empty rounds.  All boundaries lie on the ``epoch_length`` grid,
+        which is what lets the elastic driver run many cores in
+        lockstep on a shared grid.
+        """
+        next_epoch = self.clock.now + self.epoch_length
+        if not self._active and not self._pending:
+            upcoming = self._queue.peek_time() if self._queue is not None else None
+            if upcoming is not None and upcoming >= next_epoch:
+                skip = math.floor(upcoming / self.epoch_length) + 1
+                next_epoch = skip * self.epoch_length
+        return next_epoch
+
+    def step_epoch(self) -> float:
+        """Advance exactly one epoch: drain events due by the boundary,
+        age sessions, admit, and run the assignment rounds.
+
+        Returns the settled boundary time (``clock.now`` after the
+        step).  Byte-for-byte the former :meth:`run` loop body.
+        """
         metrics = self._metrics
-        epochs = 0
-        while queue or self._pending or self._active:
-            epochs += 1
-            if epochs > _MAX_EPOCHS:
-                raise SchedulingError("streaming run exceeded the epoch safety cap")
-            next_epoch = self.clock.now + self.epoch_length
-            if not self._active and not self._pending:
-                # Idle: fast-forward to the epoch containing the next
-                # event instead of spinning through empty rounds.
-                upcoming = queue.peek_time()
-                if upcoming is not None and upcoming >= next_epoch:
-                    skip = math.floor(upcoming / self.epoch_length) + 1
-                    next_epoch = skip * self.epoch_length
-            for event in queue.pop_until(next_epoch):
-                self._consume_event(event, metrics)
-            now = self.clock.advance_to(next_epoch)
-            metrics.epochs += 1
+        queue = self._queue
+        self._epochs_stepped += 1
+        if self._epochs_stepped > _MAX_EPOCHS:
+            raise SchedulingError("streaming run exceeded the epoch safety cap")
+        next_epoch = self.next_boundary()
+        for event in queue.pop_until(next_epoch):
+            self._consume_event(event, metrics)
+        now = self.clock.advance_to(next_epoch)
+        metrics.epochs += 1
 
-            for session in self._active:
-                session.on_epoch(now)
-            still_active: list[TaskSession] = []
-            for session in self._active:
-                if session.expired or session.exhausted:
-                    self._finalize(session, metrics)
-                else:
-                    still_active.append(session)
-            self._active = still_active
+        for session in self._active:
+            session.on_epoch(now)
+        still_active: list[TaskSession] = []
+        for session in self._active:
+            if session.expired or session.exhausted:
+                self._finalize(session, metrics)
+            else:
+                still_active.append(session)
+        self._active = still_active
 
-            while self._pending and len(self._active) < self.max_active_tasks:
-                self._admit(self._pending.pop(0), metrics)
+        while self._pending and len(self._active) < self.max_active_tasks:
+            self._admit(self._pending.pop(0), metrics)
 
-            degradation = self.degradation
-            directive = None if degradation is None else degradation.directive()
-            if directive is not None and directive.level == 0:
-                directive = None
-            op_budget = self.op_epoch_budget
-            op_start = (
-                self.counters.virtual_cost() if op_budget is not None else 0.0
-            )
-            prof = self.profiler
-            for session in list(self._active):
-                if (
-                    op_budget is not None
-                    and self.counters.virtual_cost() - op_start > op_budget
-                ):
-                    # Injected slowdown: this epoch's op budget is
-                    # spent; remaining sessions wait for the next
-                    # epoch.  Op counts, never wall clock, so the
-                    # throttled run stays deterministic.
-                    break
-                callback = (
-                    lambda wid, gslot, slot, cost, s=session: self._commit(
-                        s, wid, gslot, slot, cost
-                    )
+        degradation = self.degradation
+        directive = None if degradation is None else degradation.directive()
+        if directive is not None and directive.level == 0:
+            directive = None
+        op_budget = self.op_epoch_budget
+        op_start = (
+            self.counters.virtual_cost() if op_budget is not None else 0.0
+        )
+        prof = self.profiler
+        for session in list(self._active):
+            if (
+                op_budget is not None
+                and self.counters.virtual_cost() - op_start > op_budget
+            ):
+                # Injected slowdown: this epoch's op budget is
+                # spent; remaining sessions wait for the next
+                # epoch.  Op counts, never wall clock, so the
+                # throttled run stays deterministic.
+                break
+            callback = (
+                lambda wid, gslot, slot, cost, s=session: self._commit(
+                    s, wid, gslot, slot, cost
                 )
-                if prof is None:
-                    session.step(now, self.pool, callback, directive=directive)
-                else:
-                    # Same work, phase-attributed: index repair happens
-                    # in prepare_index (exactly where step would run
-                    # it), the greedy solve in step itself.  A top-c
-                    # directive bypasses the index entirely, so nothing
-                    # is repaired for it.
-                    skip_index = directive is not None and directive.top_c is not None
-                    with prof.phase(
-                        "index-repair", emit=False,
-                    ):
-                        index = None if skip_index else session.prepare_index()
-                    with prof.phase(
-                        "solve", task_id=session.task.task_id, now=now
-                    ) as span:
-                        span["executed"] = session.step(
-                            now, self.pool, callback, index=index,
-                            directive=directive,
-                        )
-            metrics.queue_depth_samples.append((now, len(self._pending)))
-            self._on_epoch_end(metrics, now)
+            )
+            if prof is None:
+                session.step(now, self.pool, callback, directive=directive)
+            else:
+                # Same work, phase-attributed: index repair happens
+                # in prepare_index (exactly where step would run
+                # it), the greedy solve in step itself.  A top-c
+                # directive bypasses the index entirely, so nothing
+                # is repaired for it.
+                skip_index = directive is not None and directive.top_c is not None
+                with prof.phase(
+                    "index-repair", emit=False,
+                ):
+                    index = None if skip_index else session.prepare_index()
+                with prof.phase(
+                    "solve", task_id=session.task.task_id, now=now
+                ) as span:
+                    span["executed"] = session.step(
+                        now, self.pool, callback, index=index,
+                        directive=directive,
+                    )
+        metrics.queue_depth_samples.append((now, len(self._pending)))
+        self._on_epoch_end(metrics, now)
+        return now
 
+    def finish(self) -> StreamMetrics:
+        """Realize the committed plan and fire the final layer seam.
+
+        The tail of :meth:`run`, split out so external drivers call it
+        once every core's :meth:`pending_work` is drained.
+        """
+        metrics = self._metrics
         self._realize(metrics)
         self._on_run_complete(metrics)
         return metrics

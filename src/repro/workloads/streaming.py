@@ -32,6 +32,7 @@ from repro.model.task import Task
 from repro.model.worker import Worker
 from repro.stream.events import BudgetRefresh, Event, TaskArrival, WorkerJoin, WorkerLeave
 from repro.util.rng import derive_rng
+from repro.workloads.poi import ClusteredPOIGenerator
 from repro.workloads.spatial import Distribution, generate_points
 from repro.workloads.trajectories import TaxiTrajectoryGenerator
 
@@ -54,6 +55,13 @@ class StreamScenarioConfig:
     budget_refresh_interval: float = 0.0  # 0 disables refresh events
     budget_refresh_amount: float = 0.0
     distribution: Distribution = Distribution.UNIFORM
+    #: Hotspot-drift arrival preset (the elastic skew input): with
+    #: drift ``d``, an arrival at time ``t`` relocates onto a single
+    #: :class:`~repro.workloads.poi.ClusteredPOIGenerator` hotspot
+    #: with probability ``d * t / horizon`` — spatial intensity
+    #: concentrates onto the hotspot as the trace progresses.  0
+    #: disables the preset (byte-identical to the plain trace).
+    hotspot_drift: float = 0.0
     domain_side: float = 100.0
     reliability_range: tuple[float, float] = (1.0, 1.0)
     seed: int = 7
@@ -90,6 +98,10 @@ class StreamScenarioConfig:
         if not 0.0 <= self.early_leave_prob <= 1.0:
             raise ConfigurationError(
                 f"early_leave_prob must be in [0, 1], got {self.early_leave_prob}"
+            )
+        if not 0.0 <= self.hotspot_drift <= 1.0:
+            raise ConfigurationError(
+                f"hotspot_drift must be in [0, 1], got {self.hotspot_drift}"
             )
         if self.budget_refresh_interval < 0:
             raise ConfigurationError(
@@ -244,6 +256,26 @@ def build_stream_events(config: StreamScenarioConfig) -> StreamScenario:
         config.distribution,
         seed=derive_rng(config.seed, "stream-task-locations"),
     )
+    if config.hotspot_drift > 0.0:
+        # Hotspot drift: late arrivals relocate onto one POI hotspot
+        # with probability growing linearly in time.  Both draws use
+        # their own labelled streams, so enabling drift never
+        # reshuffles the base locations or any other axis.
+        drift_rng = derive_rng(config.seed, "stream-task-hotspot")
+        hotspot_gen = ClusteredPOIGenerator(
+            bbox,
+            num_hotspots=1,
+            # Wide enough that the hotspot spans several partitioner
+            # cells — a whole region heats up, not a single point.
+            hotspot_sigma_fraction=0.10,
+            background_fraction=0.0,
+            seed=derive_rng(config.seed, "stream-task-hotspot-locations"),
+        )
+        hotspot_points = hotspot_gen.generate(len(arrival_times))
+        for index, time in enumerate(arrival_times):
+            share = config.hotspot_drift * (time / config.horizon)
+            if float(drift_rng.uniform()) < share:
+                locations[index] = hotspot_points[index]
     for task_id, (time, loc) in enumerate(zip(arrival_times, locations)):
         task = Task(
             task_id=task_id,

@@ -413,3 +413,95 @@ class TestJournalCLI:
         assert (tmp_path / "journal_suite.json").exists()
         assert (tmp_path / "BENCH_journal.json").exists()
         assert "identical" in out
+
+
+class TestElasticCLI:
+    """The elasticity surface: --elastic / --migrate-at / --hotspot-drift."""
+
+    SIM = ["simulate", "--seed", "9", "--horizon", "16", "--task-rate", "0.4",
+           "--task-slots", "8", "--initial-workers", "14", "--join-rate", "0.8",
+           "--mean-lifetime", "12", "--epoch", "3", "--budget-fraction", "0.6",
+           "--max-active", "4", "--queue-depth", "8", "--k", "2",
+           "--shards", "2"]
+
+    def test_parser_accepts_elastic_flags(self):
+        args = build_parser().parse_args(
+            ["simulate", "--shards", "2", "--elastic", "--migrate-at", "3",
+             "--hotspot-drift", "0.5"]
+        )
+        assert args.elastic
+        assert args.migrate_at == 3
+        assert args.hotspot_drift == 0.5
+
+    def test_elastic_run_reports_placement(self, capsys):
+        assert main(self.SIM + ["--elastic"]) == 0
+        out = capsys.readouterr().out
+        assert "elastic=auto" in out
+        assert "executors=2->" in out
+
+    def test_migrate_at_fires_one_migration(self, capsys):
+        assert main(self.SIM + ["--migrate-at", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "elastic=fixed migrate_at=2" in out
+        assert "migrations=1" in out
+        assert "migrate shard" in out
+
+    def test_migrated_report_matches_static_report(self, capsys):
+        """The operator-visible exactness claim: migrating changes the
+        elastic lines of the report, never the computation above them."""
+
+        def stream_block(text):
+            lines = text.splitlines()
+            start = next(
+                i for i, line in enumerate(lines) if "streaming report" in line
+            )
+            end = next(
+                i for i, line in enumerate(lines) if line.startswith("elastic ")
+            )
+            return "\n".join(lines[start:end])
+
+        assert main(self.SIM + ["--elastic"]) == 0
+        static = capsys.readouterr().out
+        assert main(self.SIM + ["--migrate-at", "2"]) == 0
+        migrated = capsys.readouterr().out
+        assert stream_block(static) == stream_block(migrated)
+
+    def test_elastic_requires_shards(self, capsys):
+        assert main(["simulate", "--elastic"]) == 2
+        assert "shards >= 2" in capsys.readouterr().err
+
+    def test_migrate_at_past_trace_end_warns_and_exits_zero(self, capsys):
+        """The --crash-at sibling: a boundary past the trace end warns
+        (before and after the run) instead of failing."""
+        assert main(self.SIM + ["--migrate-at", "999"]) == 0
+        err = capsys.readouterr().err
+        assert "at or beyond the trace's last epoch boundary" in err
+        assert "never fired" in err
+
+    def test_crash_at_past_trace_end_warns_and_exits_zero(self, tmp_path, capsys):
+        jdir = str(tmp_path / "j")
+        assert main(self.SIM + ["--journal", jdir, "--crash-at", "99999"]) == 0
+        err = capsys.readouterr().err
+        assert "at or beyond the trace's last event boundary" in err
+        assert "complete without crashing" in err
+
+    def test_hotspot_drift_changes_arrivals(self, capsys):
+        assert main(self.SIM) == 0
+        plain = capsys.readouterr().out
+        assert main(self.SIM + ["--hotspot-drift", "1.0"]) == 0
+        drifted = capsys.readouterr().out
+        assert plain != drifted
+        assert main(["simulate", "--hotspot-drift", "1.5"]) == 2
+        assert "hotspot_drift" in capsys.readouterr().err
+
+    def test_bench_elastic_smoke(self, tmp_path, capsys):
+        code = main(["bench-elastic", "--smoke", "--results-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert (tmp_path / "elastic_suite.json").exists()
+        assert (tmp_path / "BENCH_elastic.json").exists()
+        payload = json.loads((tmp_path / "elastic_suite.json").read_text())
+        sweep = payload["sweep"]["2"]
+        assert sweep["identical"] == sweep["boundaries"]
+        assert payload["off_identity"]["identical"]
+        assert "identical" in out

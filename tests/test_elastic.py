@@ -1,0 +1,561 @@
+"""Tests for the elastic sharding subsystem (:mod:`repro.elastic`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.elastic import (
+    DEFAULT_PARTITIONS,
+    ElasticAction,
+    ElasticController,
+    ElasticShardMap,
+    ElasticStreamingServer,
+    MigrationLogLayer,
+    ShardLog,
+)
+from repro.errors import ConfigurationError, JournalReplayError, SchedulingError, SpecError
+from repro.geo.bbox import BoundingBox
+from repro.runtime import RunSpec, WorkloadSpec, build_runtime
+from repro.shard.streaming import ShardedStreamingServer
+from repro.stream.online_server import StreamingTCSCServer
+from repro.workloads.streaming import StreamScenarioConfig, build_stream_events
+
+_CFG = StreamScenarioConfig(
+    horizon=16, task_rate=0.4, task_slots=8, initial_workers=14,
+    worker_join_rate=0.8, mean_worker_lifetime=12.0, seed=9,
+)
+_KWARGS = dict(
+    k=2, epoch_length=3.0, budget_fraction=0.6,
+    max_active_tasks=4, max_queue_depth=8,
+)
+
+
+def _trace():
+    return build_stream_events(_CFG)
+
+
+def _elastic(trace, controller, *, num_executors=2, partitions=2, **overrides):
+    kwargs = dict(_KWARGS, **overrides)
+    return ElasticStreamingServer(
+        trace.bbox,
+        num_executors=num_executors,
+        partitions_per_executor=partitions,
+        controller=controller,
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# The stepping API the lockstep drive is built on
+# ----------------------------------------------------------------------
+class TestSteppingAPI:
+    def test_stepwise_equals_run(self):
+        trace = _trace()
+        whole = StreamingTCSCServer(trace.bbox, **_KWARGS)
+        whole_metrics = whole.run(list(trace.events))
+
+        trace2 = _trace()
+        stepped = StreamingTCSCServer(trace2.bbox, **_KWARGS)
+        stepped.begin(list(trace2.events))
+        while stepped.pending_work():
+            stepped.step_epoch()
+        stepped_metrics = stepped.finish()
+
+        assert stepped_metrics == whole_metrics
+        assert (
+            stepped.assignment().plan_signature()
+            == whole.assignment().plan_signature()
+        )
+        assert stepped.counters == whole.counters
+
+    def test_begin_is_one_shot(self):
+        trace = _trace()
+        server = StreamingTCSCServer(trace.bbox, **_KWARGS)
+        server.begin(list(trace.events))
+        with pytest.raises(SchedulingError):
+            server.begin([])
+
+    def test_next_boundary_is_side_effect_free(self):
+        trace = _trace()
+        server = StreamingTCSCServer(trace.bbox, **_KWARGS)
+        server.begin(list(trace.events))
+        first = server.next_boundary()
+        assert server.next_boundary() == first
+        now = server.step_epoch()
+        assert now == first
+
+    def test_pending_work_drains_to_false(self):
+        trace = _trace()
+        server = StreamingTCSCServer(trace.bbox, **_KWARGS)
+        server.begin(list(trace.events))
+        assert server.pending_work()
+        while server.pending_work():
+            server.step_epoch()
+        assert not server.pending_work()
+
+
+# ----------------------------------------------------------------------
+# The epoch-versioned placement map
+# ----------------------------------------------------------------------
+class TestShardMap:
+    def test_initial_block_placement(self):
+        shard_map = ElasticShardMap(8, 2)
+        assert shard_map.executors == (0, 1)
+        assert shard_map.shards_on(0) == (0, 1, 2, 3)
+        assert shard_map.shards_on(1) == (4, 5, 6, 7)
+        assert shard_map.version == 0
+
+    @pytest.mark.parametrize("shards,executors", [(0, 1), (3, 2), (2, 4)])
+    def test_rejects_non_multiple_layout(self, shards, executors):
+        with pytest.raises(ConfigurationError):
+            ElasticShardMap(shards, executors)
+
+    def test_migrate_bumps_version_once_and_rehomes(self):
+        shard_map = ElasticShardMap(4, 2)
+        version = shard_map.migrate(0, 1)
+        assert version == shard_map.version == 1
+        assert shard_map.executor_of(0) == 1
+        assert shard_map.history == [(1, "migrate", 0, 0, 1)]
+
+    def test_migrate_rejects_noop_and_unknown(self):
+        shard_map = ElasticShardMap(4, 2)
+        with pytest.raises(ConfigurationError):
+            shard_map.migrate(0, 0)  # already there
+        with pytest.raises(ConfigurationError):
+            shard_map.migrate(9, 1)  # unknown shard
+        with pytest.raises(ConfigurationError):
+            shard_map.migrate(0, 7)  # dead executor
+        assert shard_map.version == 0  # failed mutations leave no trace
+
+    def test_executor_ids_are_monotone_across_split_merge(self):
+        shard_map = ElasticShardMap(4, 2)
+        first = shard_map.add_executor()
+        assert first == 2
+        shard_map.remove_executor(first)
+        assert shard_map.add_executor() == 3  # never reused
+
+    def test_remove_requires_empty_and_not_last(self):
+        shard_map = ElasticShardMap(2, 2)
+        with pytest.raises(ConfigurationError):
+            shard_map.remove_executor(0)  # still hosts shard 0
+        shard_map.migrate(0, 1)
+        shard_map.remove_executor(0)
+        assert shard_map.executors == (1,)
+        with pytest.raises(ConfigurationError):
+            shard_map.remove_executor(1)  # the last one
+
+    def test_every_shard_owned_exactly_once_after_mutations(self):
+        shard_map = ElasticShardMap(8, 2)
+        new = shard_map.add_executor()
+        shard_map.migrate(3, new)
+        shard_map.migrate(7, 0)
+        owners = [shard_map.executor_of(s) for s in range(8)]
+        assert len(owners) == 8
+        hosted = [s for e in shard_map.executors for s in shard_map.shards_on(e)]
+        assert sorted(hosted) == list(range(8))
+
+    def test_stats_shape(self):
+        shard_map = ElasticShardMap(4, 2)
+        shard_map.migrate(0, 1)
+        stats = shard_map.stats()
+        assert stats["version"] == 1
+        assert stats["shards_per_executor"] == {0: 1, 1: 3}
+        assert stats["mutations"] == 1
+
+
+# ----------------------------------------------------------------------
+# The controller policy
+# ----------------------------------------------------------------------
+class TestController:
+    def test_rejects_bad_hysteresis(self):
+        with pytest.raises(ConfigurationError):
+            ElasticController(queue_high=2, queue_low=2)
+        with pytest.raises(ConfigurationError):
+            ElasticController(queue_high=2, queue_low=-1)
+        with pytest.raises(ConfigurationError):
+            ElasticController(cooldown=-1)
+
+    def test_fixed_fires_at_first_boundary_at_or_after_time(self):
+        controller = ElasticController.fixed([(5.0, 0, 1)])
+        shard_map = ElasticShardMap(4, 2)
+        signals = {s: (0, 0.0) for s in range(4)}
+        assert controller.decide(1, 3.0, signals, shard_map) == []
+        actions = controller.decide(2, 6.0, signals, shard_map)
+        assert actions == [ElasticAction("migrate", shard=0, source=0, dest=1)]
+        assert controller.unfired() == []
+
+    def test_fixed_resolves_hottest_and_coldest(self):
+        controller = ElasticController.fixed([(0.0, None, None)])
+        shard_map = ElasticShardMap(4, 2)
+        signals = {0: (1, 0.0), 1: (9, 0.0), 2: (0, 0.0), 3: (0, 0.0)}
+        actions = controller.decide(1, 0.0, signals, shard_map)
+        assert actions == [ElasticAction("migrate", shard=1, source=0, dest=1)]
+
+    def test_fixed_empty_plan_never_acts(self):
+        controller = ElasticController.fixed([])
+        shard_map = ElasticShardMap(4, 2)
+        signals = {s: (99, 9.9) for s in range(4)}
+        for tick in range(5):
+            assert controller.decide(tick, float(tick), signals, shard_map) == []
+
+    def test_unfired_reports_unreached_entries(self):
+        controller = ElasticController.fixed([(100.0, None, None)])
+        shard_map = ElasticShardMap(4, 2)
+        controller.decide(1, 3.0, {s: (0, 0.0) for s in range(4)}, shard_map)
+        assert controller.unfired() == [(100.0, None, None)]
+
+    def test_auto_migrates_hot_to_cold_with_gain_guard(self):
+        controller = ElasticController(queue_high=4, queue_low=1, cooldown=0)
+        shard_map = ElasticShardMap(4, 2)
+        # Executor 0 hot via two shards; moving one strictly helps.
+        signals = {0: (3, 1.0), 1: (3, 1.0), 2: (0, 0.0), 3: (0, 0.0)}
+        actions = controller.decide(1, 3.0, signals, shard_map)
+        assert len(actions) == 1 and actions[0].kind == "migrate"
+        assert actions[0].source == 0 and actions[0].dest == 1
+
+    def test_auto_never_ping_pongs_single_hot_shard(self):
+        # The whole hot queue lives on one shard: moving it cannot
+        # lower the pairwise max, so the gain guard must refuse.
+        controller = ElasticController(queue_high=4, queue_low=1, cooldown=0)
+        shard_map = ElasticShardMap(4, 2)
+        signals = {0: (8, 2.0), 1: (0, 0.0), 2: (0, 0.0), 3: (0, 0.0)}
+        assert controller.decide(1, 3.0, signals, shard_map) == []
+
+    def test_auto_cooldown_spaces_actions(self):
+        controller = ElasticController(queue_high=4, queue_low=1, cooldown=2)
+        shard_map = ElasticShardMap(4, 2)
+        signals = {0: (3, 1.0), 1: (3, 1.0), 2: (0, 0.0), 3: (0, 0.0)}
+        assert controller.decide(1, 3.0, signals, shard_map)
+        shard_map2 = ElasticShardMap(4, 2)  # same shape again
+        assert controller.decide(2, 6.0, signals, shard_map2) == []
+        assert controller.decide(3, 9.0, signals, shard_map2) == []
+        assert controller.decide(4, 12.0, signals, shard_map2)
+
+    def test_auto_splits_when_everyone_is_hot(self):
+        controller = ElasticController(queue_high=2, queue_low=0, cooldown=0)
+        shard_map = ElasticShardMap(4, 2)
+        signals = {s: (5, 1.0) for s in range(4)}
+        actions = controller.decide(1, 3.0, signals, shard_map)
+        assert len(actions) == 1 and actions[0].kind == "split"
+
+    def test_auto_merges_when_calm_above_initial(self):
+        controller = ElasticController(queue_high=4, queue_low=1, cooldown=0)
+        shard_map = ElasticShardMap(4, 2)
+        new = shard_map.add_executor()
+        shard_map.migrate(0, new)
+        signals = {s: (0, 0.0) for s in range(4)}
+        actions = controller.decide(1, 3.0, signals, shard_map)
+        assert len(actions) == 1 and actions[0].kind == "merge"
+        assert actions[0].source == new
+
+    def test_transitions_record_decisions(self):
+        controller = ElasticController.fixed([(0.0, 0, 1)])
+        shard_map = ElasticShardMap(4, 2)
+        controller.decide(1, 0.0, {s: (0, 0.0) for s in range(4)}, shard_map)
+        assert controller.transitions == [(1, 0.0, "migrate", 0, 0, 1)]
+
+
+# ----------------------------------------------------------------------
+# Migration exactness on a live trace
+# ----------------------------------------------------------------------
+class TestMigrationExactness:
+    def test_migrated_run_is_byte_identical(self):
+        trace = _trace()
+        ref = _elastic(_trace(), ElasticController.fixed([]))
+        ref_metrics = ref.run(list(trace.events))
+
+        boundary = ref_metrics.boundary_times[len(ref_metrics.boundary_times) // 2]
+        moved = _elastic(_trace(), ElasticController.fixed([(boundary, 0, None)]))
+        metrics = moved.run(list(trace.events))
+
+        assert len(metrics.migrations) == 1
+        record = metrics.migrations[0]
+        assert record.shard == 0 and record.map_version == 1
+        assert (
+            moved.assignment().plan_signature()
+            == ref.assignment().plan_signature()
+        )
+        assert metrics.per_shard == ref_metrics.per_shard
+        assert [c.counters for c in moved.servers] == [
+            c.counters for c in ref.servers
+        ]
+
+    def test_migration_rehosts_in_shard_map(self):
+        trace = _trace()
+        server = _elastic(trace, ElasticController.fixed([(6.0, 1, None)]))
+        metrics = server.run(list(trace.events))
+        assert len(metrics.migrations) == 1
+        record = metrics.migrations[0]
+        assert server.shard_map.executor_of(1) == record.dest
+        assert server.shard_map.version == 1
+        assert metrics.map_version == 1
+
+    def test_elastic_metrics_report_mentions_migration(self):
+        trace = _trace()
+        server = _elastic(trace, ElasticController.fixed([(6.0, 1, None)]))
+        metrics = server.run(list(trace.events))
+        report = metrics.report()
+        assert "elastic" in report
+        assert "migrate shard 1" in report
+        assert "balance" in report
+
+    def test_run_is_one_shot(self):
+        trace = _trace()
+        server = _elastic(trace, ElasticController.fixed([]))
+        server.run(list(trace.events))
+        with pytest.raises(SchedulingError):
+            server.run([])
+
+    def test_rejects_bad_shapes(self):
+        bbox = BoundingBox.square(10)
+        with pytest.raises(ConfigurationError):
+            ElasticStreamingServer(bbox, num_executors=0)
+        with pytest.raises(ConfigurationError):
+            ElasticStreamingServer(bbox, num_executors=2, partitions_per_executor=0)
+        with pytest.raises(ConfigurationError):
+            ElasticStreamingServer(bbox, num_executors=2, snapshot_every=0)
+
+
+# ----------------------------------------------------------------------
+# The verified migration log
+# ----------------------------------------------------------------------
+class TestMigrationLog:
+    def _layer(self):
+        log = ShardLog(0)
+        layer = MigrationLogLayer(log)
+        return log, layer
+
+    def test_append_mode_accumulates_suffix(self):
+        log, layer = self._layer()
+        layer._emit(["epoch", [1, 3.0]])
+        layer._emit(["finalize", [7]])
+        assert log.suffix == [["epoch", [1, 3.0]], ["finalize", [7]]]
+        assert log.records_logged == 2
+
+    def test_replay_verifies_and_consumes(self):
+        log, layer = self._layer()
+        layer.begin_replay([["epoch", [1, 3.0]]])
+        assert layer.replaying
+        layer._emit(["epoch", [1, 3.0]])
+        layer.end_replay()
+        assert not layer.replaying
+
+    def test_tampered_suffix_raises_replay_error(self):
+        log, layer = self._layer()
+        layer.begin_replay([["epoch", [1, 3.0]]])
+        with pytest.raises(JournalReplayError):
+            layer._emit(["epoch", [2, 3.0]])  # diverged record
+
+    def test_short_replay_raises_on_end(self):
+        log, layer = self._layer()
+        layer.begin_replay([["epoch", [1, 3.0]], ["finalize", [7]]])
+        layer._emit(["epoch", [1, 3.0]])
+        with pytest.raises(JournalReplayError):
+            layer.end_replay()
+
+    def test_over_generation_raises(self):
+        log, layer = self._layer()
+        layer.begin_replay([])
+        with pytest.raises(JournalReplayError):
+            layer._emit(["epoch", [1, 3.0]])
+
+    def test_tampered_live_suffix_fails_migration(self):
+        """Corrupting one logged commit makes the next migration's
+        catch-up verification fail loudly, leaving the map untouched."""
+        trace = _trace()
+        server = _elastic(trace, ElasticController.fixed([(6.0, 1, None)]))
+
+        tampered = {"done": False}
+        original_decide = server.controller.decide
+
+        def corrupt_then_decide(tick, now, signals, shard_map):
+            actions = original_decide(tick, now, signals, shard_map)
+            if actions and not tampered["done"]:
+                log = server._logs[actions[0].shard]
+                if log.suffix:
+                    log.suffix[0] = ["epoch", [-1, -1.0]]
+                    tampered["done"] = True
+            return actions
+
+        server.controller.decide = corrupt_then_decide
+        with pytest.raises(JournalReplayError):
+            server.run(list(trace.events))
+        assert tampered["done"]
+        assert server.shard_map.version == 0  # ownership never flipped
+
+
+# ----------------------------------------------------------------------
+# Spec + factory composition
+# ----------------------------------------------------------------------
+def _spec(**overrides):
+    base = dict(
+        mode="stream",
+        workload=WorkloadSpec(
+            horizon=_CFG.horizon, task_rate=_CFG.task_rate,
+            task_slots=_CFG.task_slots, initial_workers=_CFG.initial_workers,
+            join_rate=_CFG.worker_join_rate,
+            mean_lifetime=_CFG.mean_worker_lifetime, seed=_CFG.seed,
+        ),
+        shards=2,
+        **_KWARGS,
+    )
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+class TestSpecValidation:
+    def test_accepts_elastic_modes(self):
+        _spec(elastic="auto").validate()
+        _spec(elastic="fixed", migrate_at=2).validate()
+        _spec(elastic="off").validate()
+
+    @pytest.mark.parametrize(
+        "overrides, fragment",
+        [
+            (dict(elastic="magic"), "unknown elastic"),
+            (dict(mode="plain", elastic="auto",
+                  workload=WorkloadSpec(tasks=4, workers=8)), "pairing"),
+            (dict(elastic="auto", shards=1), "shards >= 2"),
+            (dict(elastic="auto", journal="/tmp/j"), "pairing"),
+            (dict(elastic="fixed"), "migrate_at"),
+            (dict(migrate_at=3), "elastic='fixed'"),
+            (dict(elastic="fixed", migrate_at=-1), ">= 0"),
+            (dict(elastic="auto", migrate_queue_high=0), "migrate_queue_high"),
+            (dict(elastic="auto", migrate_queue_low=-1), "migrate_queue_low"),
+            (dict(elastic="auto", migrate_queue_low=8, migrate_queue_high=8),
+             "hysteresis"),
+        ],
+    )
+    def test_rejections(self, overrides, fragment):
+        with pytest.raises(SpecError, match=fragment):
+            _spec(**overrides).validate()
+
+    def test_hotspot_drift_bounds(self):
+        with pytest.raises(SpecError, match="hotspot_drift"):
+            WorkloadSpec(hotspot_drift=1.5).validate()
+        WorkloadSpec(hotspot_drift=0.5).validate()
+
+
+class TestFactoryComposition:
+    def test_elastic_off_is_byte_identical_to_direct_stack(self):
+        outcome = build_runtime(_spec(elastic="off")).run()
+        assert type(outcome.server) is ShardedStreamingServer
+
+        trace = _trace()
+        direct = ShardedStreamingServer(trace.bbox, num_shards=2, **_KWARGS)
+        direct_metrics = direct.run(list(trace.events))
+        assert outcome.plan_signature == direct.assignment().plan_signature()
+        assert outcome.metrics.per_shard == direct_metrics.per_shard
+        assert list(outcome.counters) == [c.counters for c in direct.servers]
+
+    def test_elastic_auto_builds_elastic_server(self):
+        runtime = build_runtime(_spec(elastic="auto", migrate_queue_high=4,
+                                      migrate_queue_low=1))
+        assert isinstance(runtime.server, ElasticStreamingServer)
+        assert runtime.server.controller.queue_high == 4
+        assert runtime.server.controller.queue_low == 1
+        assert runtime.server.num_executors == 2
+        assert runtime.server.num_shards == 2 * DEFAULT_PARTITIONS
+
+    def test_elastic_fixed_migrates_at_epoch(self):
+        outcome = build_runtime(_spec(elastic="fixed", migrate_at=2)).run()
+        metrics = outcome.metrics
+        assert len(metrics.migrations) == 1
+        assert metrics.migrations[0].time == pytest.approx(
+            2 * _KWARGS["epoch_length"]
+        )
+
+    def test_elastic_plan_matches_static_sharded_logical_layout(self):
+        """Placement is invisible to the computation: the elastic run's
+        plan equals a static sharded run over the same logical shards."""
+        outcome = build_runtime(_spec(elastic="auto")).run()
+        trace = _trace()
+        static = ShardedStreamingServer(
+            trace.bbox, num_shards=2 * DEFAULT_PARTITIONS, **_KWARGS
+        )
+        static.run(list(trace.events))
+        assert outcome.plan_signature == static.assignment().plan_signature()
+
+    def test_telemetry_scopes_follow_logical_shards(self, tmp_path):
+        trace_out = str(tmp_path / "trace.jsonl")
+        outcome = build_runtime(
+            _spec(elastic="auto", telemetry=True, trace_out=trace_out)
+        ).run()
+        telemetry = outcome.telemetry
+        assert len(telemetry._profilers) == 2 * DEFAULT_PARTITIONS
+        gauges = [
+            line for line in telemetry.registry.render_lines()
+            if line.startswith("shard/")
+        ]
+        assert any("replication_factor" in line for line in gauges)
+        assert any("owned_tasks" in line for line in gauges)
+
+    def test_slowdown_injection_rejected(self):
+        from repro.degrade.chaos import InjectionSpec
+        from repro.runtime.factory import StreamRuntime
+
+        runtime = StreamRuntime(
+            _spec(elastic="auto"),
+            chaos=(InjectionSpec(kind="slowdown", at=0.0, op_budget=10),),
+        )
+        with pytest.raises(SpecError, match="slowdown injection x elastic"):
+            runtime.server
+
+
+# ----------------------------------------------------------------------
+# Shard-stats satellites
+# ----------------------------------------------------------------------
+class TestShardStats:
+    def test_sharded_metrics_shard_stats_shape(self):
+        trace = _trace()
+        server = ShardedStreamingServer(trace.bbox, num_shards=2, **_KWARGS)
+        metrics = server.run(list(trace.events))
+        stats = metrics.shard_stats()
+        assert stats["num_shards"] == 2
+        assert stats["tasks_per_shard"] == list(metrics.tasks_routed)
+        assert len(stats["halo_workers_per_shard"]) == 2
+        assert stats["replicated_workers"] == metrics.replicated_workers
+        assert stats["halo_replication_factor"] >= 1.0
+        import json
+
+        json.dumps(stats)  # stable and serializable
+
+    def test_partitioner_stats_replication_factor(self):
+        from repro.model.task import TaskSet
+        from repro.shard.partitioner import SpatialPartitioner
+        from repro.workloads.scenario import ScenarioConfig, build_scenario
+
+        scenario = build_scenario(
+            ScenarioConfig(num_tasks=8, num_slots=6, num_workers=20, seed=3)
+        )
+        shard_map = SpatialPartitioner(scenario.bbox, num_shards=4).partition(
+            TaskSet(scenario.tasks),
+            scenario.pool,
+            {t.task_id: scenario.budget for t in scenario.tasks},
+        )
+        stats = shard_map.stats()
+        assert stats["halo_replication_factor"] >= 1.0
+        # copies / distinct workers, by definition
+        entries = sum(len(pool) for pool in shard_map.shard_pools)
+        assert stats["halo_replication_factor"] == pytest.approx(
+            entries / len(shard_map.worker_shards)
+        )
+
+    def test_telemetry_record_shard_stats_emits_gauges_and_record(self):
+        from repro.obs.layer import Telemetry
+        from repro.obs.trace import read_trace
+
+        telemetry = Telemetry(shards=2)
+        telemetry.record_shard_stats(
+            {
+                "num_shards": 2,
+                "tasks_per_shard": [3, 5],
+                "halo_workers_per_shard": [4, 6],
+                "replicated_workers": 2,
+                "halo_replication_factor": 1.25,
+            }
+        )
+        lines = telemetry.registry.render_lines()
+        assert any("shard/0/owned_tasks = 3" in line for line in lines)
+        assert any("shard/1/halo_workers = 6" in line for line in lines)
+        assert any("shard/replication_factor = 1.25" in line for line in lines)

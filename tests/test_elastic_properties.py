@@ -1,0 +1,193 @@
+"""Property tests for elastic sharding invariants (hypothesis).
+
+Two families:
+
+* **Placement totality** — under any legal mutation sequence the
+  :class:`~repro.elastic.shardmap.ElasticShardMap` owns every logical
+  shard exactly once, and under any migration schedule the elastic
+  server's computation is byte-identical to the never-migrated run
+  (no event is applied by two cores or dropped across an ownership
+  flip).
+* **Snapshot round-trip** — a live core checkpointed at any epoch and
+  rebuilt through the JSON-round-tripped snapshot codec finishes with
+  exactly the plan the uninterrupted core produces.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.elastic import ElasticController, ElasticShardMap, ElasticStreamingServer
+from repro.journal.snapshot import restore_server_state, server_state
+from repro.stream.events import EventQueue
+from repro.stream.online_server import StreamingTCSCServer
+from repro.workloads.streaming import StreamScenarioConfig, build_stream_events
+
+_CFG = StreamScenarioConfig(
+    horizon=12, task_rate=0.4, task_slots=6, initial_workers=10,
+    worker_join_rate=0.6, mean_worker_lifetime=10.0, seed=9,
+)
+_KWARGS = dict(
+    k=2, epoch_length=3.0, budget_fraction=0.6,
+    max_active_tasks=4, max_queue_depth=8,
+)
+
+_NUM_EXECUTORS = 2
+_PARTITIONS = 2
+_NUM_LOGICAL = _NUM_EXECUTORS * _PARTITIONS
+
+#: The never-migrated reference, computed once per process.
+_REFERENCE: dict = {}
+
+
+def _trace():
+    return build_stream_events(_CFG)
+
+
+def _run_elastic(controller):
+    trace = _trace()
+    server = ElasticStreamingServer(
+        trace.bbox,
+        num_executors=_NUM_EXECUTORS,
+        partitions_per_executor=_PARTITIONS,
+        controller=controller,
+        **_KWARGS,
+    )
+    metrics = server.run(list(trace.events))
+    return server, metrics
+
+
+def _reference():
+    if not _REFERENCE:
+        server, metrics = _run_elastic(ElasticController.fixed([]))
+        _REFERENCE.update(
+            signature=server.assignment().plan_signature(),
+            per_shard=metrics.per_shard,
+            counters=[core.counters for core in server.servers],
+            boundaries=list(metrics.boundary_times),
+            total_events=sum(m.total_events for m in metrics.per_shard),
+        )
+    return _REFERENCE
+
+
+class TestShardMapTotality:
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 7), st.integers(0, 5)), max_size=30))
+    def test_every_shard_owned_exactly_once_under_any_mutations(self, moves):
+        """Random migrate/split/merge sequences never leave a shard
+        unowned or doubly owned, and the version counts mutations."""
+        shard_map = ElasticShardMap(8, 2)
+        applied = 0
+        for shard, raw_dest in moves:
+            if raw_dest == 5 and len(shard_map.executors) < 8:
+                shard_map.add_executor()
+                applied += 1
+                continue
+            if raw_dest == 4:
+                # Try retiring an empty executor (legal only sometimes).
+                for executor in shard_map.executors:
+                    if (
+                        not shard_map.shards_on(executor)
+                        and len(shard_map.executors) > 1
+                    ):
+                        shard_map.remove_executor(executor)
+                        applied += 1
+                        break
+                continue
+            dest = shard_map.executors[raw_dest % len(shard_map.executors)]
+            if shard_map.executor_of(shard) != dest:
+                shard_map.migrate(shard, dest)
+                applied += 1
+            # Totality after every step, not just at the end.
+            hosted = [
+                s
+                for executor in shard_map.executors
+                for s in shard_map.shards_on(executor)
+            ]
+            assert sorted(hosted) == list(range(8))
+        assert shard_map.version == applied == len(shard_map.history)
+
+
+class TestMigrationScheduleExactness:
+    @settings(max_examples=15, deadline=None)
+    @given(st.data())
+    def test_any_migration_schedule_is_byte_identical(self, data):
+        """Every event is applied by exactly one core exactly once,
+        whatever the migration schedule: the plan, the per-shard
+        metrics, and the per-core op counters all match the
+        never-migrated run."""
+        ref = _reference()
+        boundaries = ref["boundaries"]
+        schedule = data.draw(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(boundaries),
+                    st.integers(0, _NUM_LOGICAL - 1),
+                ),
+                max_size=4,
+                unique_by=lambda entry: entry[0],
+            )
+        )
+        plan = [(time, shard, None) for time, shard in sorted(schedule)]
+        server, metrics = _run_elastic(ElasticController.fixed(plan))
+
+        assert server.assignment().plan_signature() == ref["signature"]
+        assert metrics.per_shard == ref["per_shard"]
+        assert [core.counters for core in server.servers] == ref["counters"]
+        # Exactly-once: the summed event count survives every flip.
+        assert (
+            sum(m.total_events for m in metrics.per_shard)
+            == ref["total_events"]
+        )
+        # Placement stayed total through the schedule.
+        hosted = [
+            s
+            for executor in server.shard_map.executors
+            for s in server.shard_map.shards_on(executor)
+        ]
+        assert sorted(hosted) == list(range(_NUM_LOGICAL))
+        assert server.shard_map.version == len(metrics.migrations)
+
+
+class TestSnapshotRoundTrip:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10), st.integers(0, 3))
+    def test_plan_signature_round_trips_snapshot_codec(self, steps, seed_offset):
+        """A core checkpointed mid-run and rebuilt from the JSON-round-
+        tripped snapshot finishes byte-identically to the uninterrupted
+        core — the exactness a migrated session relies on."""
+        config = _CFG.with_overrides(seed=_CFG.seed + seed_offset)
+        trace = build_stream_events(config)
+
+        whole = StreamingTCSCServer(trace.bbox, **_KWARGS)
+        whole_metrics = whole.run(list(trace.events))
+
+        live = StreamingTCSCServer(trace.bbox, **_KWARGS)
+        live.begin(list(build_stream_events(config).events))
+        for _ in range(steps):
+            if not live.pending_work():
+                break
+            live.step_epoch()
+
+        state = json.loads(json.dumps(server_state(live)))
+        rebuilt = StreamingTCSCServer(trace.bbox, **_KWARGS)
+        restore_server_state(rebuilt, state)
+        remainder = []
+        while True:
+            event = live._queue.pop()
+            if event is None:
+                break
+            remainder.append(event)
+        rebuilt.begin(EventQueue(remainder))
+        while rebuilt.pending_work():
+            rebuilt.step_epoch()
+        rebuilt_metrics = rebuilt.finish()
+
+        assert (
+            rebuilt.assignment().plan_signature()
+            == whole.assignment().plan_signature()
+        )
+        assert rebuilt_metrics == whole_metrics
+        assert rebuilt.counters == whole.counters

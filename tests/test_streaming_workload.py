@@ -138,3 +138,58 @@ class TestDeterminism:
         )
         assert scenario.task_count == 0
         assert scenario.worker_count == 3
+
+
+class TestHotspotDrift:
+    """The elastic skew preset: arrivals drift onto one POI hotspot."""
+
+    def test_zero_drift_is_byte_identical_to_plain_trace(self):
+        plain = build_stream_events(_small())
+        explicit = build_stream_events(_small(hotspot_drift=0.0))
+        assert plain.signature() == explicit.signature()
+
+    def test_drift_is_deterministic_in_seed(self):
+        a = build_stream_events(_small(hotspot_drift=0.7))
+        b = build_stream_events(_small(hotspot_drift=0.7))
+        assert a.signature() == b.signature()
+
+    def test_drift_changes_task_locations_only(self):
+        plain = build_stream_events(_small())
+        drifted = build_stream_events(_small(hotspot_drift=1.0))
+
+        def parts(trace, kinds):
+            return [p for p in trace.signature() if p[0] in kinds]
+
+        assert parts(plain, ("join", "leave")) == parts(drifted, ("join", "leave"))
+        plain_tasks = parts(plain, ("task",))
+        drifted_tasks = parts(drifted, ("task",))
+        assert plain_tasks != drifted_tasks
+        # Same arrival process: only locations move, never times/ids.
+        assert [t[:4] for t in plain_tasks] == [t[:4] for t in drifted_tasks]
+
+    def test_drift_concentrates_late_arrivals(self):
+        """With full drift, late-window arrivals cluster far tighter
+        than the early window (the spatial skew the elastic controller
+        rebalances against)."""
+        config = _small(hotspot_drift=1.0, task_rate=2.0, horizon=60)
+        trace = build_stream_events(config)
+        tasks = [e for e in trace.events if isinstance(e, TaskArrival)]
+        half = config.horizon / 2
+        early = [e.task.loc for e in tasks if e.time < half]
+        late = [e.task.loc for e in tasks if e.time >= half]
+        assert len(early) > 10 and len(late) > 10
+
+        def spread(points):
+            cx = sum(p.x for p in points) / len(points)
+            cy = sum(p.y for p in points) / len(points)
+            return sum(
+                ((p.x - cx) ** 2 + (p.y - cy) ** 2) ** 0.5 for p in points
+            ) / len(points)
+
+        assert spread(late) < spread(early) * 0.75
+
+    def test_rejects_out_of_range_drift(self):
+        with pytest.raises(ConfigurationError):
+            _small(hotspot_drift=-0.1)
+        with pytest.raises(ConfigurationError):
+            _small(hotspot_drift=1.5)

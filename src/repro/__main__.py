@@ -40,6 +40,15 @@ Nine subcommands cover the common workflows:
   the certified ratio for every approximate plan), and
   overload-useful-work gates under fault injection, persisted as
   ``benchmarks/BENCH_degrade.json``.
+* ``trace-report`` / ``trace-diff`` — the trace analytics pair:
+  summarize one telemetry trace (``--json`` for tooling), or compare
+  two traces under the timing mask and localize the first divergent
+  record and its causal span.
+* ``bench-regress`` — the continuous op-count regression ledger:
+  fingerprint every suite's smoke cells (op counters, trace record
+  tallies, virtual-cost critical path) against the committed
+  ``benchmarks/baselines/``; ``--check`` gates CI, ``--update``
+  regenerates the ledger.
 
 Every command prints a compact report; ``--seed`` makes runs
 reproducible.  The solve, simulate, and bench commands accept
@@ -371,10 +380,27 @@ def build_parser() -> argparse.ArgumentParser:
     trace_report = sub.add_parser(
         "trace-report",
         help="summarize a telemetry trace (phase timings, latency "
-             "histograms) from its JSONL file alone",
+             "histograms, degradation transitions, shard stats) from "
+             "its JSONL file alone",
     )
     trace_report.add_argument("trace", metavar="PATH",
                               help="trace file written by --trace-out")
+    trace_report.add_argument("--json", action="store_true",
+                              help="machine-readable JSON summary instead "
+                                   "of the text report")
+
+    trace_diff = sub.add_parser(
+        "trace-diff",
+        help="compare two telemetry traces under the timing mask and "
+             "localize the first divergent record and its causal span "
+             "(exit 0 identical, 1 divergent, 2 error)",
+    )
+    trace_diff.add_argument("trace_a", metavar="PATH_A",
+                            help="first trace file (written by --trace-out)")
+    trace_diff.add_argument("trace_b", metavar="PATH_B",
+                            help="second trace file")
+    trace_diff.add_argument("--json", action="store_true",
+                            help="machine-readable JSON divergence report")
 
     obs = sub.add_parser(
         "bench-obs",
@@ -408,6 +434,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="executors=2 arms only (CI smoke mode)")
     elastic.add_argument("--results-dir", default=None,
                          help="override benchmarks/results output directory")
+
+    regress = sub.add_parser(
+        "bench-regress",
+        help="continuous op-count regression ledger: fingerprint every "
+             "suite's smoke cells (op counters + trace tallies + "
+             "critical path) against benchmarks/baselines/ -> "
+             "benchmarks/BENCH_regress.json",
+    )
+    regress.add_argument("--check", action="store_true",
+                         help="CI mode: exit 1 on any drift from the "
+                              "committed baselines (or a missing baseline)")
+    regress.add_argument("--update", action="store_true",
+                         help="regenerate the committed baselines from the "
+                              "current code (review the diff before "
+                              "committing)")
+    regress.add_argument("--results-dir", default=None,
+                         help="override benchmarks/results output directory")
+    regress.add_argument("--baselines-dir", default=None,
+                         help="override the benchmarks/baselines ledger "
+                              "directory")
     return parser
 
 
@@ -797,14 +843,52 @@ def _cmd_bench_elastic(args) -> int:
 
 def _cmd_trace_report(args) -> int:
     from repro.errors import TCSCError
-    from repro.obs.report import render_trace_report
+    from repro.obs.report import render_trace_report, trace_report_json
 
     try:
-        print(render_trace_report(args.trace))
+        if args.json:
+            print(json.dumps(trace_report_json(args.trace),
+                             indent=2, sort_keys=True))
+        else:
+            print(render_trace_report(args.trace))
     except (TCSCError, OSError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
     return 0
+
+
+def _cmd_trace_diff(args) -> int:
+    from repro.errors import TCSCError
+    from repro.obs.query import diff_traces
+
+    try:
+        divergence = diff_traces(args.trace_a, args.trace_b)
+    except (TCSCError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if divergence is None:
+        if args.json:
+            print(json.dumps({"identical": True}))
+        else:
+            print("traces are identical under the timing mask")
+        return 0
+    if args.json:
+        print(json.dumps({"identical": False, **divergence.to_dict()},
+                         indent=2, sort_keys=True))
+    else:
+        print(divergence.describe())
+    return 1
+
+
+def _cmd_bench_regress(args) -> int:
+    from repro.bench.regresssuite import run_and_write
+
+    return run_and_write(
+        check=args.check,
+        update=args.update,
+        results_dir=args.results_dir,
+        baselines_dir=args.baselines_dir,
+    )
 
 
 def _run_profiled(handler, args) -> int:
@@ -830,7 +914,9 @@ def main(argv: list[str] | None = None) -> int:
         "bench-obs": _cmd_bench_obs,
         "bench-degrade": _cmd_bench_degrade,
         "bench-elastic": _cmd_bench_elastic,
+        "bench-regress": _cmd_bench_regress,
         "trace-report": _cmd_trace_report,
+        "trace-diff": _cmd_trace_diff,
     }
     handler = handlers[args.command]
     if getattr(args, "profile", False):

@@ -26,7 +26,14 @@ records next to the results directory; the registry in
   :mod:`repro.bench.degradesuite`);
 * ``elastic*.json`` -> ``BENCH_elastic.json`` (migrate-at-every-
   boundary exactness, skewed-arrival rebalancing gain, elastic-off
-  identity, :mod:`repro.bench.elasticsuite`).
+  identity, :mod:`repro.bench.elasticsuite`);
+* ``regress*.json`` -> ``BENCH_regress.json`` (op-count fingerprints
+  vs the committed ``benchmarks/baselines/`` ledger,
+  :mod:`repro.bench.regresssuite`).
+
+The report also carries a **regression-ledger status** section:
+cells checked, drift detected, and how stale each committed baseline
+is (by the git commit stamped into its ``meta``).
 
 ``BENCH_*.json`` files next to the results directory that no
 registered collector produces are *warned about* rather than silently
@@ -53,6 +60,7 @@ __all__ = [
     "collect_matrix",
     "collect_obs",
     "collect_perf",
+    "collect_regress",
     "collect_shard",
     "collect_stream",
     "reset_unrecognized_warnings",
@@ -150,6 +158,13 @@ def collect_elastic(results_dir: Path | str = _DEFAULT_RESULTS) -> dict | None:
     )
 
 
+def collect_regress(results_dir: Path | str = _DEFAULT_RESULTS) -> dict | None:
+    """Merge ``regress*.json`` series (the ``BENCH_regress.json`` record)."""
+    return _collect_json_series(
+        results_dir, "regress*.json", "python -m repro bench-regress"
+    )
+
+
 #: Artifact name -> (series glob, collector).  Every ``BENCH_*.json``
 #: the repo produces must be registered here; ``main`` regenerates
 #: each one and warns about artifacts no collector owns.
@@ -162,6 +177,7 @@ COLLECTORS: dict[str, tuple[str, callable]] = {
     "BENCH_obs.json": ("obs*.json", collect_obs),
     "BENCH_degrade.json": ("degrade*.json", collect_degrade),
     "BENCH_elastic.json": ("elastic*.json", collect_elastic),
+    "BENCH_regress.json": ("regress*.json", collect_regress),
 }
 
 
@@ -213,6 +229,55 @@ def _artifact_section(bench_dir: Path) -> str:
     return "\n".join(lines) + "\n"
 
 
+def _ledger_section(results_dir: Path) -> str:
+    """Markdown block on the regression ledger: cells checked, drift
+    detected, and each committed baseline's age (by git commit)."""
+    lines = ["## Regression-ledger status", ""]
+    payload_path = results_dir / "regress_suite.json"
+    if not payload_path.exists():
+        lines.append(
+            "* not run yet — `python -m repro bench-regress` fingerprints "
+            "the smoke cells against `benchmarks/baselines/`"
+        )
+        return "\n".join(lines) + "\n"
+    try:
+        payload = json.loads(payload_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        lines.append(f"* `{payload_path.name}` unreadable: {exc}")
+        return "\n".join(lines) + "\n"
+    cells = payload.get("cells", [])
+    drifted = [c["cell"] for c in cells if c.get("baseline") == "drift"]
+    missing = [c["cell"] for c in cells if c.get("baseline") == "missing"]
+    lines.append(
+        f"* {len(cells)} cells checked against "
+        f"`{payload.get('baselines_dir', '?')}`"
+    )
+    lines.append(
+        "* drift detected: " + (", ".join(drifted) if drifted else "none")
+    )
+    if missing:
+        lines.append("* missing baselines: " + ", ".join(missing))
+    gates = payload.get("diff_gates", {})
+    if gates:
+        lines.append(
+            "* trace-diff gates: "
+            f"same-spec identical={gates.get('same_spec_identical')}, "
+            f"fault localized at seq={gates.get('fault_seq')} "
+            f"span=`{gates.get('fault_span')}` "
+            f"stable={gates.get('fault_stable')}"
+        )
+    lines.append("")
+    lines.append("| cell | status | critical path (op cost) | baseline commit |")
+    lines.append("| --- | --- | --- | --- |")
+    for cell in cells:
+        lines.append(
+            f"| `{cell['cell']}` | {cell.get('baseline', '?')} "
+            f"| {cell.get('critical_path_total', '?')} "
+            f"| {cell.get('baseline_commit') or '-'} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
 def collect(results_dir: Path | str = _DEFAULT_RESULTS) -> str:
     """Concatenate all result blocks into one markdown document."""
     results_dir = Path(results_dir)
@@ -225,7 +290,13 @@ def collect(results_dir: Path | str = _DEFAULT_RESULTS) -> str:
         "Regenerate with `pytest benchmarks/ --benchmark-only`.\n"
     )
     body = header + "\n\n" + "\n\n".join(blocks) + "\n"
-    return body + "\n" + _artifact_section(results_dir.parent)
+    return (
+        body
+        + "\n"
+        + _artifact_section(results_dir.parent)
+        + "\n"
+        + _ledger_section(results_dir)
+    )
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -22,6 +22,11 @@ equality/op-count based per the repo's determinism policy:
 * **trace completeness** — every record type the cell's composition
   implies is present (``solve`` everywhere, ``event``/``epoch``/
   ``phases`` in stream mode, ``snapshot`` when journaled).
+* **causal analytics** — every record carries a ``causal`` span id
+  (:func:`repro.obs.causal.causal_id` is stamped at emit time, not
+  inferred later), and the span graph's critical path — total virtual
+  cost and the step list — is bit-identical across the two
+  telemetered runs.
 
 Cells the spec layer rejects (journal x plain) are recorded as typed
 rejections and the sweep asserts the rejection actually fires.
@@ -41,6 +46,7 @@ from pathlib import Path
 
 from repro.bench.report import signature_hash as _signature_hash
 from repro.errors import SpecError
+from repro.obs.causal import SpanGraph
 from repro.obs.trace import masked_trace_bytes, read_trace
 from repro.runtime import RunSpec, WorkloadSpec, build_runtime
 
@@ -146,6 +152,10 @@ def _run_cell(base: RunSpec, mode, shards, journaled, workdir: Path) -> dict:
     )
     present = sorted(on.telemetry.recorder.counts())
     missing = sorted(set(_expected_types(mode, journaled)) - set(present))
+    critical = [
+        SpanGraph(run.telemetry.recorder.records).critical_path()
+        for run, _ in telemetered
+    ]
 
     cell.update(
         valid=True,
@@ -164,6 +174,17 @@ def _run_cell(base: RunSpec, mode, shards, journaled, workdir: Path) -> dict:
         # Gate 3: trace completeness.
         record_types=present,
         missing_record_types=missing,
+        # Gate 4: causal analytics (PR-9) — every record is stamped
+        # with its span id and the virtual-cost critical path is a
+        # bit-for-bit reproducible function of the masked trace.
+        causal_complete=all(
+            "causal" in record for record in on.telemetry.recorder.records
+        ),
+        critical_path_identical=(
+            (critical[0].total, critical[0].steps)
+            == (critical[1].total, critical[1].steps)
+        ),
+        critical_path_total=critical[0].total,
         records=len(on.telemetry.recorder.records),
         masked_trace_digest=_digest(masked[0]),
         signature=_signature_hash(on.plan_signature),
@@ -225,7 +246,8 @@ def check_payload(payload: dict) -> list[str]:
             )
         for gate in ("plan_identical", "counters_identical",
                      "masked_trace_identical", "record_counts_identical",
-                     "trace_roundtrip_ok"):
+                     "trace_roundtrip_ok", "causal_complete",
+                     "critical_path_identical"):
             if not cell[gate]:
                 failures.append(f"{name}: {gate} is False")
         if cell["metrics_identical"] is False:

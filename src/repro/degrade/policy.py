@@ -207,6 +207,7 @@ class DegradationLayer(ServingLayer):
         if self.recorder is not None:
             self.recorder.record(
                 "degrade",
+                causal=f"epoch/{metrics.epochs}",
                 epoch=metrics.epochs,
                 now=now,
                 from_level=LEVEL_NAMES[old],

@@ -148,6 +148,7 @@ class ElasticStreamingServer(ShardedStreamingServer):
         controller: ElasticController | None = None,
         snapshot_every: int = 4,
         layer_factory=None,
+        recorder=None,
         **server_kwargs,
     ):
         if num_executors < 1:
@@ -165,6 +166,11 @@ class ElasticStreamingServer(ShardedStreamingServer):
             )
         self.num_executors = num_executors
         self.snapshot_every = snapshot_every
+        #: Optional trace sink: placement changes become paired
+        #: ``migrate-out`` / ``migrate-in`` records under the shard's
+        #: causal span.  Everything recorded is virtual-time state, so
+        #: the records mask-diff clean.
+        self.recorder = recorder
         num_logical = num_executors * partitions_per_executor
         self._logs = [ShardLog(shard) for shard in range(num_logical)]
         self._extra_layers: dict[int, tuple] = {}
@@ -336,6 +342,17 @@ class ElasticStreamingServer(ShardedStreamingServer):
         """
         old = self.servers[shard]
         log = self._logs[shard]
+        if self.recorder is not None:
+            source_executor = self.shard_map.executor_of(shard)
+            self.recorder.record(
+                "migrate-out",
+                causal=f"shard/{shard}",
+                shard=shard,
+                source=source_executor,
+                dest=dest,
+                now=now,
+                kind=kind,
+            )
         suffix_events = [
             decode_event(payload)
             for record_kind, payload in log.suffix
@@ -389,3 +406,16 @@ class ElasticStreamingServer(ShardedStreamingServer):
                 kind=kind,
             )
         )
+        if self.recorder is not None:
+            self.recorder.record(
+                "migrate-in",
+                causal=f"shard/{shard}",
+                shard=shard,
+                source=source,
+                dest=dest,
+                now=now,
+                kind=kind,
+                map_version=version,
+                records_replayed=records_replayed,
+                events_replayed=len(suffix_events),
+            )

@@ -30,8 +30,21 @@ Zero-overhead contract: attaching telemetry must not change the plan,
 the stream metrics, or a single op count — ``python -m repro
 bench-obs`` gates it across the {plain, stream} x shards x journal
 grid.
+
+On top of the record stream sits the trace analytics engine:
+
+* :mod:`repro.obs.causal` — every record carries a deterministic
+  ``causal`` span id; :class:`~repro.obs.causal.SpanGraph` builds the
+  per-run span tree, attributes per-task end-to-end cost, and computes
+  the critical path in exact virtual-cost units.
+* :mod:`repro.obs.query` — :class:`~repro.obs.query.TraceQuery`
+  filter/aggregate chains and :func:`~repro.obs.query.diff_traces`
+  first-divergence localization (``python -m repro trace-diff``).
+* :mod:`repro.obs.regress` — the committed op-count regression ledger
+  (``benchmarks/baselines/``, ``python -m repro bench-regress``).
 """
 
+from repro.obs.causal import CriticalPath, Span, SpanGraph, causal_id
 from repro.obs.layer import Telemetry, TelemetryLayer
 from repro.obs.metrics import Counter, Gauge, LogHistogram, MetricsRegistry
 from repro.obs.profile import (
@@ -41,6 +54,7 @@ from repro.obs.profile import (
     reset_profile_note,
     run_profiled,
 )
+from repro.obs.query import TraceDivergence, TraceQuery, diff_traces
 from repro.obs.trace import (
     TraceRecorder,
     mask_timing,
@@ -50,15 +64,22 @@ from repro.obs.trace import (
 
 __all__ = [
     "Counter",
+    "CriticalPath",
     "Gauge",
     "LogHistogram",
     "MetricsRegistry",
     "PhaseProfiler",
     "PhaseStat",
     "ProfiledLayer",
+    "Span",
+    "SpanGraph",
     "Telemetry",
     "TelemetryLayer",
+    "TraceDivergence",
+    "TraceQuery",
     "TraceRecorder",
+    "causal_id",
+    "diff_traces",
     "mask_timing",
     "masked_trace_bytes",
     "read_trace",

@@ -1,0 +1,308 @@
+"""Causal span graphs over a run's trace records.
+
+Every record the telemetry stack emits carries a deterministic
+``causal`` id naming the *span* it belongs to (stamped by
+:class:`~repro.obs.layer.TelemetryLayer`, the
+:class:`~repro.obs.profile.PhaseProfiler`, the degradation layer, and
+the elastic migration driver).  The ids form a fixed vocabulary:
+
+========================  =============================================
+``run``                   run-level bookkeeping (``open``, ``phases``,
+                          ``trace-summary``, ``run-complete``, ...)
+``task/<id>``             one task's lifecycle: its arrival ``event``,
+                          every ``solve``/``reconcile`` span, each
+                          ``commit``, and the ``finalize``
+``epoch/<n>``             the n-th epoch boundary (``epoch`` records
+                          and any ``degrade`` transition decided there)
+``churn``                 worker join/leave and budget-refresh events
+``journal``               durability activity (``snapshot`` records)
+``shard/<n>``             elastic placement changes of logical shard n
+                          (``migrate-out`` / ``migrate-in`` pairs)
+========================  =============================================
+
+:func:`causal_id` derives the same id from a record's fields alone, so
+traces written before causal stamping still resolve.  Spans nest under
+a two-level tree::
+
+    run
+    |- scope spans (one per shard scope; "main" when unscoped)
+    |  `- causal spans carrying that scope's records
+    `- unscoped causal spans (shard/<n> migrations, run bookkeeping)
+
+Scopes are the *parallel* axis (one serving core each); spans within a
+scope are serial.  That shape is what makes the **critical path**
+exact in virtual-cost units: each record's ``op_cost`` (an
+:class:`~repro.core.instrumentation.OpCounters` virtual cost, never
+wall clock) accumulates into its span, the run's critical-path total
+is the cost of the most expensive scope — the same max-over-parallel
+accounting :class:`~repro.parallel.simcluster.SimCluster` models — and
+the path itself descends greedily into the costliest child at every
+level with lexical tie-breaking, so repeated runs of one spec
+reproduce the path bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.trace import read_trace
+
+__all__ = [
+    "ROOT_SPAN",
+    "CriticalPath",
+    "Span",
+    "SpanGraph",
+    "causal_id",
+]
+
+ROOT_SPAN = "run"
+
+#: Record types that belong to the run span itself when no better
+#: attribution exists.
+_RUN_TYPES = frozenset(
+    {"open", "phases", "trace-summary", "run-complete", "shard-stats"}
+)
+
+
+def causal_id(record: dict) -> str:
+    """The span id a record belongs to.
+
+    Prefers the stamped ``causal`` field; otherwise derives the same id
+    from the record's payload (the derivation IS the stamping contract,
+    so pre-causal traces resolve identically).
+    """
+    stamped = record.get("causal")
+    if stamped is not None:
+        return stamped
+    record_type = record.get("type")
+    if record_type in _RUN_TYPES:
+        return ROOT_SPAN
+    if record_type == "event":
+        if record.get("event") == "arrival" and "task_id" in record:
+            return f"task/{record['task_id']}"
+        return "churn"
+    if record_type == "degrade":
+        return f"epoch/{record.get('epoch', 0)}"
+    if record_type == "epoch":
+        return f"epoch/{record.get('epoch', 0)}"
+    if record_type == "snapshot":
+        return "journal"
+    if record_type in ("migrate-out", "migrate-in"):
+        return f"shard/{record.get('shard', 0)}"
+    if "task_id" in record:
+        return f"task/{record['task_id']}"
+    return ROOT_SPAN
+
+
+@dataclass(slots=True)
+class Span:
+    """One node of the span tree."""
+
+    span_id: str
+    parent_id: str | None
+    #: ``seq`` of every record attributed to this span, in trace order.
+    seqs: list[int] = field(default_factory=list)
+    #: Exact virtual-cost total of the span's own records.
+    self_cost: float = 0.0
+    children: list[str] = field(default_factory=list)
+
+    @property
+    def records(self) -> int:
+        return len(self.seqs)
+
+
+@dataclass(slots=True)
+class CriticalPath:
+    """The max-cost root-to-leaf walk, in virtual-cost units."""
+
+    #: ``(span_id, subtree_cost)`` from the root down.
+    steps: list[tuple[str, float]]
+    #: The run's critical-path cost: the costliest scope's total.
+    total: float
+
+    def describe(self) -> str:
+        """One line per step, indented by depth."""
+        return "\n".join(
+            f"{'  ' * depth}{span_id}  op_cost={cost:g}"
+            for depth, (span_id, cost) in enumerate(self.steps)
+        )
+
+
+class SpanGraph:
+    """The span tree of one trace, with exact cost attribution."""
+
+    def __init__(self, records: list[dict]):
+        self.records = records
+        self.spans: dict[str, Span] = {}
+        #: seq -> causal span id (divergence localization reads this).
+        self._span_of: dict[int, str] = {}
+        self._subtree_cost: dict[str, float] = {}
+        self._build()
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_trace(cls, path: str | Path) -> "SpanGraph":
+        return cls(read_trace(path))
+
+    def _ensure(self, span_id: str, parent_id: str | None) -> Span:
+        span = self.spans.get(span_id)
+        if span is None:
+            span = Span(span_id=span_id, parent_id=parent_id)
+            self.spans[span_id] = span
+            if parent_id is not None:
+                self._ensure(parent_id, self._parent_of(parent_id))
+                self.spans[parent_id].children.append(span_id)
+        return span
+
+    @staticmethod
+    def _parent_of(span_id: str) -> str | None:
+        if span_id == ROOT_SPAN:
+            return None
+        if span_id.startswith("scope/"):
+            return ROOT_SPAN
+        return None  # resolved per record (scope-dependent)
+
+    def _build(self) -> None:
+        self._ensure(ROOT_SPAN, None)
+        for record in self.records:
+            span_id = causal_id(record)
+            scope = record.get("scope")
+            if span_id == ROOT_SPAN and scope is not None:
+                # Scoped run-level work (reconcile rounds, per-scope
+                # summaries) is the scope span's own cost.
+                span_id = f"scope/{scope}"
+                parent = ROOT_SPAN
+            elif span_id == ROOT_SPAN or span_id.startswith("shard/"):
+                # Run bookkeeping and cross-executor migrations sit
+                # directly under the root, outside any one scope.
+                parent = None if span_id == ROOT_SPAN else ROOT_SPAN
+            else:
+                parent = f"scope/{scope if scope is not None else 'main'}"
+                self._ensure(parent, ROOT_SPAN)
+            span = self._ensure(span_id, parent)
+            seq = record.get("seq", len(self._span_of))
+            span.seqs.append(seq)
+            span.self_cost += float(record.get("op_cost", 0.0))
+            self._span_of[seq] = span_id
+
+    # -- lookups --------------------------------------------------------
+    def span_of(self, seq: int) -> str | None:
+        """The causal span containing record ``seq`` (divergence
+        localization), ``None`` for an unknown seq."""
+        return self._span_of.get(seq)
+
+    def subtree_cost(self, span_id: str) -> float:
+        """Exact virtual cost of a span plus all its descendants."""
+        cached = self._subtree_cost.get(span_id)
+        if cached is not None:
+            return cached
+        span = self.spans[span_id]
+        total = span.self_cost + sum(
+            self.subtree_cost(child) for child in span.children
+        )
+        self._subtree_cost[span_id] = total
+        return total
+
+    # -- attribution ----------------------------------------------------
+    def tasks(self) -> dict[int, dict]:
+        """Per-task end-to-end attribution from the task spans.
+
+        ``{task_id: {op_cost, records, latency, quality, executed}}``
+        — ``latency`` is the finalize record's virtual-slot assignment
+        latency (``None`` for starved tasks that never committed),
+        ``op_cost`` the exact solve + reconcile virtual cost charged to
+        the task's span.
+        """
+        by_seq = {record.get("seq"): record for record in self.records}
+        table: dict[int, dict] = {}
+        for span_id, span in self.spans.items():
+            if not span_id.startswith("task/"):
+                continue
+            task_id = int(span_id.split("/", 1)[1])
+            row = {
+                "op_cost": self.subtree_cost(span_id),
+                "records": span.records,
+                "latency": None,
+                "quality": None,
+                "executed": None,
+            }
+            for seq in span.seqs:
+                record = by_seq.get(seq, {})
+                if record.get("type") == "finalize":
+                    row["latency"] = record.get("latency")
+                    row["quality"] = record.get("quality")
+                    row["executed"] = record.get("executed")
+            table[task_id] = row
+        return dict(sorted(table.items()))
+
+    def phases(self) -> dict[str, float]:
+        """Per-phase virtual-cost totals from the ``phases`` summary
+        records (covers non-emitting spans like index repair too)."""
+        totals: dict[str, float] = {}
+        for record in self.records:
+            if record.get("type") != "phases":
+                continue
+            for name, stat in record.get("phases", {}).items():
+                totals[name] = totals.get(name, 0.0) + stat.get("op_cost", 0.0)
+        return dict(sorted(totals.items()))
+
+    def scopes(self) -> dict[str, float]:
+        """Per-scope (per serving core) virtual-cost totals."""
+        return {
+            span_id.split("/", 1)[1]: self.subtree_cost(span_id)
+            for span_id in sorted(self.spans)
+            if span_id.startswith("scope/")
+        }
+
+    # -- hot spots ------------------------------------------------------
+    @staticmethod
+    def _top_k(costs: dict, k: int) -> list[tuple]:
+        ranked = sorted(costs.items(), key=lambda item: (-item[1], str(item[0])))
+        return ranked[: max(0, k)]
+
+    def hot_tasks(self, k: int = 5) -> list[tuple[int, float]]:
+        """The k costliest tasks as ``(task_id, op_cost)``."""
+        return self._top_k(
+            {task_id: row["op_cost"] for task_id, row in self.tasks().items()},
+            k,
+        )
+
+    def hot_phases(self, k: int = 5) -> list[tuple[str, float]]:
+        """The k costliest phases as ``(phase, op_cost)``."""
+        return self._top_k(self.phases(), k)
+
+    def hot_scopes(self, k: int = 5) -> list[tuple[str, float]]:
+        """The k costliest shard scopes as ``(scope, op_cost)``."""
+        return self._top_k(self.scopes(), k)
+
+    # -- the critical path ----------------------------------------------
+    def critical_path(self) -> CriticalPath:
+        """Greedy max-cost descent from the root.
+
+        Scopes are parallel, so the run's critical-path *total* is the
+        costliest scope's subtree cost (unscoped spans under the root
+        are bookkeeping and never dominate a serving scope; they are
+        still eligible when no scope exists at all).  Ties break on the
+        smaller span id, so the path is a pure function of the masked
+        trace.
+        """
+        steps: list[tuple[str, float]] = []
+        current = ROOT_SPAN
+        scope_costs = {
+            span_id: self.subtree_cost(span_id)
+            for span_id in self.spans[ROOT_SPAN].children
+        }
+        total = max(scope_costs.values(), default=0.0)
+        steps.append((ROOT_SPAN, self.subtree_cost(ROOT_SPAN)))
+        while True:
+            children = self.spans[current].children
+            if not children:
+                break
+            best = min(
+                children,
+                key=lambda child: (-self.subtree_cost(child), child),
+            )
+            steps.append((best, self.subtree_cost(best)))
+            current = best
+        return CriticalPath(steps=steps, total=total)

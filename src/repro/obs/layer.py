@@ -149,7 +149,12 @@ class TelemetryLayer(ServingLayer):
                 self.registry.counter(
                     self._name(f"admission/{summary['admission']}")
                 ).inc()
-        self._record("event", timing={"wall_s": wall}, **summary)
+        causal = (
+            f"task/{event.task.task_id}"
+            if isinstance(event, TaskArrival)
+            else "churn"
+        )
+        self._record("event", causal=causal, timing={"wall_s": wall}, **summary)
 
     # -- assignment seam -----------------------------------------------
     def before_commit(self, session, worker_id, gslot, slot, cost) -> None:
@@ -157,6 +162,7 @@ class TelemetryLayer(ServingLayer):
             self.registry.counter(self._name("commits")).inc()
         self._record(
             "commit",
+            causal=f"task/{session.task.task_id}",
             task_id=session.task.task_id,
             slot=slot,
             worker_id=worker_id,
@@ -182,6 +188,7 @@ class TelemetryLayer(ServingLayer):
                 ).observe(latency)
         self._record(
             "finalize",
+            causal=f"task/{session.task.task_id}",
             task_id=session.task.task_id,
             quality=session.quality,
             spent=session.budget.spent,
@@ -211,6 +218,7 @@ class TelemetryLayer(ServingLayer):
                 )
             self._record(
                 "snapshot",
+                causal="journal",
                 snapshots=snapshots,
                 wal_records=appends,
                 wal_bytes=journal.wal.bytes_written,
@@ -230,6 +238,7 @@ class TelemetryLayer(ServingLayer):
             ).observe(wall * 1000.0)
         self._record(
             "epoch",
+            causal=f"epoch/{metrics.epochs}",
             epoch=metrics.epochs,
             now=now,
             queue_depth=depth,
@@ -244,6 +253,7 @@ class TelemetryLayer(ServingLayer):
         self._journal_accounting()
         self._record(
             "run-complete",
+            causal="run",
             events=metrics.total_events,
             epochs=metrics.epochs,
             tasks_completed=metrics.tasks_completed,
@@ -281,7 +291,7 @@ class Telemetry:
                       and value is not None else value)
                 for key, value in spec.items()
             }
-            self.recorder.record("open", format=1, spec=spec)
+            self.recorder.record("open", causal="run", format=1, spec=spec)
 
     # -- composition seams ---------------------------------------------
     def profiler(self, shard: int = 0) -> PhaseProfiler:
@@ -311,7 +321,7 @@ class Telemetry:
             self.registry.gauge("shard/replication_factor").set(
                 stats["halo_replication_factor"]
             )
-        self.recorder.record("shard-stats", **stats)
+        self.recorder.record("shard-stats", causal="run", **stats)
 
     # -- lifecycle ------------------------------------------------------
     def finish(self) -> None:
@@ -328,9 +338,27 @@ class Telemetry:
             if profiler.scope is not None:
                 payload["scope"] = profiler.scope
             self.recorder.record(
-                "phases", timing={"wall_s": timing}, **payload
+                "phases", causal="run", timing={"wall_s": timing}, **payload
             )
-        self.recorder.record("trace-summary", records=self.recorder.counts())
+        self.recorder.record(
+            "trace-summary", causal="run", records=self.recorder.counts()
+        )
+        self.recorder.close()
+
+    def abort(self) -> None:
+        """Close the trace file without the summary records (idempotent).
+
+        The error-path counterpart of :meth:`finish`: a run that raises
+        mid-stream must still leave a flushed, parseable trace prefix —
+        every record already written is on disk (the recorder writes
+        through), so all that remains is releasing the file handle.
+        Summary records are deliberately withheld: a ``trace-summary``
+        on a partial trace would claim a completeness the run never
+        reached.
+        """
+        if self._finished:
+            return
+        self._finished = True
         self.recorder.close()
 
     def report(self) -> str:

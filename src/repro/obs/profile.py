@@ -117,6 +117,14 @@ class PhaseProfiler:
                 payload.update(span)
                 if self.scope is not None:
                     payload["scope"] = self.scope
+                # Causal attribution: a span working one task belongs
+                # to that task's span; anything else (reconcile rounds,
+                # repairs) is run-level work within its scope.
+                payload.setdefault(
+                    "causal",
+                    f"task/{payload['task_id']}" if "task_id" in payload
+                    else "run",
+                )
                 self.recorder.record(
                     name,
                     ops=ops.to_dict(nonzero_only=True),

@@ -1,7 +1,7 @@
 """Offline trace analysis: ``python -m repro trace-report FILE``.
 
 Re-derives an operator summary from a trace file alone — no live
-server, no results JSON.  The report answers three questions:
+server, no results JSON.  The report answers four questions:
 
 * *where did the time go?* — the per-phase wall/op-cost table from the
   run's ``phases`` records, plus an ascii bar chart of wall ms;
@@ -10,16 +10,26 @@ server, no results JSON.  The report answers three questions:
   records into a :class:`~repro.obs.metrics.LogHistogram`, so the
   p50/p95/p99 shown here are exact and deterministic;
 * *what did the run look like?* — record tally, event-apply wall
-  percentiles, queue-depth summary from ``epoch`` records.
+  percentiles, queue-depth summary from ``epoch`` records,
+  degradation-ladder transitions, per-shard ownership/halo stats, and
+  elastic migrations;
+* *where did the cost go?* — the causal span graph's virtual-cost
+  critical path and top-k hot tasks/phases/scopes
+  (:mod:`repro.obs.causal`).
+
+``trace-report --json`` emits :func:`trace_report_json`, the same
+digest as machine-readable JSON (histograms reduced to exact
+count/p50/p95/p99).
 """
 
 from __future__ import annotations
 
 from repro.bench.ascii_plot import bar_chart
+from repro.obs.causal import SpanGraph
 from repro.obs.metrics import LogHistogram
 from repro.obs.trace import read_trace
 
-__all__ = ["render_trace_report", "summarize"]
+__all__ = ["render_trace_report", "summarize", "trace_report_json"]
 
 
 def _merge_phases(records: list[dict]) -> dict[str, dict]:
@@ -47,6 +57,9 @@ def summarize(records: list[dict]) -> dict:
     event_wall = LogHistogram("event_apply_ms", timing=True)
     queue_depth = LogHistogram("queue_depth")
     starved = 0
+    degrade: list[dict] = []
+    shard_stats: dict | None = None
+    migrations: list[dict] = []
     for record in records:
         counts[record["type"]] = counts.get(record["type"], 0) + 1
         if record["type"] == "finalize":
@@ -60,6 +73,13 @@ def summarize(records: list[dict]) -> dict:
                 event_wall.observe(wall * 1000.0)
         elif record["type"] == "epoch":
             queue_depth.observe(record["queue_depth"])
+        elif record["type"] == "degrade":
+            degrade.append(record)
+        elif record["type"] == "shard-stats":
+            # The run emits one, at completion; keep the last seen.
+            shard_stats = record
+        elif record["type"] == "migrate-in":
+            migrations.append(record)
     return {
         "counts": dict(sorted(counts.items())),
         "phases": _merge_phases(records),
@@ -67,6 +87,9 @@ def summarize(records: list[dict]) -> dict:
         "starved": starved,
         "event_wall": event_wall,
         "queue_depth": queue_depth,
+        "degrade": degrade,
+        "shard_stats": shard_stats,
+        "migrations": migrations,
     }
 
 
@@ -91,6 +114,18 @@ def _percentile_line(histogram: LogHistogram, unit: str) -> str:
         f"p99<={histogram.percentile(99):g}{unit} "
         f"(n={histogram.count})"
     )
+
+
+def _histogram_dict(histogram: LogHistogram) -> dict:
+    """Exact JSON reduction of a histogram (log2 bucket percentiles)."""
+    if histogram.count == 0:
+        return {"count": 0}
+    return {
+        "count": histogram.count,
+        "p50": histogram.percentile(50),
+        "p95": histogram.percentile(95),
+        "p99": histogram.percentile(99),
+    }
 
 
 def render_trace_report(path) -> str:
@@ -148,7 +183,107 @@ def render_trace_report(path) -> str:
         chart = _histogram_chart(queue_depth, title="queue depth histogram (epochs per bucket)")
         if chart is not None:
             lines.append(chart)
+        lines.append("")
+
+    if digest["degrade"]:
+        lines.append("degradation transitions")
+        for record in digest["degrade"]:
+            p99 = record.get("p99")
+            p99_text = "-" if p99 is None else f"{p99:g}"
+            lines.append(
+                f"  epoch {record.get('epoch'):<4} t={record.get('now'):g} "
+                f"{record.get('from_level')} -> {record.get('to_level')} "
+                f"(queue={record.get('queue_depth')} p99={p99_text})"
+            )
+        lines.append("")
+
+    stats = digest["shard_stats"]
+    if stats is not None:
+        owned = stats.get("tasks_per_shard", ())
+        halos = stats.get("halo_workers_per_shard", ())
+        lines.append("shard stats")
+        for shard, tasks in enumerate(owned):
+            halo = halos[shard] if shard < len(halos) else "-"
+            lines.append(
+                f"  shard/{shard}  owned_tasks={tasks} halo_workers={halo}"
+            )
+        if "halo_replication_factor" in stats:
+            lines.append(
+                "  replication_factor="
+                f"{stats['halo_replication_factor']:g}"
+            )
+        lines.append("")
+
+    if digest["migrations"]:
+        lines.append("elastic migrations")
+        for record in digest["migrations"]:
+            lines.append(
+                f"  t={record.get('now'):g} {record.get('kind')} "
+                f"shard {record.get('shard')}: executor "
+                f"{record.get('source')} -> {record.get('dest')} "
+                f"(replayed {record.get('records_replayed')} records, "
+                f"{record.get('events_replayed')} events, "
+                f"v{record.get('map_version')})"
+            )
+        lines.append("")
+
+    graph = SpanGraph(records)
+    critical = graph.critical_path()
+    if critical.total > 0:
+        lines.append("causal analysis (virtual-cost units)")
+        lines.append(f"  critical path: op_cost={critical.total:g}")
+        lines.extend(f"  {row}" for row in critical.describe().splitlines())
+        hot = graph.hot_tasks(5)
+        if hot:
+            lines.append(
+                "  hot tasks: "
+                + " ".join(f"task/{t}={c:g}" for t, c in hot)
+            )
+        scopes = graph.hot_scopes(5)
+        if len(scopes) > 1:
+            lines.append(
+                "  hot scopes: "
+                + " ".join(f"{s}={c:g}" for s, c in scopes)
+            )
 
     while lines and not lines[-1]:
         lines.pop()
     return "\n".join(lines)
+
+
+def trace_report_json(path) -> dict:
+    """The machine-readable ``trace-report --json`` payload.
+
+    Everything except the wall-clock histograms is a deterministic
+    function of the masked trace, so tooling can diff these payloads
+    across runs of one spec.
+    """
+    records = read_trace(path)
+    digest = summarize(records)
+    graph = SpanGraph(records)
+    critical = graph.critical_path()
+    return {
+        "records": len(records),
+        "counts": digest["counts"],
+        "phases": digest["phases"],
+        "latency": _histogram_dict(digest["latency"]),
+        "starved": digest["starved"],
+        "event_wall_ms": _histogram_dict(digest["event_wall"]),
+        "queue_depth": _histogram_dict(digest["queue_depth"]),
+        "degrade": digest["degrade"],
+        "shard_stats": digest["shard_stats"],
+        "migrations": digest["migrations"],
+        "causal": {
+            "critical_path": {
+                "total": critical.total,
+                "steps": [list(step) for step in critical.steps],
+            },
+            "hot_tasks": [list(row) for row in graph.hot_tasks(5)],
+            "hot_phases": [list(row) for row in graph.hot_phases(5)],
+            "hot_scopes": [list(row) for row in graph.hot_scopes(5)],
+            "tasks": {
+                str(task_id): row
+                for task_id, row in graph.tasks().items()
+            },
+        },
+    }

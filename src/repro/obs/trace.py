@@ -66,10 +66,24 @@ class TraceRecorder:
             tally[record["type"]] = tally.get(record["type"], 0) + 1
         return dict(sorted(tally.items()))
 
+    @property
+    def closed(self) -> bool:
+        """True once no file handle remains open (or none ever was)."""
+        return self._fh is None
+
     def close(self) -> None:
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Unconditional close, success or error: every record is
+        # already flushed, so the file is a valid trace prefix either
+        # way.
+        self.close()
 
 
 def read_trace(path: str | Path) -> list[dict]:

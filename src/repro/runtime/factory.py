@@ -197,11 +197,16 @@ class PlainRuntime(Runtime):
             from repro.obs.layer import Telemetry
 
             telemetry = Telemetry(trace_path=spec.trace_out, spec=spec.to_dict())
-        report = solver.assign(
-            scenario.tasks,
-            budget_fraction=spec.budget_fraction,
-            profiler=None if telemetry is None else telemetry.profiler(),
-        )
+        try:
+            report = solver.assign(
+                scenario.tasks,
+                budget_fraction=spec.budget_fraction,
+                profiler=None if telemetry is None else telemetry.profiler(),
+            )
+        except BaseException:
+            if telemetry is not None:
+                telemetry.abort()
+            raise
         if telemetry is not None:
             telemetry.finish()
         lines = [
@@ -530,6 +535,7 @@ class StreamRuntime(Runtime):
                 halo_margin=spec.halo,
                 controller=controller,
                 layer_factory=layer_factory,
+                recorder=None if telemetry is None else telemetry.recorder,
                 **kwargs,
             )
         if telemetry is None and not has_slowdown:
@@ -583,9 +589,14 @@ class StreamRuntime(Runtime):
     def run(self) -> RunOutcome:
         """Drain the trace; crash injection propagates
         :class:`~repro.journal.layer.InjectedCrash` (the write-through
-        trace file keeps its flushed prefix — ``finish()`` only runs on
-        completed drains)."""
-        metrics = self.server.run(list(self.scenario().events))
+        trace file keeps its flushed prefix and is closed by
+        ``abort()`` — ``finish()`` only runs on completed drains)."""
+        try:
+            metrics = self.server.run(list(self.scenario().events))
+        except BaseException:
+            if self._telemetry is not None:
+                self._telemetry.abort()
+            raise
         if self._telemetry is not None:
             if hasattr(metrics, "shard_stats"):
                 # Publish the partition shape (ownership counts, halo

@@ -176,7 +176,7 @@ from repro.workloads.streaming import (
     build_stream_events,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "Assignment",

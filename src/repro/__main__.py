@@ -44,6 +44,12 @@ Nine subcommands cover the common workflows:
   summarize one telemetry trace (``--json`` for tooling), or compare
   two traces under the timing mask and localize the first divergent
   record and its causal span.
+* ``bench-par`` — the parallel-executor suite: the same seed-pinned
+  scenarios solved under ``serial``/``thread``/``process`` executors
+  at shard counts 1/2/4/8, hard-asserting byte-identical plans,
+  metrics, and op counters across executors while reporting (never
+  gating) measured wall clock next to the modeled ``SimCluster``
+  makespan, persisted as ``benchmarks/BENCH_par.json``.
 * ``bench-regress`` — the continuous op-count regression ledger:
   fingerprint every suite's smoke cells (op counters, trace record
   tallies, virtual-cost critical path) against the committed
@@ -123,6 +129,22 @@ def _positive_int(value: str) -> int:
         raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}") from None
     if count < 1:
         raise argparse.ArgumentTypeError(f"expected a positive integer, got {count}")
+    return count
+
+
+def _max_workers_arg(value: str) -> int:
+    """Parse ``--max-workers`` through the shared executor validation
+    so the CLI and the spec reject the same values with the same text."""
+    from repro.par.executor import validate_max_workers
+
+    try:
+        count = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}") from None
+    try:
+        validate_max_workers(count)
+    except ConfigurationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
     return count
 
 
@@ -333,6 +355,17 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--trace-out", default=None, metavar="PATH",
                      help="write the structured JSONL trace here "
                           "(implies --telemetry; inspect with trace-report)")
+    sim.add_argument("--executor", default="serial", metavar="KIND",
+                     help="where per-shard solves run: serial (in-process, "
+                          "the default), thread, or process (real cores; "
+                          "work units cross the boundary as exact JSON "
+                          "snapshots, so plans stay byte-identical)")
+    sim.add_argument("--max-workers", dest="max_workers",
+                     type=_max_workers_arg, default=None, metavar="N",
+                     help="cap the executor's worker pool (requires "
+                          "--executor thread|process; default: one per "
+                          "shard, bounded by the host's cores for "
+                          "process executors)")
     _add_solver_flags(sim)
 
     perf = sub.add_parser(
@@ -354,6 +387,19 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument("--results-dir", default=None,
                        help="override benchmarks/results output directory")
     _add_solver_flags(shard)
+
+    par = sub.add_parser(
+        "bench-par",
+        help="parallel-executor suite (cross-executor byte-identity "
+             "gates + non-gating wall-clock vs modeled makespan) -> "
+             "benchmarks/BENCH_par.json",
+    )
+    par.add_argument("--smoke", action="store_true",
+                     help="smallest scenarios only (CI smoke mode; "
+                          "identity gates still run, wall clock is "
+                          "still only reported)")
+    par.add_argument("--results-dir", default=None,
+                     help="override benchmarks/results output directory")
 
     journal = sub.add_parser(
         "bench-journal",
@@ -557,6 +603,8 @@ def _stream_spec(args) -> RunSpec:
         approx_top_c=args.top_c,
         approx_floor=args.floor,
         slo_p99=args.slo_p99,
+        executor=args.executor,
+        max_workers=args.max_workers,
     ).validate()
 
 
@@ -639,6 +687,11 @@ def _cmd_simulate(args) -> int:
         return _simulate_resume(args, scenario)
     if args.shards > 1:
         print(f"shards={args.shards} halo={args.halo}")
+    if spec.executor != "serial":
+        line = f"executor={spec.executor}"
+        if spec.max_workers is not None:
+            line += f" max_workers={spec.max_workers}"
+        print(line)
     if spec.elastic != "off":
         line = f"elastic={spec.elastic}"
         if spec.migrate_at is not None:
@@ -809,6 +862,12 @@ def _cmd_bench_shard(args) -> int:
     )
 
 
+def _cmd_bench_par(args) -> int:
+    from repro.bench.parsuite import run_and_write
+
+    return run_and_write(smoke=args.smoke, results_dir=args.results_dir)
+
+
 def _cmd_bench_journal(args) -> int:
     from repro.bench.journalsuite import run_and_write
 
@@ -910,6 +969,7 @@ def main(argv: list[str] | None = None) -> int:
         "matrix": _cmd_matrix,
         "bench-perf": _cmd_bench_perf,
         "bench-shard": _cmd_bench_shard,
+        "bench-par": _cmd_bench_par,
         "bench-journal": _cmd_bench_journal,
         "bench-obs": _cmd_bench_obs,
         "bench-degrade": _cmd_bench_degrade,

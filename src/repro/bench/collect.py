@@ -15,6 +15,9 @@ records next to the results directory; the registry in
   lazy-search speedups, :mod:`repro.bench.perfsuite`);
 * ``shard*.json`` -> ``BENCH_shard.json`` (shard-count scaling at
   plan identity, :mod:`repro.bench.shardsuite`);
+* ``par*.json`` -> ``BENCH_par.json`` (cross-executor byte-identity
+  plus non-gating measured-vs-modeled speedup,
+  :mod:`repro.bench.parsuite`);
 * ``journal*.json`` -> ``BENCH_journal.json`` (crash-recovery
   exactness and durability overhead, :mod:`repro.bench.journalsuite`);
 * ``matrix*.json`` -> ``BENCH_matrix.json`` (composed-vs-legacy
@@ -59,6 +62,7 @@ __all__ = [
     "collect_journal",
     "collect_matrix",
     "collect_obs",
+    "collect_par",
     "collect_perf",
     "collect_regress",
     "collect_shard",
@@ -123,6 +127,13 @@ def collect_shard(results_dir: Path | str = _DEFAULT_RESULTS) -> dict | None:
     )
 
 
+def collect_par(results_dir: Path | str = _DEFAULT_RESULTS) -> dict | None:
+    """Merge ``par*.json`` series (the ``BENCH_par.json`` record)."""
+    return _collect_json_series(
+        results_dir, "par*.json", "python -m repro bench-par"
+    )
+
+
 def collect_journal(results_dir: Path | str = _DEFAULT_RESULTS) -> dict | None:
     """Merge ``journal*.json`` series (the ``BENCH_journal.json`` record)."""
     return _collect_json_series(
@@ -172,6 +183,7 @@ COLLECTORS: dict[str, tuple[str, callable]] = {
     "BENCH_stream.json": ("stream*.json", collect_stream),
     "BENCH_perf.json": ("perf*.json", collect_perf),
     "BENCH_shard.json": ("shard*.json", collect_shard),
+    "BENCH_par.json": ("par*.json", collect_par),
     "BENCH_journal.json": ("journal*.json", collect_journal),
     "BENCH_matrix.json": ("matrix*.json", collect_matrix),
     "BENCH_obs.json": ("obs*.json", collect_obs),
@@ -226,6 +238,58 @@ def _artifact_section(bench_dir: Path) -> str:
             f"* `{name}` — **unrecognized**: no registered collector "
             "produces this artifact"
         )
+    return "\n".join(lines) + "\n"
+
+
+def _par_section(results_dir: Path) -> str:
+    """Markdown block on measured wall clock vs the modeled makespan.
+
+    Clearly labeled as **non-gating**: CI asserts the identity columns
+    of the par suite, never these numbers — they describe the host the
+    suite happened to run on (``cpu_count`` is printed so single-core
+    runners read as what they are).
+    """
+    lines = ["## Measured vs modeled parallelism (non-gating)", ""]
+    payload_path = results_dir / "par_suite.json"
+    if not payload_path.exists():
+        lines.append(
+            "* not run yet — `python -m repro bench-par` measures the "
+            "process-pool executor against the modeled SimCluster makespan"
+        )
+        return "\n".join(lines) + "\n"
+    try:
+        payload = json.loads(payload_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        lines.append(f"* `{payload_path.name}` unreadable: {exc}")
+        return "\n".join(lines) + "\n"
+    host = payload.get("host", {})
+    lines.append(
+        f"* host: cpu_count={host.get('cpu_count', '?')} "
+        f"platform={host.get('platform', '?')} — wall-clock numbers are "
+        "**reported, never gated** (the identity columns are the CI gate)"
+    )
+    lines.append(
+        f"* target: >= {payload.get('target_speedup', '?')}x measured at "
+        "4+ shards on scale32, on hosts with the cores to show it"
+    )
+    lines.append("")
+    lines.append(
+        "| scenario | shards | executor | wall (s) | measured x | "
+        "modeled x | identical |"
+    )
+    lines.append("| --- | --- | --- | --- | --- | --- | --- |")
+    for scenario in payload.get("scenarios", []):
+        for count in sorted(scenario["shards"], key=int):
+            row = scenario["shards"][count]
+            for kind in payload.get("executors", []):
+                arm = row["executors"][kind]
+                lines.append(
+                    f"| {scenario['name']} | {count} | {kind} "
+                    f"| {arm['wall_s']:.4f} "
+                    f"| {arm['speedup_vs_serial']:.2f} "
+                    f"| {row['modeled']['speedup']:.2f} "
+                    f"| {'yes' if row['identical'] else 'NO'} |"
+                )
     return "\n".join(lines) + "\n"
 
 
@@ -294,6 +358,8 @@ def collect(results_dir: Path | str = _DEFAULT_RESULTS) -> str:
         body
         + "\n"
         + _artifact_section(results_dir.parent)
+        + "\n"
+        + _par_section(results_dir)
         + "\n"
         + _ledger_section(results_dir)
     )

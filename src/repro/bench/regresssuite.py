@@ -86,6 +86,13 @@ REGRESS_CELLS: dict[str, dict] = {
     "plain-s2": {"spec": _PLAIN.replace(shards=2)},
     "stream-s1": {"spec": _STREAM},
     "stream-s2": {"spec": _STREAM.replace(shards=2)},
+    # The process-executor smoke cell: same workload as stream-s2 but
+    # with phase solves in worker processes.  Its baseline must stay
+    # byte-identical to stream-s2's (executor invariance is also
+    # asserted directly by check_payload, independent of the ledger).
+    "stream-s2-process": {
+        "spec": _STREAM.replace(shards=2, executor="process", max_workers=2)
+    },
     "stream-journal": {"spec": _STREAM, "journal": True},
     "stream-approx": {
         "spec": _STREAM.replace(approx="top_c", approx_top_c=2)
@@ -223,6 +230,19 @@ def check_payload(payload: dict, *, check: bool = True) -> list[str]:
         elif cell["baseline"] == "drift":
             for drift in cell["drifts"]:
                 failures.append(f"{name}: drift {drift}")
+    by_cell = {cell["cell"]: cell for cell in payload["cells"]}
+    serial = by_cell.get("stream-s2")
+    process = by_cell.get("stream-s2-process")
+    if (
+        serial is not None
+        and process is not None
+        and serial["fingerprint"] != process["fingerprint"]
+    ):
+        failures.append(
+            "stream-s2-process: fingerprint differs from stream-s2 — the "
+            "executor changed the run's cost or plan (it may only change "
+            "where the work runs)"
+        )
     gates = payload["diff_gates"]
     if not gates["same_spec_identical"]:
         failures.append(

@@ -47,7 +47,7 @@ from repro.model.task import TaskSet
 from repro.multi.result import MultiSolverResult, MultiStep
 from repro.multi.tables import ConflictingTable, HeartbeatTable, LoggingTable
 from repro.multi.task_state import Candidate, TaskState
-from repro.parallel.threadpool import MasterWorkerPool
+from repro.par.executor import Executor
 
 __all__ = ["TaskLevelParallelSolver", "ThreadedTaskLevelSolver"]
 
@@ -363,10 +363,10 @@ class ThreadedTaskLevelSolver:
     """The same master/worker protocol on real ``threading`` threads.
 
     Each round, every stale task recomputes its candidate concurrently
-    on a :class:`~repro.parallel.threadpool.MasterWorkerPool`; the
-    master then grants the globally best candidate, consumes the
-    worker, and marks the executor plus conflicted tasks stale.  The
-    produced plan equals the serial plan (same argument as above).
+    on a thread :class:`~repro.par.executor.Executor`; the master then
+    grants the globally best candidate, consumes the worker, and marks
+    the executor plus conflicted tasks stale.  The produced plan
+    equals the serial plan (same argument as above).
     """
 
     def __init__(
@@ -383,7 +383,9 @@ class ThreadedTaskLevelSolver:
         self.tasks = tasks
         self.registry = registry
         self.budget_limit = float(budget)
-        self.pool = MasterWorkerPool(threads)
+        if threads < 1:
+            raise SchedulingError(f"threads must be >= 1, got {threads}")
+        self.pool = Executor("thread", max_workers=threads)
         self.states = [
             TaskState(task, registry, k=k, ts=ts, use_index=use_index, counters=OpCounters())
             for task in tasks
@@ -405,7 +407,7 @@ class ThreadedTaskLevelSolver:
                     task_id: (lambda s=state, r=remaining: s.best_candidate(r))
                     for task_id, state in stale.items()
                 }
-                results = self.pool.run(jobs)
+                results = self.pool.run_jobs(jobs)
                 candidates.update(results)
                 stale = {}
             live = [

@@ -195,6 +195,66 @@ class MetricsRegistry:
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
 
+    def state(self) -> dict:
+        """Exact JSON-native internal state, for the process boundary.
+
+        Unlike :meth:`to_dict` (a reporting view with derived
+        percentiles), this captures every field a metric accumulates —
+        including the ``timing`` flag and gauge update counts — so
+        :meth:`merge_state` on an empty registry reproduces this one
+        exactly.
+        """
+        out: dict = {}
+        for name, metric in sorted(self._metrics.items()):
+            entry: dict = {"kind": metric.kind, "timing": metric.timing}
+            if metric.kind == "counter":
+                entry["value"] = metric.value
+            elif metric.kind == "gauge":
+                entry["value"] = metric.value
+                entry["updates"] = metric.updates
+            else:
+                entry["count"] = metric.count
+                entry["zero"] = metric.zero_count
+                entry["buckets"] = {
+                    str(bucket): metric.buckets[bucket]
+                    for bucket in sorted(metric.buckets)
+                }
+            out[name] = entry
+        return out
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another registry's :meth:`state` into this one.
+
+        Counters and histogram buckets add; gauges take the incoming
+        value (last-wins, matching :meth:`Gauge.set`) while accumulating
+        update counts.  Merging per-shard worker registries in shard-id
+        order therefore reproduces the serial drain's registry exactly:
+        shard scopes prefix every metric name, so no two shards ever
+        contend for one gauge.
+        """
+        for name, entry in state.items():
+            kind = entry["kind"]
+            timing = entry["timing"]
+            if kind == "counter":
+                self.counter(name, timing=timing).inc(entry["value"])
+            elif kind == "gauge":
+                gauge = self.gauge(name, timing=timing)
+                gauge.value = entry["value"]
+                gauge.updates += entry["updates"]
+            elif kind == "histogram":
+                histogram = self.histogram(name, timing=timing)
+                histogram.count += entry["count"]
+                histogram.zero_count += entry["zero"]
+                for bucket, count in entry["buckets"].items():
+                    bucket = int(bucket)
+                    histogram.buckets[bucket] = (
+                        histogram.buckets.get(bucket, 0) + count
+                    )
+            else:
+                raise ConfigurationError(
+                    f"metric state {name!r} has unknown kind {kind!r}"
+                )
+
     def to_dict(self, *, include_timing: bool = True) -> dict:
         """Sorted-name snapshot of every metric; with
         ``include_timing=False`` this is a deterministic function of

@@ -1,0 +1,207 @@
+"""The ``serial | thread | process`` executor abstraction.
+
+One :class:`Executor` decides *where* a batch of independent work runs:
+
+* ``serial`` — inline, in submission order.  The reference: every
+  identity gate compares the other kinds against it.
+* ``thread`` — real ``threading`` threads (named ``tcsc-worker-<i>``,
+  the Figure 5 master/worker demonstration).  The GIL serializes the
+  bytecode, so this kind proves concurrency-correctness, not speed.
+* ``process`` — a :class:`concurrent.futures.ProcessPoolExecutor`.
+  Work must be submitted as JSON strings through :meth:`map_units`
+  with a *module-level* unit function (:mod:`repro.par.work`), so
+  nothing pickle-dependent ever crosses the boundary.
+
+Determinism: :meth:`map_units` and :meth:`run_jobs` always return
+results in submission order, whatever order the workers finish in.
+
+``persistent=True`` keeps the process pool warm across calls — the
+bench suite sweeps many runs and should pay the fork cost once; the
+one-shot runtime paths use a per-call pool so nothing leaks.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+from typing import Any, Callable, Hashable, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "EXECUTOR_KINDS",
+    "Executor",
+    "executor_from_spec",
+    "validate_max_workers",
+]
+
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+
+def validate_max_workers(max_workers: int) -> int:
+    """The shared ``--max-workers`` validation (CLI + constructor).
+
+    Raises a typed :class:`~repro.errors.ConfigurationError` on
+    ``max_workers < 1`` instead of letting a zero-width pool surface
+    as a deep ``concurrent.futures`` traceback.
+    """
+    if max_workers < 1:
+        raise ConfigurationError(
+            f"max_workers must be >= 1, got {max_workers}"
+        )
+    return max_workers
+
+
+class Executor:
+    """Run independent work units serially, on threads, or in processes."""
+
+    def __init__(
+        self,
+        kind: str = "serial",
+        *,
+        max_workers: int | None = None,
+        persistent: bool = False,
+    ):
+        if kind not in EXECUTOR_KINDS:
+            raise ConfigurationError(
+                f"unknown executor kind {kind!r}; "
+                f"choose one of {EXECUTOR_KINDS}"
+            )
+        if max_workers is not None:
+            validate_max_workers(max_workers)
+        self.kind = kind
+        self.max_workers = max_workers
+        self.persistent = persistent
+        self._pool = None
+
+    # ------------------------------------------------------------------
+    # Sizing
+    # ------------------------------------------------------------------
+    def _width(self, units: int) -> int:
+        """Worker count for a batch of ``units`` submissions."""
+        cap = self.max_workers
+        if cap is None:
+            cap = (os.cpu_count() or 1) if self.kind == "process" else units
+        return max(1, min(units, cap))
+
+    # ------------------------------------------------------------------
+    # JSON work units (module-level unit functions; process-safe)
+    # ------------------------------------------------------------------
+    def map_units(self, fn: Callable[[str], str], payloads: Sequence[str]) -> list:
+        """``[fn(p) for p in payloads]``, wherever this executor runs.
+
+        Results come back in submission order regardless of completion
+        order; worker exceptions propagate to the caller.  For the
+        ``process`` kind, ``fn`` must be importable at module level
+        (the unit functions of :mod:`repro.par.work`).
+        """
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        if self.kind == "serial":
+            return [fn(payload) for payload in payloads]
+        if self.kind == "thread":
+            return self._run_thunks(
+                [(lambda p=payload: fn(p)) for payload in payloads]
+            )
+        return self._map_in_processes(fn, payloads)
+
+    def _map_in_processes(self, fn, payloads: list) -> list:
+        from concurrent.futures import ProcessPoolExecutor
+
+        if self.persistent:
+            if self._pool is None:
+                # Sized by the cap, not the first batch: a warm pool
+                # outlives many differently-sized sweeps, and a small
+                # first call must not pin its width for the large ones.
+                cap = self.max_workers or (os.cpu_count() or 1)
+                self._pool = ProcessPoolExecutor(max_workers=cap)
+            return list(self._pool.map(fn, payloads))
+        with ProcessPoolExecutor(max_workers=self._width(len(payloads))) as pool:
+            return list(pool.map(fn, payloads))
+
+    # ------------------------------------------------------------------
+    # In-process jobs (the MasterWorkerPool surface)
+    # ------------------------------------------------------------------
+    def run_jobs(
+        self, jobs: dict[Hashable, Callable[[], Any]]
+    ) -> dict[Hashable, Any]:
+        """Execute ``{owner: thunk}`` and return ``{owner: result}``.
+
+        Closures cannot cross a process boundary, so the ``process``
+        kind rejects this surface with a typed error — ship JSON units
+        through :meth:`map_units` instead.
+        """
+        if self.kind == "process":
+            raise ConfigurationError(
+                "process executors ship JSON work units, not closures; "
+                "encode the work with repro.par.work and use map_units"
+            )
+        owners = list(jobs)
+        if self.kind == "serial":
+            return {owner: jobs[owner]() for owner in owners}
+        values = self._run_thunks([jobs[owner] for owner in owners])
+        return dict(zip(owners, values))
+
+    def _run_thunks(self, thunks: list) -> list:
+        """Drain thunks on named worker threads; first error re-raised."""
+        work: queue.Queue = queue.Queue()
+        for index, thunk in enumerate(thunks):
+            work.put((index, thunk))
+        results: list = [None] * len(thunks)
+        errors: list[BaseException] = []
+        lock = threading.Lock()
+
+        def worker():
+            while True:
+                try:
+                    index, thunk = work.get_nowait()
+                except queue.Empty:
+                    return
+                try:
+                    value = thunk()
+                    with lock:
+                        results[index] = value
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    with lock:
+                        errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, name=f"tcsc-worker-{i}", daemon=True)
+            for i in range(self._width(len(thunks)))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return results
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down a persistent process pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def executor_from_spec(spec) -> Executor | None:
+    """The spec's executor, or ``None`` for the legacy serial paths.
+
+    ``None`` (not ``Executor("serial")``) keeps the default runtime
+    composition byte-for-byte on the original code paths — executor
+    plumbing only engages when a spec opts in.
+    """
+    if spec.executor == "serial":
+        return None
+    return Executor(spec.executor, max_workers=spec.max_workers)

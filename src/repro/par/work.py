@@ -1,0 +1,312 @@
+"""JSON work units: per-shard work shipped across a process boundary.
+
+A work unit is one JSON string in, one JSON string out — the unit
+functions here (:func:`run_plain_unit`, :func:`run_stream_unit`) are
+module-level so a :class:`~concurrent.futures.ProcessPoolExecutor`
+resolves them by name; the payload itself never rides on pickle, so no
+pickle-dependent representation drift is possible.  Floats cross the
+boundary bit-exact through JSON shortest repr — the same contract the
+PR-4 snapshot codec (:mod:`repro.journal.snapshot`) and the model
+``to_dict``/``from_dict`` codecs already guarantee.
+
+Two unit shapes exist:
+
+* **Plain shard solve** — one shard's phase-1 optimistic round of
+  :class:`~repro.shard.server.ShardedTCSCServer`: the shard's halo
+  worker roster, its owned tasks in canonical order, their budgets,
+  and the solver variant go in; per-task plans, offer tables, op
+  costs, and the shard's :class:`~repro.core.instrumentation.OpCounters`
+  come out.  The coordinator replays the returned records to rebuild
+  ``prefix_claims`` exactly as the in-process loop would have.
+* **Stream shard drain** — one shard of
+  :class:`~repro.shard.streaming.ShardedStreamingServer`: the core's
+  constructor kwargs plus the routed sub-trace (WAL event codec) go
+  in; the full exact server snapshot (:func:`~repro.journal.snapshot.server_state`)
+  comes out and is restored into the parent's matching core, so every
+  downstream consumer (``assignment()``, metrics, counters, makespan
+  accounting) reads state indistinguishable from an in-process drain.
+  With telemetry, the worker runs its own shard-scoped recorder /
+  registry / profiler and ships their exact state for the parent's
+  deterministic shard-id-ordered merge (:mod:`repro.par.stream`).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.instrumentation import OpCounters
+from repro.engine.costs import SingleTaskCostTable, SlotOffer
+from repro.engine.registry import WorkerRegistry
+from repro.geo.bbox import BoundingBox
+from repro.journal.wal import decode_event, encode_event
+from repro.model.task import Task
+from repro.model.worker import Worker, WorkerPool
+from repro.runtime.spec import SolverVariant
+
+__all__ = [
+    "OfferView",
+    "encode_plain_unit",
+    "run_plain_unit",
+    "decode_plain_result",
+    "encode_stream_unit",
+    "run_stream_unit",
+    "decode_stream_result",
+]
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+def _dumps(payload: dict) -> str:
+    # Canonical form (sorted keys, compact separators) so two encodes
+    # of the same state are byte-identical — units are diffable.
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _bbox_state(bbox: BoundingBox) -> list:
+    return [bbox.min_x, bbox.min_y, bbox.max_x, bbox.max_y]
+
+
+def _bbox_from(state: list) -> BoundingBox:
+    return BoundingBox(*state)
+
+
+class OfferView:
+    """A shipped per-slot offer table with the reconciliation surface.
+
+    Phase 3 of the sharded round probes the solve-time cost table only
+    through ``offer(slot)`` (:meth:`ShardedTCSCServer._offers_unchanged`);
+    a :class:`~repro.engine.costs.SingleTaskCostTable` is fully
+    precomputed at construction, so its shipped per-slot offers
+    reproduce that surface exactly, with no side effects to replay.
+    """
+
+    __slots__ = ("_offers",)
+
+    def __init__(self, offers: list):
+        self._offers = [
+            None if entry is None else SlotOffer(entry[0], entry[1], entry[2])
+            for entry in offers
+        ]
+
+    def offer(self, slot: int) -> SlotOffer | None:
+        return self._offers[slot]
+
+
+def _offers_state(costs: SingleTaskCostTable, num_slots: int) -> list:
+    out: list = []
+    for slot in range(num_slots + 1):
+        offer = costs.offer(slot) if slot >= 1 else None
+        out.append(
+            None if offer is None
+            else [offer.worker_id, offer.cost, offer.reliability]
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Plain shard solve units
+# ----------------------------------------------------------------------
+def encode_plain_unit(
+    *,
+    shard: int,
+    bbox: BoundingBox,
+    workers,
+    tasks,
+    budgets: dict[int, float],
+    variant: SolverVariant,
+    k: int,
+    ts: int,
+) -> str:
+    """One shard's phase-1 optimistic solve as a JSON work unit.
+
+    ``workers`` and ``tasks`` must be in the exact order the in-process
+    loop would consume them (pool insertion order; shard canonical task
+    order) — registry iteration order is part of the determinism
+    contract.
+    """
+    return _dumps(
+        {
+            "unit": "plain-solve",
+            "shard": shard,
+            "bbox": _bbox_state(bbox),
+            "workers": [worker.to_dict() for worker in workers],
+            "tasks": [task.to_dict() for task in tasks],
+            "budgets": {str(task.task_id): budgets[task.task_id] for task in tasks},
+            "variant": {
+                "backend": variant.backend,
+                "search": variant.search,
+                "use_index": variant.use_index,
+                "top_c": variant.top_c,
+                "floor": variant.floor,
+            },
+            "k": k,
+            "ts": ts,
+        }
+    )
+
+
+def run_plain_unit(payload: str) -> str:
+    """Worker-process entry point: solve one shard's canonical round."""
+    # Local import: the factory imports repro.shard lazily and
+    # repro.shard imports this module lazily — keep the cycle broken
+    # in forked children too.
+    from repro.runtime.factory import build_single_task_solver
+
+    data = json.loads(payload)
+    bbox = _bbox_from(data["bbox"])
+    pool = WorkerPool([Worker.from_dict(w) for w in data["workers"]])
+    registry = WorkerRegistry(pool, bbox)
+    variant = SolverVariant(**data["variant"])
+    counters = OpCounters()
+    out_tasks: list[dict] = []
+    for task_payload in data["tasks"]:
+        task = Task.from_dict(task_payload)
+        budget = data["budgets"][str(task.task_id)]
+        before = counters.snapshot()
+        costs = SingleTaskCostTable(task, registry, counters=counters)
+        solver = build_single_task_solver(
+            variant, task, costs,
+            budget=budget, k=data["k"], ts=data["ts"], counters=counters,
+        )
+        result = solver.solve()
+        cost = counters.delta_since(before).virtual_cost()
+        for record in result.assignment:
+            registry.consume(record.worker_id, task.global_slot(record.slot))
+        out_tasks.append(
+            {
+                "task_id": task.task_id,
+                "records": [record.to_dict() for record in result.assignment],
+                "quality": result.quality,
+                "spent": result.spent,
+                "certificate": result.certificate,
+                "cost": cost,
+                "offers": _offers_state(costs, task.num_slots),
+            }
+        )
+    return _dumps(
+        {
+            "unit": "plain-solve",
+            "shard": data["shard"],
+            "tasks": out_tasks,
+            "counters": counters.to_dict(),
+        }
+    )
+
+
+def decode_plain_result(result: str) -> dict:
+    """Parse a :func:`run_plain_unit` result (counters rehydrated)."""
+    data = json.loads(result)
+    data["counters"] = OpCounters(**data["counters"])
+    return data
+
+
+# ----------------------------------------------------------------------
+# Stream shard drain units
+# ----------------------------------------------------------------------
+def encode_stream_unit(
+    *,
+    shard: int,
+    bbox: BoundingBox,
+    server_kwargs: dict,
+    events,
+    telemetry: bool = False,
+    scope: str | None = None,
+) -> str:
+    """One shard's routed sub-trace as a JSON work unit."""
+    return _dumps(
+        {
+            "unit": "stream-drain",
+            "shard": shard,
+            "bbox": _bbox_state(bbox),
+            "kwargs": dict(server_kwargs),
+            "events": [encode_event(event) for event in events],
+            "telemetry": bool(telemetry),
+            "scope": scope,
+        }
+    )
+
+
+def run_stream_unit(payload: str) -> str:
+    """Worker-process entry point: drain one shard's sub-trace.
+
+    Builds a fresh :class:`~repro.stream.online_server.StreamingTCSCServer`
+    from the shipped kwargs (plus a shard-scoped telemetry bundle when
+    asked), runs the decoded events, and returns the exact snapshot —
+    the parent restores it into its matching core.
+    """
+    from repro.journal.snapshot import server_state
+    from repro.stream.online_server import StreamingTCSCServer
+
+    data = json.loads(payload)
+    bbox = _bbox_from(data["bbox"])
+    events = [decode_event(event) for event in data["events"]]
+    layers = ()
+    bundle = None
+    if data["telemetry"]:
+        bundle = _ShardTelemetry(data["scope"])
+        layers = bundle.layers()
+    server = StreamingTCSCServer(bbox, layers=layers, **data["kwargs"])
+    server.run(events)
+    out = {
+        "unit": "stream-drain",
+        "shard": data["shard"],
+        "state": server_state(server),
+    }
+    if bundle is not None:
+        out["telemetry"] = bundle.export()
+    return _dumps(out)
+
+
+def decode_stream_result(result: str) -> dict:
+    """Parse a :func:`run_stream_unit` result."""
+    return json.loads(result)
+
+
+class _ShardTelemetry:
+    """One shard's worker-local telemetry bundle.
+
+    The parent's :class:`~repro.obs.layer.Telemetry` cannot cross the
+    process boundary, so the worker observes its shard with a private
+    recorder / registry / profiler trio (same scope stamps the parent
+    would use) and exports their exact state; the parent merges the
+    exports in shard-id order (:func:`repro.par.stream.merge_shard_telemetry`),
+    reproducing the serial drain's record interleaving — the masked
+    trace stays deterministic *and* byte-identical to the serial arm.
+    """
+
+    def __init__(self, scope: str | None):
+        from repro.obs.layer import TelemetryLayer
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.profile import PhaseProfiler
+        from repro.obs.trace import TraceRecorder
+
+        self.recorder = TraceRecorder(None)
+        self.registry = MetricsRegistry()
+        self.profiler = PhaseProfiler(
+            recorder=self.recorder, registry=self.registry, scope=scope
+        )
+        self._layer = TelemetryLayer(
+            recorder=self.recorder,
+            registry=self.registry,
+            profiler=self.profiler,
+            scope=scope,
+        )
+
+    def layers(self) -> tuple:
+        return (self._layer,)
+
+    def export(self) -> dict:
+        stats = {
+            name: {
+                "calls": stat.calls,
+                "wall_s": stat.wall_s,
+                "ops": stat.ops.to_dict(),
+            }
+            for name, stat in self.profiler.stats.items()
+        }
+        return {
+            "records": self.recorder.records,
+            "registry": self.registry.state(),
+            "profiler": stats,
+        }

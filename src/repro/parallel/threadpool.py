@@ -1,24 +1,48 @@
-"""A real master/worker thread pool for the task-level framework.
+"""Deprecated shim: ``MasterWorkerPool`` over ``repro.par.Executor``.
 
-This backend demonstrates the paper's Figure 5 architecture with
-actual ``threading`` threads: worker threads evaluate candidate
-heuristics for their tasks; the master thread collects heartbeats,
-resolves worker conflicts by consulting the heartbeat table, and
-grants executions one at a time.  Because CPython's GIL serializes the
-bytecode anyway, this backend is for functional demonstration (the
-tests assert its plan equals the serial plan); timing experiments use
-:mod:`repro.parallel.simcluster`.
+The real master/worker thread pool that demonstrated the paper's
+Figure 5 architecture moved into the general executor abstraction —
+:class:`repro.par.executor.Executor` with ``kind="thread"`` runs the
+identical protocol (named ``tcsc-worker-<i>`` threads draining a
+shared queue, first error re-raised) and additionally offers the
+``process`` kind for real wall-clock parallelism.  This module keeps
+the old constructor importable, warning once per process, exactly
+like the PR 5 server shims; the produced plans are regression-tested
+equal to the executor's.
 """
 
 from __future__ import annotations
 
-import queue
-import threading
+import warnings
 from typing import Any, Callable, Hashable
 
 from repro.errors import SchedulingError
+from repro.par.executor import Executor
 
 __all__ = ["MasterWorkerPool"]
+
+#: One deprecation warning per process: suites construct hundreds of
+#: pools per run, and repeating the same fact helps nobody.
+_warned = False
+
+
+def _warn_once() -> None:
+    global _warned
+    if _warned:
+        return
+    _warned = True
+    warnings.warn(
+        "MasterWorkerPool is deprecated; use "
+        "repro.par.Executor(kind='thread', max_workers=N) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def reset_deprecation_warning() -> None:
+    """Re-arm the once-per-process warning (for tests)."""
+    global _warned
+    _warned = False
 
 
 class MasterWorkerPool:
@@ -27,46 +51,20 @@ class MasterWorkerPool:
     ``jobs`` maps an owner id to a zero-argument callable; :meth:`run`
     executes them on ``num_threads`` threads and returns
     ``{owner: result}``.  Exceptions propagate to the caller.
+
+    Deprecated: a thin delegate over
+    :meth:`repro.par.executor.Executor.run_jobs`.  The historical
+    ``num_threads < 1`` rejection stays a
+    :class:`~repro.errors.SchedulingError` for callers that catch it.
     """
 
     def __init__(self, num_threads: int):
         if num_threads < 1:
             raise SchedulingError(f"num_threads must be >= 1, got {num_threads}")
+        _warn_once()
         self.num_threads = num_threads
+        self._executor = Executor("thread", max_workers=num_threads)
 
     def run(self, jobs: dict[Hashable, Callable[[], Any]]) -> dict[Hashable, Any]:
         """Execute all jobs; block until every one finished."""
-        work: queue.Queue = queue.Queue()
-        for owner, job in jobs.items():
-            work.put((owner, job))
-        results: dict[Hashable, Any] = {}
-        errors: list[BaseException] = []
-        lock = threading.Lock()
-
-        def worker():
-            while True:
-                try:
-                    owner, job = work.get_nowait()
-                except queue.Empty:
-                    return
-                try:
-                    value = job()
-                    with lock:
-                        results[owner] = value
-                except BaseException as exc:  # noqa: BLE001 - re-raised below
-                    with lock:
-                        errors.append(exc)
-                finally:
-                    work.task_done()
-
-        threads = [
-            threading.Thread(target=worker, name=f"tcsc-worker-{i}", daemon=True)
-            for i in range(min(self.num_threads, max(len(jobs), 1)))
-        ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
-        if errors:
-            raise errors[0]
-        return results
+        return self._executor.run_jobs(jobs)

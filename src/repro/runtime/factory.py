@@ -141,7 +141,9 @@ class Runtime:
         raise NotImplementedError
 
 
-def build_serving_solver(spec: RunSpec, pool, bbox, *, force_sharded=False):
+def build_serving_solver(
+    spec: RunSpec, pool, bbox, *, force_sharded=False, executor=None
+):
     """The plain-mode serving solver a spec resolves to.
 
     ``shards == 1`` builds the sequential reference; more shards build
@@ -150,11 +152,21 @@ def build_serving_solver(spec: RunSpec, pool, bbox, *, force_sharded=False):
     sharding row measures exactly that case.  Exposed so suites that
     sweep shard counts over one pre-built scenario share this
     resolution instead of re-threading the solver kwargs.
+
+    ``executor`` overrides the spec-resolved
+    :class:`~repro.par.executor.Executor` (suites pass one persistent
+    pool across a sweep).  A non-serial executor always builds the
+    coordinator: per-shard work units are the parallel unit, and the
+    one-shard coordinator is plan-identical to the sequential
+    reference by the PR-3 reconciliation proof.
     """
     # Imported here: repro.shard imports the runtime's shared solver
     # builder at module level.
+    from repro.par.executor import executor_from_spec
     from repro.shard.server import SequentialServingSolver, ShardedTCSCServer
 
+    if executor is None:
+        executor = executor_from_spec(spec)
     variant = spec.solver_variant
     common = dict(
         k=spec.k, ts=spec.ts,
@@ -162,7 +174,7 @@ def build_serving_solver(spec: RunSpec, pool, bbox, *, force_sharded=False):
         search=spec.search, backend=spec.backend,
         top_c=variant.top_c, floor=variant.floor,
     )
-    if spec.shards == 1 and not force_sharded:
+    if spec.shards == 1 and not force_sharded and executor is None:
         return SequentialServingSolver(pool, bbox, **common)
     # The coordinator has no degradation knobs; validate() already
     # rejects approx x shards, so both are None here — drop them
@@ -171,7 +183,7 @@ def build_serving_solver(spec: RunSpec, pool, bbox, *, force_sharded=False):
     common.pop("floor")
     return ShardedTCSCServer(
         pool, bbox, num_shards=spec.shards, halo=spec.halo,
-        cells_per_side=spec.cells_per_side, **common,
+        cells_per_side=spec.cells_per_side, executor=executor, **common,
     )
 
 
@@ -326,13 +338,31 @@ class StreamRuntime(Runtime):
         force_sharded: bool = False,
         scenario=None,
         chaos=(),
+        executor=None,
     ):
         super().__init__(spec)
         self._scenario = scenario
         self._server = None
         self._telemetry = None
-        self._sharded = force_sharded or spec.shards > 1
+        # A non-serial executor always drains through the sharded
+        # router (its per-shard work units are the parallel unit);
+        # the one-shard router replays the trace unchanged, so the
+        # forced composition stays byte-identical to the plain core.
+        self._sharded = (
+            force_sharded or spec.shards > 1 or spec.executor != "serial"
+        )
         self._chaos = tuple(chaos)
+        self._executor = executor
+
+    def _resolve_executor(self):
+        """The run's executor: the injected one (suites share a warm
+        pool across a sweep) or the spec's; ``None`` keeps the legacy
+        serial drain byte-for-byte."""
+        if self._executor is not None:
+            return self._executor
+        from repro.par.executor import executor_from_spec
+
+        return executor_from_spec(self.spec)
 
     def scenario(self):
         """The built (seed-pinned, cached) event trace."""
@@ -450,6 +480,26 @@ class StreamRuntime(Runtime):
                 spec=spec.to_dict(),
             )
             self._telemetry = telemetry
+        executor = self._resolve_executor()
+        if executor is not None:
+            # Validation already rejected journal/approx/elastic x
+            # executor; chaos plans are build-time arguments, so the
+            # remaining uncomposable pairing is rejected here.
+            if has_slowdown:
+                raise SpecError(
+                    "slowdown injection x executor is not a supported "
+                    "pairing yet (per-core op budgets live in layers, "
+                    "which work units do not carry)"
+                )
+            return ShardedStreamingServer(
+                bbox,
+                num_shards=spec.shards,
+                cells_per_side=spec.cells_per_side,
+                halo_margin=spec.halo,
+                executor=executor,
+                telemetry=telemetry,
+                **kwargs,
+            )
         if spec.journal is not None:
             from repro.journal.layer import journaled_server
             from repro.journal.sharded import sharded_journaled_server

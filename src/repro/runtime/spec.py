@@ -23,12 +23,14 @@ from dataclasses import asdict, dataclass, field, fields, replace
 from pathlib import Path
 
 from repro.errors import SpecError
+from repro.par.executor import EXECUTOR_KINDS
 
 __all__ = [
     "SERVING_MODES",
     "SEARCH_MODES",
     "APPROX_MODES",
     "ELASTIC_MODES",
+    "EXECUTOR_KINDS",
     "SolverVariant",
     "WorkloadSpec",
     "RunSpec",
@@ -214,6 +216,15 @@ class RunSpec:
     #: onto one at or below ``migrate_queue_low``.
     migrate_queue_high: int = 8
     migrate_queue_low: int = 2
+    # Real parallelism (the PR-10 knobs; ``repro.par``): where per-shard
+    # work runs.  ``executor`` selects the kind — ``"serial"`` (inline,
+    # the byte-identical reference), ``"thread"`` (GIL-bound threads,
+    # concurrency-correctness proof), or ``"process"`` (a process pool;
+    # work units cross the boundary via the exact JSON snapshot codec).
+    # ``max_workers`` caps the pool width (default: one worker per
+    # shard for threads, the host CPU count for processes).
+    executor: str = "serial"
+    max_workers: int | None = None
 
     # ------------------------------------------------------------------
     # Validation
@@ -473,6 +484,60 @@ class RunSpec:
                 f"got low={self.migrate_queue_low} high="
                 f"{self.migrate_queue_high}"
             )
+        # Real parallelism (the PR-10 knobs).
+        if self.executor not in EXECUTOR_KINDS:
+            raise SpecError(
+                f"unknown executor {self.executor!r}; "
+                f"choose one of {EXECUTOR_KINDS}"
+            )
+        if self.max_workers is not None:
+            if self.max_workers < 1:
+                raise SpecError(
+                    f"max_workers must be >= 1, got {self.max_workers}"
+                )
+            if self.executor == "serial":
+                raise SpecError(
+                    "max_workers sizes the executor's worker pool; it "
+                    "requires executor='thread' or 'process' (got "
+                    "executor='serial')"
+                )
+        if self.executor != "serial":
+            if self.mode == "batch":
+                raise SpecError(
+                    "executors run per-shard work; batch x executor is "
+                    "not a supported pairing yet (got mode='batch', "
+                    f"executor={self.executor!r})"
+                )
+            if self.journal is not None:
+                raise SpecError(
+                    "the write-ahead journal holds the parent's file "
+                    "handle, which cannot cross an executor boundary; "
+                    "executor x journal is not a supported pairing yet "
+                    f"(got executor={self.executor!r})"
+                )
+            if self.approx != "off":
+                raise SpecError(
+                    "per-request certificates are tracked by the serial "
+                    "runtime; executor x approx is not a supported "
+                    f"pairing yet (got executor={self.executor!r}, "
+                    f"approx={self.approx!r})"
+                )
+            if self.elastic != "off":
+                raise SpecError(
+                    "elastic migration rebalances mid-run, which the "
+                    "shard-per-unit executor drain does not replay; "
+                    "executor x elastic is not a supported pairing yet "
+                    f"(got executor={self.executor!r}, "
+                    f"elastic={self.elastic!r})"
+                )
+            if self.telemetry and self.mode != "stream":
+                raise SpecError(
+                    "executor x telemetry trace interleaving is defined "
+                    "for the sharded streaming drain only (per-shard "
+                    "scopes merged in shard-id order); plain x telemetry "
+                    "x executor is rejected rather than left undefined "
+                    f"(got mode={self.mode!r}, executor={self.executor!r})"
+                )
         self.workload.validate()
         return self
 

@@ -307,6 +307,12 @@ class ShardedTCSCServer(_ServingBase):
         cores: simulated cores for makespan accounting (defaults to
             ``num_shards`` — one core per shard).
         per_message_cost: virtual cost of one coordination message.
+        executor: a :class:`~repro.par.executor.Executor` to run the
+            phase-1 optimistic solves as per-shard JSON work units
+            (threads or worker processes); ``None`` keeps the
+            in-process loop.  Either way the merged plan, counters,
+            and report are byte-identical — phases 2 and 3 always run
+            on the coordinator.
     """
 
     def __init__(
@@ -325,6 +331,7 @@ class ShardedTCSCServer(_ServingBase):
         backend: str = "python",
         cores: int | None = None,
         per_message_cost: float = 1.0,
+        executor=None,
     ):
         super().__init__(
             pool, bbox, k=k, ts=ts, engine=engine, search=search, backend=backend
@@ -339,6 +346,7 @@ class ShardedTCSCServer(_ServingBase):
         self.num_shards = num_shards
         self.cores = num_shards if cores is None else cores
         self.per_message_cost = per_message_cost
+        self.executor = executor
 
     # ------------------------------------------------------------------
     # Reconciliation helpers
@@ -406,6 +414,22 @@ class ShardedTCSCServer(_ServingBase):
         prefix_claims: dict[int, frozenset[tuple[int, int]]] = {}
         shard_items: list[list[WorkItem]] = []
         shard_stats: list[ShardSolveStats] = []
+        if self.executor is not None and profiler is None:
+            # Per-shard JSON work units, run wherever the executor
+            # runs them, merged in shard-id order — the byte-identical
+            # parallel spelling of the loop below.  Profiled rounds
+            # keep the in-process loop: a span's counter attribution
+            # cannot cross a process boundary.
+            self._phase1_units(
+                tasks, budgets, shard_map, counters,
+                optimistic, opt_offers, opt_cost, prefix_claims,
+                shard_items, shard_stats,
+            )
+            return self._merge_phases(
+                tasks, budgets, shard_map, counters,
+                optimistic, opt_offers, opt_cost, prefix_claims,
+                shard_items, shard_stats, profiler,
+            )
         for shard, task_ids in enumerate(shard_map.shard_tasks):
             registry = WorkerRegistry(shard_map.shard_pools[shard], self.bbox)
             shard_counters = OpCounters()
@@ -451,6 +475,95 @@ class ShardedTCSCServer(_ServingBase):
                 )
             )
 
+        return self._merge_phases(
+            tasks, budgets, shard_map, counters,
+            optimistic, opt_offers, opt_cost, prefix_claims,
+            shard_items, shard_stats, profiler,
+        )
+
+    def _phase1_units(
+        self, tasks, budgets, shard_map, counters,
+        optimistic, opt_offers, opt_cost, prefix_claims,
+        shard_items, shard_stats,
+    ) -> None:
+        """Phase 1 as executor-run JSON work units (exact merge).
+
+        Each shard's halo roster, owned tasks (canonical order), and
+        budgets ship out; plans, per-slot offer tables, op costs, and
+        shard counters ship back.  The merge replays the returned
+        records to rebuild ``prefix_claims`` exactly as the in-process
+        loop accumulates them, and folds shard counters in shard-id
+        order — so every downstream phase sees identical state.
+        """
+        # Imported lazily: repro.par.work imports the runtime spec,
+        # which this module's importers already have in flight.
+        from repro.model.assignment import AssignmentRecord
+        from repro.par.work import (
+            OfferView,
+            decode_plain_result,
+            encode_plain_unit,
+            run_plain_unit,
+        )
+
+        payloads = [
+            encode_plain_unit(
+                shard=shard,
+                bbox=self.bbox,
+                workers=list(shard_map.shard_pools[shard]),
+                tasks=[tasks.by_id(task_id) for task_id in task_ids],
+                budgets=budgets,
+                variant=self.variant,
+                k=self.k,
+                ts=self.ts,
+            )
+            for shard, task_ids in enumerate(shard_map.shard_tasks)
+        ]
+        results = self.executor.map_units(run_plain_unit, payloads)
+        for shard, (task_ids, result) in enumerate(
+            zip(shard_map.shard_tasks, results)
+        ):
+            data = decode_plain_result(result)
+            claimed: set[tuple[int, int]] = set()
+            items: list[WorkItem] = []
+            records = 0
+            for entry in data["tasks"]:
+                task_id = entry["task_id"]
+                task = tasks.by_id(task_id)
+                prefix_claims[task_id] = frozenset(claimed)
+                plan = Assignment()
+                for record_state in entry["records"]:
+                    plan.add(AssignmentRecord.from_dict(record_state))
+                optimistic[task_id] = SolverResult(
+                    assignment=plan,
+                    quality=entry["quality"],
+                    spent=entry["spent"],
+                    counters=OpCounters(),
+                    certificate=entry["certificate"],
+                )
+                opt_offers[task_id] = OfferView(entry["offers"])
+                opt_cost[task_id] = entry["cost"]
+                items.append(WorkItem(owner=task_id, cost=entry["cost"]))
+                for record in plan:
+                    claimed.add((record.worker_id, task.global_slot(record.slot)))
+                    records += 1
+            counters.merge(data["counters"])
+            shard_items.append(items)
+            shard_stats.append(
+                ShardSolveStats(
+                    shard=shard,
+                    task_ids=tuple(task_ids),
+                    virtual_cost=sum(item.cost for item in items),
+                    records=records,
+                    halo_workers=len(shard_map.shard_pools[shard]),
+                )
+            )
+
+    def _merge_phases(
+        self, tasks, budgets, shard_map, counters,
+        optimistic, opt_offers, opt_cost, prefix_claims,
+        shard_items, shard_stats, profiler,
+    ) -> ShardedReport:
+        """Phases 2 and 3 over the phase-1 state, however it was run."""
         # Phase 2 — cross-shard conflict detection (Conflicting Table).
         claims: dict[tuple[int, int], list[int]] = {}
         for task_id in sorted(optimistic):

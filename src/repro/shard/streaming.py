@@ -179,6 +179,16 @@ class ShardedStreamingServer:
     that attaches a per-shard
     :class:`~repro.journal.layer.JournalLayer`, so durability x
     sharding needs no subclass.  ``None`` builds plain cores.
+
+    ``executor`` switches the drain from the in-process shard loop to
+    :func:`repro.par.stream.drain_sharded`: each shard's sub-trace
+    runs as a JSON work unit wherever the
+    :class:`~repro.par.executor.Executor` runs it, and the returned
+    exact snapshots are restored into this server's cores in shard-id
+    order — byte-identical to the serial drain.  ``telemetry`` is the
+    parent :class:`~repro.obs.layer.Telemetry` bundle the executor
+    drain merges per-shard observations into (executor runs build
+    bare cores; workers attach their own shard-scoped layers).
     """
 
     def __init__(
@@ -189,6 +199,8 @@ class ShardedStreamingServer:
         cells_per_side: int | None = None,
         halo_margin: str | float = "auto",
         server_factory=None,
+        executor=None,
+        telemetry=None,
         **server_kwargs,
     ):
         if num_shards < 1:
@@ -211,6 +223,17 @@ class ShardedStreamingServer:
             )
         self.halo_margin = float(halo_margin)
         self._server_factory = server_factory
+        if executor is not None and server_factory is not None:
+            raise ConfigurationError(
+                "server_factory composes layers into in-process cores; "
+                "an executor builds its cores in the workers instead — "
+                "pass one or the other"
+            )
+        self.executor = executor
+        self.telemetry = telemetry
+        # The executor drain re-creates each core in a worker from the
+        # construction kwargs, so keep an unconsumed copy.
+        self._server_kwargs = dict(server_kwargs)
         self.servers = self._build_servers(bbox, num_shards, server_kwargs)
         self._ran = False
 
@@ -291,6 +314,10 @@ class ShardedStreamingServer:
         makespan.  Shared by :meth:`run` and the journal layer's
         resume path so both report identical scaling numbers."""
         per_shard, metrics = self.route(events)
+        if self.executor is not None:
+            from repro.par.stream import drain_sharded
+
+            return drain_sharded(self, per_shard, metrics)
         items: list[list[WorkItem]] = []
         for shard, (server, trace) in enumerate(zip(self.servers, per_shard)):
             metrics.per_shard.append(drive(server, trace))

@@ -147,7 +147,7 @@ class TestCollect:
             "BENCH_stream.json", "BENCH_perf.json", "BENCH_shard.json",
             "BENCH_journal.json", "BENCH_matrix.json", "BENCH_obs.json",
             "BENCH_degrade.json", "BENCH_elastic.json",
-            "BENCH_regress.json",
+            "BENCH_regress.json", "BENCH_par.json",
         }
         for pattern, collector in COLLECTORS.values():
             assert pattern.endswith("*.json")
